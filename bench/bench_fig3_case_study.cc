@@ -1,0 +1,176 @@
+// Regenerates the Figure 3 case study: on the Electronics dataset, train
+// SceneRec, pick users and show — for the held-out positive item and a few
+// sampled negatives — the model's prediction score next to the average
+// scene-based attention score between the candidate and the user's
+// interaction history.
+//
+// The paper's claim: "the average attention score does relate to the
+// prediction result" — candidates sharing scenes with the user's history get
+// both higher attention and higher predictions, and the held-out positive
+// tops both lists. We quantify that with (a) per-user examples like Figure 3
+// and (b) aggregate statistics: how often the positive's attention exceeds
+// the mean negative attention, and the rank correlation between attention
+// and prediction score.
+//
+//   ./bench_fig3_case_study [--scale=0.03] [--epochs=8] [--users=3] [--seed=42]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/malloc_tuning.h"
+#include "models/scene_rec.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace scenerec;
+
+/// Spearman rank correlation between two equally sized vectors.
+double SpearmanCorrelation(std::vector<double> a, std::vector<double> b) {
+  auto ranks = [](std::vector<double>& v) {
+    std::vector<size_t> order(v.size());
+    for (size_t i = 0; i < v.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t x, size_t y) { return v[x] < v[y]; });
+    std::vector<double> r(v.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      r[order[i]] = static_cast<double>(i);
+    }
+    return r;
+  };
+  std::vector<double> ra = ranks(a), rb = ranks(b);
+  const double n = static_cast<double>(a.size());
+  double mean = (n - 1) / 2.0;
+  double cov = 0, va = 0, vb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (ra[i] - mean) * (rb[i] - mean);
+    va += (ra[i] - mean) * (ra[i] - mean);
+    vb += (rb[i] - mean) * (rb[i] - mean);
+  }
+  return (va > 0 && vb > 0) ? cov / std::sqrt(va * vb) : 0.0;
+}
+
+int Run(int argc, char** argv) {
+  TuneAllocatorForTraining();
+
+  FlagParser flags;
+  flags.AddDouble("scale", 0.03, "dataset scale");
+  flags.AddInt64("epochs", 8, "training epochs");
+  flags.AddInt64("dim", 32, "embedding dimension");
+  flags.AddInt64("users", 3, "users to display in detail");
+  flags.AddInt64("seed", 42, "RNG seed");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n" << flags.Help();
+    return 1;
+  }
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+
+  std::printf("=== Figure 3 case study: attention vs prediction ===\n\n");
+  auto prepared_or =
+      bench::PrepareJdDataset(JdPreset::kElectronics, flags.GetDouble("scale"),
+                              seed);
+  if (!prepared_or.ok()) {
+    std::cerr << prepared_or.status().ToString() << "\n";
+    return 1;
+  }
+  bench::PreparedDataset prepared = std::move(prepared_or).value();
+
+  SceneRecConfig model_config;
+  model_config.embedding_dim = flags.GetInt64("dim");
+  Rng model_rng(seed + 1);
+  SceneRec model(&prepared.train_graph, &prepared.scene_graph, model_config,
+                 model_rng);
+  TrainConfig train_config;
+  train_config.epochs = flags.GetInt64("epochs");
+  train_config.seed = seed + 2;
+  auto result = TrainAndEvaluate(model, prepared.split, prepared.train_graph,
+                                 train_config);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("Trained SceneRec on %s: test NDCG@10 %.4f HR@10 %.4f\n\n",
+              prepared.dataset.name.c_str(), result->test.ndcg,
+              result->test.hr);
+
+  model.OnEvalBegin();
+  // Per-user detail (the Figure 3 layout): positive + 5 negatives with
+  // prediction score and average attention.
+  const int64_t detail_users = flags.GetInt64("users");
+  for (int64_t d = 0; d < detail_users; ++d) {
+    const EvalInstance& inst =
+        prepared.split.test[static_cast<size_t>(d) * 7 % prepared.split.test.size()];
+    std::printf("user u%lld (history of %lld items):\n",
+                static_cast<long long>(inst.user),
+                static_cast<long long>(
+                    prepared.train_graph.UserDegree(inst.user)));
+    auto show = [&](int64_t item, const char* tag) {
+      std::printf("  %-9s item i%-6lld category c%-4lld score %7.3f  "
+                  "avg attention %6.3f\n",
+                  tag, static_cast<long long>(item),
+                  static_cast<long long>(
+                      prepared.scene_graph.CategoryOfItem(item)),
+                  model.Score(inst.user, item),
+                  model.AverageAttentionScore(inst.user, item));
+    };
+    show(inst.positive_item, "positive");
+    for (size_t n = 0; n < 5 && n < inst.negative_items.size(); ++n) {
+      show(inst.negative_items[n], "negative");
+    }
+    std::printf("\n");
+  }
+
+  // Aggregate: does attention relate to prediction? Scores are only
+  // comparable within one user's candidate list, so the correlation is
+  // computed per user and averaged.
+  double positive_wins = 0;
+  double correlation_sum = 0;
+  int64_t correlation_count = 0;
+  double positive_attention_sum = 0, negative_attention_sum = 0;
+  for (const EvalInstance& inst : prepared.split.test) {
+    const double pos_attention =
+        model.AverageAttentionScore(inst.user, inst.positive_item);
+    std::vector<double> scores{
+        static_cast<double>(model.Score(inst.user, inst.positive_item))};
+    std::vector<double> attention{pos_attention};
+    double neg_attention = 0;
+    for (size_t n = 0; n < inst.negative_items.size(); ++n) {
+      const int64_t item = inst.negative_items[n];
+      const double a = model.AverageAttentionScore(inst.user, item);
+      neg_attention += a;
+      scores.push_back(model.Score(inst.user, item));
+      attention.push_back(a);
+    }
+    correlation_sum += SpearmanCorrelation(attention, scores);
+    ++correlation_count;
+    const double neg_mean =
+        neg_attention / static_cast<double>(inst.negative_items.size());
+    positive_attention_sum += pos_attention;
+    negative_attention_sum += neg_mean;
+    if (pos_attention > neg_mean) positive_wins += 1;
+  }
+  const double num_users = static_cast<double>(prepared.split.test.size());
+  std::printf("Aggregate over %zu test users:\n", prepared.split.test.size());
+  std::printf(
+      "  mean attention: held-out positive %.3f vs sampled negatives %.3f\n",
+      positive_attention_sum / num_users, negative_attention_sum / num_users);
+  std::printf("  positive item has above-mean attention: %.1f%% of users\n",
+              100.0 * positive_wins / num_users);
+  std::printf("  mean per-user Spearman corr(attention, prediction): %.3f\n",
+              correlation_sum / static_cast<double>(correlation_count));
+  std::printf(
+      "\nPaper's qualitative claim (Section 5.4.3): items the user will\n"
+      "actually click share more scenes with the interaction history, so\n"
+      "their scene-based attention is higher — the first two lines quantify\n"
+      "that. The per-user rank correlation is diluted by the popularity\n"
+      "signal that dominates scores among random negatives.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,170 @@
+// Extension experiment (the paper's stated future work, Section 5.1:
+// "scene mining is our future work"): does SceneRec still win when the
+// scene layer is mined automatically instead of curated by experts?
+//
+// Compares SceneRec trained with three scene layers on the same dataset:
+//   expert  — the generator's ground-truth scenes (stand-in for the paper's
+//             human-curated layer),
+//   mined   — scenes mined automatically from category co-occurrence (greedy
+//             seed expansion, src/data/scene_mining.h),
+//   random  — size-matched random category sets (scene quality destroyed).
+// SceneRec-nosce is included as the "no scene layer at all" floor.
+//
+// Expected shape: expert >= mined > random, with mined retaining most of
+// the expert-layer gain — evidence that the scene signal, not just extra
+// parameters, drives SceneRec's advantage.
+//
+//   ./bench_scene_mining [--scale=0.02] [--epochs=8] [--dataset=Electronics]
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/malloc_tuning.h"
+#include "data/scene_mining.h"
+#include "data/split.h"
+
+namespace {
+
+using namespace scenerec;
+
+int Run(int argc, char** argv) {
+  TuneAllocatorForTraining();
+
+  FlagParser flags;
+  flags.AddDouble("scale", 0.02, "dataset scale");
+  flags.AddInt64("epochs", 8, "training epochs");
+  flags.AddInt64("dim", 32, "embedding dimension");
+  flags.AddString("dataset", "Electronics", "JD preset name");
+  flags.AddInt64("seed", 42, "RNG seed");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n" << flags.Help();
+    return 1;
+  }
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+
+  JdPreset preset = JdPreset::kElectronics;
+  for (JdPreset p : AllJdPresets()) {
+    if (flags.GetString("dataset") == JdPresetName(p)) preset = p;
+  }
+
+  std::printf("=== Extension: mined vs expert vs random scenes ===\n\n");
+
+  // Base dataset with ground-truth ("expert") scenes.
+  auto base_or = GenerateSyntheticDataset(
+      MakeJdConfig(preset, flags.GetDouble("scale")), seed);
+  if (!base_or.ok()) {
+    std::cerr << base_or.status().ToString() << "\n";
+    return 1;
+  }
+  const Dataset base = std::move(base_or).value();
+
+  // Mined variant.
+  Dataset mined_dataset = base;
+  {
+    SceneMiningConfig mining;
+    auto scenes = MineScenes(base.num_categories,
+                             base.category_category_edges, mining);
+    if (!scenes.ok()) {
+      std::cerr << scenes.status().ToString() << "\n";
+      return 1;
+    }
+    if (Status s = ApplyMinedScenes(*scenes, base.category_category_edges,
+                                    &mined_dataset);
+        !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+    std::printf("mined %lld scenes from category co-occurrence "
+                "(expert layer has %lld)\n\n",
+                static_cast<long long>(mined_dataset.num_scenes),
+                static_cast<long long>(base.num_scenes));
+  }
+
+  // Random variant: same number/sizes of scenes as expert, random members.
+  Dataset random_dataset = base;
+  {
+    Rng rng(seed + 99);
+    std::vector<Edge> edges;
+    // Per-scene sizes copied from the expert layer.
+    std::vector<int64_t> sizes(static_cast<size_t>(base.num_scenes), 0);
+    for (const Edge& e : base.category_scene_edges) {
+      sizes[static_cast<size_t>(e.dst)]++;
+    }
+    for (int64_t s = 0; s < base.num_scenes; ++s) {
+      auto members = rng.SampleWithoutReplacement(
+          static_cast<uint64_t>(base.num_categories),
+          static_cast<uint64_t>(std::max<int64_t>(
+              1, std::min<int64_t>(sizes[static_cast<size_t>(s)],
+                                   base.num_categories))));
+      for (uint64_t c : members) {
+        edges.push_back({static_cast<int64_t>(c), s, 1.0f});
+      }
+    }
+    // Ensure coverage: attach missing categories to random scenes.
+    std::vector<bool> covered(static_cast<size_t>(base.num_categories));
+    for (const Edge& e : edges) covered[static_cast<size_t>(e.src)] = true;
+    for (int64_t c = 0; c < base.num_categories; ++c) {
+      if (!covered[static_cast<size_t>(c)]) {
+        edges.push_back(
+            {c, static_cast<int64_t>(rng.NextInt(
+                    static_cast<uint64_t>(base.num_scenes))), 1.0f});
+      }
+    }
+    random_dataset.category_scene_edges = std::move(edges);
+    if (Status s = random_dataset.Validate(); !s.ok()) {
+      std::cerr << "random layer: " << s.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  // Identical split for all variants (same interactions).
+  auto run_variant = [&](const char* label, const Dataset& dataset,
+                         const char* model_name) -> int {
+    Rng split_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    auto split = MakeLeaveOneOutSplit(dataset, 100, split_rng);
+    if (!split.ok()) {
+      std::cerr << split.status().ToString() << "\n";
+      return 1;
+    }
+    bench::PreparedDataset prepared;
+    prepared.train_graph = UserItemGraph::Build(
+        dataset.num_users, dataset.num_items, split->train);
+    prepared.scene_graph = dataset.BuildSceneGraph();
+    prepared.dataset = dataset;
+    prepared.split = std::move(split).value();
+
+    ModelFactoryConfig factory_config;
+    factory_config.embedding_dim = flags.GetInt64("dim");
+    factory_config.seed = seed + 17;
+    TrainConfig train_config;
+    train_config.epochs = flags.GetInt64("epochs");
+    train_config.seed = seed + 23;
+    train_config.learning_rate = bench::TunedLearningRate(model_name);
+    auto cell =
+        bench::RunCell(model_name, prepared, factory_config, train_config);
+    if (!cell.ok()) {
+      std::cerr << cell.status().ToString() << "\n";
+      return 1;
+    }
+    std::printf("%-22s | NDCG@10 %-8.4f HR@10 %-8.4f (%.1fs)\n", label,
+                cell->test.ndcg, cell->test.hr, cell->train_seconds);
+    std::fflush(stdout);
+    return 0;
+  };
+
+  std::printf("%-22s | %s\n", "scene layer", "SceneRec test metrics");
+  std::printf("%s\n", std::string(62, '-').c_str());
+  if (run_variant("expert (ground truth)", base, "SceneRec")) return 1;
+  if (run_variant("mined (greedy expand)", mined_dataset, "SceneRec")) return 1;
+  if (run_variant("random (size-matched)", random_dataset, "SceneRec")) {
+    return 1;
+  }
+  if (run_variant("none (SceneRec-nosce)", base, "SceneRec-nosce")) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,59 @@
+// Regenerates Table 1 of the paper: statistics of the four JD-style
+// datasets (user-item, item-item, item-category, category-category and
+// scene-category relation counts).
+//
+// Paper reference (scale=1.0 magnitudes):
+//   Baby & Toy:   4,521-51,759 (481,831) UI; 3,002,806 II; 1,791 CC; 1,370 SC
+//   Electronics:  3,842-52,025 (539,066) UI; 2,992,333 II;   825 CC;   281 SC
+//   Fashion:      3,959-53,005 (541,238) UI; 2,750,495 II; 1,058 CC; 1,646 SC
+//   Food & Drink: 3,236-47,402 (463,391) UI; 2,606,003 II; 1,628 CC;   630 SC
+//
+// Our datasets are synthetic substitutes (see DESIGN.md §3); at reduced
+// scale the row *shapes* (users << items, II >> UI per item, scene counts
+// per vertical) mirror the paper.
+//
+//   ./bench_table1_datasets [--scale=0.02] [--seed=42]
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/malloc_tuning.h"
+#include "common/stopwatch.h"
+#include "graph/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace scenerec;
+  TuneAllocatorForTraining();
+
+  FlagParser flags;
+  flags.AddDouble("scale", 0.02, "dataset scale in (0, 1]; 1.0 = paper size");
+  flags.AddInt64("seed", 42, "RNG seed");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n" << flags.Help();
+    return 1;
+  }
+  const double scale = flags.GetDouble("scale");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+
+  std::printf("=== Table 1: Statistics of JD-style datasets ===\n");
+  std::printf("(synthetic substitutes at scale %.3f; relation format: "
+              "#A-#B (#A-B edges))\n\n",
+              scale);
+  Stopwatch total;
+  for (JdPreset preset : AllJdPresets()) {
+    SyntheticConfig config = MakeJdConfig(preset, scale);
+    auto dataset = GenerateSyntheticDataset(config, seed);
+    if (!dataset.ok()) {
+      std::cerr << dataset.status().ToString() << "\n";
+      return 1;
+    }
+    DatasetStats stats = dataset->Stats();
+    std::cout << FormatStatsTable(stats);
+    std::printf("  mean interactions/user: %.1f  mean item-item degree: %.1f\n\n",
+                stats.mean_user_degree, stats.mean_item_item_degree);
+  }
+  std::printf("Generated all 4 datasets in %.2fs\n", total.ElapsedSeconds());
+  return 0;
+}

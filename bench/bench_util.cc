@@ -1,0 +1,100 @@
+#include "bench/bench_util.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace scenerec {
+namespace bench {
+
+StatusOr<PreparedDataset> PrepareJdDataset(JdPreset preset, double scale,
+                                           uint64_t seed,
+                                           int64_t num_negatives) {
+  SyntheticConfig config = MakeJdConfig(preset, scale);
+  SCENEREC_ASSIGN_OR_RETURN(Dataset dataset,
+                            GenerateSyntheticDataset(config, seed));
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  SCENEREC_ASSIGN_OR_RETURN(LeaveOneOutSplit split,
+                            MakeLeaveOneOutSplit(dataset, num_negatives, rng));
+  PreparedDataset prepared;
+  prepared.train_graph = UserItemGraph::Build(dataset.num_users,
+                                              dataset.num_items, split.train);
+  prepared.scene_graph = dataset.BuildSceneGraph();
+  prepared.dataset = std::move(dataset);
+  prepared.split = std::move(split);
+  return prepared;
+}
+
+float TunedLearningRate(const std::string& model_name) {
+  if (model_name == "BPR-MF") return 5e-3f;
+  if (model_name == "NCF") return 1e-2f;
+  if (model_name == "CMN") return 5e-3f;
+  if (model_name == "PinSAGE") return 1e-3f;
+  if (model_name == "NGCF") return 1e-3f;
+  if (model_name == "KGAT") return 2e-3f;
+  if (model_name == "SceneRec" || model_name == "SceneRec-noitem" ||
+      model_name == "SceneRec-nosce" || model_name == "SceneRec-noatt") {
+    return 2e-3f;
+  }
+  return 1e-3f;
+}
+
+StatusOr<CellResult> RunCell(const std::string& model_name,
+                             const PreparedDataset& prepared,
+                             const ModelFactoryConfig& factory_config,
+                             const TrainConfig& train_config) {
+  ModelContext context{&prepared.train_graph, &prepared.scene_graph};
+  SCENEREC_ASSIGN_OR_RETURN(
+      std::unique_ptr<Recommender> model,
+      MakeRecommender(model_name, context, factory_config));
+  SCENEREC_ASSIGN_OR_RETURN(
+      TrainResult result,
+      TrainAndEvaluate(*model, prepared.split, prepared.train_graph,
+                       train_config));
+  CellResult cell;
+  cell.model = model_name;
+  cell.dataset = prepared.dataset.name;
+  cell.test = result.test;
+  cell.validation = result.best_validation;
+  cell.train_seconds = result.train_seconds;
+  cell.epochs_run = result.epochs_run;
+  return cell;
+}
+
+std::string FormatTable2(const std::vector<std::string>& model_names,
+                         const std::vector<std::string>& dataset_names,
+                         const std::vector<CellResult>& cells) {
+  std::map<std::pair<std::string, std::string>, const CellResult*> index;
+  for (const CellResult& cell : cells) {
+    index[{cell.model, cell.dataset}] = &cell;
+  }
+  std::ostringstream out;
+  out << StrFormat("%-16s", "");
+  for (const std::string& dataset : dataset_names) {
+    out << StrFormat(" | %-19s", dataset.c_str());
+  }
+  out << "\n" << StrFormat("%-16s", "Model");
+  for (size_t i = 0; i < dataset_names.size(); ++i) {
+    out << StrFormat(" | %-9s %-9s", "NDCG@10", "HR@10");
+  }
+  out << "\n";
+  out << std::string(16 + dataset_names.size() * 22, '-') << "\n";
+  for (const std::string& model : model_names) {
+    out << StrFormat("%-16s", model.c_str());
+    for (const std::string& dataset : dataset_names) {
+      auto it = index.find({model, dataset});
+      if (it == index.end()) {
+        out << StrFormat(" | %-9s %-9s", "--", "--");
+      } else {
+        out << StrFormat(" | %-9.4f %-9.4f", it->second->test.ndcg,
+                         it->second->test.hr);
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace bench
+}  // namespace scenerec

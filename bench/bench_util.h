@@ -1,0 +1,67 @@
+#ifndef SCENEREC_BENCH_BENCH_UTIL_H_
+#define SCENEREC_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "graph/scene_graph.h"
+#include "models/factory.h"
+#include "train/trainer.h"
+
+namespace scenerec {
+namespace bench {
+
+/// A dataset prepared for experiments: generated data, leave-one-out split,
+/// and the graphs built from TRAINING interactions only (the scene-based
+/// graph uses co-view structure, which in a production system is derived
+/// from views, not the held-out clicks; we build it from the full dataset
+/// as the paper does).
+struct PreparedDataset {
+  Dataset dataset;
+  LeaveOneOutSplit split;
+  UserItemGraph train_graph;
+  SceneGraph scene_graph;
+};
+
+/// Generates and splits one JD preset. Deterministic in (preset, scale,
+/// seed).
+StatusOr<PreparedDataset> PrepareJdDataset(JdPreset preset, double scale,
+                                           uint64_t seed,
+                                           int64_t num_negatives = 100);
+
+/// One Table 2 cell: model x dataset -> test metrics.
+struct CellResult {
+  std::string model;
+  std::string dataset;
+  RankingMetrics test;
+  RankingMetrics validation;
+  double train_seconds = 0.0;
+  int64_t epochs_run = 0;
+};
+
+/// Validation-tuned learning rate per model (the outcome of the paper's
+/// grid-search protocol, Section 5.3, run on our synthetic datasets with
+/// bench_grid_search). Unknown names get 1e-3.
+float TunedLearningRate(const std::string& model_name);
+
+/// Trains `model_name` on `prepared` and returns its test metrics.
+StatusOr<CellResult> RunCell(const std::string& model_name,
+                             const PreparedDataset& prepared,
+                             const ModelFactoryConfig& factory_config,
+                             const TrainConfig& train_config);
+
+/// Renders a Table 2-style grid: one row per model, NDCG@10 and HR@10
+/// columns per dataset, in the paper's layout.
+std::string FormatTable2(const std::vector<std::string>& model_names,
+                         const std::vector<std::string>& dataset_names,
+                         const std::vector<CellResult>& cells);
+
+}  // namespace bench
+}  // namespace scenerec
+
+#endif  // SCENEREC_BENCH_BENCH_UTIL_H_

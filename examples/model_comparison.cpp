@@ -1,0 +1,88 @@
+// Compares a chosen subset of recommenders on one dataset — a lightweight
+// interactive version of the Table 2 benchmark for experimenting with
+// hyper-parameters from the command line.
+//
+//   ./examples/model_comparison [--models=BPR-MF,NGCF,SceneRec]
+//       [--dataset=Electronics] [--scale=0.02] [--epochs=6] [--dim=32]
+//       [--lr=0] [--verbose]
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/malloc_tuning.h"
+#include "common/string_util.h"
+
+namespace {
+
+using namespace scenerec;
+
+int Run(int argc, char** argv) {
+  TuneAllocatorForTraining();
+
+  FlagParser flags;
+  flags.AddString("models", "BPR-MF,NGCF,SceneRec",
+                  "comma-separated Table 2 model names");
+  flags.AddString("dataset", "Electronics", "JD preset name");
+  flags.AddDouble("scale", 0.02, "dataset scale");
+  flags.AddInt64("epochs", 6, "training epochs");
+  flags.AddInt64("dim", 32, "embedding dimension");
+  flags.AddDouble("lr", 0.0, "learning rate; 0 = per-model tuned default");
+  flags.AddInt64("seed", 42, "RNG seed");
+  flags.AddBool("verbose", false, "per-epoch logging");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n" << flags.Help();
+    return 1;
+  }
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+
+  JdPreset preset = JdPreset::kElectronics;
+  for (JdPreset p : AllJdPresets()) {
+    if (flags.GetString("dataset") == JdPresetName(p)) preset = p;
+  }
+  auto prepared_or =
+      bench::PrepareJdDataset(preset, flags.GetDouble("scale"), seed);
+  if (!prepared_or.ok()) {
+    std::cerr << prepared_or.status().ToString() << "\n";
+    return 1;
+  }
+  bench::PreparedDataset prepared = std::move(prepared_or).value();
+  std::printf("dataset %s: %lld users, %lld items, %zu train interactions\n\n",
+              prepared.dataset.name.c_str(),
+              static_cast<long long>(prepared.dataset.num_users),
+              static_cast<long long>(prepared.dataset.num_items),
+              prepared.split.train.size());
+
+  ModelFactoryConfig factory_config;
+  factory_config.embedding_dim = flags.GetInt64("dim");
+  factory_config.seed = seed + 17;
+
+  std::printf("%-16s | %-9s %-9s | %-9s %-7s\n", "Model", "NDCG@10", "HR@10",
+              "train s", "epochs");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  for (const std::string& name : Split(flags.GetString("models"), ',')) {
+    TrainConfig train_config;
+    train_config.epochs = flags.GetInt64("epochs");
+    train_config.seed = seed + 23;
+    train_config.verbose = flags.GetBool("verbose");
+    train_config.learning_rate =
+        flags.GetDouble("lr") > 0.0
+            ? static_cast<float>(flags.GetDouble("lr"))
+            : bench::TunedLearningRate(name);
+    auto cell = bench::RunCell(name, prepared, factory_config, train_config);
+    if (!cell.ok()) {
+      std::cerr << name << ": " << cell.status().ToString() << "\n";
+      continue;
+    }
+    std::printf("%-16s | %-9.4f %-9.4f | %-9.1f %-7lld\n", name.c_str(),
+                cell->test.ndcg, cell->test.hr, cell->train_seconds,
+                static_cast<long long>(cell->epochs_run));
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,229 @@
+// scenerec_cli: end-to-end command-line interface covering the full model
+// lifecycle with persistent checkpoints.
+//
+//   train      generate (or load) a dataset, train a model, save a
+//              checkpoint and report test metrics
+//   evaluate   reload a checkpoint and re-run the ranking evaluation
+//              (sampled and full protocols)
+//   recommend  reload a checkpoint and print top-N items for a user
+//
+// The dataset and split are reproducible from (--dataset|--data_dir,
+// --scale, --data_seed), so separate invocations see identical graphs —
+// which is what makes checkpoints from `train` loadable by the other
+// commands. Examples:
+//
+//   ./scenerec_cli train --model=SceneRec --ckpt=/tmp/sr.ckpt --epochs=8
+//   ./scenerec_cli evaluate --model=SceneRec --ckpt=/tmp/sr.ckpt
+//   ./scenerec_cli recommend --model=SceneRec --ckpt=/tmp/sr.ckpt --user=11
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/malloc_tuning.h"
+#include "data/tsv_io.h"
+#include "eval/top_n.h"
+#include "models/factory.h"
+#include "models/scene_rec.h"
+#include "nn/serialization.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace scenerec;
+
+struct CliContext {
+  Dataset dataset;
+  LeaveOneOutSplit split;
+  UserItemGraph train_graph;
+  SceneGraph scene_graph;
+  std::unique_ptr<Recommender> model;
+};
+
+/// Fills `context` in place. In-place construction matters: the model holds
+/// pointers to context.train_graph / context.scene_graph, so the context
+/// must never be moved once the model exists.
+Status BuildContext(const FlagParser& flags, CliContext& context) {
+  const uint64_t data_seed =
+      static_cast<uint64_t>(flags.GetInt64("data_seed"));
+  if (!flags.GetString("data_dir").empty()) {
+    SCENEREC_ASSIGN_OR_RETURN(context.dataset,
+                              LoadDatasetTsv(flags.GetString("data_dir")));
+  } else {
+    JdPreset preset = JdPreset::kElectronics;
+    bool found = false;
+    for (JdPreset p : AllJdPresets()) {
+      if (flags.GetString("dataset") == JdPresetName(p)) {
+        preset = p;
+        found = true;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown dataset preset: " +
+                                     flags.GetString("dataset"));
+    }
+    SCENEREC_ASSIGN_OR_RETURN(
+        context.dataset,
+        GenerateSyntheticDataset(
+            MakeJdConfig(preset, flags.GetDouble("scale")), data_seed));
+  }
+  Rng split_rng(data_seed ^ 0x9e3779b97f4a7c15ULL);
+  SCENEREC_ASSIGN_OR_RETURN(
+      context.split,
+      MakeLeaveOneOutSplit(context.dataset, flags.GetInt64("negatives"),
+                           split_rng));
+  context.train_graph =
+      UserItemGraph::Build(context.dataset.num_users,
+                           context.dataset.num_items, context.split.train);
+  context.scene_graph = context.dataset.BuildSceneGraph();
+
+  ModelFactoryConfig factory_config;
+  factory_config.embedding_dim = flags.GetInt64("dim");
+  factory_config.seed = data_seed + 17;
+  ModelContext model_context{&context.train_graph, &context.scene_graph};
+  SCENEREC_ASSIGN_OR_RETURN(
+      context.model,
+      MakeRecommender(flags.GetString("model"), model_context,
+                      factory_config));
+  return Status::OK();
+}
+
+int Train(const FlagParser& flags, CliContext& context) {
+  TrainConfig config;
+  config.epochs = flags.GetInt64("epochs");
+  config.learning_rate =
+      flags.GetDouble("lr") > 0
+          ? static_cast<float>(flags.GetDouble("lr"))
+          : bench::TunedLearningRate(context.model->name());
+  config.optimizer = flags.GetString("optimizer");
+  config.seed = static_cast<uint64_t>(flags.GetInt64("data_seed")) + 23;
+  config.verbose = flags.GetBool("verbose");
+  auto result =
+      TrainAndEvaluate(*context.model, context.split, context.train_graph,
+                       config);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("%s on %s: val NDCG@10 %.4f | test NDCG@10 %.4f HR@10 %.4f "
+              "MRR %.4f (%lld epochs, %.1fs)\n",
+              context.model->name().c_str(), context.dataset.name.c_str(),
+              result->best_validation.ndcg, result->test.ndcg,
+              result->test.hr, result->test.mrr,
+              static_cast<long long>(result->epochs_run),
+              result->train_seconds);
+  const std::string ckpt = flags.GetString("ckpt");
+  if (!ckpt.empty()) {
+    if (Status s = SaveCheckpoint(*context.model, context.model->name(), ckpt);
+        !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+    std::printf("checkpoint written to %s\n", ckpt.c_str());
+  }
+  return 0;
+}
+
+int Evaluate(const FlagParser& flags, CliContext& context) {
+  context.model->OnEvalBegin();
+  RankingMetrics sampled =
+      EvaluateRanking(context.model->Scorer(), context.split.test, 10);
+  std::printf("sampled-negatives protocol: NDCG@10 %.4f HR@10 %.4f MRR %.4f "
+              "(%lld users)\n",
+              sampled.ndcg, sampled.hr, sampled.mrr,
+              static_cast<long long>(sampled.num_instances));
+  if (flags.GetBool("full_ranking")) {
+    RankingMetrics full =
+        EvaluateFullRanking(context.model->Scorer(), context.train_graph,
+                            context.split.test, 10);
+    std::printf("full-vocabulary protocol:   NDCG@10 %.4f HR@10 %.4f MRR %.4f\n",
+                full.ndcg, full.hr, full.mrr);
+  }
+  return 0;
+}
+
+int Recommend(const FlagParser& flags, CliContext& context) {
+  const int64_t user =
+      flags.GetInt64("user") % context.dataset.num_users;
+  context.model->OnEvalBegin();
+  auto recommendations =
+      TopNRecommendations(context.model->Scorer(), context.train_graph, user,
+                          flags.GetInt64("top_n"));
+  std::printf("top-%zu recommendations for user %lld (%s):\n",
+              recommendations.size(), static_cast<long long>(user),
+              context.model->name().c_str());
+  auto* scene_rec = dynamic_cast<SceneRec*>(context.model.get());
+  for (const Recommendation& rec : recommendations) {
+    std::printf("  item %-6lld category %-4lld score %8.3f",
+                static_cast<long long>(rec.item),
+                static_cast<long long>(
+                    context.scene_graph.CategoryOfItem(rec.item)),
+                rec.score);
+    if (scene_rec != nullptr) {
+      std::printf("  scene-attention %6.3f",
+                  scene_rec->AverageAttentionScore(user, rec.item));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  TuneAllocatorForTraining();
+
+  FlagParser flags;
+  flags.AddString("model", "SceneRec", "model name (see models/factory.h)");
+  flags.AddString("dataset", "Electronics", "JD preset (used without --data_dir)");
+  flags.AddString("data_dir", "", "load a TSV dataset instead of generating");
+  flags.AddDouble("scale", 0.02, "synthetic dataset scale");
+  flags.AddInt64("data_seed", 42, "dataset + split seed (must match across commands)");
+  flags.AddInt64("negatives", 100, "negatives per evaluation instance");
+  flags.AddInt64("dim", 32, "embedding dimension");
+  flags.AddInt64("epochs", 8, "training epochs (train)");
+  flags.AddDouble("lr", 0.0, "learning rate; 0 = per-model tuned default");
+  flags.AddString("optimizer", "rmsprop", "sgd | rmsprop | adagrad | adam");
+  flags.AddString("ckpt", "", "checkpoint path (written by train, read by others)");
+  flags.AddInt64("user", 0, "user id (recommend)");
+  flags.AddInt64("top_n", 10, "recommendations to print (recommend)");
+  flags.AddBool("full_ranking", false, "also run the all-items protocol (evaluate)");
+  flags.AddBool("verbose", false, "per-epoch logging");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n" << flags.Help();
+    return 1;
+  }
+  if (flags.positional().size() != 1) {
+    std::cerr << "usage: scenerec_cli <train|evaluate|recommend> [flags]\n"
+              << flags.Help();
+    return 1;
+  }
+  CliContext context;
+  if (Status s = BuildContext(flags, context); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+
+  const std::string command = flags.positional()[0];
+  if (command == "train") return Train(flags, context);
+
+  // evaluate / recommend restore the checkpoint first.
+  const std::string ckpt = flags.GetString("ckpt");
+  if (ckpt.empty()) {
+    std::cerr << command << " requires --ckpt\n";
+    return 1;
+  }
+  if (Status s =
+          LoadCheckpoint(*context.model, context.model->name(), ckpt);
+      !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  if (command == "evaluate") return Evaluate(flags, context);
+  if (command == "recommend") return Recommend(flags, context);
+  std::cerr << "unknown command: " << command << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,77 @@
+#ifndef SCENEREC_COMMON_CHECK_H_
+#define SCENEREC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace scenerec {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the SCENEREC_CHECK* macros below; never instantiate directly.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lower-precedence sink that converts a streamed CheckFailure chain to void,
+/// so the SCENEREC_CHECK macro can appear in expression position.
+struct Voidify {
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal_check
+}  // namespace scenerec
+
+/// Aborts the process with a diagnostic if `cond` is false. For programmer
+/// errors (violated invariants), not for runtime failures — those return
+/// Status. Additional context can be streamed:
+///   SCENEREC_CHECK(i < size()) << "index" << i;
+#define SCENEREC_CHECK(cond)                                       \
+  (cond) ? (void)0                                                 \
+         : ::scenerec::internal_check::Voidify() &                 \
+               ::scenerec::internal_check::CheckFailure(__FILE__,  \
+                                                        __LINE__, #cond)
+
+#define SCENEREC_CHECK_OP(a, b, op)                                      \
+  ((a)op(b)) ? (void)0                                                   \
+             : ::scenerec::internal_check::Voidify() &                   \
+                   ::scenerec::internal_check::CheckFailure(             \
+                       __FILE__, __LINE__, #a " " #op " " #b)            \
+                       << "(" << (a) << " vs " << (b) << ")"
+
+#define SCENEREC_CHECK_EQ(a, b) SCENEREC_CHECK_OP(a, b, ==)
+#define SCENEREC_CHECK_NE(a, b) SCENEREC_CHECK_OP(a, b, !=)
+#define SCENEREC_CHECK_LT(a, b) SCENEREC_CHECK_OP(a, b, <)
+#define SCENEREC_CHECK_LE(a, b) SCENEREC_CHECK_OP(a, b, <=)
+#define SCENEREC_CHECK_GT(a, b) SCENEREC_CHECK_OP(a, b, >)
+#define SCENEREC_CHECK_GE(a, b) SCENEREC_CHECK_OP(a, b, >=)
+
+/// Like SCENEREC_CHECK but compiled out in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define SCENEREC_DCHECK(cond) SCENEREC_CHECK(true || (cond))
+#else
+#define SCENEREC_DCHECK(cond) SCENEREC_CHECK(cond)
+#endif
+
+#endif  // SCENEREC_COMMON_CHECK_H_

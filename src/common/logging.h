@@ -1,0 +1,53 @@
+#ifndef SCENEREC_COMMON_LOGGING_H_
+#define SCENEREC_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace scenerec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+/// One log statement: buffers the streamed message, emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Severity tokens used by the SCENEREC_LOG macro.
+inline constexpr LogLevel kLogDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLogINFO = LogLevel::kInfo;
+inline constexpr LogLevel kLogWARNING = LogLevel::kWarning;
+inline constexpr LogLevel kLogERROR = LogLevel::kError;
+
+}  // namespace internal_log
+}  // namespace scenerec
+
+/// Leveled logging to stderr:
+///   SCENEREC_LOG(INFO) << "epoch " << epoch << " loss " << loss;
+#define SCENEREC_LOG(severity)                                  \
+  ::scenerec::internal_log::LogMessage(                         \
+      ::scenerec::internal_log::kLog##severity, __FILE__, __LINE__)
+
+#endif  // SCENEREC_COMMON_LOGGING_H_

@@ -1,0 +1,19 @@
+#include "common/malloc_tuning.h"
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace scenerec {
+
+void TuneAllocatorForTraining() {
+#if defined(__GLIBC__)
+  // Keep up to 256 MiB of freed memory pooled instead of trimming, and stop
+  // routing medium allocations through mmap (whose unmap on free is a
+  // syscall per tensor).
+  ::mallopt(M_TRIM_THRESHOLD, 256 * 1024 * 1024);
+  ::mallopt(M_MMAP_THRESHOLD, 256 * 1024 * 1024);
+#endif
+}
+
+}  // namespace scenerec

@@ -1,0 +1,159 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace scenerec {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextInt(uint64_t bound) {
+  SCENEREC_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  uint64_t x = Next64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  SCENEREC_CHECK_LT(lo, hi);
+  return lo + static_cast<int64_t>(NextInt(static_cast<uint64_t>(hi - lo)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::NextFloat(float lo, float hi) {
+  return lo + static_cast<float>(NextDouble()) * (hi - lo);
+}
+
+double Rng::NextGaussian() {
+  // Box–Muller; discard the second variate for simplicity.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  SCENEREC_CHECK_GT(n, 0u);
+  SCENEREC_CHECK_GT(s, 0.0);
+  // Inverse-CDF by linear scan; adequate for the small n used by the
+  // synthetic generator (scene/category counts). Popularity-weighted item
+  // sampling goes through AliasSampler instead.
+  double norm = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(double(k), s);
+  double u = NextDouble() * norm;
+  double acc = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(double(k), s);
+    if (u <= acc) return k - 1;
+  }
+  return n - 1;
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  SCENEREC_CHECK_LE(k, n);
+  // Floyd's algorithm: k iterations, O(k) expected set operations.
+  std::vector<uint64_t> result;
+  result.reserve(k);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = NextInt(j + 1);
+    bool seen = false;
+    for (uint64_t v : result) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    result.push_back(seen ? j : t);
+  }
+  return result;
+}
+
+Rng Rng::Split() { return Rng(Next64()); }
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  SCENEREC_CHECK_GT(n, 0u);
+  double total = 0.0;
+  for (double w : weights) {
+    SCENEREC_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  SCENEREC_CHECK_GT(total, 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+uint64_t AliasSampler::Sample(Rng& rng) const {
+  uint64_t column = rng.NextInt(prob_.size());
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace scenerec

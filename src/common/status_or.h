@@ -1,0 +1,80 @@
+#ifndef SCENEREC_COMMON_STATUS_OR_H_
+#define SCENEREC_COMMON_STATUS_OR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace scenerec {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// is absent. The usual return type of fallible factory functions.
+///
+///   StatusOr<Dataset> result = Dataset::FromTsv(path);
+///   if (!result.ok()) return result.status();
+///   Dataset d = std::move(result).value();
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {
+    SCENEREC_CHECK(!status_.ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status, or OK if a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    SCENEREC_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SCENEREC_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SCENEREC_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define SCENEREC_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define SCENEREC_INTERNAL_CONCAT(a, b) SCENEREC_INTERNAL_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a StatusOr expression); on error returns the status from
+/// the enclosing function, otherwise assigns the value to `lhs`.
+#define SCENEREC_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  SCENEREC_INTERNAL_ASSIGN_OR_RETURN(                                          \
+      SCENEREC_INTERNAL_CONCAT(_statusor_, __LINE__), lhs, rexpr)
+
+#define SCENEREC_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                       \
+  if (!tmp.ok()) return tmp.status();                       \
+  lhs = std::move(tmp).value()
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_COMMON_STATUS_OR_H_

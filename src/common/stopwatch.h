@@ -1,0 +1,32 @@
+#ifndef SCENEREC_COMMON_STOPWATCH_H_
+#define SCENEREC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace scenerec {
+
+/// Wall-clock stopwatch for coarse timing of training epochs and benchmark
+/// phases. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_COMMON_STOPWATCH_H_

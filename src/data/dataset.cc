@@ -1,0 +1,89 @@
+#include "data/dataset.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace scenerec {
+
+UserItemGraph Dataset::BuildUserItemGraph() const {
+  return UserItemGraph::Build(num_users, num_items, interactions);
+}
+
+SceneGraph Dataset::BuildSceneGraph() const {
+  return SceneGraph::Build(num_items, num_categories, num_scenes,
+                           item_category, item_item_edges,
+                           category_category_edges, category_scene_edges);
+}
+
+DatasetStats Dataset::Stats() const {
+  return ComputeStats(name, BuildUserItemGraph(), BuildSceneGraph());
+}
+
+Status Dataset::Validate() const {
+  if (num_users <= 0 || num_items <= 0 || num_categories <= 0 ||
+      num_scenes <= 0) {
+    return Status::FailedPrecondition("all entity counts must be positive");
+  }
+  if (static_cast<int64_t>(item_category.size()) != num_items) {
+    return Status::FailedPrecondition(StrFormat(
+        "item_category has %zu entries for %lld items", item_category.size(),
+        static_cast<long long>(num_items)));
+  }
+  for (int64_t i = 0; i < num_items; ++i) {
+    const int64_t c = item_category[static_cast<size_t>(i)];
+    if (c < 0 || c >= num_categories) {
+      return Status::FailedPrecondition(
+          StrFormat("item %lld has invalid category %lld",
+                    static_cast<long long>(i), static_cast<long long>(c)));
+    }
+  }
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (const Interaction& x : interactions) {
+    if (x.user < 0 || x.user >= num_users || x.item < 0 ||
+        x.item >= num_items) {
+      return Status::FailedPrecondition(
+          StrFormat("interaction (%lld, %lld) out of range",
+                    static_cast<long long>(x.user),
+                    static_cast<long long>(x.item)));
+    }
+    if (!seen.insert({x.user, x.item}).second) {
+      return Status::FailedPrecondition(
+          StrFormat("duplicate interaction (%lld, %lld)",
+                    static_cast<long long>(x.user),
+                    static_cast<long long>(x.item)));
+    }
+  }
+  for (const Edge& e : item_item_edges) {
+    if (e.src < 0 || e.src >= num_items || e.dst < 0 || e.dst >= num_items) {
+      return Status::FailedPrecondition("item-item edge out of range");
+    }
+    if (e.src == e.dst) {
+      return Status::FailedPrecondition("item-item self loop");
+    }
+  }
+  for (const Edge& e : category_category_edges) {
+    if (e.src < 0 || e.src >= num_categories || e.dst < 0 ||
+        e.dst >= num_categories) {
+      return Status::FailedPrecondition("category-category edge out of range");
+    }
+  }
+  std::vector<bool> scene_nonempty(static_cast<size_t>(num_scenes), false);
+  for (const Edge& e : category_scene_edges) {
+    if (e.src < 0 || e.src >= num_categories || e.dst < 0 ||
+        e.dst >= num_scenes) {
+      return Status::FailedPrecondition("category-scene edge out of range");
+    }
+    scene_nonempty[static_cast<size_t>(e.dst)] = true;
+  }
+  for (int64_t s = 0; s < num_scenes; ++s) {
+    if (!scene_nonempty[static_cast<size_t>(s)]) {
+      return Status::FailedPrecondition(
+          StrFormat("scene %lld has no categories",
+                    static_cast<long long>(s)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scenerec

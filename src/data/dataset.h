@@ -1,0 +1,60 @@
+#ifndef SCENEREC_DATA_DATASET_H_
+#define SCENEREC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+#include "graph/scene_graph.h"
+#include "graph/stats.h"
+
+namespace scenerec {
+
+/// A complete scene-based recommendation dataset: the user-item interactions
+/// plus the finalized scene-based graph relations (already top-K truncated
+/// and symmetrized, unit weights — see Definition 3.3).
+///
+/// Plain data holder by design: build graphs with BuildUserItemGraph /
+/// BuildSceneGraph, serialize with tsv_io.h.
+struct Dataset {
+  std::string name;
+
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_categories = 0;
+  int64_t num_scenes = 0;
+
+  /// Observed clicks (deduplicated).
+  std::vector<Interaction> interactions;
+
+  /// item_category[i] = category of item i; exactly one per item.
+  std::vector<int64_t> item_category;
+
+  /// Symmetric item-item similarity edges (L_item).
+  std::vector<Edge> item_item_edges;
+
+  /// Symmetric category-category relevance edges (L_cate).
+  std::vector<Edge> category_category_edges;
+
+  /// (category, scene) membership pairs (L_cs).
+  std::vector<Edge> category_scene_edges;
+
+  /// Materializes the bipartite interaction graph G.
+  UserItemGraph BuildUserItemGraph() const;
+
+  /// Materializes the 3-layer scene-based graph H.
+  SceneGraph BuildSceneGraph() const;
+
+  /// Table 1 statistics.
+  DatasetStats Stats() const;
+
+  /// Referential integrity: ids in range, one category per item, no
+  /// duplicate interactions, every scene non-empty.
+  Status Validate() const;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_DATA_DATASET_H_

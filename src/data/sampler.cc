@@ -1,0 +1,37 @@
+#include "data/sampler.h"
+
+namespace scenerec {
+
+NegativeSampler::NegativeSampler(const UserItemGraph& graph) : graph_(graph) {
+  SCENEREC_CHECK_GT(graph.num_items(), 1);
+}
+
+int64_t NegativeSampler::SampleNegative(int64_t user, Rng& rng) const {
+  // Rejection sampling: user degrees are far below the vocabulary size, so
+  // expected retries are ~1.
+  const int64_t num_items = graph_.num_items();
+  SCENEREC_CHECK_LT(graph_.UserDegree(user), num_items)
+      << "user has interacted with every item";
+  while (true) {
+    const int64_t candidate =
+        static_cast<int64_t>(rng.NextInt(static_cast<uint64_t>(num_items)));
+    if (!graph_.HasInteraction(user, candidate)) return candidate;
+  }
+}
+
+BprBatcher::BprBatcher(const std::vector<Interaction>& train,
+                       const UserItemGraph& graph)
+    : train_(train), negative_sampler_(graph) {}
+
+std::vector<BprTriple> BprBatcher::NextEpoch(Rng& rng) const {
+  std::vector<BprTriple> triples;
+  triples.reserve(train_.size());
+  for (const Interaction& x : train_) {
+    triples.push_back(
+        {x.user, x.item, negative_sampler_.SampleNegative(x.user, rng)});
+  }
+  rng.Shuffle(triples);
+  return triples;
+}
+
+}  // namespace scenerec

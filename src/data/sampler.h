@@ -1,0 +1,56 @@
+#ifndef SCENEREC_DATA_SAMPLER_H_
+#define SCENEREC_DATA_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/bipartite_graph.h"
+
+namespace scenerec {
+
+/// One BPR training example (Section 4.4): a user, an observed item, and an
+/// unobserved (negative) item.
+struct BprTriple {
+  int64_t user = 0;
+  int64_t positive_item = 0;
+  int64_t negative_item = 0;
+};
+
+/// Draws uniform negatives that the user has not interacted with in the
+/// training graph. Stateless apart from the caller's Rng.
+class NegativeSampler {
+ public:
+  /// `graph` must outlive the sampler.
+  explicit NegativeSampler(const UserItemGraph& graph);
+
+  /// An item `user` has no training interaction with, uniform over the rest.
+  int64_t SampleNegative(int64_t user, Rng& rng) const;
+
+ private:
+  const UserItemGraph& graph_;
+};
+
+/// Produces shuffled epochs of BPR triples over the training interactions,
+/// pairing every observed (user, item) with one fresh negative per epoch —
+/// the standard BPR training regime.
+class BprBatcher {
+ public:
+  /// Both references must outlive the batcher.
+  BprBatcher(const std::vector<Interaction>& train,
+             const UserItemGraph& graph);
+
+  /// All training triples for one epoch, newly shuffled and with newly
+  /// sampled negatives.
+  std::vector<BprTriple> NextEpoch(Rng& rng) const;
+
+  size_t epoch_size() const { return train_.size(); }
+
+ private:
+  const std::vector<Interaction>& train_;
+  NegativeSampler negative_sampler_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_DATA_SAMPLER_H_

@@ -1,0 +1,199 @@
+#include "data/scene_mining.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace scenerec {
+
+Status SceneMiningConfig::Validate() const {
+  if (max_scenes < 0) {
+    return Status::InvalidArgument("max_scenes must be non-negative");
+  }
+  if (max_memberships_per_category <= 0) {
+    return Status::InvalidArgument(
+        "max_memberships_per_category must be positive");
+  }
+  if (expansion_threshold <= 0.0 || expansion_threshold > 1.0) {
+    return Status::InvalidArgument("expansion_threshold must be in (0, 1]");
+  }
+  if (seed_weight_floor < 0.0 || seed_weight_floor > 1.0) {
+    return Status::InvalidArgument("seed_weight_floor must be in [0, 1]");
+  }
+  if (min_scene_size < 1 || max_scene_size < min_scene_size) {
+    return Status::InvalidArgument("bad scene size range");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::vector<int64_t>>> MineScenes(
+    int64_t num_categories, const std::vector<Edge>& category_cooccurrence,
+    const SceneMiningConfig& config) {
+  SCENEREC_RETURN_IF_ERROR(config.Validate());
+  if (num_categories <= 0) {
+    return Status::InvalidArgument("num_categories must be positive");
+  }
+  for (const Edge& e : category_cooccurrence) {
+    if (e.src < 0 || e.src >= num_categories || e.dst < 0 ||
+        e.dst >= num_categories) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (e.weight < 0.0f) {
+      return Status::InvalidArgument("negative co-occurrence weight");
+    }
+  }
+  // Symmetrize and accumulate duplicates so lookups see total evidence.
+  CsrGraph graph =
+      CsrGraph::FromEdges(num_categories, num_categories,
+                          MakeSymmetric(category_cooccurrence));
+
+  // Candidate seeds: all (a < b) edges, heaviest first.
+  struct Seed {
+    int64_t a;
+    int64_t b;
+    float weight;
+  };
+  std::vector<Seed> seeds;
+  float max_weight = 0.0f;
+  for (int64_t a = 0; a < num_categories; ++a) {
+    auto neighbors = graph.Neighbors(a);
+    auto weights = graph.Weights(a);
+    for (size_t j = 0; j < neighbors.size(); ++j) {
+      if (neighbors[j] <= a) continue;  // self loops and mirrored pairs
+      seeds.push_back({a, neighbors[j], weights[j]});
+      max_weight = std::max(max_weight, weights[j]);
+    }
+  }
+  std::sort(seeds.begin(), seeds.end(), [](const Seed& x, const Seed& y) {
+    if (x.weight != y.weight) return x.weight > y.weight;
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+
+  std::vector<std::vector<int64_t>> scenes;
+  std::vector<int64_t> memberships(static_cast<size_t>(num_categories), 0);
+  std::vector<std::set<int64_t>> scene_sets;
+
+  for (const Seed& seed : seeds) {
+    if (config.max_scenes > 0 &&
+        static_cast<int64_t>(scenes.size()) >= config.max_scenes) {
+      break;
+    }
+    if (seed.weight < config.seed_weight_floor * max_weight) break;
+    if (memberships[static_cast<size_t>(seed.a)] >=
+            config.max_memberships_per_category ||
+        memberships[static_cast<size_t>(seed.b)] >=
+            config.max_memberships_per_category) {
+      continue;
+    }
+    // Skip if the pair already co-habits a scene: that evidence is covered.
+    bool covered = false;
+    for (const auto& members : scene_sets) {
+      if (members.count(seed.a) > 0 && members.count(seed.b) > 0) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) continue;
+
+    // Grow the scene greedily.
+    std::vector<int64_t> members{seed.a, seed.b};
+    double internal_sum = seed.weight;
+    int64_t internal_pairs = 1;
+    while (static_cast<int64_t>(members.size()) < config.max_scene_size) {
+      const double internal_avg =
+          internal_sum / static_cast<double>(internal_pairs);
+      int64_t best_candidate = -1;
+      double best_avg_link = 0.0;
+      for (int64_t candidate = 0; candidate < num_categories; ++candidate) {
+        if (memberships[static_cast<size_t>(candidate)] >=
+            config.max_memberships_per_category) {
+          continue;
+        }
+        if (std::find(members.begin(), members.end(), candidate) !=
+            members.end()) {
+          continue;
+        }
+        double link_sum = 0.0;
+        for (int64_t m : members) {
+          link_sum += graph.WeightOfEdge(candidate, m);
+        }
+        const double avg_link =
+            link_sum / static_cast<double>(members.size());
+        if (avg_link < config.expansion_threshold * internal_avg) continue;
+        if (avg_link > best_avg_link) {
+          best_avg_link = avg_link;
+          best_candidate = candidate;
+        }
+      }
+      if (best_candidate < 0) break;
+      internal_sum += best_avg_link * static_cast<double>(members.size());
+      internal_pairs += static_cast<int64_t>(members.size());
+      members.push_back(best_candidate);
+    }
+    if (static_cast<int64_t>(members.size()) < config.min_scene_size) {
+      continue;
+    }
+    std::sort(members.begin(), members.end());
+    for (int64_t m : members) ++memberships[static_cast<size_t>(m)];
+    scene_sets.emplace_back(members.begin(), members.end());
+    scenes.push_back(std::move(members));
+  }
+  return scenes;
+}
+
+Status ApplyMinedScenes(const std::vector<std::vector<int64_t>>& scenes,
+                        const std::vector<Edge>& category_cooccurrence,
+                        Dataset* dataset) {
+  SCENEREC_CHECK(dataset != nullptr);
+  if (scenes.empty()) {
+    return Status::FailedPrecondition("no mined scenes to apply");
+  }
+  for (const auto& members : scenes) {
+    for (int64_t c : members) {
+      if (c < 0 || c >= dataset->num_categories) {
+        return Status::InvalidArgument(StrFormat(
+            "mined scene references invalid category %lld",
+            static_cast<long long>(c)));
+      }
+    }
+  }
+  std::vector<Edge> edges;
+  std::vector<bool> covered(static_cast<size_t>(dataset->num_categories),
+                            false);
+  for (size_t s = 0; s < scenes.size(); ++s) {
+    for (int64_t c : scenes[s]) {
+      edges.push_back({c, static_cast<int64_t>(s), 1.0f});
+      covered[static_cast<size_t>(c)] = true;
+    }
+  }
+  // Attach uncovered categories to the scene they share the most
+  // co-occurrence weight with.
+  std::vector<std::set<int64_t>> scene_members(scenes.size());
+  for (size_t s = 0; s < scenes.size(); ++s) {
+    scene_members[s] = {scenes[s].begin(), scenes[s].end()};
+  }
+  for (int64_t c = 0; c < dataset->num_categories; ++c) {
+    if (covered[static_cast<size_t>(c)]) continue;
+    std::vector<double> affinity(scenes.size(), 0.0);
+    for (const Edge& e : category_cooccurrence) {
+      int64_t other = -1;
+      if (e.src == c) other = e.dst;
+      if (e.dst == c) other = e.src;
+      if (other < 0) continue;
+      for (size_t s = 0; s < scenes.size(); ++s) {
+        if (scene_members[s].count(other)) affinity[s] += e.weight;
+      }
+    }
+    size_t best = 0;
+    for (size_t s = 1; s < scenes.size(); ++s) {
+      if (affinity[s] > affinity[best]) best = s;
+    }
+    edges.push_back({c, static_cast<int64_t>(best), 1.0f});
+  }
+  dataset->num_scenes = static_cast<int64_t>(scenes.size());
+  dataset->category_scene_edges = std::move(edges);
+  return dataset->Validate();
+}
+
+}  // namespace scenerec

@@ -1,0 +1,71 @@
+#ifndef SCENEREC_DATA_SCENE_MINING_H_
+#define SCENEREC_DATA_SCENE_MINING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status_or.h"
+#include "data/dataset.h"
+#include "graph/csr.h"
+
+namespace scenerec {
+
+/// Parameters for automatic scene mining (the paper's stated future work:
+/// "scene mining is our future work" — Section 5.1; the published pipeline
+/// relies on ~10 human experts instead).
+struct SceneMiningConfig {
+  /// Stop after this many scenes (0 = unlimited).
+  int64_t max_scenes = 0;
+
+  /// A category may belong to at most this many mined scenes (scenes
+  /// overlap in real taxonomies: e.g. "Batteries" serves many scenes).
+  int64_t max_memberships_per_category = 3;
+
+  /// A candidate category joins a growing scene only if its average
+  /// co-occurrence weight with the current members is at least this fraction
+  /// of the scene's internal average pair weight.
+  double expansion_threshold = 0.5;
+
+  /// Seed edges weaker than this fraction of the strongest edge do not
+  /// start new scenes (prunes noise co-occurrences).
+  double seed_weight_floor = 0.05;
+
+  /// Mined scenes outside [min, max] member counts are discarded
+  /// (Definition 3.1 requires |s| >= 1; singleton scenes carry no
+  /// co-occurrence signal so the default minimum is 2).
+  int64_t min_scene_size = 2;
+  int64_t max_scene_size = 12;
+
+  Status Validate() const;
+};
+
+/// Mines scenes — sets of item categories that co-occur — from weighted
+/// category co-occurrence evidence (e.g. co-view counts within sessions,
+/// exactly the signal the paper's experts consumed).
+///
+/// Algorithm: greedy seed expansion. Edges are visited from heaviest to
+/// lightest; an edge whose endpoints do not already share a scene seeds a
+/// new scene, which then greedily absorbs the category with the strongest
+/// average connection to the current members while that average stays above
+/// `expansion_threshold` of the scene's internal cohesion. Categories may
+/// join up to `max_memberships_per_category` scenes, giving overlapping
+/// communities. Fully deterministic (ties broken by lower category id).
+///
+/// Returns scenes as sorted vectors of category ids, in mining order.
+/// `num_categories` must cover every edge endpoint.
+StatusOr<std::vector<std::vector<int64_t>>> MineScenes(
+    int64_t num_categories, const std::vector<Edge>& category_cooccurrence,
+    const SceneMiningConfig& config);
+
+/// Replaces `dataset`'s scene layer with mined scenes: rewrites num_scenes
+/// and category_scene_edges. Categories left in no mined scene are attached
+/// to the scene with which they share the most co-occurrence weight (every
+/// category must belong to a scene for eq. (3) to be well defined).
+/// Fails if `scenes` is empty.
+Status ApplyMinedScenes(const std::vector<std::vector<int64_t>>& scenes,
+                        const std::vector<Edge>& category_cooccurrence,
+                        Dataset* dataset);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_DATA_SCENE_MINING_H_

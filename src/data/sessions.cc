@@ -1,0 +1,122 @@
+#include "data/sessions.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace scenerec {
+
+Status CoViewConfig::Validate() const {
+  if (window < 0) return Status::InvalidArgument("window must be >= 0");
+  if (max_item_neighbors <= 0 || max_category_neighbors <= 0) {
+    return Status::InvalidArgument("neighbor caps must be positive");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Sorts by (src, dst) and merges duplicate pairs by summing weights.
+std::vector<Edge> AccumulatePairWeights(std::vector<Edge> edges) {
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  size_t write = 0;
+  for (size_t read = 0; read < edges.size(); ++read) {
+    if (write > 0 && edges[write - 1].src == edges[read].src &&
+        edges[write - 1].dst == edges[read].dst) {
+      edges[write - 1].weight += edges[read].weight;
+    } else {
+      edges[write++] = edges[read];
+    }
+  }
+  edges.resize(write);
+  return edges;
+}
+
+/// Top-K per source on accumulated weights, then symmetrize with unit
+/// weights and deduplicate — the final form required by Definition 3.3.
+std::vector<Edge> FinalizeLayer(std::vector<Edge> raw, int64_t k) {
+  std::vector<Edge> kept = KeepTopKPerSource(AccumulatePairWeights(std::move(raw)), k);
+  kept = MakeSymmetric(std::move(kept));
+  for (Edge& e : kept) e.weight = 1.0f;
+  std::sort(kept.begin(), kept.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  kept.erase(std::unique(kept.begin(), kept.end(),
+                         [](const Edge& a, const Edge& b) {
+                           return a.src == b.src && a.dst == b.dst;
+                         }),
+             kept.end());
+  return kept;
+}
+
+}  // namespace
+
+StatusOr<CoViewGraphs> BuildCoViewGraphs(
+    const std::vector<ViewSession>& sessions,
+    const std::vector<int64_t>& item_category, int64_t num_categories,
+    const CoViewConfig& config) {
+  SCENEREC_RETURN_IF_ERROR(config.Validate());
+  const int64_t num_items = static_cast<int64_t>(item_category.size());
+  if (num_items == 0) return Status::InvalidArgument("no items");
+  for (int64_t c : item_category) {
+    if (c < 0 || c >= num_categories) {
+      return Status::InvalidArgument(
+          StrFormat("item category %lld out of range",
+                    static_cast<long long>(c)));
+    }
+  }
+
+  std::vector<Edge> item_coviews;
+  std::vector<Edge> category_coviews;
+  for (const ViewSession& session : sessions) {
+    const auto& items = session.items;
+    for (size_t a = 0; a < items.size(); ++a) {
+      if (items[a] < 0 || items[a] >= num_items) {
+        return Status::InvalidArgument(
+            StrFormat("session item %lld out of range",
+                      static_cast<long long>(items[a])));
+      }
+      const size_t end =
+          config.window == 0
+              ? items.size()
+              : std::min(items.size(),
+                         a + 1 + static_cast<size_t>(config.window));
+      for (size_t b = a + 1; b < end; ++b) {
+        if (items[a] == items[b]) continue;
+        // Record both directions so per-source top-K sees full counts.
+        item_coviews.push_back({items[a], items[b], 1.0f});
+        item_coviews.push_back({items[b], items[a], 1.0f});
+        const int64_t ca = item_category[static_cast<size_t>(items[a])];
+        const int64_t cb = item_category[static_cast<size_t>(items[b])];
+        if (ca != cb) {
+          category_coviews.push_back({ca, cb, 1.0f});
+          category_coviews.push_back({cb, ca, 1.0f});
+        }
+      }
+    }
+  }
+
+  CoViewGraphs graphs;
+  graphs.item_item_edges =
+      FinalizeLayer(std::move(item_coviews), config.max_item_neighbors);
+  graphs.category_category_edges = FinalizeLayer(
+      std::move(category_coviews), config.max_category_neighbors);
+  return graphs;
+}
+
+std::vector<std::pair<int64_t, int64_t>> ClicksFromSessions(
+    const std::vector<ViewSession>& sessions) {
+  std::vector<std::pair<int64_t, int64_t>> clicks;
+  for (const ViewSession& session : sessions) {
+    for (int64_t item : session.items) {
+      clicks.push_back({session.user, item});
+    }
+  }
+  std::sort(clicks.begin(), clicks.end());
+  clicks.erase(std::unique(clicks.begin(), clicks.end()), clicks.end());
+  return clicks;
+}
+
+}  // namespace scenerec

@@ -1,0 +1,65 @@
+#ifndef SCENEREC_DATA_SESSIONS_H_
+#define SCENEREC_DATA_SESSIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status_or.h"
+#include "graph/csr.h"
+
+namespace scenerec {
+
+/// One view session: a sequence of items viewed by a user within a period
+/// of time (Section 5.1). Order matters when a co-view window is used.
+struct ViewSession {
+  int64_t user = 0;
+  std::vector<int64_t> items;
+};
+
+/// Parameters of the co-view graph construction pipeline of Section 5.1.
+struct CoViewConfig {
+  /// Two items are co-viewed if they appear within this many positions of
+  /// each other inside one session; 0 means every within-session pair
+  /// counts (the default, matching "co-viewed by a user within the same
+  /// session").
+  int64_t window = 0;
+
+  /// "for each item ... at most top 300 connections are preserved".
+  int64_t max_item_neighbors = 300;
+
+  /// "only top 100 connections of each category is preserved".
+  int64_t max_category_neighbors = 100;
+
+  Status Validate() const;
+};
+
+/// Result of the construction: finalized symmetric unit-weight edge lists
+/// ready for SceneGraph::Build / Dataset.
+struct CoViewGraphs {
+  std::vector<Edge> item_item_edges;
+  std::vector<Edge> category_category_edges;
+};
+
+/// Runs the paper's construction pipeline on raw sessions:
+///  1. accumulate item-item co-view counts over all within-session (or
+///     within-window) pairs,
+///  2. accumulate category-category counts for cross-category pairs,
+///  3. keep the top-K heaviest neighbors per node,
+///  4. symmetrize and reset weights to 1 (Definition 3.3).
+///
+/// `item_category[i]` maps items to categories. Items in sessions must be in
+/// [0, item_category.size()); categories in [0, num_categories).
+StatusOr<CoViewGraphs> BuildCoViewGraphs(
+    const std::vector<ViewSession>& sessions,
+    const std::vector<int64_t>& item_category, int64_t num_categories,
+    const CoViewConfig& config);
+
+/// Deduplicated (user, item) click pairs from sessions — the user-item
+/// bipartite edges implied by "a user is connected to an item if she or he
+/// clicked the item". Sorted by (user, item).
+std::vector<std::pair<int64_t, int64_t>> ClicksFromSessions(
+    const std::vector<ViewSession>& sessions);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_DATA_SESSIONS_H_

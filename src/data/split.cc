@@ -1,0 +1,88 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace scenerec {
+
+StatusOr<LeaveOneOutSplit> MakeLeaveOneOutSplit(const Dataset& dataset,
+                                                int64_t num_negatives,
+                                                Rng& rng) {
+  if (num_negatives <= 0) {
+    return Status::InvalidArgument("num_negatives must be positive");
+  }
+  if (num_negatives >= dataset.num_items) {
+    return Status::InvalidArgument(
+        "num_negatives must be smaller than the item vocabulary");
+  }
+
+  // Group interactions by user.
+  std::vector<std::vector<int64_t>> by_user(
+      static_cast<size_t>(dataset.num_users));
+  for (const Interaction& x : dataset.interactions) {
+    by_user[static_cast<size_t>(x.user)].push_back(x.item);
+  }
+
+  LeaveOneOutSplit split;
+  split.train.reserve(dataset.interactions.size());
+  split.validation.reserve(static_cast<size_t>(dataset.num_users));
+  split.test.reserve(static_cast<size_t>(dataset.num_users));
+
+  for (int64_t u = 0; u < dataset.num_users; ++u) {
+    auto& items = by_user[static_cast<size_t>(u)];
+    if (items.size() < 3) {
+      return Status::FailedPrecondition(StrFormat(
+          "user %lld has %zu interactions; leave-one-out needs >= 3",
+          static_cast<long long>(u), items.size()));
+    }
+    // Pick two distinct positions: one for validation, one for test.
+    const size_t vpos = static_cast<size_t>(rng.NextInt(items.size()));
+    size_t tpos = static_cast<size_t>(rng.NextInt(items.size() - 1));
+    if (tpos >= vpos) ++tpos;
+    const int64_t validation_item = items[vpos];
+    const int64_t test_item = items[tpos];
+
+    std::unordered_set<int64_t> observed(items.begin(), items.end());
+    auto sample_negatives = [&]() {
+      std::vector<int64_t> negatives;
+      negatives.reserve(static_cast<size_t>(num_negatives));
+      std::unordered_set<int64_t> chosen;
+      int64_t guard = 0;
+      const int64_t guard_limit = num_negatives * 1000;
+      while (static_cast<int64_t>(negatives.size()) < num_negatives &&
+             guard < guard_limit) {
+        const int64_t candidate = static_cast<int64_t>(
+            rng.NextInt(static_cast<uint64_t>(dataset.num_items)));
+        ++guard;
+        if (observed.count(candidate) > 0 || chosen.count(candidate) > 0) {
+          continue;
+        }
+        chosen.insert(candidate);
+        negatives.push_back(candidate);
+      }
+      return negatives;
+    };
+
+    EvalInstance validation{u, validation_item, sample_negatives()};
+    EvalInstance test{u, test_item, sample_negatives()};
+    if (static_cast<int64_t>(validation.negative_items.size()) <
+            num_negatives ||
+        static_cast<int64_t>(test.negative_items.size()) < num_negatives) {
+      return Status::FailedPrecondition(StrFormat(
+          "could not sample %lld unobserved negatives for user %lld",
+          static_cast<long long>(num_negatives), static_cast<long long>(u)));
+    }
+    split.validation.push_back(std::move(validation));
+    split.test.push_back(std::move(test));
+
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i == vpos || i == tpos) continue;
+      split.train.push_back({u, items[i]});
+    }
+  }
+  return split;
+}
+
+}  // namespace scenerec

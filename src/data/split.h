@@ -1,0 +1,43 @@
+#ifndef SCENEREC_DATA_SPLIT_H_
+#define SCENEREC_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status_or.h"
+#include "data/dataset.h"
+
+namespace scenerec {
+
+/// One ranking evaluation instance: the held-out positive item plus sampled
+/// unobserved negatives. The model ranks {positive} ∪ negatives and we check
+/// where the positive lands (HR@K / NDCG@K).
+struct EvalInstance {
+  int64_t user = 0;
+  int64_t positive_item = 0;
+  std::vector<int64_t> negative_items;
+};
+
+/// Leave-one-out split following Section 5.3: for every user one random
+/// positive is held out for validation and another for the test set, each
+/// paired with `num_negatives` sampled unobserved items; the remaining
+/// positives form the training set.
+struct LeaveOneOutSplit {
+  std::vector<Interaction> train;
+  std::vector<EvalInstance> validation;
+  std::vector<EvalInstance> test;
+};
+
+/// Performs the split. Users with fewer than 3 interactions cannot donate
+/// validation + test positives and are rejected with FailedPrecondition
+/// (the synthetic generator guarantees a minimum, real data should be
+/// filtered upstream). Negatives are drawn uniformly from items the user
+/// never interacted with. Deterministic given `rng`'s state.
+StatusOr<LeaveOneOutSplit> MakeLeaveOneOutSplit(const Dataset& dataset,
+                                                int64_t num_negatives,
+                                                Rng& rng);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_DATA_SPLIT_H_

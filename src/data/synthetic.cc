@@ -1,0 +1,384 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "common/string_util.h"
+#include "data/sessions.h"
+#include "graph/csr.h"
+
+namespace scenerec {
+
+Status SyntheticConfig::Validate() const {
+  if (num_users <= 0 || num_items <= 0 || num_categories <= 0 ||
+      num_scenes <= 0) {
+    return Status::InvalidArgument("entity counts must be positive");
+  }
+  if (min_categories_per_scene < 1 ||
+      max_categories_per_scene < min_categories_per_scene) {
+    return Status::InvalidArgument("bad categories-per-scene range");
+  }
+  if (max_categories_per_scene > num_categories) {
+    return Status::InvalidArgument(
+        "max_categories_per_scene exceeds num_categories");
+  }
+  if (min_scenes_per_user < 1 || max_scenes_per_user < min_scenes_per_user) {
+    return Status::InvalidArgument("bad scenes-per-user range");
+  }
+  if (max_scenes_per_user > num_scenes) {
+    return Status::InvalidArgument("max_scenes_per_user exceeds num_scenes");
+  }
+  if (sessions_per_user <= 0 || session_length <= 1) {
+    return Status::InvalidArgument(
+        "need at least one session of length >= 2");
+  }
+  if (in_scene_prob < 0.0 || in_scene_prob > 1.0) {
+    return Status::InvalidArgument("in_scene_prob must be in [0, 1]");
+  }
+  if (max_item_neighbors <= 0 || max_category_neighbors <= 0) {
+    return Status::InvalidArgument("neighbor caps must be positive");
+  }
+  if (min_interactions_per_user < 3) {
+    return Status::InvalidArgument(
+        "leave-one-out evaluation needs >= 3 interactions per user");
+  }
+  return Status::OK();
+}
+
+const char* JdPresetName(JdPreset preset) {
+  switch (preset) {
+    case JdPreset::kBabyToy:
+      return "Baby & Toy";
+    case JdPreset::kElectronics:
+      return "Electronics";
+    case JdPreset::kFashion:
+      return "Fashion";
+    case JdPreset::kFoodDrink:
+      return "Food & Drink";
+  }
+  return "?";
+}
+
+std::vector<JdPreset> AllJdPresets() {
+  return {JdPreset::kBabyToy, JdPreset::kElectronics, JdPreset::kFashion,
+          JdPreset::kFoodDrink};
+}
+
+SyntheticConfig MakeJdConfig(JdPreset preset, double scale) {
+  SCENEREC_CHECK_GT(scale, 0.0);
+  SCENEREC_CHECK_LE(scale, 1.0);
+  SyntheticConfig config;
+  config.name = JdPresetName(preset);
+
+  // Full-scale entity counts from Table 1.
+  int64_t users = 0, items = 0;
+  switch (preset) {
+    case JdPreset::kBabyToy:
+      users = 4521;
+      items = 51759;
+      config.num_categories = 103;
+      config.num_scenes = 323;
+      break;
+    case JdPreset::kElectronics:
+      users = 3842;
+      items = 52025;
+      config.num_categories = 78;
+      config.num_scenes = 54;
+      break;
+    case JdPreset::kFashion:
+      users = 3959;
+      items = 53005;
+      config.num_categories = 91;
+      config.num_scenes = 438;
+      break;
+    case JdPreset::kFoodDrink:
+      users = 3236;
+      items = 47402;
+      config.num_categories = 105;
+      config.num_scenes = 136;
+      break;
+  }
+  config.num_users = std::max<int64_t>(40, std::llround(users * scale));
+  config.num_items = std::max<int64_t>(400, std::llround(items * scale));
+  // At full scale the JD datasets average ~107-140 interactions per user;
+  // sessions shrink with sqrt(scale) so reduced datasets stay trainable but
+  // retain enough signal.
+  config.sessions_per_user = std::max<int64_t>(
+      5, std::llround(16.0 * std::sqrt(scale)));
+  config.session_length = 8;
+  // Electronics has the fewest, broadest scenes; Fashion the most, most
+  // specific ones. Scene sizes follow Table 1's scene-category densities.
+  switch (preset) {
+    case JdPreset::kBabyToy:   // 1370 edges / 323 scenes ~ 4.2
+      config.min_categories_per_scene = 3;
+      config.max_categories_per_scene = 6;
+      break;
+    case JdPreset::kElectronics:  // 281 / 54 ~ 5.2
+      config.min_categories_per_scene = 4;
+      config.max_categories_per_scene = 7;
+      break;
+    case JdPreset::kFashion:  // 1646 / 438 ~ 3.8
+      config.min_categories_per_scene = 3;
+      config.max_categories_per_scene = 5;
+      break;
+    case JdPreset::kFoodDrink:  // 630 / 136 ~ 4.6
+      config.min_categories_per_scene = 3;
+      config.max_categories_per_scene = 6;
+      break;
+  }
+  return config;
+}
+
+namespace {
+
+/// Internal generation state.
+struct Generator {
+  const SyntheticConfig& config;
+  Rng rng;
+
+  // Latent structure.
+  std::vector<std::vector<int64_t>> scene_categories;   // scene -> categories
+  std::vector<std::vector<int64_t>> category_scenes;    // category -> scenes
+  std::vector<int64_t> item_category;                   // item -> category
+  std::vector<std::vector<int64_t>> category_items;     // category -> items
+  std::vector<AliasSampler> category_item_sampler;      // popularity per cat
+  std::vector<double> item_popularity;
+  std::unique_ptr<AliasSampler> global_item_sampler;
+
+  Generator(const SyntheticConfig& cfg, uint64_t seed)
+      : config(cfg), rng(seed) {}
+
+  void BuildScenes() {
+    scene_categories.resize(static_cast<size_t>(config.num_scenes));
+    category_scenes.resize(static_cast<size_t>(config.num_categories));
+    // Category popularity is Zipf-skewed so a few broad categories (think
+    // "Batteries") appear in many scenes, as in real taxonomies.
+    std::vector<double> weights(static_cast<size_t>(config.num_categories));
+    for (int64_t c = 0; c < config.num_categories; ++c) {
+      weights[static_cast<size_t>(c)] =
+          1.0 / std::pow(static_cast<double>(c + 1),
+                         config.category_size_exponent);
+    }
+    AliasSampler category_sampler(weights);
+    for (int64_t s = 0; s < config.num_scenes; ++s) {
+      const int64_t size = rng.NextInt(config.min_categories_per_scene,
+                                       config.max_categories_per_scene + 1);
+      std::set<int64_t> members;
+      int guard = 0;
+      while (static_cast<int64_t>(members.size()) < size && guard < 1000) {
+        members.insert(static_cast<int64_t>(category_sampler.Sample(rng)));
+        ++guard;
+      }
+      for (int64_t c : members) {
+        scene_categories[static_cast<size_t>(s)].push_back(c);
+        category_scenes[static_cast<size_t>(c)].push_back(s);
+      }
+    }
+    // Every category must belong to at least one scene so that eq. (3)
+    // aggregation is non-degenerate; attach orphans to a random scene.
+    for (int64_t c = 0; c < config.num_categories; ++c) {
+      if (category_scenes[static_cast<size_t>(c)].empty()) {
+        const int64_t s =
+            static_cast<int64_t>(rng.NextInt(config.num_scenes));
+        category_scenes[static_cast<size_t>(c)].push_back(s);
+        scene_categories[static_cast<size_t>(s)].push_back(c);
+      }
+    }
+  }
+
+  void BuildItems() {
+    item_category.resize(static_cast<size_t>(config.num_items));
+    category_items.resize(static_cast<size_t>(config.num_categories));
+    // Category sizes are skewed: sample each item's category Zipf-style.
+    for (int64_t i = 0; i < config.num_items; ++i) {
+      const int64_t c = static_cast<int64_t>(rng.NextZipf(
+          static_cast<uint64_t>(config.num_categories),
+          std::max(0.05, config.category_size_exponent)));
+      item_category[static_cast<size_t>(i)] = c;
+      category_items[static_cast<size_t>(c)].push_back(i);
+    }
+    // Categories must be non-empty (they anchor scene signal); move one item
+    // into each empty category.
+    for (int64_t c = 0; c < config.num_categories; ++c) {
+      if (!category_items[static_cast<size_t>(c)].empty()) continue;
+      // Steal from the largest category.
+      int64_t donor = 0;
+      for (int64_t d = 0; d < config.num_categories; ++d) {
+        if (category_items[static_cast<size_t>(d)].size() >
+            category_items[static_cast<size_t>(donor)].size()) {
+          donor = d;
+        }
+      }
+      const int64_t moved = category_items[static_cast<size_t>(donor)].back();
+      category_items[static_cast<size_t>(donor)].pop_back();
+      category_items[static_cast<size_t>(c)].push_back(moved);
+      item_category[static_cast<size_t>(moved)] = c;
+    }
+    // Popularity: Zipf over a per-run random permutation of items.
+    item_popularity.assign(static_cast<size_t>(config.num_items), 0.0);
+    std::vector<int64_t> order(static_cast<size_t>(config.num_items));
+    for (int64_t i = 0; i < config.num_items; ++i) {
+      order[static_cast<size_t>(i)] = i;
+    }
+    rng.Shuffle(order);
+    for (int64_t rank = 0; rank < config.num_items; ++rank) {
+      item_popularity[static_cast<size_t>(order[static_cast<size_t>(rank)])] =
+          1.0 / std::pow(static_cast<double>(rank + 1),
+                         config.item_popularity_exponent);
+    }
+    global_item_sampler = std::make_unique<AliasSampler>(item_popularity);
+    category_item_sampler.reserve(static_cast<size_t>(config.num_categories));
+    for (int64_t c = 0; c < config.num_categories; ++c) {
+      std::vector<double> weights;
+      weights.reserve(category_items[static_cast<size_t>(c)].size());
+      for (int64_t item : category_items[static_cast<size_t>(c)]) {
+        weights.push_back(item_popularity[static_cast<size_t>(item)]);
+      }
+      category_item_sampler.emplace_back(weights);
+    }
+  }
+
+  /// Samples one item for a session anchored at `scene`, honoring
+  /// in_scene_prob.
+  int64_t SampleSessionItem(int64_t scene) {
+    if (rng.NextBernoulli(config.in_scene_prob)) {
+      const auto& cats = scene_categories[static_cast<size_t>(scene)];
+      const int64_t c =
+          cats[static_cast<size_t>(rng.NextInt(cats.size()))];
+      const auto& items = category_items[static_cast<size_t>(c)];
+      const size_t pick =
+          category_item_sampler[static_cast<size_t>(c)].Sample(rng);
+      return items[pick];
+    }
+    return static_cast<int64_t>(global_item_sampler->Sample(rng));
+  }
+};
+
+}  // namespace
+
+StatusOr<Dataset> GenerateSyntheticDataset(const SyntheticConfig& config,
+                                           uint64_t seed) {
+  SCENEREC_RETURN_IF_ERROR(config.Validate());
+  Generator gen(config, seed);
+  gen.BuildScenes();
+  gen.BuildItems();
+
+  Dataset dataset;
+  dataset.name = config.name;
+  dataset.num_users = config.num_users;
+  dataset.num_items = config.num_items;
+  dataset.num_categories = config.num_categories;
+  dataset.num_scenes = config.num_scenes;
+  dataset.item_category = gen.item_category;
+
+  // Scene membership edges.
+  for (int64_t c = 0; c < config.num_categories; ++c) {
+    for (int64_t s : gen.category_scenes[static_cast<size_t>(c)]) {
+      dataset.category_scene_edges.push_back({c, s, 1.0f});
+    }
+  }
+
+  // Simulate browsing sessions. Sessions produce both the click set (the
+  // user-item bipartite graph) and co-view evidence (item-item and
+  // category-category layers) via the Section 5.1 pipeline in
+  // data/sessions.h.
+  std::vector<ViewSession> sessions;
+  sessions.reserve(
+      static_cast<size_t>(config.num_users * config.sessions_per_user));
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    // The user's latent interests: a few active scenes.
+    const int64_t num_active = gen.rng.NextInt(config.min_scenes_per_user,
+                                               config.max_scenes_per_user + 1);
+    auto active = gen.rng.SampleWithoutReplacement(
+        static_cast<uint64_t>(config.num_scenes),
+        static_cast<uint64_t>(num_active));
+
+    std::set<int64_t> clicked;
+    for (int64_t session = 0; session < config.sessions_per_user; ++session) {
+      const int64_t scene = static_cast<int64_t>(
+          active[static_cast<size_t>(gen.rng.NextInt(active.size()))]);
+      ViewSession view_session;
+      view_session.user = u;
+      view_session.items.reserve(static_cast<size_t>(config.session_length));
+      for (int64_t v = 0; v < config.session_length; ++v) {
+        const int64_t item = gen.SampleSessionItem(scene);
+        view_session.items.push_back(item);
+        clicked.insert(item);
+      }
+      sessions.push_back(std::move(view_session));
+    }
+    // Guarantee enough interactions for leave-one-out evaluation: top-up
+    // with single-item sessions in the user's active scenes.
+    int guard = 0;
+    while (static_cast<int64_t>(clicked.size()) <
+               config.min_interactions_per_user &&
+           guard < 10000) {
+      const int64_t scene = static_cast<int64_t>(
+          active[static_cast<size_t>(gen.rng.NextInt(active.size()))]);
+      const int64_t item = gen.SampleSessionItem(scene);
+      if (clicked.insert(item).second) {
+        sessions.push_back({u, {item}});
+      }
+      ++guard;
+    }
+  }
+
+  for (const auto& [user, item] : ClicksFromSessions(sessions)) {
+    dataset.interactions.push_back({user, item});
+  }
+
+  CoViewConfig coview_config;
+  coview_config.max_item_neighbors = config.max_item_neighbors;
+  coview_config.max_category_neighbors = config.max_category_neighbors;
+  SCENEREC_ASSIGN_OR_RETURN(
+      CoViewGraphs coviews,
+      BuildCoViewGraphs(sessions, gen.item_category, config.num_categories,
+                        coview_config));
+  dataset.item_item_edges = std::move(coviews.item_item_edges);
+
+  // The paper additionally has human labelers confirm category-category
+  // relevance. We simulate the consensus label: a pair survives iff the two
+  // categories share at least one scene (true relevance) or have very high
+  // co-view volume (labelers keep obviously related pairs).
+  std::vector<Edge> labeled;
+  {
+    std::vector<Edge> candidates = std::move(coviews.category_category_edges);
+    std::vector<std::set<int64_t>> scene_sets(
+        static_cast<size_t>(config.num_categories));
+    for (int64_t c = 0; c < config.num_categories; ++c) {
+      scene_sets[static_cast<size_t>(c)] = {
+          gen.category_scenes[static_cast<size_t>(c)].begin(),
+          gen.category_scenes[static_cast<size_t>(c)].end()};
+    }
+    for (const Edge& e : candidates) {
+      bool shares_scene = false;
+      for (int64_t s : scene_sets[static_cast<size_t>(e.src)]) {
+        if (scene_sets[static_cast<size_t>(e.dst)].count(s) > 0) {
+          shares_scene = true;
+          break;
+        }
+      }
+      if (shares_scene) labeled.push_back(e);
+    }
+    // Keep the graph connected enough: if labeling dropped everything for a
+    // category, restore its single strongest candidate.
+    std::vector<bool> has_edge(static_cast<size_t>(config.num_categories),
+                               false);
+    for (const Edge& e : labeled) has_edge[static_cast<size_t>(e.src)] = true;
+    for (const Edge& e : candidates) {
+      if (!has_edge[static_cast<size_t>(e.src)]) {
+        labeled.push_back(e);
+        labeled.push_back({e.dst, e.src, e.weight});
+        has_edge[static_cast<size_t>(e.src)] = true;
+      }
+    }
+  }
+  dataset.category_category_edges = std::move(labeled);
+
+  SCENEREC_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace scenerec

@@ -1,0 +1,85 @@
+#ifndef SCENEREC_DATA_SYNTHETIC_H_
+#define SCENEREC_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status_or.h"
+#include "data/dataset.h"
+
+namespace scenerec {
+
+/// Parameters of the synthetic JD-like dataset generator.
+///
+/// The generator substitutes for the paper's proprietary JD.com click logs
+/// (see DESIGN.md §3). It samples a latent scene->category->item hierarchy
+/// first and then generates scene-coherent browsing sessions, so that scene
+/// co-membership genuinely predicts future clicks — the signal SceneRec is
+/// designed to exploit.
+struct SyntheticConfig {
+  std::string name = "synthetic";
+
+  int64_t num_users = 400;
+  int64_t num_items = 4000;
+  int64_t num_categories = 100;
+  int64_t num_scenes = 120;
+
+  /// Categories per scene, sampled uniformly in this closed range. The JD
+  /// datasets average ~4-5 categories per scene.
+  int64_t min_categories_per_scene = 3;
+  int64_t max_categories_per_scene = 6;
+
+  /// Active scenes per user (their latent interests), uniform closed range.
+  int64_t min_scenes_per_user = 2;
+  int64_t max_scenes_per_user = 4;
+
+  /// Browsing sessions simulated per user, and items viewed per session.
+  int64_t sessions_per_user = 10;
+  int64_t session_length = 8;
+
+  /// Probability a session click stays inside the session's scene; the rest
+  /// are popularity-driven exploration (noise).
+  double in_scene_prob = 0.8;
+
+  /// Zipf exponents for item popularity and category size skew.
+  double item_popularity_exponent = 0.8;
+  double category_size_exponent = 0.6;
+
+  /// Paper's construction limits (Section 5.1): top-300 item-item and
+  /// top-100 category-category co-view edges per node.
+  int64_t max_item_neighbors = 300;
+  int64_t max_category_neighbors = 100;
+
+  /// Every user is guaranteed at least this many distinct interactions so
+  /// that leave-one-out (train/validation/test) is well defined.
+  int64_t min_interactions_per_user = 5;
+
+  /// Validates ranges; returns InvalidArgument with an explanation if
+  /// inconsistent (e.g. more categories per scene than categories).
+  Status Validate() const;
+};
+
+/// Named presets mirroring the four JD verticals of Table 1. `scale` in
+/// (0, 1] shrinks users/items/sessions linearly (categories and scenes are
+/// structural metadata and stay fixed); scale=1 matches the paper's entity
+/// counts.
+enum class JdPreset { kBabyToy, kElectronics, kFashion, kFoodDrink };
+
+/// Human-readable preset name matching the paper ("Baby & Toy", ...).
+const char* JdPresetName(JdPreset preset);
+
+/// All four presets in Table 1 order.
+std::vector<JdPreset> AllJdPresets();
+
+/// Returns the generator configuration for a preset at the given scale.
+SyntheticConfig MakeJdConfig(JdPreset preset, double scale);
+
+/// Generates a full dataset. Deterministic given (config, seed).
+StatusOr<Dataset> GenerateSyntheticDataset(const SyntheticConfig& config,
+                                           uint64_t seed);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_DATA_SYNTHETIC_H_

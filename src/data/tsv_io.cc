@@ -1,0 +1,201 @@
+#include "data/tsv_io.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace scenerec {
+
+namespace {
+
+Status EnsureDirectory(const std::string& dir) {
+  struct stat info;
+  if (::stat(dir.c_str(), &info) == 0) {
+    if ((info.st_mode & S_IFDIR) != 0) return Status::OK();
+    return Status::IOError(dir + " exists and is not a directory");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0) {
+    return Status::IOError("mkdir " + dir + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WriteLines(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << content;
+  out.close();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Parses "a<TAB>b" integer pair lines; skips blank lines.
+Status ParsePairs(const std::string& content, const std::string& path,
+                  std::vector<std::pair<int64_t, int64_t>>* out) {
+  size_t line_number = 0;
+  for (const std::string& line : Split(content, '\n')) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(line, '\t');
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 2 tab-separated fields", path.c_str(),
+                    line_number));
+    }
+    auto a = ParseInt64(Trim(fields[0]));
+    auto b = ParseInt64(Trim(fields[1]));
+    if (!a.ok() || !b.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: bad integer", path.c_str(), line_number));
+    }
+    out->push_back({a.value(), b.value()});
+  }
+  return Status::OK();
+}
+
+std::string PairsToTsv(const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  std::ostringstream out;
+  for (const auto& [a, b] : pairs) out << a << '\t' << b << '\n';
+  return out.str();
+}
+
+}  // namespace
+
+Status SaveDatasetTsv(const Dataset& dataset, const std::string& dir) {
+  SCENEREC_RETURN_IF_ERROR(dataset.Validate());
+  SCENEREC_RETURN_IF_ERROR(EnsureDirectory(dir));
+
+  {
+    std::ostringstream meta;
+    meta << "name\t" << dataset.name << '\n'
+         << "num_users\t" << dataset.num_users << '\n'
+         << "num_items\t" << dataset.num_items << '\n'
+         << "num_categories\t" << dataset.num_categories << '\n'
+         << "num_scenes\t" << dataset.num_scenes << '\n';
+    SCENEREC_RETURN_IF_ERROR(WriteLines(dir + "/meta.tsv", meta.str()));
+  }
+
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  pairs.reserve(dataset.interactions.size());
+  for (const Interaction& x : dataset.interactions) {
+    pairs.push_back({x.user, x.item});
+  }
+  SCENEREC_RETURN_IF_ERROR(
+      WriteLines(dir + "/interactions.tsv", PairsToTsv(pairs)));
+
+  pairs.clear();
+  for (int64_t i = 0; i < dataset.num_items; ++i) {
+    pairs.push_back({i, dataset.item_category[static_cast<size_t>(i)]});
+  }
+  SCENEREC_RETURN_IF_ERROR(
+      WriteLines(dir + "/item_category.tsv", PairsToTsv(pairs)));
+
+  auto edges_to_pairs = [](const std::vector<Edge>& edges) {
+    std::vector<std::pair<int64_t, int64_t>> result;
+    result.reserve(edges.size());
+    for (const Edge& e : edges) result.push_back({e.src, e.dst});
+    return result;
+  };
+  SCENEREC_RETURN_IF_ERROR(WriteLines(
+      dir + "/item_item.tsv", PairsToTsv(edges_to_pairs(dataset.item_item_edges))));
+  SCENEREC_RETURN_IF_ERROR(
+      WriteLines(dir + "/category_category.tsv",
+                 PairsToTsv(edges_to_pairs(dataset.category_category_edges))));
+  SCENEREC_RETURN_IF_ERROR(
+      WriteLines(dir + "/category_scene.tsv",
+                 PairsToTsv(edges_to_pairs(dataset.category_scene_edges))));
+  return Status::OK();
+}
+
+StatusOr<Dataset> LoadDatasetTsv(const std::string& dir) {
+  Dataset dataset;
+  {
+    SCENEREC_ASSIGN_OR_RETURN(std::string meta, ReadFile(dir + "/meta.tsv"));
+    for (const std::string& line : Split(meta, '\n')) {
+      if (Trim(line).empty()) continue;
+      const auto fields = Split(line, '\t');
+      if (fields.size() != 2) {
+        return Status::InvalidArgument("meta.tsv: expected key<TAB>value");
+      }
+      const std::string key(Trim(fields[0]));
+      const std::string value(Trim(fields[1]));
+      if (key == "name") {
+        dataset.name = value;
+      } else {
+        auto parsed = ParseInt64(value);
+        if (!parsed.ok()) {
+          return Status::InvalidArgument("meta.tsv: bad value for " + key);
+        }
+        if (key == "num_users") {
+          dataset.num_users = parsed.value();
+        } else if (key == "num_items") {
+          dataset.num_items = parsed.value();
+        } else if (key == "num_categories") {
+          dataset.num_categories = parsed.value();
+        } else if (key == "num_scenes") {
+          dataset.num_scenes = parsed.value();
+        } else {
+          return Status::InvalidArgument("meta.tsv: unknown key " + key);
+        }
+      }
+    }
+  }
+
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  {
+    SCENEREC_ASSIGN_OR_RETURN(std::string content,
+                              ReadFile(dir + "/interactions.tsv"));
+    SCENEREC_RETURN_IF_ERROR(
+        ParsePairs(content, dir + "/interactions.tsv", &pairs));
+    for (const auto& [u, i] : pairs) dataset.interactions.push_back({u, i});
+  }
+  {
+    pairs.clear();
+    SCENEREC_ASSIGN_OR_RETURN(std::string content,
+                              ReadFile(dir + "/item_category.tsv"));
+    SCENEREC_RETURN_IF_ERROR(
+        ParsePairs(content, dir + "/item_category.tsv", &pairs));
+    dataset.item_category.assign(static_cast<size_t>(dataset.num_items), -1);
+    for (const auto& [item, category] : pairs) {
+      if (item < 0 || item >= dataset.num_items) {
+        return Status::InvalidArgument("item_category.tsv: item out of range");
+      }
+      dataset.item_category[static_cast<size_t>(item)] = category;
+    }
+  }
+  auto load_edges = [&dir](const std::string& file,
+                           std::vector<Edge>* out) -> Status {
+    std::vector<std::pair<int64_t, int64_t>> local;
+    auto content = ReadFile(dir + "/" + file);
+    if (!content.ok()) return content.status();
+    SCENEREC_RETURN_IF_ERROR(ParsePairs(content.value(), file, &local));
+    out->reserve(local.size());
+    for (const auto& [a, b] : local) out->push_back({a, b, 1.0f});
+    return Status::OK();
+  };
+  SCENEREC_RETURN_IF_ERROR(
+      load_edges("item_item.tsv", &dataset.item_item_edges));
+  SCENEREC_RETURN_IF_ERROR(
+      load_edges("category_category.tsv", &dataset.category_category_edges));
+  SCENEREC_RETURN_IF_ERROR(
+      load_edges("category_scene.tsv", &dataset.category_scene_edges));
+
+  SCENEREC_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace scenerec

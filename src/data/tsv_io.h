@@ -1,0 +1,27 @@
+#ifndef SCENEREC_DATA_TSV_IO_H_
+#define SCENEREC_DATA_TSV_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "data/dataset.h"
+
+namespace scenerec {
+
+/// Serializes `dataset` into `dir` as six TSV files (created if missing):
+///   meta.tsv               name / entity counts
+///   interactions.tsv       user <TAB> item
+///   item_category.tsv      item <TAB> category
+///   item_item.tsv          item <TAB> item        (symmetric, both rows)
+///   category_category.tsv  category <TAB> category
+///   category_scene.tsv     category <TAB> scene
+/// Overwrites existing files. Returns IOError on filesystem failures.
+Status SaveDatasetTsv(const Dataset& dataset, const std::string& dir);
+
+/// Loads a dataset previously written by SaveDatasetTsv and validates it.
+StatusOr<Dataset> LoadDatasetTsv(const std::string& dir);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_DATA_TSV_IO_H_

@@ -1,0 +1,70 @@
+#include "eval/evaluator.h"
+
+#include "common/check.h"
+
+namespace scenerec {
+
+RankingMetrics EvaluateRanking(const ScoreFn& score,
+                               const std::vector<EvalInstance>& instances,
+                               int64_t k) {
+  SCENEREC_CHECK_GT(k, 0);
+  RankingMetrics metrics;
+  metrics.num_instances = static_cast<int64_t>(instances.size());
+  if (instances.empty()) return metrics;
+
+  double hr_sum = 0.0;
+  double ndcg_sum = 0.0;
+  double mrr_sum = 0.0;
+  std::vector<float> negative_scores;
+  for (const EvalInstance& instance : instances) {
+    const float positive_score = score(instance.user, instance.positive_item);
+    negative_scores.clear();
+    negative_scores.reserve(instance.negative_items.size());
+    for (int64_t item : instance.negative_items) {
+      negative_scores.push_back(score(instance.user, item));
+    }
+    const int64_t rank = RankOfPositive(positive_score, negative_scores);
+    hr_sum += HitRatioAtK(rank, k);
+    ndcg_sum += NdcgAtK(rank, k);
+    mrr_sum += ReciprocalRank(rank);
+  }
+  metrics.hr = hr_sum / static_cast<double>(instances.size());
+  metrics.ndcg = ndcg_sum / static_cast<double>(instances.size());
+  metrics.mrr = mrr_sum / static_cast<double>(instances.size());
+  return metrics;
+}
+
+RankingMetrics EvaluateFullRanking(const ScoreFn& score,
+                                   const UserItemGraph& train_graph,
+                                   const std::vector<EvalInstance>& instances,
+                                   int64_t k) {
+  SCENEREC_CHECK_GT(k, 0);
+  RankingMetrics metrics;
+  metrics.num_instances = static_cast<int64_t>(instances.size());
+  if (instances.empty()) return metrics;
+
+  double hr_sum = 0.0;
+  double ndcg_sum = 0.0;
+  double mrr_sum = 0.0;
+  const int64_t num_items = train_graph.num_items();
+  for (const EvalInstance& instance : instances) {
+    const float positive_score = score(instance.user, instance.positive_item);
+    // Count candidates ranked strictly above the positive, skipping items
+    // the user already interacted with during training (standard masking).
+    int64_t rank = 0;
+    for (int64_t item = 0; item < num_items; ++item) {
+      if (item == instance.positive_item) continue;
+      if (train_graph.HasInteraction(instance.user, item)) continue;
+      if (score(instance.user, item) > positive_score) ++rank;
+    }
+    hr_sum += HitRatioAtK(rank, k);
+    ndcg_sum += NdcgAtK(rank, k);
+    mrr_sum += ReciprocalRank(rank);
+  }
+  metrics.hr = hr_sum / static_cast<double>(instances.size());
+  metrics.ndcg = ndcg_sum / static_cast<double>(instances.size());
+  metrics.mrr = mrr_sum / static_cast<double>(instances.size());
+  return metrics;
+}
+
+}  // namespace scenerec

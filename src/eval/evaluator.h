@@ -1,0 +1,36 @@
+#ifndef SCENEREC_EVAL_EVALUATOR_H_
+#define SCENEREC_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/split.h"
+#include "graph/bipartite_graph.h"
+#include "eval/metrics.h"
+
+namespace scenerec {
+
+/// Scores one (user, item) pair; higher means more likely to be clicked.
+using ScoreFn = std::function<float(int64_t user, int64_t item)>;
+
+/// Runs the paper's ranking protocol (Section 5.3): for every evaluation
+/// instance the positive is ranked against its sampled negatives, and HR@K /
+/// NDCG@K / MRR are averaged over instances.
+RankingMetrics EvaluateRanking(const ScoreFn& score,
+                               const std::vector<EvalInstance>& instances,
+                               int64_t k);
+
+/// Stricter all-item protocol (as used by the NGCF/KGAT papers): each
+/// instance's positive is ranked against the ENTIRE item vocabulary except
+/// the user's training interactions (the instance's sampled negative list is
+/// ignored). Far more expensive — O(num_items) scores per instance — but
+/// free of negative-sampling variance.
+RankingMetrics EvaluateFullRanking(const ScoreFn& score,
+                                   const UserItemGraph& train_graph,
+                                   const std::vector<EvalInstance>& instances,
+                                   int64_t k);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_EVAL_EVALUATOR_H_

@@ -1,0 +1,27 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace scenerec {
+
+int64_t RankOfPositive(float positive_score,
+                       const std::vector<float>& negative_scores) {
+  int64_t rank = 0;
+  for (float s : negative_scores) {
+    if (s > positive_score) ++rank;
+  }
+  return rank;
+}
+
+double HitRatioAtK(int64_t rank, int64_t k) { return rank < k ? 1.0 : 0.0; }
+
+double NdcgAtK(int64_t rank, int64_t k) {
+  if (rank >= k) return 0.0;
+  return 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+}
+
+double ReciprocalRank(int64_t rank) {
+  return 1.0 / (static_cast<double>(rank) + 1.0);
+}
+
+}  // namespace scenerec

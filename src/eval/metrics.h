@@ -1,0 +1,38 @@
+#ifndef SCENEREC_EVAL_METRICS_H_
+#define SCENEREC_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace scenerec {
+
+/// Rank (0-based) of the positive item among {positive} ∪ negatives when
+/// ordered by descending score. Negatives scoring strictly higher than the
+/// positive push it down; ties rank the positive above the tied negatives
+/// (the convention of the reference NCF evaluation code).
+int64_t RankOfPositive(float positive_score,
+                       const std::vector<float>& negative_scores);
+
+/// Hit Ratio @ K for one instance: 1 if the positive ranks in the top K.
+double HitRatioAtK(int64_t rank, int64_t k);
+
+/// NDCG @ K for one instance: 1/log2(rank + 2) if the positive ranks in the
+/// top K, else 0. With one relevant item the ideal DCG is 1, so no further
+/// normalization is needed.
+double NdcgAtK(int64_t rank, int64_t k);
+
+/// Reciprocal rank for one instance: 1 / (rank + 1). Uncut (no @K).
+double ReciprocalRank(int64_t rank);
+
+/// Aggregated ranking metrics (means over evaluation instances). The paper
+/// reports hr and ndcg; mrr is provided additionally.
+struct RankingMetrics {
+  double hr = 0.0;
+  double ndcg = 0.0;
+  double mrr = 0.0;
+  int64_t num_instances = 0;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_EVAL_METRICS_H_

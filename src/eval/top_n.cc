@@ -1,0 +1,32 @@
+#include "eval/top_n.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scenerec {
+
+std::vector<Recommendation> TopNRecommendations(
+    const ScoreFn& score, const UserItemGraph& train_graph, int64_t user,
+    int64_t n) {
+  SCENEREC_CHECK_GT(n, 0);
+  SCENEREC_CHECK(user >= 0 && user < train_graph.num_users());
+  std::vector<Recommendation> candidates;
+  candidates.reserve(static_cast<size_t>(train_graph.num_items()));
+  for (int64_t item = 0; item < train_graph.num_items(); ++item) {
+    if (train_graph.HasInteraction(user, item)) continue;
+    candidates.push_back({item, score(user, item)});
+  }
+  const size_t keep = std::min<size_t>(static_cast<size_t>(n),
+                                       candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + keep,
+                    candidates.end(),
+                    [](const Recommendation& a, const Recommendation& b) {
+                      return a.score != b.score ? a.score > b.score
+                                                : a.item < b.item;
+                    });
+  candidates.resize(keep);
+  return candidates;
+}
+
+}  // namespace scenerec

@@ -1,0 +1,28 @@
+#ifndef SCENEREC_EVAL_TOP_N_H_
+#define SCENEREC_EVAL_TOP_N_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "graph/bipartite_graph.h"
+
+namespace scenerec {
+
+/// One ranked recommendation.
+struct Recommendation {
+  int64_t item = 0;
+  float score = 0.0f;
+};
+
+/// The serving-path helper: scores every item the user has NOT interacted
+/// with in `train_graph` and returns the `n` highest, ordered by descending
+/// score (ties by lower item id). Returns fewer than `n` entries when the
+/// user has interacted with almost the whole catalog.
+std::vector<Recommendation> TopNRecommendations(const ScoreFn& score,
+                                                const UserItemGraph& train_graph,
+                                                int64_t user, int64_t n);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_EVAL_TOP_N_H_

@@ -1,0 +1,24 @@
+#include "graph/bipartite_graph.h"
+
+namespace scenerec {
+
+UserItemGraph UserItemGraph::Build(
+    int64_t num_users, int64_t num_items,
+    const std::vector<Interaction>& interactions) {
+  std::vector<Edge> forward;
+  std::vector<Edge> backward;
+  forward.reserve(interactions.size());
+  backward.reserve(interactions.size());
+  for (const Interaction& x : interactions) {
+    forward.push_back({x.user, x.item, 1.0f});
+    backward.push_back({x.item, x.user, 1.0f});
+  }
+  UserItemGraph graph;
+  graph.user_to_item_ =
+      CsrGraph::FromEdges(num_users, num_items, std::move(forward));
+  graph.item_to_user_ =
+      CsrGraph::FromEdges(num_items, num_users, std::move(backward));
+  return graph;
+}
+
+}  // namespace scenerec

@@ -1,0 +1,69 @@
+#ifndef SCENEREC_GRAPH_BIPARTITE_GRAPH_H_
+#define SCENEREC_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace scenerec {
+
+/// One observed user-item interaction (an implicit-feedback click).
+struct Interaction {
+  int64_t user = 0;
+  int64_t item = 0;
+
+  friend bool operator==(const Interaction& a, const Interaction& b) {
+    return a.user == b.user && a.item == b.item;
+  }
+};
+
+/// The user-item bipartite graph G of Definition 3.2, stored with both
+/// orientations so user modeling (eq. 1) and item modeling (eq. 2) each get
+/// O(degree) neighbor access.
+class UserItemGraph {
+ public:
+  UserItemGraph() = default;
+
+  /// Builds from interactions; duplicates collapse into edge weight.
+  static UserItemGraph Build(int64_t num_users, int64_t num_items,
+                             const std::vector<Interaction>& interactions);
+
+  int64_t num_users() const { return user_to_item_.num_src(); }
+  int64_t num_items() const { return user_to_item_.num_dst(); }
+  int64_t num_interactions() const { return user_to_item_.num_edges(); }
+
+  /// UI(u): items user `u` interacted with (sorted).
+  std::span<const int64_t> ItemsOfUser(int64_t user) const {
+    return user_to_item_.Neighbors(user);
+  }
+
+  /// IU(i): users who interacted with item `i` (sorted).
+  std::span<const int64_t> UsersOfItem(int64_t item) const {
+    return item_to_user_.Neighbors(item);
+  }
+
+  int64_t UserDegree(int64_t user) const {
+    return user_to_item_.OutDegree(user);
+  }
+  int64_t ItemDegree(int64_t item) const {
+    return item_to_user_.OutDegree(item);
+  }
+
+  /// True iff user `u` has interacted with item `i`.
+  bool HasInteraction(int64_t user, int64_t item) const {
+    return user_to_item_.HasEdge(user, item);
+  }
+
+  const CsrGraph& user_to_item() const { return user_to_item_; }
+  const CsrGraph& item_to_user() const { return item_to_user_; }
+
+ private:
+  CsrGraph user_to_item_;
+  CsrGraph item_to_user_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_GRAPH_BIPARTITE_GRAPH_H_

@@ -1,0 +1,95 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+namespace scenerec {
+
+CsrGraph CsrGraph::FromEdges(int64_t num_src, int64_t num_dst,
+                             std::vector<Edge> edges) {
+  SCENEREC_CHECK_GE(num_src, 0);
+  SCENEREC_CHECK_GE(num_dst, 0);
+  for (const Edge& e : edges) {
+    SCENEREC_CHECK(e.src >= 0 && e.src < num_src)
+        << "edge src" << e.src << "out of range" << num_src;
+    SCENEREC_CHECK(e.dst >= 0 && e.dst < num_dst)
+        << "edge dst" << e.dst << "out of range" << num_dst;
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  // Merge duplicate (src, dst) pairs by summing weights.
+  size_t write = 0;
+  for (size_t read = 0; read < edges.size(); ++read) {
+    if (write > 0 && edges[write - 1].src == edges[read].src &&
+        edges[write - 1].dst == edges[read].dst) {
+      edges[write - 1].weight += edges[read].weight;
+    } else {
+      edges[write++] = edges[read];
+    }
+  }
+  edges.resize(write);
+
+  CsrGraph graph;
+  graph.num_src_ = num_src;
+  graph.num_dst_ = num_dst;
+  graph.offsets_.assign(static_cast<size_t>(num_src) + 1, 0);
+  graph.dst_.reserve(edges.size());
+  graph.weights_.reserve(edges.size());
+  for (const Edge& e : edges) {
+    graph.offsets_[static_cast<size_t>(e.src) + 1]++;
+    graph.dst_.push_back(e.dst);
+    graph.weights_.push_back(e.weight);
+  }
+  for (size_t i = 1; i < graph.offsets_.size(); ++i) {
+    graph.offsets_[i] += graph.offsets_[i - 1];
+  }
+  return graph;
+}
+
+bool CsrGraph::HasEdge(int64_t src, int64_t dst) const {
+  auto neighbors = Neighbors(src);
+  return std::binary_search(neighbors.begin(), neighbors.end(), dst);
+}
+
+float CsrGraph::WeightOfEdge(int64_t src, int64_t dst) const {
+  auto neighbors = Neighbors(src);
+  auto it = std::lower_bound(neighbors.begin(), neighbors.end(), dst);
+  if (it == neighbors.end() || *it != dst) return 0.0f;
+  return Weights(src)[static_cast<size_t>(it - neighbors.begin())];
+}
+
+std::vector<Edge> KeepTopKPerSource(std::vector<Edge> edges, int64_t k) {
+  SCENEREC_CHECK_GT(k, 0);
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.dst < b.dst;
+  });
+  std::vector<Edge> kept;
+  kept.reserve(edges.size());
+  int64_t current_src = -1;
+  int64_t count = 0;
+  for (const Edge& e : edges) {
+    if (e.src != current_src) {
+      current_src = e.src;
+      count = 0;
+    }
+    if (count < k) {
+      kept.push_back(e);
+      ++count;
+    }
+  }
+  return kept;
+}
+
+std::vector<Edge> MakeSymmetric(std::vector<Edge> edges) {
+  const size_t original = edges.size();
+  edges.reserve(original * 2);
+  for (size_t i = 0; i < original; ++i) {
+    const Edge& e = edges[i];
+    if (e.src != e.dst) edges.push_back({e.dst, e.src, e.weight});
+  }
+  return edges;
+}
+
+}  // namespace scenerec

@@ -1,0 +1,100 @@
+#ifndef SCENEREC_GRAPH_CSR_H_
+#define SCENEREC_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace scenerec {
+
+/// One weighted directed edge used when constructing graphs.
+struct Edge {
+  int64_t src = 0;
+  int64_t dst = 0;
+  float weight = 1.0f;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst && a.weight == b.weight;
+  }
+};
+
+/// Immutable weighted adjacency in compressed-sparse-row form. Source and
+/// destination node id spaces may differ (bipartite layers use that), so the
+/// graph is directed; symmetric relations store both directions.
+class CsrGraph {
+ public:
+  /// Empty graph with no nodes.
+  CsrGraph() = default;
+
+  /// Builds from an edge list. Edge endpoints must lie in
+  /// [0, num_src) x [0, num_dst). Neighbor lists are sorted by node id;
+  /// duplicate (src, dst) pairs have their weights summed.
+  static CsrGraph FromEdges(int64_t num_src, int64_t num_dst,
+                            std::vector<Edge> edges);
+
+  CsrGraph(const CsrGraph&) = default;
+  CsrGraph& operator=(const CsrGraph&) = default;
+  CsrGraph(CsrGraph&&) = default;
+  CsrGraph& operator=(CsrGraph&&) = default;
+
+  int64_t num_src() const { return num_src_; }
+  int64_t num_dst() const { return num_dst_; }
+  int64_t num_edges() const { return static_cast<int64_t>(dst_.size()); }
+
+  /// Neighbor ids of `src`, sorted ascending.
+  std::span<const int64_t> Neighbors(int64_t src) const {
+    SCENEREC_DCHECK(src >= 0 && src < num_src_);
+    const size_t begin = static_cast<size_t>(offsets_[src]);
+    const size_t end = static_cast<size_t>(offsets_[src + 1]);
+    return {dst_.data() + begin, end - begin};
+  }
+
+  /// Edge weights aligned with Neighbors(src).
+  std::span<const float> Weights(int64_t src) const {
+    SCENEREC_DCHECK(src >= 0 && src < num_src_);
+    const size_t begin = static_cast<size_t>(offsets_[src]);
+    const size_t end = static_cast<size_t>(offsets_[src + 1]);
+    return {weights_.data() + begin, end - begin};
+  }
+
+  int64_t OutDegree(int64_t src) const {
+    SCENEREC_DCHECK(src >= 0 && src < num_src_);
+    return offsets_[src + 1] - offsets_[src];
+  }
+
+  /// Binary search over the sorted neighbor list.
+  bool HasEdge(int64_t src, int64_t dst) const;
+
+  /// Weight of edge (src, dst), or 0 if the edge is absent.
+  float WeightOfEdge(int64_t src, int64_t dst) const;
+
+  /// Mean out-degree over sources (0 for an empty graph).
+  double MeanOutDegree() const {
+    return num_src_ == 0 ? 0.0
+                         : static_cast<double>(num_edges()) /
+                               static_cast<double>(num_src_);
+  }
+
+ private:
+  int64_t num_src_ = 0;
+  int64_t num_dst_ = 0;
+  std::vector<int64_t> offsets_;  // size num_src_ + 1
+  std::vector<int64_t> dst_;
+  std::vector<float> weights_;
+};
+
+/// Keeps, for every source node, only its `k` highest-weight out-edges
+/// (ties broken by lower destination id). The paper applies this with
+/// k=300 for item-item co-views and k=100 for category-category co-views.
+std::vector<Edge> KeepTopKPerSource(std::vector<Edge> edges, int64_t k);
+
+/// Returns the union of `edges` and their reverses, so that a co-occurrence
+/// relation becomes symmetric adjacency. Self-loops are kept as-is (not
+/// duplicated).
+std::vector<Edge> MakeSymmetric(std::vector<Edge> edges);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_GRAPH_CSR_H_

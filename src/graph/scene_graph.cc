@@ -1,0 +1,181 @@
+#include "graph/scene_graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace scenerec {
+
+SceneGraph SceneGraph::Build(int64_t num_items, int64_t num_categories,
+                             int64_t num_scenes,
+                             std::vector<int64_t> item_category,
+                             std::vector<Edge> item_item_edges,
+                             std::vector<Edge> category_category_edges,
+                             std::vector<Edge> category_scene_edges) {
+  SCENEREC_CHECK_EQ(static_cast<int64_t>(item_category.size()), num_items);
+  SceneGraph graph;
+  graph.item_category_ = std::move(item_category);
+  graph.item_item_ =
+      CsrGraph::FromEdges(num_items, num_items, std::move(item_item_edges));
+  graph.category_category_ = CsrGraph::FromEdges(
+      num_categories, num_categories, std::move(category_category_edges));
+
+  std::vector<Edge> scene_to_cat;
+  scene_to_cat.reserve(category_scene_edges.size());
+  for (const Edge& e : category_scene_edges) {
+    scene_to_cat.push_back({e.dst, e.src, e.weight});
+  }
+  graph.category_to_scene_ = CsrGraph::FromEdges(num_categories, num_scenes,
+                                                 std::move(category_scene_edges));
+  graph.scene_to_category_ =
+      CsrGraph::FromEdges(num_scenes, num_categories, std::move(scene_to_cat));
+
+  std::vector<Edge> cat_to_item;
+  cat_to_item.reserve(graph.item_category_.size());
+  for (int64_t item = 0; item < num_items; ++item) {
+    const int64_t category = graph.item_category_[static_cast<size_t>(item)];
+    SCENEREC_CHECK(category >= 0 && category < num_categories)
+        << "item" << item << "has category" << category;
+    cat_to_item.push_back({category, item, 1.0f});
+  }
+  graph.category_to_item_ =
+      CsrGraph::FromEdges(num_categories, num_items, std::move(cat_to_item));
+  return graph;
+}
+
+Status SceneGraph::Validate() const {
+  for (int64_t item = 0; item < num_items(); ++item) {
+    const int64_t category = item_category_[static_cast<size_t>(item)];
+    if (category < 0 || category >= num_categories()) {
+      return Status::FailedPrecondition(
+          StrFormat("item %lld has out-of-range category %lld",
+                    static_cast<long long>(item),
+                    static_cast<long long>(category)));
+    }
+  }
+  // Scene membership must be consistent in both directions.
+  if (category_to_scene_.num_edges() != scene_to_category_.num_edges()) {
+    return Status::FailedPrecondition(
+        "category<->scene edge counts disagree");
+  }
+  for (int64_t category = 0; category < num_categories(); ++category) {
+    for (int64_t scene : ScenesOfCategory(category)) {
+      if (scene < 0 || scene >= num_scenes()) {
+        return Status::FailedPrecondition(
+            StrFormat("category %lld references invalid scene %lld",
+                      static_cast<long long>(category),
+                      static_cast<long long>(scene)));
+      }
+      if (!scene_to_category_.HasEdge(scene, category)) {
+        return Status::FailedPrecondition(
+            StrFormat("scene %lld missing reverse edge to category %lld",
+                      static_cast<long long>(scene),
+                      static_cast<long long>(category)));
+      }
+    }
+  }
+  // Item layer endpoints must be valid item ids (guaranteed by CsrGraph
+  // construction) and contain no self-loops.
+  for (int64_t item = 0; item < num_items(); ++item) {
+    for (int64_t neighbor : ItemNeighbors(item)) {
+      if (neighbor == item) {
+        return Status::FailedPrecondition(
+            StrFormat("item %lld has a self-loop",
+                      static_cast<long long>(item)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+SceneGraphBuilder::SceneGraphBuilder(int64_t num_items, int64_t num_categories,
+                                     int64_t num_scenes)
+    : num_items_(num_items),
+      num_categories_(num_categories),
+      num_scenes_(num_scenes),
+      item_category_(static_cast<size_t>(num_items), -1) {}
+
+void SceneGraphBuilder::SetItemCategory(int64_t item, int64_t category) {
+  SCENEREC_CHECK(item >= 0 && item < num_items_);
+  SCENEREC_CHECK(category >= 0 && category < num_categories_);
+  item_category_[static_cast<size_t>(item)] = category;
+}
+
+void SceneGraphBuilder::AddItemCoView(int64_t item_a, int64_t item_b,
+                                      float count) {
+  SCENEREC_CHECK(item_a >= 0 && item_a < num_items_);
+  SCENEREC_CHECK(item_b >= 0 && item_b < num_items_);
+  if (item_a == item_b) return;  // Self co-views carry no signal.
+  item_coviews_.push_back({item_a, item_b, count});
+  item_coviews_.push_back({item_b, item_a, count});
+}
+
+void SceneGraphBuilder::AddCategoryCoView(int64_t cat_a, int64_t cat_b,
+                                          float count) {
+  SCENEREC_CHECK(cat_a >= 0 && cat_a < num_categories_);
+  SCENEREC_CHECK(cat_b >= 0 && cat_b < num_categories_);
+  if (cat_a == cat_b) return;
+  category_coviews_.push_back({cat_a, cat_b, count});
+  category_coviews_.push_back({cat_b, cat_a, count});
+}
+
+void SceneGraphBuilder::AddCategoryToScene(int64_t category, int64_t scene) {
+  SCENEREC_CHECK(category >= 0 && category < num_categories_);
+  SCENEREC_CHECK(scene >= 0 && scene < num_scenes_);
+  category_scene_.push_back({category, scene, 1.0f});
+}
+
+namespace {
+
+/// Accumulates duplicate (src, dst) weights so top-K sees total co-view
+/// counts, mirroring "the weight is the sum of co-occurrence frequency".
+std::vector<Edge> AccumulateWeights(std::vector<Edge> edges) {
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  size_t write = 0;
+  for (size_t read = 0; read < edges.size(); ++read) {
+    if (write > 0 && edges[write - 1].src == edges[read].src &&
+        edges[write - 1].dst == edges[read].dst) {
+      edges[write - 1].weight += edges[read].weight;
+    } else {
+      edges[write++] = edges[read];
+    }
+  }
+  edges.resize(write);
+  return edges;
+}
+
+}  // namespace
+
+StatusOr<SceneGraph> SceneGraphBuilder::Build() {
+  for (int64_t item = 0; item < num_items_; ++item) {
+    if (item_category_[static_cast<size_t>(item)] < 0) {
+      return Status::FailedPrecondition(
+          StrFormat("item %lld has no category assigned",
+                    static_cast<long long>(item)));
+    }
+  }
+  // Top-K truncation happens on accumulated directed weights; the result is
+  // re-symmetrized because truncation may keep only one direction.
+  std::vector<Edge> item_edges = KeepTopKPerSource(
+      AccumulateWeights(std::move(item_coviews_)), max_item_neighbors_);
+  item_edges = MakeSymmetric(std::move(item_edges));
+  std::vector<Edge> category_edges =
+      KeepTopKPerSource(AccumulateWeights(std::move(category_coviews_)),
+                        max_category_neighbors_);
+  category_edges = MakeSymmetric(std::move(category_edges));
+
+  // The final scene-based graph uses unit weights (Definition 3.3).
+  for (Edge& e : item_edges) e.weight = 1.0f;
+  for (Edge& e : category_edges) e.weight = 1.0f;
+
+  SceneGraph graph = SceneGraph::Build(
+      num_items_, num_categories_, num_scenes_, std::move(item_category_),
+      std::move(item_edges), std::move(category_edges),
+      std::move(category_scene_));
+  SCENEREC_RETURN_IF_ERROR(graph.Validate());
+  return graph;
+}
+
+}  // namespace scenerec

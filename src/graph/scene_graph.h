@@ -1,0 +1,147 @@
+#ifndef SCENEREC_GRAPH_SCENE_GRAPH_H_
+#define SCENEREC_GRAPH_SCENE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "graph/csr.h"
+
+namespace scenerec {
+
+/// The scene-based graph H of Definition 3.3: a 3-layer hierarchy of items,
+/// categories and scenes with
+///   * item-item edges        (L_item, co-view similarity, top-K truncated),
+///   * category-category edges (L_cate, labeled relevance),
+///   * item->category mapping  (L_ic, each item has exactly one category),
+///   * category<->scene edges  (L_cs, scene membership).
+///
+/// All edge weights are 1 in the model (the paper sets weights of H to 1);
+/// raw co-view counts are only used for the top-K construction step, which
+/// happens in SceneGraphBuilder before this class is built.
+class SceneGraph {
+ public:
+  SceneGraph() = default;
+
+  /// Assembles the hierarchy. `item_category[i]` is the category of item i.
+  /// Item-item and category-category edge lists should already be symmetric
+  /// and truncated (see SceneGraphBuilder). Scene membership edges are given
+  /// as (category, scene) pairs.
+  static SceneGraph Build(int64_t num_items, int64_t num_categories,
+                          int64_t num_scenes,
+                          std::vector<int64_t> item_category,
+                          std::vector<Edge> item_item_edges,
+                          std::vector<Edge> category_category_edges,
+                          std::vector<Edge> category_scene_edges);
+
+  int64_t num_items() const { return static_cast<int64_t>(item_category_.size()); }
+  int64_t num_categories() const { return category_category_.num_src(); }
+  int64_t num_scenes() const { return scene_to_category_.num_src(); }
+
+  /// C(i_p): the single pre-defined category of an item (eq. 8).
+  int64_t CategoryOfItem(int64_t item) const {
+    SCENEREC_DCHECK(item >= 0 && item < num_items());
+    return item_category_[static_cast<size_t>(item)];
+  }
+
+  /// II(i_p): item neighbors in the item layer (eq. 9).
+  std::span<const int64_t> ItemNeighbors(int64_t item) const {
+    return item_item_.Neighbors(item);
+  }
+
+  /// CC(c_p): related categories in the category layer (eq. 4).
+  std::span<const int64_t> CategoryNeighbors(int64_t category) const {
+    return category_category_.Neighbors(category);
+  }
+
+  /// CS(c_p): scenes the category belongs to (eq. 3).
+  std::span<const int64_t> ScenesOfCategory(int64_t category) const {
+    return category_to_scene_.Neighbors(category);
+  }
+
+  /// IS(i_p): scenes containing the item's category (eq. 10).
+  std::span<const int64_t> ScenesOfItem(int64_t item) const {
+    return ScenesOfCategory(CategoryOfItem(item));
+  }
+
+  /// Members of a scene (categories), the reverse of ScenesOfCategory.
+  std::span<const int64_t> CategoriesOfScene(int64_t scene) const {
+    return scene_to_category_.Neighbors(scene);
+  }
+
+  /// Items assigned to a category (reverse of CategoryOfItem).
+  std::span<const int64_t> ItemsOfCategory(int64_t category) const {
+    return category_to_item_.Neighbors(category);
+  }
+
+  int64_t num_item_item_edges() const { return item_item_.num_edges(); }
+  int64_t num_category_category_edges() const {
+    return category_category_.num_edges();
+  }
+  int64_t num_category_scene_edges() const {
+    return category_to_scene_.num_edges();
+  }
+
+  const CsrGraph& item_item() const { return item_item_; }
+  const CsrGraph& category_category() const { return category_category_; }
+  const CsrGraph& category_to_scene() const { return category_to_scene_; }
+  const CsrGraph& scene_to_category() const { return scene_to_category_; }
+
+  /// Structural sanity: every category id in range, scene membership edges
+  /// consistent in both directions, no dangling references. Returns the
+  /// first violation found.
+  Status Validate() const;
+
+ private:
+  std::vector<int64_t> item_category_;
+  CsrGraph item_item_;
+  CsrGraph category_category_;
+  CsrGraph category_to_scene_;
+  CsrGraph scene_to_category_;
+  CsrGraph category_to_item_;
+};
+
+/// Constructs a SceneGraph from raw co-occurrence observations, applying the
+/// paper's pipeline: weight accumulation, per-node top-K truncation
+/// (k=300 for items, k=100 for categories by default), then symmetrization.
+class SceneGraphBuilder {
+ public:
+  SceneGraphBuilder(int64_t num_items, int64_t num_categories,
+                    int64_t num_scenes);
+
+  /// Sets the per-node truncation limits. Defaults follow Section 5.1.
+  void set_max_item_neighbors(int64_t k) { max_item_neighbors_ = k; }
+  void set_max_category_neighbors(int64_t k) { max_category_neighbors_ = k; }
+
+  /// Declares the category of an item (must be called for every item).
+  void SetItemCategory(int64_t item, int64_t category);
+
+  /// Records a co-view of two distinct items with the given count.
+  void AddItemCoView(int64_t item_a, int64_t item_b, float count = 1.0f);
+
+  /// Records category-category relevance evidence (co-view count).
+  void AddCategoryCoView(int64_t cat_a, int64_t cat_b, float count = 1.0f);
+
+  /// Assigns a category to a scene.
+  void AddCategoryToScene(int64_t category, int64_t scene);
+
+  /// Finalizes: truncates to top-K per node, symmetrizes, and builds the
+  /// SceneGraph. Fails if some item has no category.
+  StatusOr<SceneGraph> Build();
+
+ private:
+  int64_t num_items_;
+  int64_t num_categories_;
+  int64_t num_scenes_;
+  int64_t max_item_neighbors_ = 300;
+  int64_t max_category_neighbors_ = 100;
+  std::vector<int64_t> item_category_;
+  std::vector<Edge> item_coviews_;
+  std::vector<Edge> category_coviews_;
+  std::vector<Edge> category_scene_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_GRAPH_SCENE_GRAPH_H_

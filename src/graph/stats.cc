@@ -1,0 +1,48 @@
+#include "graph/stats.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace scenerec {
+
+DatasetStats ComputeStats(const std::string& name, const UserItemGraph& ui,
+                          const SceneGraph& scene) {
+  DatasetStats stats;
+  stats.name = name;
+  stats.num_users = ui.num_users();
+  stats.num_items = ui.num_items();
+  stats.num_categories = scene.num_categories();
+  stats.num_scenes = scene.num_scenes();
+  stats.user_item_edges = ui.num_interactions();
+  stats.item_item_edges = scene.num_item_item_edges();
+  stats.item_category_edges = scene.num_items();
+  stats.category_category_edges = scene.num_category_category_edges();
+  stats.scene_category_edges = scene.num_category_scene_edges();
+  stats.mean_user_degree =
+      stats.num_users == 0
+          ? 0.0
+          : static_cast<double>(stats.user_item_edges) / stats.num_users;
+  stats.mean_item_item_degree = scene.item_item().MeanOutDegree();
+  return stats;
+}
+
+std::string FormatStatsTable(const DatasetStats& s) {
+  std::ostringstream out;
+  auto row = [&out](const char* relation, int64_t a, int64_t b, int64_t ab) {
+    out << "  " << relation << ": " << FormatWithCommas(a) << "-"
+        << FormatWithCommas(b) << " (" << FormatWithCommas(ab) << ")\n";
+  };
+  out << s.name << "\n";
+  row("User-Item        ", s.num_users, s.num_items, s.user_item_edges);
+  row("Item-Item        ", s.num_items, s.num_items, s.item_item_edges);
+  row("Item-Category    ", s.num_items, s.num_categories,
+      s.item_category_edges);
+  row("Category-Category", s.num_categories, s.num_categories,
+      s.category_category_edges);
+  row("Scene-Category   ", s.num_scenes, s.num_categories,
+      s.scene_category_edges);
+  return out.str();
+}
+
+}  // namespace scenerec

@@ -1,0 +1,42 @@
+#ifndef SCENEREC_GRAPH_STATS_H_
+#define SCENEREC_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/bipartite_graph.h"
+#include "graph/scene_graph.h"
+
+namespace scenerec {
+
+/// The relation counts reported in Table 1 of the paper, one row per
+/// relation family A-B: number of A, number of B, number of A-B edges.
+struct DatasetStats {
+  std::string name;
+
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_categories = 0;
+  int64_t num_scenes = 0;
+
+  int64_t user_item_edges = 0;
+  int64_t item_item_edges = 0;
+  int64_t item_category_edges = 0;  // == num_items (one category per item)
+  int64_t category_category_edges = 0;
+  int64_t scene_category_edges = 0;
+
+  double mean_user_degree = 0.0;
+  double mean_item_item_degree = 0.0;
+};
+
+/// Computes Table 1 statistics from the two graphs.
+DatasetStats ComputeStats(const std::string& name, const UserItemGraph& ui,
+                          const SceneGraph& scene);
+
+/// Renders one dataset's statistics in the layout of Table 1:
+///   Relation (A-B): #A-#B (#A-B).
+std::string FormatStatsTable(const DatasetStats& stats);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_GRAPH_STATS_H_

@@ -1,0 +1,38 @@
+#include "models/bpr_mf.h"
+
+#include "tensor/ops.h"
+
+namespace scenerec {
+
+BprMf::BprMf(int64_t num_users, int64_t num_items, int64_t dim, Rng& rng)
+    : user_embedding_(num_users, dim, rng),
+      item_embedding_(num_items, dim, rng),
+      item_bias_(Tensor::Zeros(Shape({num_items, 1}), /*requires_grad=*/true)) {
+}
+
+Tensor BprMf::ScoreForTraining(int64_t user, int64_t item) {
+  Tensor p = user_embedding_.Lookup(user);
+  Tensor q = item_embedding_.Lookup(item);
+  Tensor bias = Reshape(Gather(item_bias_, {item}), Shape());
+  return Add(Dot(p, q), bias);
+}
+
+float BprMf::Score(int64_t user, int64_t item) {
+  // Direct dot product on raw tables: no graph construction needed.
+  const auto& p = user_embedding_.table().value();
+  const auto& q = item_embedding_.table().value();
+  const int64_t d = user_embedding_.dim();
+  const float* prow = p.data() + user * d;
+  const float* qrow = q.data() + item * d;
+  float score = item_bias_.value()[static_cast<size_t>(item)];
+  for (int64_t c = 0; c < d; ++c) score += prow[c] * qrow[c];
+  return score;
+}
+
+void BprMf::CollectParameters(std::vector<Tensor>* out) const {
+  user_embedding_.CollectParameters(out);
+  item_embedding_.CollectParameters(out);
+  out->push_back(item_bias_);
+}
+
+}  // namespace scenerec

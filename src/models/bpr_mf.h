@@ -1,0 +1,33 @@
+#ifndef SCENEREC_MODELS_BPR_MF_H_
+#define SCENEREC_MODELS_BPR_MF_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "models/recommender.h"
+#include "nn/embedding.h"
+
+namespace scenerec {
+
+/// BPR-MF (Rendle et al. 2009): matrix factorization with an item bias,
+/// trained with the pairwise BPR loss. Score(u, i) = p_u . q_i + b_i.
+/// The benchmark baseline of Table 2.
+class BprMf : public Recommender {
+ public:
+  BprMf(int64_t num_users, int64_t num_items, int64_t dim, Rng& rng);
+
+  std::string name() const override { return "BPR-MF"; }
+  Tensor ScoreForTraining(int64_t user, int64_t item) override;
+  float Score(int64_t user, int64_t item) override;
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+ private:
+  Embedding user_embedding_;
+  Embedding item_embedding_;
+  Tensor item_bias_;  // [num_items, 1]
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_MODELS_BPR_MF_H_

@@ -1,0 +1,58 @@
+#include "models/cmn.h"
+
+#include "models/neighbor_util.h"
+#include "tensor/ops.h"
+
+namespace scenerec {
+
+Cmn::Cmn(const UserItemGraph* graph, int64_t dim, int64_t max_neighbors,
+         Rng& rng)
+    : graph_(graph),
+      max_neighbors_(max_neighbors),
+      user_memory_(graph->num_users(), dim, rng),
+      user_external_(graph->num_users(), dim, rng),
+      item_embedding_(graph->num_items(), dim, rng),
+      gmf_proj_(dim, dim, Activation::kNone, rng),
+      memory_proj_(dim, dim, Activation::kNone, rng),
+      output_weight_(Tensor::RandomNormal(Shape({dim}), 0.1f, rng,
+                                          /*requires_grad=*/true)),
+      sample_rng_(rng.Next64()) {
+  SCENEREC_CHECK(graph != nullptr);
+}
+
+Tensor Cmn::ScoreForTraining(int64_t user, int64_t item) {
+  Tensor m_u = user_memory_.Lookup(user);
+  Tensor e_i = item_embedding_.Lookup(item);
+
+  // Neighborhood: users that co-consumed the item, excluding the target user.
+  Rng* rng = NoGradGuard::enabled() ? nullptr : &sample_rng_;
+  std::vector<int64_t> neighbors;
+  for (int64_t v :
+       CapNeighbors(graph_->UsersOfItem(item), max_neighbors_ + 1, rng)) {
+    if (v != user) neighbors.push_back(v);
+    if (static_cast<int64_t>(neighbors.size()) >= max_neighbors_) break;
+  }
+
+  Tensor hidden = gmf_proj_.Forward(Mul(m_u, e_i));
+  if (!neighbors.empty()) {
+    Tensor keys = user_memory_.LookupMany(neighbors);   // [k, d]
+    Tensor slots = user_external_.LookupMany(neighbors);  // [k, d]
+    // q_v = m_u . m_v + e_i . m_v computed in one MatVec over the keys.
+    Tensor logits = Add(MatVec(keys, m_u), MatVec(keys, e_i));
+    Tensor alpha = Softmax(logits);
+    Tensor o = WeightedSumRows(slots, alpha);
+    hidden = Add(hidden, memory_proj_.Forward(o));
+  }
+  return Dot(output_weight_, Relu(hidden));
+}
+
+void Cmn::CollectParameters(std::vector<Tensor>* out) const {
+  user_memory_.CollectParameters(out);
+  user_external_.CollectParameters(out);
+  item_embedding_.CollectParameters(out);
+  gmf_proj_.CollectParameters(out);
+  memory_proj_.CollectParameters(out);
+  out->push_back(output_weight_);
+}
+
+}  // namespace scenerec

@@ -1,0 +1,46 @@
+#ifndef SCENEREC_MODELS_CMN_H_
+#define SCENEREC_MODELS_CMN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "models/recommender.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+
+namespace scenerec {
+
+/// Collaborative Memory Network (Ebesu et al. 2018). The memory module
+/// attends over the neighborhood of users who co-consumed the target item:
+///   q_v   = m_u . m_v + e_i . m_v          (user and item keys)
+///   alpha = softmax(q)
+///   o     = sum_v alpha_v c_v              (external memory slots)
+///   score = v^T relu(U (m_u ⊙ e_i) + W o + b)
+/// capturing both the global (GMF-like) and local (neighborhood) structure
+/// of the latent factors.
+class Cmn : public Recommender {
+ public:
+  /// `graph` must outlive the model; it supplies IU(i) neighborhoods.
+  Cmn(const UserItemGraph* graph, int64_t dim, int64_t max_neighbors,
+      Rng& rng);
+
+  std::string name() const override { return "CMN"; }
+  Tensor ScoreForTraining(int64_t user, int64_t item) override;
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+ private:
+  const UserItemGraph* graph_;
+  int64_t max_neighbors_;
+  Embedding user_memory_;     // keys m_v (also the user's own query)
+  Embedding user_external_;   // output slots c_v
+  Embedding item_embedding_;  // e_i
+  Linear gmf_proj_;           // U
+  Linear memory_proj_;        // W
+  Tensor output_weight_;      // v, [dim]
+  Rng sample_rng_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_MODELS_CMN_H_

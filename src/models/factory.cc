@@ -1,0 +1,105 @@
+#include "models/factory.h"
+
+#include "models/bpr_mf.h"
+#include "models/cmn.h"
+#include "models/gcmc.h"
+#include "models/item_pop.h"
+#include "models/item_rank.h"
+#include "models/kgat.h"
+#include "models/kgcn.h"
+#include "models/ncf.h"
+#include "models/ngcf.h"
+#include "models/pinsage.h"
+#include "models/scene_rec.h"
+
+namespace scenerec {
+
+StatusOr<std::unique_ptr<Recommender>> MakeRecommender(
+    const std::string& name, const ModelContext& context,
+    const ModelFactoryConfig& config) {
+  if (context.user_item == nullptr) {
+    return Status::FailedPrecondition("context.user_item is required");
+  }
+  Rng rng(config.seed);
+  const UserItemGraph* graph = context.user_item;
+  const int64_t num_users = graph->num_users();
+  const int64_t num_items = graph->num_items();
+
+  if (name == "ItemPop") {
+    return std::unique_ptr<Recommender>(new ItemPop(graph));
+  }
+  if (name == "ItemRank") {
+    return std::unique_ptr<Recommender>(new ItemRank(graph));
+  }
+  if (name == "KGCN") {
+    if (context.scene == nullptr) {
+      return Status::FailedPrecondition("KGCN needs the scene graph");
+    }
+    return std::unique_ptr<Recommender>(new Kgcn(
+        graph, context.scene, config.embedding_dim, config.max_neighbors,
+        rng));
+  }
+  if (name == "GCMC") {
+    return std::unique_ptr<Recommender>(
+        new Gcmc(graph, config.embedding_dim, rng));
+  }
+  if (name == "BPR-MF") {
+    return std::unique_ptr<Recommender>(
+        new BprMf(num_users, num_items, config.embedding_dim, rng));
+  }
+  if (name == "NCF") {
+    return std::unique_ptr<Recommender>(
+        new Ncf(num_users, num_items, config.ncf_dim, rng));
+  }
+  if (name == "CMN") {
+    return std::unique_ptr<Recommender>(
+        new Cmn(graph, config.embedding_dim, config.max_neighbors, rng));
+  }
+  if (name == "PinSAGE") {
+    // PinSAGE's per-score cost is fanout1 * fanout2 neighbor convolutions;
+    // modest fanouts match the original paper's hard neighborhood caps.
+    return std::unique_ptr<Recommender>(
+        new PinSage(graph, config.embedding_dim,
+                    /*fanout1=*/std::max<int64_t>(2, config.max_neighbors / 4),
+                    /*fanout2=*/std::max<int64_t>(4, config.max_neighbors / 2),
+                    rng));
+  }
+  if (name == "NGCF") {
+    return std::unique_ptr<Recommender>(
+        new Ngcf(graph, config.embedding_dim, config.gnn_depth, rng));
+  }
+  if (name == "KGAT") {
+    if (context.scene == nullptr) {
+      return Status::FailedPrecondition("KGAT needs the scene graph");
+    }
+    return std::unique_ptr<Recommender>(new Kgat(
+        graph, context.scene, config.embedding_dim, config.gnn_depth, rng));
+  }
+  const bool is_scenerec = name == "SceneRec" || name == "SceneRec-noitem" ||
+                           name == "SceneRec-nosce" ||
+                           name == "SceneRec-noatt";
+  if (is_scenerec) {
+    if (context.scene == nullptr) {
+      return Status::FailedPrecondition(name + " needs the scene graph");
+    }
+    SceneRecConfig model_config;
+    model_config.embedding_dim = config.embedding_dim;
+    model_config.max_neighbors = config.max_neighbors;
+    model_config.use_item_item = name != "SceneRec-noitem";
+    model_config.use_scene = name != "SceneRec-nosce";
+    model_config.use_attention = name != "SceneRec-noatt";
+    return std::unique_ptr<Recommender>(
+        new SceneRec(graph, context.scene, model_config, rng));
+  }
+  return Status::InvalidArgument("unknown model: " + name);
+}
+
+std::vector<std::string> Table2ModelNames() {
+  return {"BPR-MF",          "NCF",
+          "CMN",             "PinSAGE",
+          "NGCF",            "KGAT",
+          "SceneRec-noitem", "SceneRec-nosce",
+          "SceneRec-noatt",  "SceneRec"};
+}
+
+}  // namespace scenerec

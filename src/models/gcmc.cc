@@ -1,0 +1,60 @@
+#include "models/gcmc.h"
+
+#include "tensor/ops.h"
+
+namespace scenerec {
+
+Gcmc::Gcmc(const UserItemGraph* graph, int64_t dim, Rng& rng)
+    : prop_(BuildUserItemPropagationGraph(*graph)),
+      dim_(dim),
+      embedding_(Tensor::RandomNormal(Shape({prop_.num_nodes(), dim}), 0.1f,
+                                      rng, /*requires_grad=*/true)),
+      w_conv_(Tensor::XavierUniform(dim, dim, rng)),
+      w_dense_(Tensor::XavierUniform(dim, dim, rng)) {}
+
+Tensor Gcmc::Propagate() const {
+  Tensor conv = Relu(
+      MatMul(SpMM(&prop_.adjacency, prop_.norm_weights, embedding_), w_conv_));
+  return Tanh(MatMul(conv, w_dense_));
+}
+
+Tensor Gcmc::ScoreForTraining(int64_t user, int64_t item) {
+  Tensor z = Propagate();
+  return Dot(Row(z, prop_.UserNode(user)), Row(z, prop_.ItemNode(item)));
+}
+
+Tensor Gcmc::BatchLoss(const std::vector<BprTriple>& batch) {
+  SCENEREC_CHECK(!batch.empty());
+  Tensor z = Propagate();
+  Tensor total;
+  for (const BprTriple& triple : batch) {
+    Tensor user_repr = Row(z, prop_.UserNode(triple.user));
+    Tensor pos = Dot(user_repr, Row(z, prop_.ItemNode(triple.positive_item)));
+    Tensor neg = Dot(user_repr, Row(z, prop_.ItemNode(triple.negative_item)));
+    Tensor loss = BprPairLoss(pos, neg);
+    total = total.defined() ? Add(total, loss) : loss;
+  }
+  return total;
+}
+
+void Gcmc::OnEvalBegin() {
+  NoGradGuard no_grad;
+  cached_ = Propagate().value();
+}
+
+float Gcmc::Score(int64_t user, int64_t item) {
+  if (cached_.empty()) OnEvalBegin();
+  const float* urow = cached_.data() + prop_.UserNode(user) * dim_;
+  const float* irow = cached_.data() + prop_.ItemNode(item) * dim_;
+  float total = 0.0f;
+  for (int64_t c = 0; c < dim_; ++c) total += urow[c] * irow[c];
+  return total;
+}
+
+void Gcmc::CollectParameters(std::vector<Tensor>* out) const {
+  out->push_back(embedding_);
+  out->push_back(w_conv_);
+  out->push_back(w_dense_);
+}
+
+}  // namespace scenerec

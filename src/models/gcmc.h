@@ -1,0 +1,49 @@
+#ifndef SCENEREC_MODELS_GCMC_H_
+#define SCENEREC_MODELS_GCMC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "models/propagation.h"
+#include "models/recommender.h"
+#include "nn/linear.h"
+#include "tensor/tensor.h"
+
+namespace scenerec {
+
+/// Graph Convolutional Matrix Completion (van den Berg et al. 2017 — the
+/// paper's reference [16]) adapted to implicit feedback: one symmetric-
+/// normalized graph convolution over the user-item bipartite graph
+///   H = relu(W_conv (L E))
+/// followed by a dense transform Z = act(W_dense H), scored by the dot
+/// product z_u . z_i (the bilinear per-rating decoder of the original
+/// reduces to this with a single implicit "rating class").
+class Gcmc : public Recommender {
+ public:
+  /// `graph` must outlive the model.
+  Gcmc(const UserItemGraph* graph, int64_t dim, Rng& rng);
+
+  std::string name() const override { return "GCMC"; }
+  Tensor ScoreForTraining(int64_t user, int64_t item) override;
+  Tensor BatchLoss(const std::vector<BprTriple>& batch) override;
+  float Score(int64_t user, int64_t item) override;
+  void OnEvalBegin() override;
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+ private:
+  /// Full-graph forward: the dense representation matrix Z, [num_nodes, d].
+  Tensor Propagate() const;
+
+  PropagationGraph prop_;
+  int64_t dim_;
+  Tensor embedding_;  // E, [num_nodes, dim]
+  Tensor w_conv_;     // [dim, dim]
+  Tensor w_dense_;    // [dim, dim]
+  std::vector<float> cached_;  // inference snapshot of Z
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_MODELS_GCMC_H_

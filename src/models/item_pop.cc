@@ -1,0 +1,34 @@
+#include "models/item_pop.h"
+
+#include "tensor/ops.h"
+
+namespace scenerec {
+
+ItemPop::ItemPop(const UserItemGraph* graph)
+    : graph_(graph),
+      dummy_(Tensor::Zeros(Shape({1}), /*requires_grad=*/true)) {
+  SCENEREC_CHECK(graph != nullptr);
+}
+
+Tensor ItemPop::ScoreForTraining(int64_t user, int64_t item) {
+  (void)user;
+  return Tensor::Scalar(static_cast<float>(graph_->ItemDegree(item)));
+}
+
+Tensor ItemPop::BatchLoss(const std::vector<BprTriple>& batch) {
+  (void)batch;
+  // Constant model: zero loss that still "depends" on the dummy parameter so
+  // Backward() has a gradient path (with zero gradient).
+  return Scale(Reshape(dummy_, Shape()), 0.0f);
+}
+
+float ItemPop::Score(int64_t user, int64_t item) {
+  (void)user;
+  return static_cast<float>(graph_->ItemDegree(item));
+}
+
+void ItemPop::CollectParameters(std::vector<Tensor>* out) const {
+  out->push_back(dummy_);
+}
+
+}  // namespace scenerec

@@ -1,0 +1,36 @@
+#ifndef SCENEREC_MODELS_ITEM_POP_H_
+#define SCENEREC_MODELS_ITEM_POP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/recommender.h"
+
+namespace scenerec {
+
+/// Non-personalized popularity baseline: Score(u, i) = train-set degree of
+/// item i. Has no trainable signal — it calibrates how much of a dataset's
+/// accuracy is explained by popularity alone, the sanity floor every
+/// personalized model must clear.
+class ItemPop : public Recommender {
+ public:
+  /// `graph` is the training interaction graph; must outlive the model.
+  explicit ItemPop(const UserItemGraph* graph);
+
+  std::string name() const override { return "ItemPop"; }
+  Tensor ScoreForTraining(int64_t user, int64_t item) override;
+  Tensor BatchLoss(const std::vector<BprTriple>& batch) override;
+  float Score(int64_t user, int64_t item) override;
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+ private:
+  const UserItemGraph* graph_;
+  /// Dummy trainable scalar so the generic trainer (which requires a
+  /// differentiable loss) runs; its gradient is always zero.
+  Tensor dummy_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_MODELS_ITEM_POP_H_

@@ -1,0 +1,55 @@
+#include "models/kgcn.h"
+
+#include "models/neighbor_util.h"
+#include "tensor/ops.h"
+
+namespace scenerec {
+
+Kgcn::Kgcn(const UserItemGraph* graph, const SceneGraph* scene, int64_t dim,
+           int64_t max_neighbors, Rng& rng)
+    : graph_(graph),
+      scene_(scene),
+      max_neighbors_(max_neighbors),
+      user_embedding_(graph->num_users(), dim, rng),
+      item_embedding_(graph->num_items(), dim, rng),
+      scene_embedding_(scene->num_scenes(), dim, rng),
+      relation_embedding_(Tensor::RandomNormal(Shape({dim}), 0.1f, rng,
+                                               /*requires_grad=*/true)),
+      aggregator_(dim, dim, Activation::kLeakyRelu, rng),
+      sample_rng_(rng.Next64()) {
+  SCENEREC_CHECK(graph != nullptr);
+  SCENEREC_CHECK(scene != nullptr);
+}
+
+Tensor Kgcn::ScoreForTraining(int64_t user, int64_t item) {
+  Rng* rng = NoGradGuard::enabled() ? nullptr : &sample_rng_;
+  Tensor e_u = user_embedding_.Lookup(user);
+  Tensor e_i = item_embedding_.Lookup(item);
+
+  // KG neighborhood of the item: the scenes containing its category.
+  std::vector<int64_t> scenes =
+      CapNeighbors(scene_->ScenesOfItem(item), max_neighbors_, rng);
+  Tensor combined = e_i;
+  if (!scenes.empty()) {
+    Tensor neighbor_rows = scene_embedding_.LookupMany(scenes);  // [k, d]
+    // User-relation attention: with one relation this is a scalar gate
+    // pi(u, r) shared by all neighbors, passed through sigmoid so each user
+    // learns how much scene evidence to admit; neighbor mixing is uniform
+    // within the gate (softmax over identical logits).
+    Tensor gate = Sigmoid(Dot(e_u, relation_embedding_));
+    Tensor neighborhood = MeanRows(neighbor_rows);
+    combined = Add(e_i, ScaleBy(neighborhood, gate));
+  }
+  Tensor item_repr = aggregator_.Forward(combined);
+  return Dot(e_u, item_repr);
+}
+
+void Kgcn::CollectParameters(std::vector<Tensor>* out) const {
+  user_embedding_.CollectParameters(out);
+  item_embedding_.CollectParameters(out);
+  scene_embedding_.CollectParameters(out);
+  out->push_back(relation_embedding_);
+  aggregator_.CollectParameters(out);
+}
+
+}  // namespace scenerec

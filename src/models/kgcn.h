@@ -1,0 +1,50 @@
+#ifndef SCENEREC_MODELS_KGCN_H_
+#define SCENEREC_MODELS_KGCN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "models/recommender.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+
+namespace scenerec {
+
+/// KGCN (Wang et al., WWW 2019 — the paper's reference [18]) on the degraded
+/// scene knowledge graph. For a (user, item) pair the item's KG neighborhood
+/// — here the scenes containing the item's category — is aggregated with
+/// user-specific attention over relations:
+///   pi(u, r)   = e_u . e_r                      (relation attention)
+///   v_N(i)     = softmax-weighted sum of scene-entity embeddings
+///   item repr  = relu(W [e_i + v_N(i)])         (KGCN "sum" aggregator)
+///   score      = e_u . item_repr
+/// Since the degraded KG has a single relation type per edge direction, the
+/// user-relation attention reduces to a per-user gate on how much scene
+/// evidence flows in — exactly the part of KGCN the scene setting exercises.
+class Kgcn : public Recommender {
+ public:
+  /// Both graphs must outlive the model.
+  Kgcn(const UserItemGraph* graph, const SceneGraph* scene, int64_t dim,
+       int64_t max_neighbors, Rng& rng);
+
+  std::string name() const override { return "KGCN"; }
+  Tensor ScoreForTraining(int64_t user, int64_t item) override;
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+ private:
+  const UserItemGraph* graph_;
+  const SceneGraph* scene_;
+  int64_t max_neighbors_;
+  Embedding user_embedding_;
+  Embedding item_embedding_;
+  Embedding scene_embedding_;
+  Tensor relation_embedding_;  // single "belongs to" relation, [dim]
+  Linear aggregator_;          // W of the sum aggregator
+  Rng sample_rng_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_MODELS_KGCN_H_

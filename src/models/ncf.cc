@@ -1,0 +1,36 @@
+#include "models/ncf.h"
+
+#include "tensor/ops.h"
+
+namespace scenerec {
+
+Ncf::Ncf(int64_t num_users, int64_t num_items, int64_t dim, Rng& rng)
+    : gmf_user_(num_users, dim, rng),
+      gmf_item_(num_items, dim, rng),
+      mlp_user_(num_users, dim, rng),
+      mlp_item_(num_items, dim, rng),
+      tower_({2 * dim, dim, std::max<int64_t>(1, dim / 2)},
+             Activation::kRelu, Activation::kRelu, rng),
+      fusion_(dim + std::max<int64_t>(1, dim / 2), 1, Activation::kNone,
+              rng) {}
+
+Tensor Ncf::ScoreForTraining(int64_t user, int64_t item) {
+  // GMF path: elementwise product keeps the MF interaction structure.
+  Tensor gmf = Mul(gmf_user_.Lookup(user), gmf_item_.Lookup(item));
+  // MLP path: learned non-linear interaction.
+  Tensor mlp_in = Concat({mlp_user_.Lookup(user), mlp_item_.Lookup(item)});
+  Tensor mlp_out = tower_.Forward(mlp_in);
+  Tensor fused = fusion_.Forward(Concat({gmf, mlp_out}));
+  return Reshape(fused, Shape());
+}
+
+void Ncf::CollectParameters(std::vector<Tensor>* out) const {
+  gmf_user_.CollectParameters(out);
+  gmf_item_.CollectParameters(out);
+  mlp_user_.CollectParameters(out);
+  mlp_item_.CollectParameters(out);
+  tower_.CollectParameters(out);
+  fusion_.CollectParameters(out);
+}
+
+}  // namespace scenerec

@@ -1,0 +1,39 @@
+#ifndef SCENEREC_MODELS_NCF_H_
+#define SCENEREC_MODELS_NCF_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "models/recommender.h"
+#include "nn/embedding.h"
+#include "nn/mlp.h"
+
+namespace scenerec {
+
+/// NCF / NeuMF (He et al. 2017): fuses a generalized matrix factorization
+/// path (elementwise product of GMF embeddings) with an MLP path over
+/// concatenated MLP embeddings; a final linear layer maps the fused vector
+/// to the score. The paper evaluates NCF with d=8 (Section 5.3).
+class Ncf : public Recommender {
+ public:
+  /// `dim` is the embedding size of each path; the MLP tower halves widths
+  /// [2d -> d -> d/2].
+  Ncf(int64_t num_users, int64_t num_items, int64_t dim, Rng& rng);
+
+  std::string name() const override { return "NCF"; }
+  Tensor ScoreForTraining(int64_t user, int64_t item) override;
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+ private:
+  Embedding gmf_user_;
+  Embedding gmf_item_;
+  Embedding mlp_user_;
+  Embedding mlp_item_;
+  Mlp tower_;
+  Linear fusion_;  // [d + d/2] -> 1
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_MODELS_NCF_H_

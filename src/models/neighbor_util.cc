@@ -1,0 +1,28 @@
+#include "models/neighbor_util.h"
+
+#include "common/check.h"
+
+namespace scenerec {
+
+std::vector<int64_t> CapNeighbors(std::span<const int64_t> neighbors,
+                                  int64_t cap, Rng* rng) {
+  SCENEREC_CHECK_GT(cap, 0);
+  const int64_t n = static_cast<int64_t>(neighbors.size());
+  if (n <= cap) return {neighbors.begin(), neighbors.end()};
+  std::vector<int64_t> result;
+  result.reserve(static_cast<size_t>(cap));
+  if (rng != nullptr) {
+    for (uint64_t index : rng->SampleWithoutReplacement(
+             static_cast<uint64_t>(n), static_cast<uint64_t>(cap))) {
+      result.push_back(neighbors[static_cast<size_t>(index)]);
+    }
+  } else {
+    // Deterministic, evenly spread subset for reproducible evaluation.
+    for (int64_t j = 0; j < cap; ++j) {
+      result.push_back(neighbors[static_cast<size_t>(j * n / cap)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace scenerec

@@ -1,0 +1,23 @@
+#ifndef SCENEREC_MODELS_NEIGHBOR_UTIL_H_
+#define SCENEREC_MODELS_NEIGHBOR_UTIL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace scenerec {
+
+/// Returns at most `cap` neighbor ids. The paper aggregates all 1-hop
+/// neighbors; with 50k-item graphs that makes per-example cost unbounded, so
+/// all neighborhood models here cap the aggregation set (a standard
+/// GraphSAGE/PinSAGE trick, documented in DESIGN.md). When `rng` is non-null
+/// the subset is sampled without replacement (training); when null it is an
+/// evenly strided deterministic subset (evaluation).
+std::vector<int64_t> CapNeighbors(std::span<const int64_t> neighbors,
+                                  int64_t cap, Rng* rng);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_MODELS_NEIGHBOR_UTIL_H_

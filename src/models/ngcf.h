@@ -1,0 +1,61 @@
+#ifndef SCENEREC_MODELS_NGCF_H_
+#define SCENEREC_MODELS_NGCF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "models/propagation.h"
+#include "models/recommender.h"
+#include "tensor/tensor.h"
+
+namespace scenerec {
+
+/// NGCF (Wang et al. 2019): embedding propagation over the user-item graph.
+/// Layer l computes, with L the symmetrically normalized adjacency,
+///   E^(l) = LeakyReLU( (L E^(l-1) + E^(l-1)) W1_l
+///                      + (L E^(l-1) ⊙ E^(l-1)) W2_l )
+/// and the final representation of a node concatenates all layers; the score
+/// is the inner product of user and item representations.
+///
+/// Training propagates the full graph once per BatchLoss call (so use
+/// moderately large batches); evaluation uses representations cached by
+/// OnEvalBegin.
+class Ngcf : public Recommender {
+ public:
+  /// `graph` must outlive the model. `depth` is the number of propagation
+  /// layers (the paper uses 4; small datasets train faster with 2).
+  /// `message_dropout` (the original NGCF's regularizer) randomly drops
+  /// propagated messages during training; 0 disables.
+  Ngcf(const UserItemGraph* graph, int64_t dim, int64_t depth, Rng& rng,
+       float message_dropout = 0.0f);
+
+  std::string name() const override { return "NGCF"; }
+  Tensor ScoreForTraining(int64_t user, int64_t item) override;
+  Tensor BatchLoss(const std::vector<BprTriple>& batch) override;
+  float Score(int64_t user, int64_t item) override;
+  void OnEvalBegin() override;
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  int64_t depth() const { return depth_; }
+
+ protected:
+  /// All layer outputs E^(0..depth), differentiable.
+  std::vector<Tensor> Propagate() const;
+
+  PropagationGraph prop_;
+  int64_t dim_;
+  int64_t depth_;
+  float message_dropout_;
+  mutable Rng dropout_rng_;
+  Tensor embedding_;                // E^(0), [num_nodes, dim]
+  std::vector<Tensor> w1_;          // per layer, [dim, dim]
+  std::vector<Tensor> w2_;
+  /// Inference cache: value snapshots of all layers.
+  std::vector<std::vector<float>> cached_layers_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_MODELS_NGCF_H_

@@ -1,0 +1,71 @@
+#include "models/pinsage.h"
+
+#include "models/neighbor_util.h"
+#include "tensor/ops.h"
+
+namespace scenerec {
+
+PinSage::PinSage(const UserItemGraph* graph, int64_t dim, int64_t fanout1,
+                 int64_t fanout2, Rng& rng)
+    : graph_(graph),
+      fanout1_(fanout1),
+      fanout2_(fanout2),
+      user_embedding_(graph->num_users(), dim, rng),
+      item_embedding_(graph->num_items(), dim, rng),
+      conv1_(2 * dim, dim, Activation::kRelu, rng),
+      conv2_(2 * dim, dim, Activation::kRelu, rng),
+      sample_rng_(rng.Next64()) {
+  SCENEREC_CHECK(graph != nullptr);
+}
+
+std::span<const int64_t> PinSage::NeighborsOf(Side side, int64_t id) const {
+  return side == Side::kUser ? graph_->ItemsOfUser(id)
+                             : graph_->UsersOfItem(id);
+}
+
+Tensor PinSage::Hidden(Side side, int64_t id, Rng* rng) {
+  const Embedding& self_table =
+      side == Side::kUser ? user_embedding_ : item_embedding_;
+  const Embedding& neighbor_table =
+      side == Side::kUser ? item_embedding_ : user_embedding_;
+  Tensor self = self_table.Lookup(id);
+  std::vector<int64_t> sampled =
+      CapNeighbors(NeighborsOf(side, id), fanout2_, rng);
+  Tensor pooled = sampled.empty()
+                      ? Tensor::Zeros(Shape({self_table.dim()}))
+                      : MeanRows(neighbor_table.LookupMany(sampled));
+  return conv1_.Forward(Concat({self, pooled}));
+}
+
+Tensor PinSage::Output(Side side, int64_t id, Rng* rng) {
+  const Side other = side == Side::kUser ? Side::kItem : Side::kUser;
+  Tensor self_hidden = Hidden(side, id, rng);
+  std::vector<int64_t> sampled =
+      CapNeighbors(NeighborsOf(side, id), fanout1_, rng);
+  Tensor pooled;
+  if (sampled.empty()) {
+    pooled = Tensor::Zeros(Shape({conv1_.out_dim()}));
+  } else {
+    std::vector<Tensor> rows;
+    rows.reserve(sampled.size());
+    for (int64_t n : sampled) rows.push_back(Hidden(other, n, rng));
+    pooled = MeanRows(StackRows(rows));
+  }
+  return conv2_.Forward(Concat({self_hidden, pooled}));
+}
+
+Tensor PinSage::ScoreForTraining(int64_t user, int64_t item) {
+  Rng* rng = NoGradGuard::enabled() ? nullptr : &sample_rng_;
+  Tensor z_u = Output(Side::kUser, user, rng);
+  Tensor z_i = Output(Side::kItem, item, rng);
+  return Dot(z_u, z_i);
+}
+
+void PinSage::CollectParameters(std::vector<Tensor>* out) const {
+  user_embedding_.CollectParameters(out);
+  item_embedding_.CollectParameters(out);
+  conv1_.CollectParameters(out);
+  conv2_.CollectParameters(out);
+}
+
+}  // namespace scenerec

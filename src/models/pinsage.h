@@ -1,0 +1,56 @@
+#ifndef SCENEREC_MODELS_PINSAGE_H_
+#define SCENEREC_MODELS_PINSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "models/recommender.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+
+namespace scenerec {
+
+/// PinSAGE (Ying et al. 2018) applied directly to the user-item bipartite
+/// graph, as in the paper's baseline setup. Two GraphSAGE convolutions with
+/// neighbor sampling:
+///   h_x  = relu(W1 [e_x || mean(e_n : n in sampled N(x))])
+///   z_x  = relu(W2 [h_x || mean(h_n : n in sampled N(x))])
+///   score(u, i) = z_u . z_i
+/// On the bipartite graph, neighbors of a user are items and vice versa, so
+/// the convolution alternates sides at each hop.
+class PinSage : public Recommender {
+ public:
+  /// `graph` must outlive the model. `fanout1`/`fanout2` are the sampled
+  /// neighbor counts at depth 1 and 2 (PinSAGE's importance pooling is
+  /// replaced by uniform sampling — weights are unit in our graphs anyway).
+  PinSage(const UserItemGraph* graph, int64_t dim, int64_t fanout1,
+          int64_t fanout2, Rng& rng);
+
+  std::string name() const override { return "PinSAGE"; }
+  Tensor ScoreForTraining(int64_t user, int64_t item) override;
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+ private:
+  enum class Side { kUser, kItem };
+
+  /// Depth-1 representation of a node (user or item).
+  Tensor Hidden(Side side, int64_t id, Rng* rng);
+  /// Depth-2 representation.
+  Tensor Output(Side side, int64_t id, Rng* rng);
+
+  std::span<const int64_t> NeighborsOf(Side side, int64_t id) const;
+
+  const UserItemGraph* graph_;
+  int64_t fanout1_;
+  int64_t fanout2_;
+  Embedding user_embedding_;
+  Embedding item_embedding_;
+  Linear conv1_;
+  Linear conv2_;
+  Rng sample_rng_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_MODELS_PINSAGE_H_

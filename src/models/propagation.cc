@@ -1,0 +1,111 @@
+#include "models/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scenerec {
+
+namespace {
+
+/// Fills norm_weights with 1/sqrt(deg(src)*deg(dst)) for every CSR edge.
+std::shared_ptr<const std::vector<float>> ComputeSymmetricNorm(
+    const CsrGraph& adjacency) {
+  auto weights = std::make_shared<std::vector<float>>();
+  weights->reserve(static_cast<size_t>(adjacency.num_edges()));
+  for (int64_t s = 0; s < adjacency.num_src(); ++s) {
+    const double deg_s = static_cast<double>(adjacency.OutDegree(s));
+    for (int64_t t : adjacency.Neighbors(s)) {
+      const double deg_t = static_cast<double>(adjacency.OutDegree(t));
+      weights->push_back(
+          static_cast<float>(1.0 / std::sqrt(std::max(1.0, deg_s * deg_t))));
+    }
+  }
+  return weights;
+}
+
+}  // namespace
+
+PropagationGraph BuildUserItemPropagationGraph(const UserItemGraph& graph) {
+  PropagationGraph result;
+  result.num_users = graph.num_users();
+  result.num_items = graph.num_items();
+  result.num_extra = 0;
+  const int64_t n = result.num_nodes();
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(2 * graph.num_interactions()));
+  for (int64_t u = 0; u < graph.num_users(); ++u) {
+    for (int64_t i : graph.ItemsOfUser(u)) {
+      edges.push_back({result.UserNode(u), result.ItemNode(i), 1.0f});
+      edges.push_back({result.ItemNode(i), result.UserNode(u), 1.0f});
+    }
+  }
+  result.adjacency = CsrGraph::FromEdges(n, n, std::move(edges));
+  result.norm_weights = ComputeSymmetricNorm(result.adjacency);
+  return result;
+}
+
+KgatGraph BuildKgatGraph(const UserItemGraph& graph, const SceneGraph& scene) {
+  SCENEREC_CHECK_EQ(graph.num_items(), scene.num_items());
+  KgatGraph result;
+  PropagationGraph& prop = result.propagation;
+  prop.num_users = graph.num_users();
+  prop.num_items = graph.num_items();
+  prop.num_extra = scene.num_scenes();
+  const int64_t n = prop.num_nodes();
+
+  // Edge list with relation tags carried through CSR construction. CsrGraph
+  // sorts edges by (src, dst); we replicate that ordering for the tags by
+  // building tagged edges, sorting identically, then splitting.
+  struct TaggedEdge {
+    int64_t src;
+    int64_t dst;
+    int32_t relation;
+  };
+  std::vector<TaggedEdge> tagged;
+  for (int64_t u = 0; u < graph.num_users(); ++u) {
+    for (int64_t i : graph.ItemsOfUser(u)) {
+      tagged.push_back(
+          {prop.UserNode(u), prop.ItemNode(i), KgatGraph::kRelationInteract});
+      tagged.push_back(
+          {prop.ItemNode(i), prop.UserNode(u), KgatGraph::kRelationInteract});
+    }
+  }
+  for (int64_t i = 0; i < scene.num_items(); ++i) {
+    for (int64_t s : scene.ScenesOfItem(i)) {
+      tagged.push_back(
+          {prop.ItemNode(i), prop.ExtraNode(s), KgatGraph::kRelationBelongsTo});
+      tagged.push_back(
+          {prop.ExtraNode(s), prop.ItemNode(i), KgatGraph::kRelationIncludes});
+    }
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const TaggedEdge& a, const TaggedEdge& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+  // Deduplicate exactly like CsrGraph::FromEdges merges (src, dst) pairs.
+  std::vector<TaggedEdge> unique_tagged;
+  unique_tagged.reserve(tagged.size());
+  for (const TaggedEdge& e : tagged) {
+    if (!unique_tagged.empty() && unique_tagged.back().src == e.src &&
+        unique_tagged.back().dst == e.dst) {
+      continue;  // keep the first relation tag
+    }
+    unique_tagged.push_back(e);
+  }
+  std::vector<Edge> edges;
+  edges.reserve(unique_tagged.size());
+  result.edge_relation.reserve(unique_tagged.size());
+  for (const TaggedEdge& e : unique_tagged) {
+    edges.push_back({e.src, e.dst, 1.0f});
+    result.edge_relation.push_back(e.relation);
+  }
+  prop.adjacency = CsrGraph::FromEdges(n, n, std::move(edges));
+  SCENEREC_CHECK_EQ(prop.adjacency.num_edges(),
+                    static_cast<int64_t>(result.edge_relation.size()));
+  prop.norm_weights = ComputeSymmetricNorm(prop.adjacency);
+  return result;
+}
+
+}  // namespace scenerec

@@ -1,0 +1,57 @@
+#ifndef SCENEREC_MODELS_PROPAGATION_H_
+#define SCENEREC_MODELS_PROPAGATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/csr.h"
+#include "graph/scene_graph.h"
+
+namespace scenerec {
+
+/// A unified node space with a symmetric adjacency and per-edge
+/// normalization coefficients, ready for SpMM-based message passing.
+/// Node numbering convention: users first, then items, then (for KGAT)
+/// scene entities.
+struct PropagationGraph {
+  CsrGraph adjacency;
+  /// 1 / sqrt(deg(src) * deg(dst)) per CSR edge (the GCN/NGCF symmetric
+  /// normalization). Shared so SpMM backward can hold a reference.
+  std::shared_ptr<const std::vector<float>> norm_weights;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_extra = 0;  // scene entities for KGAT, else 0
+
+  int64_t num_nodes() const { return num_users + num_items + num_extra; }
+  int64_t UserNode(int64_t user) const { return user; }
+  int64_t ItemNode(int64_t item) const { return num_users + item; }
+  int64_t ExtraNode(int64_t extra) const {
+    return num_users + num_items + extra;
+  }
+};
+
+/// Unified user-item graph for NGCF: edges are the training interactions in
+/// both directions, with symmetric normalization.
+PropagationGraph BuildUserItemPropagationGraph(const UserItemGraph& graph);
+
+/// Unified user-item-scene graph for KGAT's degraded scene KG (Section 5.2:
+/// "the scene-based graph is degraded to the one that contains only
+/// item-scene connections"). An item connects to every scene that contains
+/// its category; relation types are returned per edge (0 = user-item
+/// interaction, 1 = item "belongs to" scene, 2 = scene "includes" item).
+struct KgatGraph {
+  PropagationGraph propagation;
+  /// Relation id per CSR edge of propagation.adjacency.
+  std::vector<int32_t> edge_relation;
+  static constexpr int32_t kRelationInteract = 0;
+  static constexpr int32_t kRelationBelongsTo = 1;
+  static constexpr int32_t kRelationIncludes = 2;
+  static constexpr int32_t kNumRelations = 3;
+};
+KgatGraph BuildKgatGraph(const UserItemGraph& graph, const SceneGraph& scene);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_MODELS_PROPAGATION_H_

@@ -1,0 +1,24 @@
+#include "models/recommender.h"
+
+#include "tensor/ops.h"
+
+namespace scenerec {
+
+Tensor Recommender::BatchLoss(const std::vector<BprTriple>& batch) {
+  SCENEREC_CHECK(!batch.empty());
+  Tensor total;
+  for (const BprTriple& triple : batch) {
+    Tensor loss =
+        BprPairLoss(ScoreForTraining(triple.user, triple.positive_item),
+                    ScoreForTraining(triple.user, triple.negative_item));
+    total = total.defined() ? Add(total, loss) : loss;
+  }
+  return total;
+}
+
+float Recommender::Score(int64_t user, int64_t item) {
+  NoGradGuard no_grad;
+  return ScoreForTraining(user, item).scalar();
+}
+
+}  // namespace scenerec

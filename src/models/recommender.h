@@ -1,0 +1,66 @@
+#ifndef SCENEREC_MODELS_RECOMMENDER_H_
+#define SCENEREC_MODELS_RECOMMENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/sampler.h"
+#include "eval/evaluator.h"
+#include "graph/bipartite_graph.h"
+#include "graph/scene_graph.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace scenerec {
+
+/// Non-owning view of the graphs a model may consume. `user_item` is the
+/// TRAINING interaction graph (evaluation positives removed); `scene` may be
+/// null for pure collaborative-filtering baselines. Both must outlive the
+/// model and every Backward() pass (SpMM stores graph pointers).
+struct ModelContext {
+  const UserItemGraph* user_item = nullptr;
+  const SceneGraph* scene = nullptr;
+};
+
+/// Base interface implemented by SceneRec and all baselines. A model is a
+/// Module (owns trainable parameters) plus a scoring function; the trainer
+/// drives it exclusively through this interface.
+class Recommender : public Module {
+ public:
+  ~Recommender() override = default;
+
+  /// Model name as used in Table 2 ("BPR-MF", "SceneRec", ...).
+  virtual std::string name() const = 0;
+
+  /// Differentiable prediction r'_ui for one (user, item) pair. Builds an
+  /// autograd graph over the model parameters.
+  virtual Tensor ScoreForTraining(int64_t user, int64_t item) = 0;
+
+  /// Summed BPR loss over a batch of triples (eq. 15, without the L2 term
+  /// which the optimizer applies as weight decay). The default implementation
+  /// scores each pair independently; full-graph propagation models (NGCF,
+  /// KGAT) override it to share one propagation across the batch.
+  virtual Tensor BatchLoss(const std::vector<BprTriple>& batch);
+
+  /// Inference-mode score. Default: ScoreForTraining under NoGradGuard.
+  /// Models with cached propagated representations override this.
+  virtual float Score(int64_t user, int64_t item);
+
+  /// Hook invoked before an evaluation sweep, e.g. to refresh cached
+  /// propagated embeddings with the current parameters. Default no-op.
+  virtual void OnEvalBegin() {}
+
+  /// Hook invoked at the start of every training epoch (e.g. KGAT refreshes
+  /// its attention coefficients once per epoch). Default no-op.
+  virtual void OnEpochBegin() {}
+
+  /// Adapter for the evaluation harness.
+  ScoreFn Scorer() {
+    return [this](int64_t user, int64_t item) { return Score(user, item); };
+  }
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_MODELS_RECOMMENDER_H_

@@ -1,0 +1,277 @@
+#include "models/scene_rec.h"
+
+#include <cmath>
+
+#include "models/neighbor_util.h"
+#include "tensor/ops.h"
+
+namespace scenerec {
+
+SceneRec::SceneRec(const UserItemGraph* user_item, const SceneGraph* scene,
+                   const SceneRecConfig& config, Rng& rng)
+    : user_item_(user_item),
+      scene_(scene),
+      config_(config),
+      user_embedding_(user_item->num_users(), config.embedding_dim, rng),
+      item_embedding_(user_item->num_items(), config.embedding_dim, rng),
+      category_embedding_(scene != nullptr ? scene->num_categories() : 1,
+                          config.embedding_dim, rng),
+      scene_embedding_(scene != nullptr ? scene->num_scenes() : 1,
+                       config.embedding_dim, rng),
+      user_agg_(config.embedding_dim, config.embedding_dim, config.activation,
+                rng),
+      item_user_agg_(config.embedding_dim, config.embedding_dim,
+                     config.activation, rng),
+      category_fuse_(2 * config.embedding_dim, config.embedding_dim,
+                     config.activation, rng),
+      item_fuse_(2 * config.embedding_dim, config.embedding_dim,
+                 config.activation, rng),
+      item_fuse_single_(config.embedding_dim, config.embedding_dim,
+                        config.activation, rng),
+      item_mlp_({2 * config.embedding_dim, config.embedding_dim,
+                 config.embedding_dim},
+                config.activation, config.activation, rng),
+      rating_mlp_({2 * config.embedding_dim, config.embedding_dim, 1},
+                  config.activation, Activation::kNone, rng),
+      sample_rng_(rng.Next64()) {
+  SCENEREC_CHECK(user_item != nullptr);
+  SCENEREC_CHECK(scene != nullptr || (!config.use_scene && !config.use_item_item))
+      << "scene graph required unless both scene and item-item are disabled";
+}
+
+std::string SceneRec::name() const {
+  if (!config_.use_item_item && config_.use_scene) return "SceneRec-noitem";
+  if (!config_.use_scene && config_.use_item_item) return "SceneRec-nosce";
+  if (!config_.use_attention) return "SceneRec-noatt";
+  return "SceneRec";
+}
+
+Tensor SceneRec::SceneSum(int64_t category) const {
+  if (scene_sum_cache_.empty()) {
+    scene_sum_cache_.resize(static_cast<size_t>(scene_->num_categories()));
+  }
+  Tensor& memo = scene_sum_cache_[static_cast<size_t>(category)];
+  if (memo.defined()) return memo;
+  auto scenes = scene_->ScenesOfCategory(category);
+  if (scenes.empty()) {
+    memo = Tensor::Zeros(Shape({config_.embedding_dim}));
+  } else {
+    memo = SumRows(scene_embedding_.LookupMany(
+        std::vector<int64_t>(scenes.begin(), scenes.end())));
+  }
+  return memo;
+}
+
+void SceneRec::ClearStepCaches() {
+  scene_sum_cache_.clear();
+  category_repr_cache_.clear();
+}
+
+void SceneRec::OnEvalBegin() {
+  ClearStepCaches();
+  eval_user_cache_.clear();
+  eval_item_cache_.clear();
+}
+
+Tensor SceneRec::CategoryRepr(int64_t category, Rng* rng) {
+  if (category_repr_cache_.empty()) {
+    category_repr_cache_.resize(static_cast<size_t>(scene_->num_categories()));
+  }
+  Tensor& memo = category_repr_cache_[static_cast<size_t>(category)];
+  if (memo.defined()) return memo;
+
+  // Eq. (3): scene-specific representation.
+  Tensor h_scene = SceneSum(category);
+
+  // Eqs. (4)-(6): category-specific representation via scene-based
+  // attention over related categories.
+  std::vector<int64_t> neighbors = CapNeighbors(
+      scene_->CategoryNeighbors(category), config_.max_neighbors, rng);
+  Tensor h_cat;
+  if (neighbors.empty()) {
+    h_cat = Tensor::Zeros(Shape({config_.embedding_dim}));
+  } else {
+    Tensor rows = category_embedding_.LookupMany(neighbors);
+    if (config_.use_attention) {
+      const Tensor& query = h_scene;
+      std::vector<Tensor> logits;
+      logits.reserve(neighbors.size());
+      for (int64_t q : neighbors) {
+        logits.push_back(CosineSimilarity(query, SceneSum(q)));
+      }
+      Tensor alpha = Softmax(Stack(logits));
+      h_cat = WeightedSumRows(rows, alpha);
+    } else {
+      h_cat = MeanRows(rows);  // uniform weights (noatt variant)
+    }
+  }
+
+  // Eq. (7): fuse scene-specific and category-specific parts.
+  memo = category_fuse_.Forward(Concat({h_scene, h_cat}));
+  return memo;
+}
+
+Tensor SceneRec::SceneSpaceItemRepr(int64_t item, Rng* rng) {
+  // Eq. (8): the item's category representation.
+  Tensor h_category;
+  if (config_.use_scene) {
+    h_category = CategoryRepr(scene_->CategoryOfItem(item), rng);
+  }
+
+  // Eqs. (9)-(11): attentive aggregation over item neighbors, attention from
+  // the scene sets of the two items' categories.
+  Tensor h_item;
+  if (config_.use_item_item) {
+    std::vector<int64_t> neighbors =
+        CapNeighbors(scene_->ItemNeighbors(item), config_.max_neighbors, rng);
+    if (neighbors.empty()) {
+      h_item = Tensor::Zeros(Shape({config_.embedding_dim}));
+    } else {
+      Tensor rows = item_embedding_.LookupMany(neighbors);
+      if (config_.use_attention && config_.use_scene) {
+        Tensor query = SceneSum(scene_->CategoryOfItem(item));
+        std::vector<Tensor> logits;
+        logits.reserve(neighbors.size());
+        for (int64_t q : neighbors) {
+          logits.push_back(
+              CosineSimilarity(query, SceneSum(scene_->CategoryOfItem(q))));
+        }
+        Tensor beta = Softmax(Stack(logits));
+        h_item = WeightedSumRows(rows, beta);
+      } else {
+        // noatt variant, or nosce (no scenes to attend with): uniform.
+        h_item = MeanRows(rows);
+      }
+    }
+  }
+
+  // Eq. (12) and its ablated forms.
+  if (config_.use_scene && config_.use_item_item) {
+    return item_fuse_.Forward(Concat({h_category, h_item}));
+  }
+  if (config_.use_scene) {  // SceneRec-noitem
+    return item_fuse_single_.Forward(h_category);
+  }
+  // SceneRec-nosce: only the item-item sub-network remains.
+  return item_fuse_single_.Forward(h_item);
+}
+
+Tensor SceneRec::UserRepr(int64_t user, Rng* rng) {
+  const bool eval_mode = NoGradGuard::enabled();
+  if (eval_mode) {
+    if (eval_user_cache_.empty()) {
+      eval_user_cache_.resize(static_cast<size_t>(user_item_->num_users()));
+    }
+    if (eval_user_cache_[static_cast<size_t>(user)].defined()) {
+      return eval_user_cache_[static_cast<size_t>(user)];
+    }
+  }
+  // Eq. (1): aggregate the embeddings of interacted items.
+  std::vector<int64_t> items =
+      CapNeighbors(user_item_->ItemsOfUser(user), config_.max_neighbors, rng);
+  Tensor sum = items.empty()
+                   ? Tensor::Zeros(Shape({config_.embedding_dim}))
+                   : SumRows(item_embedding_.LookupMany(items));
+  Tensor repr = user_agg_.Forward(sum);
+  if (eval_mode) eval_user_cache_[static_cast<size_t>(user)] = repr;
+  return repr;
+}
+
+Tensor SceneRec::UserSpaceItemRepr(int64_t item, Rng* rng) {
+  // Eq. (2): aggregate the embeddings of engaged users.
+  std::vector<int64_t> users =
+      CapNeighbors(user_item_->UsersOfItem(item), config_.max_neighbors, rng);
+  Tensor sum = users.empty()
+                   ? Tensor::Zeros(Shape({config_.embedding_dim}))
+                   : SumRows(user_embedding_.LookupMany(users));
+  return item_user_agg_.Forward(sum);
+}
+
+Tensor SceneRec::GeneralItemRepr(int64_t item, Rng* rng) {
+  const bool eval_mode = NoGradGuard::enabled();
+  if (eval_mode) {
+    if (eval_item_cache_.empty()) {
+      eval_item_cache_.resize(static_cast<size_t>(user_item_->num_items()));
+    }
+    if (eval_item_cache_[static_cast<size_t>(item)].defined()) {
+      return eval_item_cache_[static_cast<size_t>(item)];
+    }
+  }
+  // Eq. (13): MLP over the concatenated user-based and scene-based views.
+  Tensor user_view = UserSpaceItemRepr(item, rng);
+  Tensor scene_view = SceneSpaceItemRepr(item, rng);
+  Tensor repr = item_mlp_.Forward(Concat({user_view, scene_view}));
+  if (eval_mode) eval_item_cache_[static_cast<size_t>(item)] = repr;
+  return repr;
+}
+
+Tensor SceneRec::Rating(const Tensor& user_repr, const Tensor& item_repr) {
+  // Eq. (14).
+  return Reshape(rating_mlp_.Forward(Concat({user_repr, item_repr})), Shape());
+}
+
+Tensor SceneRec::ScoreForTraining(int64_t user, int64_t item) {
+  Rng* rng = NoGradGuard::enabled() ? nullptr : &sample_rng_;
+  if (rng != nullptr) ClearStepCaches();  // fresh parameters each step
+  return Rating(UserRepr(user, rng), GeneralItemRepr(item, rng));
+}
+
+Tensor SceneRec::BatchLoss(const std::vector<BprTriple>& batch) {
+  SCENEREC_CHECK(!batch.empty());
+  ClearStepCaches();
+  Rng* rng = &sample_rng_;
+  Tensor total;
+  for (const BprTriple& triple : batch) {
+    // The user representation is shared between the positive and negative
+    // scores of a triple.
+    Tensor m_u = UserRepr(triple.user, rng);
+    Tensor pos = Rating(m_u, GeneralItemRepr(triple.positive_item, rng));
+    Tensor neg = Rating(m_u, GeneralItemRepr(triple.negative_item, rng));
+    Tensor loss = BprPairLoss(pos, neg);
+    total = total.defined() ? Add(total, loss) : loss;
+  }
+  return total;
+}
+
+float SceneRec::AverageAttentionScore(int64_t user, int64_t item) const {
+  if (scene_ == nullptr || !config_.use_scene) return 0.0f;
+  auto history = user_item_->ItemsOfUser(user);
+  if (history.empty()) return 0.0f;
+  NoGradGuard no_grad;
+  Tensor candidate = SceneSum(scene_->CategoryOfItem(item));
+  float total = 0.0f;
+  int64_t count = 0;
+  for (int64_t j : history) {
+    if (j == item) continue;
+    Tensor other = SceneSum(scene_->CategoryOfItem(j));
+    total += CosineSimilarity(candidate, other).scalar();
+    ++count;
+  }
+  return count == 0 ? 0.0f : total / static_cast<float>(count);
+}
+
+void SceneRec::CollectParameters(std::vector<Tensor>* out) const {
+  user_embedding_.CollectParameters(out);
+  item_embedding_.CollectParameters(out);
+  user_agg_.CollectParameters(out);
+  item_user_agg_.CollectParameters(out);
+  item_mlp_.CollectParameters(out);
+  rating_mlp_.CollectParameters(out);
+  if (config_.use_scene) {
+    category_embedding_.CollectParameters(out);
+    scene_embedding_.CollectParameters(out);
+    category_fuse_.CollectParameters(out);
+  }
+  if (config_.use_scene && config_.use_item_item) {
+    out->push_back(item_fuse_.weight());
+    out->push_back(item_fuse_.bias());
+  } else {
+    item_fuse_single_.CollectParameters(out);
+  }
+  if (!config_.use_scene && config_.use_item_item) {
+    // nosce still attends over item neighbors using item embeddings only —
+    // no extra parameters beyond the shared tables.
+  }
+}
+
+}  // namespace scenerec

@@ -1,0 +1,134 @@
+#ifndef SCENEREC_MODELS_SCENE_REC_H_
+#define SCENEREC_MODELS_SCENE_REC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "models/recommender.h"
+#include "nn/activation.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace scenerec {
+
+/// Hyper-parameters and ablation switches for SceneRec. The three `use_*`
+/// flags produce the paper's model variants:
+///   use_item_item=false  -> SceneRec-noitem  (no item layer in H)
+///   use_scene=false      -> SceneRec-nosce   (no category/scene layers)
+///   use_attention=false  -> SceneRec-noatt   (uniform neighbor weights)
+struct SceneRecConfig {
+  int64_t embedding_dim = 64;
+
+  /// Aggregation cap per neighbor set. The paper sums all 1-hop neighbors;
+  /// we cap for bounded per-example cost (sampled during training,
+  /// deterministic strided subset during evaluation). See DESIGN.md.
+  int64_t max_neighbors = 20;
+
+  bool use_item_item = true;
+  bool use_scene = true;
+  bool use_attention = true;
+
+  /// The sigma nonlinearity of equations (1), (2), (7), (12).
+  Activation activation = Activation::kLeakyRelu;
+};
+
+/// SceneRec (Section 4): scene-based graph neural collaborative filtering.
+///
+/// User modeling (eq. 1) and user-based item modeling (eq. 2) aggregate
+/// bipartite neighbors. Scene-based item modeling propagates information
+/// down the scene->category->item hierarchy: scene-specific category
+/// representation (eq. 3), attentive category-category aggregation with
+/// scene-based cosine attention (eqs. 4-6), category fusion (eq. 7), the
+/// item's category representation (eq. 8), attentive item-item aggregation
+/// (eqs. 9-11) and fusion (eq. 12). The two item views are merged by an MLP
+/// (eq. 13) and rating prediction is an MLP over the user and item
+/// representations (eq. 14), trained with BPR (eq. 15).
+class SceneRec : public Recommender {
+ public:
+  /// `user_item` supplies UI/IU neighborhoods, `scene` the hierarchy; both
+  /// must outlive the model. `scene` may be null only if
+  /// config.use_scene == false && config.use_item_item == false.
+  SceneRec(const UserItemGraph* user_item, const SceneGraph* scene,
+           const SceneRecConfig& config, Rng& rng);
+
+  std::string name() const override;
+  Tensor ScoreForTraining(int64_t user, int64_t item) override;
+  Tensor BatchLoss(const std::vector<BprTriple>& batch) override;
+  void OnEvalBegin() override;
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  const SceneRecConfig& config() const { return config_; }
+
+  /// Average scene-based attention score between `item` and the items the
+  /// user interacted with (the quantity displayed in Figure 3's case
+  /// study): mean over interacted items j of the raw attention logit
+  /// beta*(item, j) = cosine(scene-sum(item), scene-sum(j)). Computed
+  /// without autograd. Returns 0 when the model has no scene information or
+  /// the user has no history.
+  float AverageAttentionScore(int64_t user, int64_t item) const;
+
+ private:
+  /// Sum of scene embeddings of CS(c) — eq. (3); zeros if c has no scenes.
+  /// Memoized per step (the result is identical for every use of the same
+  /// category within one forward pass, and reusing the autograd node simply
+  /// accumulates gradients along all uses).
+  Tensor SceneSum(int64_t category) const;
+
+  /// Drops the per-step memos (scene sums, category representations). Called
+  /// at the start of every training step; parameters change between steps so
+  /// memos would be stale.
+  void ClearStepCaches();
+
+  /// m_{c_p} — eqs. (3)-(7).
+  Tensor CategoryRepr(int64_t category, Rng* rng);
+
+  /// m^S_{i_p} — eqs. (8)-(12), honoring ablation switches.
+  Tensor SceneSpaceItemRepr(int64_t item, Rng* rng);
+
+  /// m_{u_p} — eq. (1).
+  Tensor UserRepr(int64_t user, Rng* rng);
+
+  /// m^U_{i_p} — eq. (2).
+  Tensor UserSpaceItemRepr(int64_t item, Rng* rng);
+
+  /// m_{i_p} — eq. (13).
+  Tensor GeneralItemRepr(int64_t item, Rng* rng);
+
+  /// r'_pq — eq. (14).
+  Tensor Rating(const Tensor& user_repr, const Tensor& item_repr);
+
+  const UserItemGraph* user_item_;
+  const SceneGraph* scene_;
+  SceneRecConfig config_;
+
+  Embedding user_embedding_;
+  Embedding item_embedding_;
+  Embedding category_embedding_;
+  Embedding scene_embedding_;
+
+  Linear user_agg_;        // W_u, b_u   (eq. 1)
+  Linear item_user_agg_;   // W_iu, b_iu (eq. 2)
+  Linear category_fuse_;   // W_ic, b_ic (eq. 7), [2d -> d]
+  Linear item_fuse_;       // W_ii, b_ii (eq. 12), [2d -> d]
+  Linear item_fuse_single_;  // ablations: [d -> d] when one input is removed
+  Mlp item_mlp_;           // F, W_i (eq. 13)
+  Mlp rating_mlp_;         // F, W_r (eq. 14)
+
+  Rng sample_rng_;
+
+  // Step-scoped memos (valid within one forward pass / one eval sweep).
+  mutable std::vector<Tensor> scene_sum_cache_;
+  std::vector<Tensor> category_repr_cache_;
+  // Eval-sweep-scoped memos, only consulted under NoGradGuard: evaluation
+  // scores num_users x 101 pairs, and both representations are deterministic
+  // between parameter updates.
+  std::vector<Tensor> eval_user_cache_;
+  std::vector<Tensor> eval_item_cache_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_MODELS_SCENE_REC_H_

@@ -1,0 +1,25 @@
+#include "nn/embedding.h"
+
+#include "tensor/ops.h"
+
+namespace scenerec {
+
+Embedding::Embedding(int64_t vocab, int64_t dim, Rng& rng, float stddev)
+    : vocab_(vocab),
+      dim_(dim),
+      table_(Tensor::RandomNormal(Shape({vocab, dim}), stddev, rng,
+                                  /*requires_grad=*/true)) {}
+
+Tensor Embedding::Lookup(int64_t id) const {
+  return Reshape(Gather(table_, {id}), Shape({dim_}));
+}
+
+Tensor Embedding::LookupMany(const std::vector<int64_t>& ids) const {
+  return Gather(table_, ids);
+}
+
+void Embedding::CollectParameters(std::vector<Tensor>* out) const {
+  out->push_back(table_);
+}
+
+}  // namespace scenerec

@@ -1,0 +1,48 @@
+#ifndef SCENEREC_NN_EMBEDDING_H_
+#define SCENEREC_NN_EMBEDDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace scenerec {
+
+/// A trainable lookup table mapping ids in [0, vocab) to dense vectors of
+/// length `dim`. Gradients flow only into looked-up rows and the optimizer
+/// updates lazily via Tensor::touched_rows(), so tables with tens of
+/// thousands of rows stay cheap per step.
+class Embedding : public Module {
+ public:
+  /// Initializes rows i.i.d. N(0, stddev^2). The common recommender default
+  /// stddev 0.1 keeps initial scores small.
+  Embedding(int64_t vocab, int64_t dim, Rng& rng, float stddev = 0.1f);
+
+  Embedding(const Embedding&) = delete;
+  Embedding& operator=(const Embedding&) = delete;
+  Embedding(Embedding&&) = default;
+  Embedding& operator=(Embedding&&) = default;
+
+  /// Embedding of one id -> rank-1 tensor [dim].
+  Tensor Lookup(int64_t id) const;
+
+  /// Embeddings of several ids -> [ids.size(), dim]. Duplicates allowed.
+  Tensor LookupMany(const std::vector<int64_t>& ids) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  int64_t vocab() const { return vocab_; }
+  int64_t dim() const { return dim_; }
+  const Tensor& table() const { return table_; }
+
+ private:
+  int64_t vocab_;
+  int64_t dim_;
+  Tensor table_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_NN_EMBEDDING_H_

@@ -1,0 +1,28 @@
+#include "nn/mlp.h"
+
+#include "common/check.h"
+
+namespace scenerec {
+
+Mlp::Mlp(const std::vector<int64_t>& dims, Activation hidden_activation,
+         Activation output_activation, Rng& rng) {
+  SCENEREC_CHECK_GE(dims.size(), 2u);
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool last = (i + 2 == dims.size());
+    layers_.emplace_back(dims[i], dims[i + 1],
+                         last ? output_activation : hidden_activation, rng);
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (const Linear& layer : layers_) h = layer.Forward(h);
+  return h;
+}
+
+void Mlp::CollectParameters(std::vector<Tensor>* out) const {
+  for (const Linear& layer : layers_) layer.CollectParameters(out);
+}
+
+}  // namespace scenerec

@@ -1,0 +1,99 @@
+#include "nn/serialization.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace scenerec {
+
+namespace {
+constexpr char kMagic[] = "SRCKPT1\n";
+
+Status WriteInt64(std::ofstream& out, int64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+StatusOr<int64_t> ReadInt64(std::ifstream& in) {
+  int64_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) return Status::IOError("unexpected end of checkpoint");
+  return value;
+}
+}  // namespace
+
+Status SaveCheckpoint(const Module& module, const std::string& tag,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic) - 1);
+  out << tag << '\n';
+  const std::vector<Tensor> params = module.Parameters();
+  SCENEREC_RETURN_IF_ERROR(
+      WriteInt64(out, static_cast<int64_t>(params.size())));
+  for (const Tensor& p : params) {
+    SCENEREC_RETURN_IF_ERROR(WriteInt64(out, p.shape().rank()));
+    for (int64_t d : p.shape().dims()) {
+      SCENEREC_RETURN_IF_ERROR(WriteInt64(out, d));
+    }
+    const auto& values = p.value();
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(float)));
+    if (!out) return Status::IOError("write failed for " + path);
+  }
+  out.close();
+  if (!out) return Status::IOError("close failed for " + path);
+  return Status::OK();
+}
+
+Status LoadCheckpoint(Module& module, const std::string& tag,
+                      const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  char magic[sizeof(kMagic) - 1];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string_view(magic, sizeof(magic)) !=
+                 std::string_view(kMagic, sizeof(magic))) {
+    return Status::InvalidArgument(path + " is not a scenerec checkpoint");
+  }
+  std::string stored_tag;
+  if (!std::getline(in, stored_tag)) {
+    return Status::IOError("unexpected end of checkpoint");
+  }
+  if (stored_tag != tag) {
+    return Status::FailedPrecondition(
+        StrFormat("checkpoint tag mismatch: stored \"%s\", expected \"%s\"",
+                  stored_tag.c_str(), tag.c_str()));
+  }
+  SCENEREC_ASSIGN_OR_RETURN(int64_t count, ReadInt64(in));
+  std::vector<Tensor> params = module.Parameters();
+  if (count != static_cast<int64_t>(params.size())) {
+    return Status::FailedPrecondition(
+        StrFormat("checkpoint has %lld parameters, module has %zu",
+                  static_cast<long long>(count), params.size()));
+  }
+  for (Tensor& p : params) {
+    SCENEREC_ASSIGN_OR_RETURN(int64_t rank, ReadInt64(in));
+    std::vector<int64_t> dims;
+    dims.reserve(static_cast<size_t>(rank));
+    for (int64_t d = 0; d < rank; ++d) {
+      SCENEREC_ASSIGN_OR_RETURN(int64_t dim, ReadInt64(in));
+      dims.push_back(dim);
+    }
+    const Shape stored_shape(std::move(dims));
+    if (stored_shape != p.shape()) {
+      return Status::FailedPrecondition(
+          "checkpoint shape " + stored_shape.ToString() +
+          " does not match parameter shape " + p.shape().ToString());
+    }
+    auto& values = p.mutable_value();
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(float)));
+    if (!in) return Status::IOError("unexpected end of checkpoint");
+  }
+  return Status::OK();
+}
+
+}  // namespace scenerec

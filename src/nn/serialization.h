@@ -1,0 +1,30 @@
+#ifndef SCENEREC_NN_SERIALIZATION_H_
+#define SCENEREC_NN_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace scenerec {
+
+/// Writes a module's parameters to a binary checkpoint file. The format is
+///   magic "SRCKPT1\n", tag line, parameter count,
+///   then per tensor: rank, dims..., raw float32 data (little-endian, the
+///   only layout this library targets).
+/// `tag` is typically the model name and is verified on load.
+Status SaveCheckpoint(const Module& module, const std::string& tag,
+                      const std::string& path);
+
+/// Restores parameters saved by SaveCheckpoint into `module`, which must
+/// have been constructed with the same architecture: the checkpoint's tag,
+/// parameter count and every shape must match (parameters are matched by
+/// CollectParameters order). Optimizer state is not part of the checkpoint.
+Status LoadCheckpoint(Module& module, const std::string& tag,
+                      const std::string& path);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_NN_SERIALIZATION_H_

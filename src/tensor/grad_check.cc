@@ -1,0 +1,73 @@
+#include "tensor/grad_check.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace scenerec {
+
+std::string GradCheckReport::ToString() const {
+  return StrFormat(
+      "%s: max |analytic-numeric| %.3e (param %lld element %lld, "
+      "violation %.2fx tolerance)",
+      passed ? "PASS" : "FAIL", max_abs_error,
+      static_cast<long long>(worst_param),
+      static_cast<long long>(worst_element), max_rel_violation);
+}
+
+StatusOr<GradCheckReport> CheckGradients(
+    const std::function<Tensor()>& forward, std::vector<Tensor> params,
+    float epsilon, float rtol, float atol) {
+  if (params.empty()) {
+    return Status::InvalidArgument("no parameters to check");
+  }
+  for (const Tensor& p : params) {
+    if (!p.defined() || !p.requires_grad()) {
+      return Status::InvalidArgument(
+          "every checked parameter must require gradients");
+    }
+  }
+  for (Tensor& p : params) p.ZeroGrad();
+  Tensor loss = forward();
+  if (!loss.defined() || loss.num_elements() != 1) {
+    return Status::InvalidArgument("forward() must return a scalar");
+  }
+  Backward(loss);
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(params.size());
+  for (const Tensor& p : params) {
+    if (p.grad().empty()) {
+      analytic.emplace_back(static_cast<size_t>(p.num_elements()), 0.0f);
+    } else {
+      analytic.push_back(p.grad());
+    }
+  }
+
+  GradCheckReport report;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    auto& values = params[pi].mutable_value();
+    for (size_t i = 0; i < values.size(); ++i) {
+      const float saved = values[i];
+      values[i] = saved + epsilon;
+      const float up = forward().scalar();
+      values[i] = saved - epsilon;
+      const float down = forward().scalar();
+      values[i] = saved;
+      const float numeric = (up - down) / (2.0f * epsilon);
+      const float got = analytic[pi][i];
+      const float error = std::fabs(got - numeric);
+      const float tolerance = atol + rtol * std::fabs(numeric);
+      const float violation = error / tolerance;
+      if (error > report.max_abs_error) report.max_abs_error = error;
+      if (violation > report.max_rel_violation) {
+        report.max_rel_violation = violation;
+        report.worst_param = static_cast<int64_t>(pi);
+        report.worst_element = static_cast<int64_t>(i);
+      }
+      if (violation > 1.0f) report.passed = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace scenerec

@@ -1,0 +1,44 @@
+#ifndef SCENEREC_TENSOR_GRAD_CHECK_H_
+#define SCENEREC_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "tensor/tensor.h"
+
+namespace scenerec {
+
+/// Result of a numerical gradient check.
+struct GradCheckReport {
+  /// Largest |analytic - numeric| over all checked elements.
+  float max_abs_error = 0.0f;
+  /// Largest error relative to atol + rtol * |numeric|; <= 1 means pass.
+  float max_rel_violation = 0.0f;
+  /// Location of the worst element, for diagnostics.
+  int64_t worst_param = -1;
+  int64_t worst_element = -1;
+  bool passed = true;
+
+  std::string ToString() const;
+};
+
+/// Verifies reverse-mode gradients of `forward` against central finite
+/// differences for every element of every tensor in `params`.
+///
+/// `forward` must rebuild its computation from the CURRENT values of the
+/// parameter tensors and return a scalar; parameters must require gradients.
+/// This is the tool to run when implementing a new op or model block —
+/// the library's own ops are validated with it in grad_check_test.cc.
+///
+/// Returns InvalidArgument if `forward` does not produce a scalar or no
+/// parameter requires gradients. A finite-differences failure is reported
+/// in the returned report (passed = false), not as an error status.
+StatusOr<GradCheckReport> CheckGradients(
+    const std::function<Tensor()>& forward, std::vector<Tensor> params,
+    float epsilon = 2e-3f, float rtol = 4e-2f, float atol = 2e-3f);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_TENSOR_GRAD_CHECK_H_

@@ -1,0 +1,907 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+namespace scenerec {
+
+using internal_tensor::TensorNode;
+
+namespace {
+
+/// Builds an op result node. `backward` is stored only when some input
+/// requires gradients; it may assume out->grad is allocated.
+Tensor MakeOp(Shape shape, std::vector<float> value,
+              std::vector<Tensor> inputs, std::function<void()> backward) {
+  auto node = std::make_shared<TensorNode>();
+  node->shape = std::move(shape);
+  node->value = std::move(value);
+  if (NoGradGuard::enabled()) {
+    // Inference mode: forward value only, no graph edges.
+    return Tensor(std::move(node));
+  }
+  bool requires_grad = false;
+  node->inputs.reserve(inputs.size());
+  for (const Tensor& t : inputs) {
+    SCENEREC_CHECK(t.defined());
+    requires_grad = requires_grad || t.requires_grad();
+    node->inputs.push_back(t.node());
+  }
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->backward_fn = std::move(backward);
+  return Tensor(std::move(node));
+}
+
+/// Accumulates `src` into node's grad buffer (allocating on demand).
+void AccumulateGrad(const Tensor::NodePtr& node, const float* src, size_t n) {
+  if (!node->requires_grad) return;
+  node->EnsureGrad();
+  float* dst = node->grad.data();
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  const bool bias_broadcast =
+      a.shape().rank() == 2 && b.shape().rank() == 1 &&
+      a.shape().dim(1) == b.shape().dim(0);
+  if (!bias_broadcast) {
+    SCENEREC_CHECK(a.shape() == b.shape())
+        << a.shape().ToString() << "vs" << b.shape().ToString();
+  }
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  std::vector<float> out(av.size());
+  if (bias_broadcast) {
+    const int64_t rows = a.shape().dim(0);
+    const int64_t cols = a.shape().dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) {
+        out[r * cols + c] = av[r * cols + c] + bv[c];
+      }
+    }
+  } else {
+    for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] + bv[i];
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  auto result = MakeOp(a.shape(), std::move(out), {a, b}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, bn, on, bias_broadcast]() {
+      const auto& g = on->grad;
+      AccumulateGrad(an, g.data(), g.size());
+      if (!bn->requires_grad) return;
+      bn->EnsureGrad();
+      if (bias_broadcast) {
+        const int64_t rows = an->shape.dim(0);
+        const int64_t cols = an->shape.dim(1);
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t c = 0; c < cols; ++c) {
+            bn->grad[c] += g[r * cols + c];
+          }
+        }
+      } else {
+        for (size_t i = 0; i < g.size(); ++i) bn->grad[i] += g[i];
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  SCENEREC_CHECK(a.shape() == b.shape())
+      << a.shape().ToString() << "vs" << b.shape().ToString();
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] - bv[i];
+  auto an = a.node();
+  auto bn = b.node();
+  auto result = MakeOp(a.shape(), std::move(out), {a, b}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, bn, on]() {
+      const auto& g = on->grad;
+      AccumulateGrad(an, g.data(), g.size());
+      if (bn->requires_grad) {
+        bn->EnsureGrad();
+        for (size_t i = 0; i < g.size(); ++i) bn->grad[i] -= g[i];
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  SCENEREC_CHECK(a.shape() == b.shape())
+      << a.shape().ToString() << "vs" << b.shape().ToString();
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] * bv[i];
+  auto an = a.node();
+  auto bn = b.node();
+  auto result = MakeOp(a.shape(), std::move(out), {a, b}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, bn, on]() {
+      const auto& g = on->grad;
+      if (an->requires_grad) {
+        an->EnsureGrad();
+        for (size_t i = 0; i < g.size(); ++i) {
+          an->grad[i] += g[i] * bn->value[i];
+        }
+      }
+      if (bn->requires_grad) {
+        bn->EnsureGrad();
+        for (size_t i = 0; i < g.size(); ++i) {
+          bn->grad[i] += g[i] * an->value[i];
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  SCENEREC_CHECK(a.shape() == b.shape())
+      << a.shape().ToString() << "vs" << b.shape().ToString();
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] / bv[i];
+  auto an = a.node();
+  auto bn = b.node();
+  auto result = MakeOp(a.shape(), std::move(out), {a, b}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, bn, on]() {
+      const auto& g = on->grad;
+      if (an->requires_grad) {
+        an->EnsureGrad();
+        for (size_t i = 0; i < g.size(); ++i) {
+          an->grad[i] += g[i] / bn->value[i];
+        }
+      }
+      if (bn->requires_grad) {
+        bn->EnsureGrad();
+        for (size_t i = 0; i < g.size(); ++i) {
+          const float bval = bn->value[i];
+          bn->grad[i] -= g[i] * an->value[i] / (bval * bval);
+        }
+      }
+    };
+  }
+  return result;
+}
+
+namespace {
+
+/// Shared implementation for unary elementwise ops.
+/// `forward` maps x -> y; `dydx` maps (x, y) -> local derivative.
+template <typename Fwd, typename Dydx>
+Tensor UnaryOp(const Tensor& a, Fwd forward, Dydx dydx) {
+  const auto& av = a.value();
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = forward(av[i]);
+  auto an = a.node();
+  auto result = MakeOp(a.shape(), std::move(out), {a}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, on, dydx]() {
+      an->EnsureGrad();
+      const auto& g = on->grad;
+      for (size_t i = 0; i < g.size(); ++i) {
+        an->grad[i] += g[i] * dydx(an->value[i], on->value[i]);
+      }
+    };
+  }
+  return result;
+}
+
+}  // namespace
+
+Tensor Scale(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return s * x; },
+      [s](float, float) { return s; });
+}
+
+Tensor ScaleBy(const Tensor& a, const Tensor& scalar) {
+  SCENEREC_CHECK_EQ(scalar.num_elements(), 1);
+  const auto& av = a.value();
+  const float s = scalar.value()[0];
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] * s;
+  auto an = a.node();
+  auto sn = scalar.node();
+  auto result = MakeOp(a.shape(), std::move(out), {a, scalar}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, sn, on]() {
+      const auto& g = on->grad;
+      if (an->requires_grad) {
+        an->EnsureGrad();
+        const float s_val = sn->value[0];
+        for (size_t i = 0; i < g.size(); ++i) an->grad[i] += g[i] * s_val;
+      }
+      if (sn->requires_grad) {
+        sn->EnsureGrad();
+        float acc = 0.0f;
+        for (size_t i = 0; i < g.size(); ++i) acc += g[i] * an->value[i];
+        sn->grad[0] += acc;
+      }
+    };
+  }
+  return result;
+}
+
+Tensor AddScalar(const Tensor& a, float c) {
+  return UnaryOp(
+      a, [c](float x) { return x + c; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Neg(const Tensor& a) { return Scale(a, -1.0f); }
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // Branch on sign for numerical stability at large |x|.
+        if (x >= 0.0f) {
+          const float z = std::exp(-x);
+          return 1.0f / (1.0f + z);
+        }
+        const float z = std::exp(x);
+        return z / (1.0f + z);
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float alpha) {
+  return UnaryOp(
+      a, [alpha](float x) { return x > 0.0f ? x : alpha * x; },
+      [alpha](float x, float) { return x > 0.0f ? 1.0f : alpha; });
+}
+
+Tensor Softplus(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // log(1 + e^x) = max(x, 0) + log1p(e^{-|x|}).
+        return (x > 0.0f ? x : 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+      },
+      [](float x, float) {
+        if (x >= 0.0f) {
+          const float z = std::exp(-x);
+          return 1.0f / (1.0f + z);
+        }
+        const float z = std::exp(x);
+        return z / (1.0f + z);
+      });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / y; });
+}
+
+Tensor Sum(const Tensor& a) {
+  const auto& av = a.value();
+  float total = 0.0f;
+  for (float v : av) total += v;
+  auto an = a.node();
+  auto result = MakeOp(Shape(), {total}, {a}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, on]() {
+      an->EnsureGrad();
+      const float g = on->grad[0];
+      for (float& gv : an->grad) gv += g;
+    };
+  }
+  return result;
+}
+
+Tensor Mean(const Tensor& a) {
+  return Scale(Sum(a), 1.0f / static_cast<float>(a.num_elements()));
+}
+
+Tensor SumRows(const Tensor& a) {
+  SCENEREC_CHECK_EQ(a.shape().rank(), 2);
+  const int64_t rows = a.shape().dim(0);
+  const int64_t cols = a.shape().dim(1);
+  const auto& av = a.value();
+  std::vector<float> out(static_cast<size_t>(cols), 0.0f);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) out[c] += av[r * cols + c];
+  }
+  auto an = a.node();
+  auto result = MakeOp(Shape({cols}), std::move(out), {a}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, on, rows, cols]() {
+      an->EnsureGrad();
+      const auto& g = on->grad;
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) an->grad[r * cols + c] += g[c];
+      }
+    };
+  }
+  return result;
+}
+
+Tensor MeanRows(const Tensor& a) {
+  SCENEREC_CHECK_EQ(a.shape().rank(), 2);
+  return Scale(SumRows(a), 1.0f / static_cast<float>(a.shape().dim(0)));
+}
+
+Tensor MaxRows(const Tensor& a) {
+  SCENEREC_CHECK_EQ(a.shape().rank(), 2);
+  const int64_t rows = a.shape().dim(0);
+  const int64_t cols = a.shape().dim(1);
+  const auto& av = a.value();
+  std::vector<float> out(static_cast<size_t>(cols));
+  std::vector<int64_t> argmax(static_cast<size_t>(cols), 0);
+  for (int64_t c = 0; c < cols; ++c) {
+    float best = av[static_cast<size_t>(c)];
+    int64_t best_row = 0;
+    for (int64_t r = 1; r < rows; ++r) {
+      const float v = av[static_cast<size_t>(r * cols + c)];
+      if (v > best) {
+        best = v;
+        best_row = r;
+      }
+    }
+    out[static_cast<size_t>(c)] = best;
+    argmax[static_cast<size_t>(c)] = best_row;
+  }
+  auto an = a.node();
+  auto result = MakeOp(Shape({cols}), std::move(out), {a}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, on, argmax, cols]() {
+      an->EnsureGrad();
+      const auto& g = on->grad;
+      for (int64_t c = 0; c < cols; ++c) {
+        an->grad[static_cast<size_t>(argmax[static_cast<size_t>(c)] * cols +
+                                     c)] += g[static_cast<size_t>(c)];
+      }
+    };
+  }
+  return result;
+}
+
+Tensor L2NormalizeRows(const Tensor& a, float epsilon) {
+  SCENEREC_CHECK_EQ(a.shape().rank(), 2);
+  const int64_t rows = a.shape().dim(0);
+  const int64_t cols = a.shape().dim(1);
+  const auto& av = a.value();
+  std::vector<float> out(av.size());
+  std::vector<float> inv_norms(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = av.data() + r * cols;
+    float sq = epsilon;
+    for (int64_t c = 0; c < cols; ++c) sq += row[c] * row[c];
+    const float inv = 1.0f / std::sqrt(sq);
+    inv_norms[static_cast<size_t>(r)] = inv;
+    float* orow = out.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) orow[c] = row[c] * inv;
+  }
+  auto an = a.node();
+  auto result = MakeOp(a.shape(), std::move(out), {a}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, on, inv_norms, rows, cols]() {
+      an->EnsureGrad();
+      const auto& g = on->grad;
+      const auto& y = on->value;  // normalized rows
+      // d x = inv_norm * (g - y * (g . y)) per row.
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* grow = g.data() + r * cols;
+        const float* yrow = y.data() + r * cols;
+        float dot = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) dot += grow[c] * yrow[c];
+        const float inv = inv_norms[static_cast<size_t>(r)];
+        float* xrow = an->grad.data() + r * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+          xrow[c] += inv * (grow[c] - yrow[c] * dot);
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Dropout(const Tensor& a, float rate, Rng& rng) {
+  SCENEREC_CHECK(rate >= 0.0f && rate < 1.0f) << "rate" << rate;
+  if (rate == 0.0f) return a;
+  const auto& av = a.value();
+  const float scale = 1.0f / (1.0f - rate);
+  auto mask = std::make_shared<std::vector<float>>(av.size());
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) {
+    const float keep = rng.NextBernoulli(rate) ? 0.0f : scale;
+    (*mask)[i] = keep;
+    out[i] = av[i] * keep;
+  }
+  auto an = a.node();
+  auto result = MakeOp(a.shape(), std::move(out), {a}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, on, mask]() {
+      an->EnsureGrad();
+      const auto& g = on->grad;
+      for (size_t i = 0; i < g.size(); ++i) {
+        an->grad[i] += g[i] * (*mask)[i];
+      }
+    };
+  }
+  return result;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  SCENEREC_CHECK_EQ(a.shape().rank(), 2);
+  SCENEREC_CHECK_EQ(b.shape().rank(), 2);
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  SCENEREC_CHECK_EQ(b.shape().dim(0), k);
+  const int64_t n = b.shape().dim(1);
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float aval = av[i * k + p];
+      if (aval == 0.0f) continue;
+      const float* brow = bv.data() + p * n;
+      float* orow = out.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += aval * brow[j];
+    }
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  auto result = MakeOp(Shape({m, n}), std::move(out), {a, b}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, bn, on, m, k, n]() {
+      const auto& g = on->grad;
+      if (an->requires_grad) {
+        an->EnsureGrad();
+        // dA = G * B^T
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t p = 0; p < k; ++p) {
+            float acc = 0.0f;
+            const float* grow = g.data() + i * n;
+            const float* brow = bn->value.data() + p * n;
+            for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+            an->grad[i * k + p] += acc;
+          }
+        }
+      }
+      if (bn->requires_grad) {
+        bn->EnsureGrad();
+        // dB = A^T * G
+        for (int64_t p = 0; p < k; ++p) {
+          for (int64_t i = 0; i < m; ++i) {
+            const float aval = an->value[i * k + p];
+            if (aval == 0.0f) continue;
+            const float* grow = g.data() + i * n;
+            float* brow = bn->grad.data() + p * n;
+            for (int64_t j = 0; j < n; ++j) brow[j] += aval * grow[j];
+          }
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor MatVec(const Tensor& w, const Tensor& x) {
+  SCENEREC_CHECK_EQ(w.shape().rank(), 2);
+  SCENEREC_CHECK_EQ(x.shape().rank(), 1);
+  const int64_t m = w.shape().dim(0);
+  const int64_t n = w.shape().dim(1);
+  SCENEREC_CHECK_EQ(x.shape().dim(0), n);
+  const auto& wv = w.value();
+  const auto& xv = x.value();
+  std::vector<float> out(static_cast<size_t>(m), 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* wrow = wv.data() + i * n;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < n; ++j) acc += wrow[j] * xv[j];
+    out[i] = acc;
+  }
+  auto wn = w.node();
+  auto xn = x.node();
+  auto result = MakeOp(Shape({m}), std::move(out), {w, x}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [wn, xn, on, m, n]() {
+      const auto& g = on->grad;
+      if (wn->requires_grad) {
+        wn->EnsureGrad();
+        for (int64_t i = 0; i < m; ++i) {
+          const float gi = g[i];
+          if (gi == 0.0f) continue;
+          float* wrow = wn->grad.data() + i * n;
+          for (int64_t j = 0; j < n; ++j) wrow[j] += gi * xn->value[j];
+        }
+      }
+      if (xn->requires_grad) {
+        xn->EnsureGrad();
+        for (int64_t i = 0; i < m; ++i) {
+          const float gi = g[i];
+          if (gi == 0.0f) continue;
+          const float* wrow = wn->value.data() + i * n;
+          for (int64_t j = 0; j < n; ++j) xn->grad[j] += gi * wrow[j];
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Dot(const Tensor& a, const Tensor& b) {
+  SCENEREC_CHECK_EQ(a.shape().rank(), 1);
+  SCENEREC_CHECK(a.shape() == b.shape())
+      << a.shape().ToString() << "vs" << b.shape().ToString();
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  float acc = 0.0f;
+  for (size_t i = 0; i < av.size(); ++i) acc += av[i] * bv[i];
+  auto an = a.node();
+  auto bn = b.node();
+  auto result = MakeOp(Shape(), {acc}, {a, b}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, bn, on]() {
+      const float g = on->grad[0];
+      if (an->requires_grad) {
+        an->EnsureGrad();
+        for (size_t i = 0; i < an->value.size(); ++i) {
+          an->grad[i] += g * bn->value[i];
+        }
+      }
+      if (bn->requires_grad) {
+        bn->EnsureGrad();
+        for (size_t i = 0; i < bn->value.size(); ++i) {
+          bn->grad[i] += g * an->value[i];
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor CosineSimilarity(const Tensor& a, const Tensor& b, float epsilon) {
+  SCENEREC_CHECK_EQ(a.shape().rank(), 1);
+  SCENEREC_CHECK(a.shape() == b.shape())
+      << a.shape().ToString() << "vs" << b.shape().ToString();
+  // Composed from primitive ops so autodiff handles the quotient rule.
+  Tensor norm_a = Sqrt(AddScalar(Dot(a, a), epsilon));
+  Tensor norm_b = Sqrt(AddScalar(Dot(b, b), epsilon));
+  return Div(Dot(a, b), Mul(norm_a, norm_b));
+}
+
+Tensor Concat(const std::vector<Tensor>& parts) {
+  SCENEREC_CHECK(!parts.empty());
+  int64_t total = 0;
+  for (const Tensor& t : parts) {
+    SCENEREC_CHECK_EQ(t.shape().rank(), 1);
+    total += t.shape().dim(0);
+  }
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(total));
+  for (const Tensor& t : parts) {
+    const auto& v = t.value();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  auto result = MakeOp(Shape({total}), std::move(out), parts, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [on]() {
+      const auto& g = on->grad;
+      size_t offset = 0;
+      for (const auto& input : on->inputs) {
+        const size_t n = input->value.size();
+        if (input->requires_grad) {
+          input->EnsureGrad();
+          for (size_t i = 0; i < n; ++i) input->grad[i] += g[offset + i];
+        }
+        offset += n;
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Stack(const std::vector<Tensor>& scalars) {
+  SCENEREC_CHECK(!scalars.empty());
+  std::vector<float> out;
+  out.reserve(scalars.size());
+  for (const Tensor& t : scalars) {
+    SCENEREC_CHECK_EQ(t.num_elements(), 1);
+    out.push_back(t.value()[0]);
+  }
+  auto result = MakeOp(Shape({static_cast<int64_t>(scalars.size())}),
+                       std::move(out), scalars, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [on]() {
+      const auto& g = on->grad;
+      for (size_t i = 0; i < on->inputs.size(); ++i) {
+        const auto& input = on->inputs[i];
+        if (input->requires_grad) {
+          input->EnsureGrad();
+          input->grad[0] += g[i];
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor StackRows(const std::vector<Tensor>& rows) {
+  SCENEREC_CHECK(!rows.empty());
+  const int64_t d = rows[0].shape().dim(0);
+  std::vector<float> out;
+  out.reserve(rows.size() * static_cast<size_t>(d));
+  for (const Tensor& t : rows) {
+    SCENEREC_CHECK_EQ(t.shape().rank(), 1);
+    SCENEREC_CHECK_EQ(t.shape().dim(0), d);
+    const auto& v = t.value();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  auto result = MakeOp(Shape({static_cast<int64_t>(rows.size()), d}),
+                       std::move(out), rows, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [on, d]() {
+      const auto& g = on->grad;
+      for (size_t r = 0; r < on->inputs.size(); ++r) {
+        const auto& input = on->inputs[r];
+        if (!input->requires_grad) continue;
+        input->EnsureGrad();
+        const float* grow = g.data() + r * static_cast<size_t>(d);
+        for (int64_t c = 0; c < d; ++c) input->grad[c] += grow[c];
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Row(const Tensor& a, int64_t row) {
+  SCENEREC_CHECK_EQ(a.shape().rank(), 2);
+  const int64_t rows = a.shape().dim(0);
+  const int64_t cols = a.shape().dim(1);
+  SCENEREC_CHECK_GE(row, 0);
+  SCENEREC_CHECK_LT(row, rows);
+  const auto& av = a.value();
+  std::vector<float> out(av.begin() + row * cols,
+                         av.begin() + (row + 1) * cols);
+  auto an = a.node();
+  auto result = MakeOp(Shape({cols}), std::move(out), {a}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, on, row, cols]() {
+      an->EnsureGrad();
+      const auto& g = on->grad;
+      float* grow = an->grad.data() + row * cols;
+      for (int64_t c = 0; c < cols; ++c) grow[c] += g[c];
+    };
+  }
+  return result;
+}
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  SCENEREC_CHECK_EQ(a.num_elements(), shape.num_elements())
+      << a.shape().ToString() << "vs" << shape.ToString();
+  auto an = a.node();
+  auto result = MakeOp(shape, a.value(), {a}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, on]() {
+      AccumulateGrad(an, on->grad.data(), on->grad.size());
+    };
+  }
+  return result;
+}
+
+Tensor Gather(const Tensor& table, const std::vector<int64_t>& indices) {
+  SCENEREC_CHECK_EQ(table.shape().rank(), 2);
+  SCENEREC_CHECK(!indices.empty());
+  const int64_t vocab = table.shape().dim(0);
+  const int64_t d = table.shape().dim(1);
+  const auto& tv = table.value();
+  std::vector<float> out;
+  out.reserve(indices.size() * static_cast<size_t>(d));
+  for (int64_t idx : indices) {
+    SCENEREC_CHECK_GE(idx, 0);
+    SCENEREC_CHECK_LT(idx, vocab);
+    out.insert(out.end(), tv.begin() + idx * d, tv.begin() + (idx + 1) * d);
+  }
+  auto tn = table.node();
+  auto result = MakeOp(Shape({static_cast<int64_t>(indices.size()), d}),
+                       std::move(out), {table}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [tn, on, indices, d]() {
+      tn->EnsureGrad();
+      const auto& g = on->grad;
+      for (size_t r = 0; r < indices.size(); ++r) {
+        const int64_t idx = indices[r];
+        float* dst = tn->grad.data() + idx * d;
+        const float* src = g.data() + r * static_cast<size_t>(d);
+        for (int64_t c = 0; c < d; ++c) dst[c] += src[c];
+        tn->touched_rows.push_back(idx);
+      }
+    };
+  }
+  return result;
+}
+
+Tensor Softmax(const Tensor& logits) {
+  SCENEREC_CHECK_EQ(logits.shape().rank(), 1);
+  const auto& lv = logits.value();
+  float max_logit = lv[0];
+  for (float v : lv) max_logit = std::max(max_logit, v);
+  std::vector<float> out(lv.size());
+  float denom = 0.0f;
+  for (size_t i = 0; i < lv.size(); ++i) {
+    out[i] = std::exp(lv[i] - max_logit);
+    denom += out[i];
+  }
+  for (float& v : out) v /= denom;
+  auto ln = logits.node();
+  auto result = MakeOp(logits.shape(), std::move(out), {logits}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [ln, on]() {
+      ln->EnsureGrad();
+      const auto& g = on->grad;
+      const auto& y = on->value;
+      float dot = 0.0f;
+      for (size_t i = 0; i < g.size(); ++i) dot += g[i] * y[i];
+      for (size_t i = 0; i < g.size(); ++i) {
+        ln->grad[i] += y[i] * (g[i] - dot);
+      }
+    };
+  }
+  return result;
+}
+
+Tensor WeightedSumRows(const Tensor& rows, const Tensor& weights) {
+  SCENEREC_CHECK_EQ(rows.shape().rank(), 2);
+  SCENEREC_CHECK_EQ(weights.shape().rank(), 1);
+  const int64_t k = rows.shape().dim(0);
+  const int64_t d = rows.shape().dim(1);
+  SCENEREC_CHECK_EQ(weights.shape().dim(0), k);
+  const auto& rv = rows.value();
+  const auto& wv = weights.value();
+  std::vector<float> out(static_cast<size_t>(d), 0.0f);
+  for (int64_t r = 0; r < k; ++r) {
+    const float w = wv[r];
+    if (w == 0.0f) continue;
+    const float* row = rv.data() + r * d;
+    for (int64_t c = 0; c < d; ++c) out[c] += w * row[c];
+  }
+  auto rn = rows.node();
+  auto wn = weights.node();
+  auto result = MakeOp(Shape({d}), std::move(out), {rows, weights}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [rn, wn, on, k, d]() {
+      const auto& g = on->grad;
+      if (rn->requires_grad) {
+        rn->EnsureGrad();
+        for (int64_t r = 0; r < k; ++r) {
+          const float w = wn->value[r];
+          if (w == 0.0f) continue;
+          float* row = rn->grad.data() + r * d;
+          for (int64_t c = 0; c < d; ++c) row[c] += w * g[c];
+        }
+      }
+      if (wn->requires_grad) {
+        wn->EnsureGrad();
+        for (int64_t r = 0; r < k; ++r) {
+          const float* row = rn->value.data() + r * d;
+          float acc = 0.0f;
+          for (int64_t c = 0; c < d; ++c) acc += row[c] * g[c];
+          wn->grad[r] += acc;
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor SpMM(const CsrGraph* adj,
+            const std::shared_ptr<const std::vector<float>>& edge_weights,
+            const Tensor& x) {
+  SCENEREC_CHECK(adj != nullptr);
+  SCENEREC_CHECK_EQ(x.shape().rank(), 2);
+  SCENEREC_CHECK_EQ(x.shape().dim(0), adj->num_dst());
+  if (edge_weights != nullptr) {
+    SCENEREC_CHECK_EQ(static_cast<int64_t>(edge_weights->size()),
+                      adj->num_edges());
+  }
+  const int64_t rows = adj->num_src();
+  const int64_t d = x.shape().dim(1);
+  const auto& xv = x.value();
+  std::vector<float> out(static_cast<size_t>(rows * d), 0.0f);
+  {
+    size_t edge_index = 0;
+    for (int64_t s = 0; s < rows; ++s) {
+      auto neighbors = adj->Neighbors(s);
+      auto weights = adj->Weights(s);
+      float* orow = out.data() + s * d;
+      for (size_t j = 0; j < neighbors.size(); ++j, ++edge_index) {
+        const float w =
+            edge_weights ? (*edge_weights)[edge_index] : weights[j];
+        if (w == 0.0f) continue;
+        const float* xrow = xv.data() + neighbors[j] * d;
+        for (int64_t c = 0; c < d; ++c) orow[c] += w * xrow[c];
+      }
+    }
+  }
+  auto xn = x.node();
+  auto result = MakeOp(Shape({rows, d}), std::move(out), {x}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [adj, edge_weights, xn, on, rows, d]() {
+      xn->EnsureGrad();
+      const auto& g = on->grad;
+      size_t edge_index = 0;
+      for (int64_t s = 0; s < rows; ++s) {
+        auto neighbors = adj->Neighbors(s);
+        auto weights = adj->Weights(s);
+        const float* grow = g.data() + s * d;
+        for (size_t j = 0; j < neighbors.size(); ++j, ++edge_index) {
+          const float w =
+              edge_weights ? (*edge_weights)[edge_index] : weights[j];
+          if (w == 0.0f) continue;
+          float* xrow = xn->grad.data() + neighbors[j] * d;
+          for (int64_t c = 0; c < d; ++c) xrow[c] += w * grow[c];
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor BprPairLoss(const Tensor& positive_score,
+                   const Tensor& negative_score) {
+  SCENEREC_CHECK_EQ(positive_score.num_elements(), 1);
+  SCENEREC_CHECK_EQ(negative_score.num_elements(), 1);
+  // -ln sigmoid(pos - neg) == softplus(neg - pos), numerically stable.
+  return Softplus(Sub(negative_score, positive_score));
+}
+
+}  // namespace scenerec

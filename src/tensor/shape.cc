@@ -1,0 +1,18 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+namespace scenerec {
+
+std::string Shape::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace scenerec

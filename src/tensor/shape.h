@@ -1,0 +1,67 @@
+#ifndef SCENEREC_TENSOR_SHAPE_H_
+#define SCENEREC_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace scenerec {
+
+/// Dimensions of a dense tensor. The library works with rank-0 (scalar),
+/// rank-1 (vector) and rank-2 (matrix) tensors; Shape itself is rank-generic.
+class Shape {
+ public:
+  /// Scalar shape (rank 0, one element).
+  Shape() = default;
+
+  /// Shape from explicit dimensions, e.g. Shape({64}) or Shape({32, 64}).
+  /// All dimensions must be positive.
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { Validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  Shape(const Shape&) = default;
+  Shape& operator=(const Shape&) = default;
+
+  /// Number of dimensions; 0 for scalars.
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  /// Size of dimension `i`. Requires 0 <= i < rank().
+  int64_t dim(int i) const {
+    SCENEREC_CHECK_GE(i, 0);
+    SCENEREC_CHECK_LT(i, rank());
+    return dims_[static_cast<size_t>(i)];
+  }
+
+  /// Total number of elements (1 for scalars).
+  int64_t num_elements() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// "[]", "[64]", "[32, 64]".
+  std::string ToString() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.dims_ == b.dims_;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+ private:
+  void Validate() const {
+    for (int64_t d : dims_) SCENEREC_CHECK_GT(d, 0) << "in shape" << ToString();
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_TENSOR_SHAPE_H_

@@ -1,0 +1,45 @@
+#include "train/grid_search.h"
+
+#include "common/logging.h"
+
+namespace scenerec {
+
+StatusOr<GridSearchResult> GridSearch(
+    const ModelBuilder& builder, const LeaveOneOutSplit& split,
+    const UserItemGraph& train_graph, const TrainConfig& base_config,
+    const std::vector<float>& learning_rates,
+    const std::vector<float>& weight_decays) {
+  if (learning_rates.empty() || weight_decays.empty()) {
+    return Status::InvalidArgument("empty grid");
+  }
+  GridSearchResult result;
+  double best_ndcg = -1.0;
+  for (float lr : learning_rates) {
+    for (float wd : weight_decays) {
+      std::unique_ptr<Recommender> model = builder();
+      SCENEREC_CHECK(model != nullptr);
+      TrainConfig config = base_config;
+      config.learning_rate = lr;
+      config.weight_decay = wd;
+      SCENEREC_ASSIGN_OR_RETURN(
+          TrainResult run, TrainAndEvaluate(*model, split, train_graph, config));
+      GridSearchEntry entry;
+      entry.learning_rate = lr;
+      entry.weight_decay = wd;
+      entry.validation = run.best_validation;
+      entry.test = run.test;
+      if (base_config.verbose) {
+        SCENEREC_LOG(INFO) << "grid lr=" << lr << " wd=" << wd
+                           << " val NDCG=" << entry.validation.ndcg;
+      }
+      if (entry.validation.ndcg > best_ndcg) {
+        best_ndcg = entry.validation.ndcg;
+        result.best = entry;
+      }
+      result.entries.push_back(entry);
+    }
+  }
+  return result;
+}
+
+}  // namespace scenerec

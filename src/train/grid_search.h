@@ -1,0 +1,43 @@
+#ifndef SCENEREC_TRAIN_GRID_SEARCH_H_
+#define SCENEREC_TRAIN_GRID_SEARCH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "train/trainer.h"
+
+namespace scenerec {
+
+/// One grid-search cell and its validation outcome.
+struct GridSearchEntry {
+  float learning_rate = 0.0f;
+  float weight_decay = 0.0f;
+  RankingMetrics validation;
+  RankingMetrics test;
+};
+
+/// Result of a hyper-parameter sweep: every cell plus the winner (by
+/// validation NDCG, as in Section 5.3).
+struct GridSearchResult {
+  std::vector<GridSearchEntry> entries;
+  GridSearchEntry best;
+};
+
+/// Builds a fresh model for each grid cell (models cannot be reused across
+/// runs because training mutates parameters).
+using ModelBuilder = std::function<std::unique_ptr<Recommender>()>;
+
+/// Sweeps learning rate x weight decay, training a fresh model per cell and
+/// selecting the best on validation NDCG@K. The paper's grids are
+/// lr in {1e-4, 1e-3, 1e-2, 1e-1} and lambda in {0, 1e-6, 1e-4, 1e-2}.
+StatusOr<GridSearchResult> GridSearch(
+    const ModelBuilder& builder, const LeaveOneOutSplit& split,
+    const UserItemGraph& train_graph, const TrainConfig& base_config,
+    const std::vector<float>& learning_rates,
+    const std::vector<float>& weight_decays);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_TRAIN_GRID_SEARCH_H_

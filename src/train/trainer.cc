@@ -1,0 +1,138 @@
+#include "train/trainer.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "nn/optimizer.h"
+#include "nn/serialization.h"
+#include "tensor/ops.h"
+
+namespace scenerec {
+
+Status TrainConfig::Validate() const {
+  if (epochs <= 0) return Status::InvalidArgument("epochs must be positive");
+  if (batch_size <= 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (learning_rate <= 0.0f) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (weight_decay < 0.0f) {
+    return Status::InvalidArgument("weight_decay must be non-negative");
+  }
+  if (lr_decay <= 0.0f || lr_decay > 1.0f) {
+    return Status::InvalidArgument("lr_decay must be in (0, 1]");
+  }
+  if (eval_k <= 0) return Status::InvalidArgument("eval_k must be positive");
+  if (patience < 0) {
+    return Status::InvalidArgument("patience must be non-negative");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Copies current parameter values (for best-epoch model selection).
+std::vector<std::vector<float>> SnapshotParameters(
+    const std::vector<Tensor>& params) {
+  std::vector<std::vector<float>> snapshot;
+  snapshot.reserve(params.size());
+  for (const Tensor& p : params) snapshot.push_back(p.value());
+  return snapshot;
+}
+
+void RestoreParameters(std::vector<Tensor>& params,
+                       const std::vector<std::vector<float>>& snapshot) {
+  SCENEREC_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value() = snapshot[i];
+  }
+}
+
+}  // namespace
+
+StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
+                                       const LeaveOneOutSplit& split,
+                                       const UserItemGraph& train_graph,
+                                       const TrainConfig& config) {
+  SCENEREC_RETURN_IF_ERROR(config.Validate());
+  if (split.train.empty()) {
+    return Status::FailedPrecondition("empty training set");
+  }
+
+  Rng rng(config.seed);
+  BprBatcher batcher(split.train, train_graph);
+  std::vector<Tensor> params = model.Parameters();
+  OptimizerOptions optimizer_options;
+  optimizer_options.learning_rate = config.learning_rate;
+  optimizer_options.weight_decay = config.weight_decay;
+  optimizer_options.clip_norm = config.clip_norm;
+  SCENEREC_ASSIGN_OR_RETURN(
+      std::unique_ptr<Optimizer> optimizer,
+      MakeOptimizer(config.optimizer, params, optimizer_options));
+
+  TrainResult result;
+  std::vector<std::vector<float>> best_snapshot;
+  double best_ndcg = -1.0;
+  int64_t epochs_since_best = 0;
+  Stopwatch stopwatch;
+
+  float current_lr = config.learning_rate;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    model.OnEpochBegin();
+    optimizer->set_learning_rate(current_lr);
+    const std::vector<BprTriple> triples = batcher.NextEpoch(rng);
+    double loss_sum = 0.0;
+    for (size_t begin = 0; begin < triples.size();
+         begin += static_cast<size_t>(config.batch_size)) {
+      const size_t end = std::min(
+          triples.size(), begin + static_cast<size_t>(config.batch_size));
+      std::vector<BprTriple> batch(triples.begin() + begin,
+                                   triples.begin() + end);
+      optimizer->ZeroGrad();
+      Tensor loss = model.BatchLoss(batch);
+      loss_sum += loss.scalar();
+      Backward(loss);
+      optimizer->Step();
+    }
+    const double mean_loss = loss_sum / static_cast<double>(triples.size());
+    result.epoch_losses.push_back(mean_loss);
+
+    model.OnEvalBegin();
+    RankingMetrics validation =
+        EvaluateRanking(model.Scorer(), split.validation, config.eval_k);
+    result.epoch_validations.push_back(validation);
+    if (config.verbose) {
+      SCENEREC_LOG(INFO) << model.name() << " epoch " << epoch + 1 << "/"
+                         << config.epochs << " loss " << mean_loss
+                         << " val NDCG@" << config.eval_k << " "
+                         << validation.ndcg << " HR@" << config.eval_k << " "
+                         << validation.hr;
+    }
+    ++result.epochs_run;
+    if (validation.ndcg > best_ndcg) {
+      best_ndcg = validation.ndcg;
+      result.best_validation = validation;
+      result.best_epoch = epoch;
+      best_snapshot = SnapshotParameters(params);
+      epochs_since_best = 0;
+      if (!config.checkpoint_path.empty()) {
+        SCENEREC_RETURN_IF_ERROR(
+            SaveCheckpoint(model, model.name(), config.checkpoint_path));
+      }
+    } else {
+      ++epochs_since_best;
+      if (config.patience > 0 && epochs_since_best >= config.patience) break;
+    }
+    current_lr *= config.lr_decay;
+  }
+  result.train_seconds = stopwatch.ElapsedSeconds();
+
+  // Model selection: evaluate the test set with the best-validation weights.
+  if (!best_snapshot.empty()) RestoreParameters(params, best_snapshot);
+  model.OnEpochBegin();  // e.g. KGAT attention must match restored weights
+  model.OnEvalBegin();
+  result.test = EvaluateRanking(model.Scorer(), split.test, config.eval_k);
+  return result;
+}
+
+}  // namespace scenerec

@@ -1,0 +1,218 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "eval/top_n.h"
+#include "graph/bipartite_graph.h"
+#include "eval/metrics.h"
+
+namespace scenerec {
+namespace {
+
+// -- RankOfPositive ----------------------------------------------------------
+
+TEST(MetricsTest, RankCountsStrictlyGreater) {
+  EXPECT_EQ(RankOfPositive(0.9f, {0.1f, 0.2f, 0.3f}), 0);
+  EXPECT_EQ(RankOfPositive(0.25f, {0.1f, 0.2f, 0.3f}), 1);
+  EXPECT_EQ(RankOfPositive(0.0f, {0.1f, 0.2f, 0.3f}), 3);
+}
+
+TEST(MetricsTest, TiesFavorThePositive) {
+  EXPECT_EQ(RankOfPositive(0.5f, {0.5f, 0.5f}), 0);
+}
+
+TEST(MetricsTest, EmptyNegativesRankZero) {
+  EXPECT_EQ(RankOfPositive(0.5f, {}), 0);
+}
+
+// -- HR / NDCG ------------------------------------------------------------------
+
+TEST(MetricsTest, HitRatioCutoff) {
+  EXPECT_DOUBLE_EQ(HitRatioAtK(0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(HitRatioAtK(9, 10), 1.0);
+  EXPECT_DOUBLE_EQ(HitRatioAtK(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(HitRatioAtK(100, 10), 0.0);
+}
+
+TEST(MetricsTest, NdcgPositionDiscount) {
+  EXPECT_DOUBLE_EQ(NdcgAtK(0, 10), 1.0);                     // 1/log2(2)
+  EXPECT_DOUBLE_EQ(NdcgAtK(1, 10), 1.0 / std::log2(3.0));
+  EXPECT_DOUBLE_EQ(NdcgAtK(9, 10), 1.0 / std::log2(11.0));
+  EXPECT_DOUBLE_EQ(NdcgAtK(10, 10), 0.0);
+  EXPECT_GT(NdcgAtK(0, 10), NdcgAtK(1, 10));
+  EXPECT_GT(NdcgAtK(1, 10), NdcgAtK(9, 10));
+}
+
+// -- EvaluateRanking ---------------------------------------------------------------
+
+TEST(EvaluatorTest, PerfectModelScoresOne) {
+  // Score = 1 for the positive item, 0 otherwise.
+  std::vector<EvalInstance> instances;
+  for (int64_t u = 0; u < 5; ++u) {
+    EvalInstance inst;
+    inst.user = u;
+    inst.positive_item = 100 + u;
+    for (int64_t n = 0; n < 20; ++n) inst.negative_items.push_back(n);
+    instances.push_back(inst);
+  }
+  auto score = [](int64_t, int64_t item) {
+    return item >= 100 ? 1.0f : 0.0f;
+  };
+  RankingMetrics m = EvaluateRanking(score, instances, 10);
+  EXPECT_DOUBLE_EQ(m.hr, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+  EXPECT_EQ(m.num_instances, 5);
+}
+
+TEST(EvaluatorTest, WorstModelScoresZero) {
+  std::vector<EvalInstance> instances(1);
+  instances[0].user = 0;
+  instances[0].positive_item = 999;
+  for (int64_t n = 0; n < 30; ++n) instances[0].negative_items.push_back(n);
+  auto score = [](int64_t, int64_t item) {
+    return item == 999 ? -1.0f : 1.0f;
+  };
+  RankingMetrics m = EvaluateRanking(score, instances, 10);
+  EXPECT_DOUBLE_EQ(m.hr, 0.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
+}
+
+TEST(EvaluatorTest, MidRankGivesPartialCredit) {
+  // Exactly 4 negatives outrank the positive -> rank 4 -> hit, discounted.
+  std::vector<EvalInstance> instances(1);
+  instances[0].user = 0;
+  instances[0].positive_item = 50;
+  for (int64_t n = 0; n < 10; ++n) instances[0].negative_items.push_back(n);
+  auto score = [](int64_t, int64_t item) {
+    if (item == 50) return 0.5f;
+    return item < 4 ? 1.0f : 0.0f;
+  };
+  RankingMetrics m = EvaluateRanking(score, instances, 10);
+  EXPECT_DOUBLE_EQ(m.hr, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0 / std::log2(6.0));
+}
+
+TEST(EvaluatorTest, EmptyInstances) {
+  RankingMetrics m =
+      EvaluateRanking([](int64_t, int64_t) { return 0.0f; }, {}, 10);
+  EXPECT_EQ(m.num_instances, 0);
+  EXPECT_DOUBLE_EQ(m.hr, 0.0);
+}
+
+TEST(MetricsTest, ReciprocalRank) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank(0), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(1), 0.5);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(9), 0.1);
+}
+
+TEST(EvaluatorTest, MrrReported) {
+  std::vector<EvalInstance> instances(1);
+  instances[0] = {0, 50, {1, 2, 3}};
+  // Two negatives outrank the positive -> rank 2 -> MRR 1/3.
+  auto score = [](int64_t, int64_t item) {
+    if (item == 50) return 0.5f;
+    return item <= 2 ? 1.0f : 0.0f;
+  };
+  RankingMetrics m = EvaluateRanking(score, instances, 10);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0 / 3.0);
+}
+
+TEST(EvaluatorTest, FullRankingMasksTrainingItems) {
+  // 1 user, 6 items. Training items: {0, 1}. Held-out positive: 2.
+  UserItemGraph train = UserItemGraph::Build(1, 6, {{0, 0}, {0, 1}});
+  std::vector<EvalInstance> instances(1);
+  instances[0] = {0, 2, {}};  // negatives ignored by the full protocol
+  // Scores: training items highest (would outrank if not masked), then item
+  // 3, then the positive, then 4, 5.
+  auto score = [](int64_t, int64_t item) {
+    switch (item) {
+      case 0:
+      case 1:
+        return 10.0f;
+      case 3:
+        return 5.0f;
+      case 2:
+        return 4.0f;
+      default:
+        return 1.0f;
+    }
+  };
+  RankingMetrics m = EvaluateFullRanking(score, train, instances, 2);
+  // Only item 3 outranks the positive among non-train candidates -> rank 1.
+  EXPECT_DOUBLE_EQ(m.hr, 1.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 0.5);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0 / std::log2(3.0));
+}
+
+TEST(EvaluatorTest, FullRankingHarderThanSampled) {
+  // With many strong distractors outside the 100-negative sample, the full
+  // protocol must report a lower-or-equal HR than the sampled one.
+  UserItemGraph train = UserItemGraph::Build(1, 200, {{0, 0}});
+  std::vector<EvalInstance> instances(1);
+  EvalInstance& inst = instances[0];
+  inst.user = 0;
+  inst.positive_item = 199;
+  for (int64_t i = 1; i <= 20; ++i) inst.negative_items.push_back(i);
+  // Items 100..198 all outrank the positive but are not in the sample.
+  auto score = [](int64_t, int64_t item) {
+    if (item == 199) return 50.0f;
+    return item >= 100 ? 100.0f : 0.0f;
+  };
+  RankingMetrics sampled = EvaluateRanking(score, instances, 10);
+  RankingMetrics full = EvaluateFullRanking(score, train, instances, 10);
+  EXPECT_DOUBLE_EQ(sampled.hr, 1.0);
+  EXPECT_DOUBLE_EQ(full.hr, 0.0);  // rank 99
+  EXPECT_LE(full.hr, sampled.hr);
+}
+
+TEST(EvaluatorTest, AveragesAcrossInstances) {
+  // One hit at rank 0, one miss.
+  std::vector<EvalInstance> instances(2);
+  instances[0] = {0, 100, {1, 2}};
+  instances[1] = {1, 200, {1, 2}};
+  auto score = [](int64_t, int64_t item) {
+    if (item == 100) return 2.0f;  // top
+    if (item == 200) return -2.0f;  // below all negatives
+    return 0.0f;
+  };
+  RankingMetrics m = EvaluateRanking(score, instances, 1);
+  EXPECT_DOUBLE_EQ(m.hr, 0.5);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.5);
+}
+
+// -- TopNRecommendations -------------------------------------------------------
+
+TEST(TopNTest, ExcludesTrainingItemsAndSortsByScore) {
+  UserItemGraph train = UserItemGraph::Build(1, 6, {{0, 0}, {0, 5}});
+  auto score = [](int64_t, int64_t item) {
+    return static_cast<float>(item);  // higher id = higher score
+  };
+  auto recs = TopNRecommendations(score, train, 0, 3);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].item, 4);  // 5 excluded (training item)
+  EXPECT_EQ(recs[1].item, 3);
+  EXPECT_EQ(recs[2].item, 2);
+  EXPECT_FLOAT_EQ(recs[0].score, 4.0f);
+}
+
+TEST(TopNTest, TiesBrokenByLowerItemId) {
+  UserItemGraph train = UserItemGraph::Build(1, 5, {{0, 0}});
+  auto score = [](int64_t, int64_t) { return 1.0f; };
+  auto recs = TopNRecommendations(score, train, 0, 2);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].item, 1);
+  EXPECT_EQ(recs[1].item, 2);
+}
+
+TEST(TopNTest, FewerCandidatesThanN) {
+  UserItemGraph train =
+      UserItemGraph::Build(1, 3, {{0, 0}, {0, 1}});
+  auto score = [](int64_t, int64_t) { return 0.0f; };
+  auto recs = TopNRecommendations(score, train, 0, 10);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].item, 2);
+}
+
+}  // namespace
+}  // namespace scenerec

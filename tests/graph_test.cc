@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "graph/bipartite_graph.h"
+#include "graph/csr.h"
+#include "graph/scene_graph.h"
+#include "graph/stats.h"
+
+namespace scenerec {
+namespace {
+
+// -- CsrGraph ------------------------------------------------------------------
+
+TEST(CsrGraphTest, EmptyGraph) {
+  CsrGraph g = CsrGraph::FromEdges(3, 3, {});
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.OutDegree(0), 0);
+  EXPECT_TRUE(g.Neighbors(2).empty());
+}
+
+TEST(CsrGraphTest, NeighborsSortedAndQueryable) {
+  CsrGraph g = CsrGraph::FromEdges(
+      3, 4, {{0, 3, 1.0f}, {0, 1, 2.0f}, {2, 0, 1.0f}, {0, 2, 0.5f}});
+  ASSERT_EQ(g.OutDegree(0), 3);
+  auto n = g.Neighbors(0);
+  EXPECT_EQ(n[0], 1);
+  EXPECT_EQ(n[1], 2);
+  EXPECT_EQ(n[2], 3);
+  auto w = g.Weights(0);
+  EXPECT_FLOAT_EQ(w[0], 2.0f);
+  EXPECT_FLOAT_EQ(w[1], 0.5f);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(CsrGraphTest, DuplicateEdgesMergeWeights) {
+  CsrGraph g =
+      CsrGraph::FromEdges(2, 2, {{0, 1, 1.0f}, {0, 1, 2.5f}, {0, 1, 0.5f}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FLOAT_EQ(g.Weights(0)[0], 4.0f);
+}
+
+TEST(CsrGraphTest, WeightOfEdge) {
+  CsrGraph g = CsrGraph::FromEdges(2, 3, {{0, 1, 2.5f}, {0, 2, 1.0f}});
+  EXPECT_FLOAT_EQ(g.WeightOfEdge(0, 1), 2.5f);
+  EXPECT_FLOAT_EQ(g.WeightOfEdge(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(g.WeightOfEdge(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(g.WeightOfEdge(1, 1), 0.0f);
+}
+
+TEST(CsrGraphTest, MeanOutDegree) {
+  CsrGraph g = CsrGraph::FromEdges(4, 4, {{0, 1, 1}, {0, 2, 1}, {1, 0, 1}});
+  EXPECT_DOUBLE_EQ(g.MeanOutDegree(), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(CsrGraph().MeanOutDegree(), 0.0);
+}
+
+TEST(KeepTopKTest, KeepsHighestWeights) {
+  std::vector<Edge> edges{
+      {0, 1, 1.0f}, {0, 2, 5.0f}, {0, 3, 3.0f}, {1, 0, 2.0f}};
+  auto kept = KeepTopKPerSource(edges, 2);
+  // Source 0 keeps dst 2 (w=5) and 3 (w=3); source 1 keeps its only edge.
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].dst, 2);
+  EXPECT_EQ(kept[1].dst, 3);
+  EXPECT_EQ(kept[2].src, 1);
+}
+
+TEST(KeepTopKTest, TieBreaksByLowerDst) {
+  std::vector<Edge> edges{{0, 5, 1.0f}, {0, 2, 1.0f}, {0, 9, 1.0f}};
+  auto kept = KeepTopKPerSource(edges, 2);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].dst, 2);
+  EXPECT_EQ(kept[1].dst, 5);
+}
+
+TEST(MakeSymmetricTest, AddsReverses) {
+  auto edges = MakeSymmetric({{0, 1, 1.0f}, {2, 2, 3.0f}});
+  // Self loop is not duplicated.
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[2].src, 1);
+  EXPECT_EQ(edges[2].dst, 0);
+}
+
+// -- UserItemGraph ----------------------------------------------------------------
+
+TEST(UserItemGraphTest, BothOrientations) {
+  UserItemGraph g = UserItemGraph::Build(
+      3, 4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.num_users(), 3);
+  EXPECT_EQ(g.num_items(), 4);
+  EXPECT_EQ(g.num_interactions(), 4);
+  auto items = g.ItemsOfUser(0);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], 1);
+  EXPECT_EQ(items[1], 2);
+  auto users = g.UsersOfItem(2);
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0], 0);
+  EXPECT_EQ(users[1], 1);
+  EXPECT_TRUE(g.HasInteraction(2, 3));
+  EXPECT_FALSE(g.HasInteraction(2, 0));
+  EXPECT_EQ(g.UserDegree(2), 1);
+  EXPECT_EQ(g.ItemDegree(0), 0);
+}
+
+TEST(UserItemGraphTest, DuplicateInteractionsCollapse) {
+  UserItemGraph g = UserItemGraph::Build(1, 2, {{0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_interactions(), 1);
+}
+
+// -- SceneGraph --------------------------------------------------------------------
+
+SceneGraph SmallSceneGraph() {
+  // 4 items, 3 categories, 2 scenes.
+  // item->category: 0->0, 1->0, 2->1, 3->2
+  // scenes: s0 = {c0, c1}, s1 = {c1, c2}
+  return SceneGraph::Build(
+      4, 3, 2, {0, 0, 1, 2},
+      /*item_item=*/{{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}},
+      /*cat_cat=*/{{0, 1, 1}, {1, 0, 1}},
+      /*cat_scene=*/{{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {2, 1, 1}});
+}
+
+TEST(SceneGraphTest, HierarchyAccessors) {
+  SceneGraph g = SmallSceneGraph();
+  EXPECT_EQ(g.num_items(), 4);
+  EXPECT_EQ(g.num_categories(), 3);
+  EXPECT_EQ(g.num_scenes(), 2);
+  EXPECT_EQ(g.CategoryOfItem(1), 0);
+  EXPECT_EQ(g.CategoryOfItem(3), 2);
+
+  auto neighbors = g.ItemNeighbors(1);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0], 0);
+  EXPECT_EQ(neighbors[1], 2);
+
+  auto cats = g.CategoryNeighbors(0);
+  ASSERT_EQ(cats.size(), 1u);
+  EXPECT_EQ(cats[0], 1);
+
+  auto scenes_c1 = g.ScenesOfCategory(1);
+  ASSERT_EQ(scenes_c1.size(), 2u);
+
+  // IS(item) goes through the item's category.
+  auto scenes_item0 = g.ScenesOfItem(0);  // category 0 -> scene 0 only
+  ASSERT_EQ(scenes_item0.size(), 1u);
+  EXPECT_EQ(scenes_item0[0], 0);
+
+  auto members = g.CategoriesOfScene(1);
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], 1);
+  EXPECT_EQ(members[1], 2);
+
+  auto items_c0 = g.ItemsOfCategory(0);
+  ASSERT_EQ(items_c0.size(), 2u);
+}
+
+TEST(SceneGraphTest, ValidatePasses) {
+  EXPECT_TRUE(SmallSceneGraph().Validate().ok());
+}
+
+TEST(SceneGraphTest, ValidateRejectsSelfLoop) {
+  SceneGraph g = SceneGraph::Build(2, 1, 1, {0, 0},
+                                   /*item_item=*/{{0, 0, 1}},
+                                   /*cat_cat=*/{},
+                                   /*cat_scene=*/{{0, 0, 1}});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+// -- SceneGraphBuilder -----------------------------------------------------------
+
+TEST(SceneGraphBuilderTest, BuildsFromCoViews) {
+  SceneGraphBuilder builder(3, 2, 1);
+  builder.SetItemCategory(0, 0);
+  builder.SetItemCategory(1, 0);
+  builder.SetItemCategory(2, 1);
+  builder.AddItemCoView(0, 1, 5.0f);
+  builder.AddItemCoView(1, 2, 1.0f);
+  builder.AddCategoryCoView(0, 1, 2.0f);
+  builder.AddCategoryToScene(0, 0);
+  builder.AddCategoryToScene(1, 0);
+  auto graph_or = builder.Build();
+  ASSERT_TRUE(graph_or.ok()) << graph_or.status().ToString();
+  const SceneGraph& g = graph_or.value();
+  EXPECT_TRUE(g.item_item().HasEdge(0, 1));
+  EXPECT_TRUE(g.item_item().HasEdge(1, 0));
+  EXPECT_TRUE(g.item_item().HasEdge(1, 2));
+  EXPECT_TRUE(g.category_category().HasEdge(0, 1));
+  EXPECT_EQ(g.ScenesOfCategory(0).size(), 1u);
+}
+
+TEST(SceneGraphBuilderTest, TopKTruncationApplies) {
+  SceneGraphBuilder builder(5, 1, 1);
+  for (int64_t i = 0; i < 5; ++i) builder.SetItemCategory(i, 0);
+  builder.AddCategoryToScene(0, 0);
+  builder.set_max_item_neighbors(2);
+  // Item 0 co-views all others with increasing weight.
+  builder.AddItemCoView(0, 1, 1.0f);
+  builder.AddItemCoView(0, 2, 2.0f);
+  builder.AddItemCoView(0, 3, 3.0f);
+  builder.AddItemCoView(0, 4, 4.0f);
+  auto graph_or = builder.Build();
+  ASSERT_TRUE(graph_or.ok());
+  const SceneGraph& g = graph_or.value();
+  // Top-2 by weight from item 0's perspective: items 4 and 3. (Reverse
+  // direction edges may add more from other sources' truncation.)
+  EXPECT_TRUE(g.item_item().HasEdge(0, 4));
+  EXPECT_TRUE(g.item_item().HasEdge(0, 3));
+}
+
+TEST(SceneGraphBuilderTest, MissingCategoryFails) {
+  SceneGraphBuilder builder(2, 1, 1);
+  builder.SetItemCategory(0, 0);
+  builder.AddCategoryToScene(0, 0);
+  // item 1 has no category.
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(SceneGraphBuilderTest, SelfCoViewIgnored) {
+  SceneGraphBuilder builder(2, 1, 1);
+  builder.SetItemCategory(0, 0);
+  builder.SetItemCategory(1, 0);
+  builder.AddCategoryToScene(0, 0);
+  builder.AddItemCoView(0, 0, 10.0f);
+  auto graph_or = builder.Build();
+  ASSERT_TRUE(graph_or.ok());
+  EXPECT_EQ(graph_or.value().num_item_item_edges(), 0);
+}
+
+// -- Stats -------------------------------------------------------------------------
+
+TEST(StatsTest, CountsMatchTable1Layout) {
+  UserItemGraph ui = UserItemGraph::Build(3, 4, {{0, 1}, {1, 2}, {2, 3}});
+  SceneGraph scene = SmallSceneGraph();
+  DatasetStats stats = ComputeStats("TestSet", ui, scene);
+  EXPECT_EQ(stats.num_users, 3);
+  EXPECT_EQ(stats.num_items, 4);
+  EXPECT_EQ(stats.user_item_edges, 3);
+  EXPECT_EQ(stats.item_item_edges, 4);
+  EXPECT_EQ(stats.item_category_edges, 4);
+  EXPECT_EQ(stats.category_category_edges, 2);
+  EXPECT_EQ(stats.scene_category_edges, 4);
+  std::string table = FormatStatsTable(stats);
+  EXPECT_NE(table.find("TestSet"), std::string::npos);
+  EXPECT_NE(table.find("User-Item"), std::string::npos);
+  EXPECT_NE(table.find("Scene-Category"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scenerec

@@ -1,0 +1,256 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "tests/test_util.h"
+
+namespace scenerec {
+namespace {
+
+using testing::ExpectVectorNear;
+
+// Forward-value tests for every op. Gradient correctness is covered
+// separately in grad_check_test.cc.
+
+TEST(OpsForwardTest, Add) {
+  Tensor a = Tensor::FromVector(Shape({3}), {1, 2, 3});
+  Tensor b = Tensor::FromVector(Shape({3}), {10, 20, 30});
+  ExpectVectorNear(Add(a, b).value(), {11, 22, 33});
+}
+
+TEST(OpsForwardTest, AddBiasBroadcast) {
+  Tensor a = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::FromVector(Shape({3}), {10, 20, 30});
+  ExpectVectorNear(Add(a, bias).value(), {11, 22, 33, 14, 25, 36});
+}
+
+TEST(OpsForwardTest, SubMulDiv) {
+  Tensor a = Tensor::FromVector(Shape({2}), {6, 8});
+  Tensor b = Tensor::FromVector(Shape({2}), {2, 4});
+  ExpectVectorNear(Sub(a, b).value(), {4, 4});
+  ExpectVectorNear(Mul(a, b).value(), {12, 32});
+  ExpectVectorNear(Div(a, b).value(), {3, 2});
+}
+
+TEST(OpsForwardTest, ScaleAddScalarNeg) {
+  Tensor a = Tensor::FromVector(Shape({2}), {1, -2});
+  ExpectVectorNear(Scale(a, 3.0f).value(), {3, -6});
+  ExpectVectorNear(AddScalar(a, 1.5f).value(), {2.5f, -0.5f});
+  ExpectVectorNear(Neg(a).value(), {-1, 2});
+}
+
+TEST(OpsForwardTest, SigmoidKnownValues) {
+  Tensor a = Tensor::FromVector(Shape({3}), {0.0f, 100.0f, -100.0f});
+  auto v = Sigmoid(a).value();
+  EXPECT_NEAR(v[0], 0.5f, 1e-6);
+  EXPECT_NEAR(v[1], 1.0f, 1e-6);
+  EXPECT_NEAR(v[2], 0.0f, 1e-6);
+}
+
+TEST(OpsForwardTest, TanhReluLeakyRelu) {
+  Tensor a = Tensor::FromVector(Shape({2}), {1.0f, -2.0f});
+  EXPECT_NEAR(Tanh(a).at(0), std::tanh(1.0f), 1e-6);
+  ExpectVectorNear(Relu(a).value(), {1.0f, 0.0f});
+  ExpectVectorNear(LeakyRelu(a, 0.1f).value(), {1.0f, -0.2f});
+}
+
+TEST(OpsForwardTest, SoftplusStableAtExtremes) {
+  Tensor a = Tensor::FromVector(Shape({3}), {0.0f, 50.0f, -50.0f});
+  auto v = Softplus(a).value();
+  EXPECT_NEAR(v[0], std::log(2.0f), 1e-6);
+  EXPECT_NEAR(v[1], 50.0f, 1e-4);
+  EXPECT_NEAR(v[2], 0.0f, 1e-6);
+  EXPECT_TRUE(std::isfinite(v[1]));
+}
+
+TEST(OpsForwardTest, ExpLogSqrt) {
+  Tensor a = Tensor::FromVector(Shape({2}), {0.0f, 1.0f});
+  ExpectVectorNear(Exp(a).value(), {1.0f, std::exp(1.0f)});
+  Tensor b = Tensor::FromVector(Shape({2}), {1.0f, std::exp(2.0f)});
+  ExpectVectorNear(Log(b).value(), {0.0f, 2.0f}, 1e-4f);
+  Tensor c = Tensor::FromVector(Shape({2}), {4.0f, 9.0f});
+  ExpectVectorNear(Sqrt(c).value(), {2.0f, 3.0f});
+}
+
+TEST(OpsForwardTest, SumMean) {
+  Tensor a = Tensor::FromVector(Shape({4}), {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(Sum(a).scalar(), 10.0f);
+  EXPECT_FLOAT_EQ(Mean(a).scalar(), 2.5f);
+}
+
+TEST(OpsForwardTest, SumRowsMeanRows) {
+  Tensor a = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  ExpectVectorNear(SumRows(a).value(), {5, 7, 9});
+  ExpectVectorNear(MeanRows(a).value(), {2.5f, 3.5f, 4.5f});
+}
+
+TEST(OpsForwardTest, MatMul) {
+  Tensor a = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(Shape({3, 2}), {7, 8, 9, 10, 11, 12});
+  // [1 2 3; 4 5 6] * [7 8; 9 10; 11 12] = [58 64; 139 154]
+  ExpectVectorNear(MatMul(a, b).value(), {58, 64, 139, 154});
+}
+
+TEST(OpsForwardTest, MatVec) {
+  Tensor w = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor x = Tensor::FromVector(Shape({3}), {1, 0, -1});
+  ExpectVectorNear(MatVec(w, x).value(), {-2, -2});
+}
+
+TEST(OpsForwardTest, Dot) {
+  Tensor a = Tensor::FromVector(Shape({3}), {1, 2, 3});
+  Tensor b = Tensor::FromVector(Shape({3}), {4, -5, 6});
+  EXPECT_FLOAT_EQ(Dot(a, b).scalar(), 12.0f);
+}
+
+TEST(OpsForwardTest, CosineSimilarityKnownValues) {
+  Tensor a = Tensor::FromVector(Shape({2}), {1, 0});
+  Tensor b = Tensor::FromVector(Shape({2}), {0, 1});
+  EXPECT_NEAR(CosineSimilarity(a, b).scalar(), 0.0f, 1e-5);
+  Tensor c = Tensor::FromVector(Shape({2}), {2, 0});
+  EXPECT_NEAR(CosineSimilarity(a, c).scalar(), 1.0f, 1e-4);
+  Tensor d = Tensor::FromVector(Shape({2}), {-3, 0});
+  EXPECT_NEAR(CosineSimilarity(a, d).scalar(), -1.0f, 1e-4);
+}
+
+TEST(OpsForwardTest, CosineSimilarityZeroVectorIsFinite) {
+  Tensor a = Tensor::FromVector(Shape({2}), {0, 0});
+  Tensor b = Tensor::FromVector(Shape({2}), {1, 1});
+  float v = CosineSimilarity(a, b).scalar();
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_NEAR(v, 0.0f, 1e-3);
+}
+
+TEST(OpsForwardTest, Concat) {
+  Tensor a = Tensor::FromVector(Shape({2}), {1, 2});
+  Tensor b = Tensor::FromVector(Shape({3}), {3, 4, 5});
+  Tensor c = Concat({a, b});
+  EXPECT_EQ(c.shape(), Shape({5}));
+  ExpectVectorNear(c.value(), {1, 2, 3, 4, 5});
+}
+
+TEST(OpsForwardTest, StackScalars) {
+  Tensor s = Stack({Tensor::Scalar(1), Tensor::Scalar(2), Tensor::Scalar(3)});
+  EXPECT_EQ(s.shape(), Shape({3}));
+  ExpectVectorNear(s.value(), {1, 2, 3});
+}
+
+TEST(OpsForwardTest, StackRows) {
+  Tensor r0 = Tensor::FromVector(Shape({2}), {1, 2});
+  Tensor r1 = Tensor::FromVector(Shape({2}), {3, 4});
+  Tensor m = StackRows({r0, r1});
+  EXPECT_EQ(m.shape(), Shape({2, 2}));
+  ExpectVectorNear(m.value(), {1, 2, 3, 4});
+}
+
+TEST(OpsForwardTest, RowSlice) {
+  Tensor a = Tensor::FromVector(Shape({3, 2}), {1, 2, 3, 4, 5, 6});
+  ExpectVectorNear(Row(a, 1).value(), {3, 4});
+  ExpectVectorNear(Row(a, 2).value(), {5, 6});
+}
+
+TEST(OpsForwardTest, Reshape) {
+  Tensor a = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, Shape({6}));
+  EXPECT_EQ(r.shape(), Shape({6}));
+  ExpectVectorNear(r.value(), {1, 2, 3, 4, 5, 6});
+}
+
+TEST(OpsForwardTest, GatherRowsWithDuplicates) {
+  Tensor table = Tensor::FromVector(Shape({3, 2}), {1, 2, 3, 4, 5, 6});
+  Tensor g = Gather(table, {2, 0, 2});
+  EXPECT_EQ(g.shape(), Shape({3, 2}));
+  ExpectVectorNear(g.value(), {5, 6, 1, 2, 5, 6});
+}
+
+TEST(OpsForwardTest, SoftmaxNormalizes) {
+  Tensor logits = Tensor::FromVector(Shape({3}), {1.0f, 2.0f, 3.0f});
+  auto p = Softmax(logits).value();
+  float sum = p[0] + p[1] + p[2];
+  EXPECT_NEAR(sum, 1.0f, 1e-6);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(OpsForwardTest, SoftmaxStableForLargeLogits) {
+  Tensor logits = Tensor::FromVector(Shape({2}), {1000.0f, 1000.0f});
+  auto p = Softmax(logits).value();
+  EXPECT_NEAR(p[0], 0.5f, 1e-6);
+  EXPECT_NEAR(p[1], 0.5f, 1e-6);
+}
+
+TEST(OpsForwardTest, WeightedSumRows) {
+  Tensor rows = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor w = Tensor::FromVector(Shape({2}), {0.25f, 0.75f});
+  ExpectVectorNear(WeightedSumRows(rows, w).value(),
+                   {3.25f, 4.25f, 5.25f});
+}
+
+TEST(OpsForwardTest, MaxRows) {
+  Tensor a = Tensor::FromVector(Shape({3, 2}), {1, 9, 5, 2, 3, 4});
+  ExpectVectorNear(MaxRows(a).value(), {5, 9});
+}
+
+TEST(OpsForwardTest, MaxRowsGradientGoesToArgmax) {
+  Tensor a = Tensor::FromVector(Shape({2, 2}), {1, 9, 5, 2},
+                                /*requires_grad=*/true);
+  Backward(Sum(MaxRows(a)));
+  ExpectVectorNear(a.grad(), {0, 1, 1, 0});
+}
+
+TEST(OpsForwardTest, L2NormalizeRowsUnitNorm) {
+  Tensor a = Tensor::FromVector(Shape({2, 2}), {3, 4, 0, 5});
+  auto v = L2NormalizeRows(a).value();
+  EXPECT_NEAR(v[0], 0.6f, 1e-5);
+  EXPECT_NEAR(v[1], 0.8f, 1e-5);
+  EXPECT_NEAR(v[2], 0.0f, 1e-5);
+  EXPECT_NEAR(v[3], 1.0f, 1e-5);
+}
+
+TEST(OpsForwardTest, L2NormalizeZeroRowIsFinite) {
+  Tensor a = Tensor::FromVector(Shape({1, 3}), {0, 0, 0});
+  const std::vector<float> values = L2NormalizeRows(a).value();
+  for (float v : values) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+}
+
+TEST(OpsForwardTest, DropoutZeroRateIsIdentity) {
+  Rng rng(1);
+  Tensor a = Tensor::FromVector(Shape({4}), {1, 2, 3, 4});
+  ExpectVectorNear(Dropout(a, 0.0f, rng).value(), {1, 2, 3, 4});
+}
+
+TEST(OpsForwardTest, DropoutKeepsExpectationAndZeroesSome) {
+  Rng rng(2);
+  Tensor a = Tensor::Full(Shape({10000}), 1.0f);
+  auto v = Dropout(a, 0.3f, rng).value();
+  int64_t zeros = 0;
+  double sum = 0;
+  for (float x : v) {
+    if (x == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(x, 1.0f / 0.7f, 1e-5);
+    }
+    sum += x;
+  }
+  EXPECT_NEAR(zeros / 10000.0, 0.3, 0.02);
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.03);
+}
+
+TEST(OpsForwardTest, BprPairLossValues) {
+  // pos >> neg -> loss near 0; pos << neg -> loss near (neg - pos).
+  Tensor big = BprPairLoss(Tensor::Scalar(10.0f), Tensor::Scalar(-10.0f));
+  EXPECT_NEAR(big.scalar(), 0.0f, 1e-4);
+  Tensor bad = BprPairLoss(Tensor::Scalar(-10.0f), Tensor::Scalar(10.0f));
+  EXPECT_NEAR(bad.scalar(), 20.0f, 1e-3);
+  Tensor even = BprPairLoss(Tensor::Scalar(1.0f), Tensor::Scalar(1.0f));
+  EXPECT_NEAR(even.scalar(), std::log(2.0f), 1e-5);
+}
+
+}  // namespace
+}  // namespace scenerec

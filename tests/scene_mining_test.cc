@@ -1,0 +1,154 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/scene_mining.h"
+#include "data/synthetic.h"
+
+namespace scenerec {
+namespace {
+
+// A planted two-cluster co-occurrence graph: categories {0,1,2} and {3,4,5}
+// strongly intra-connected, weak (or no) cross edges.
+std::vector<Edge> TwoClusters(float cross_weight = 0.0f) {
+  std::vector<Edge> edges{
+      {0, 1, 10.0f}, {1, 2, 10.0f}, {0, 2, 10.0f},
+      {3, 4, 10.0f}, {4, 5, 10.0f}, {3, 5, 10.0f},
+  };
+  if (cross_weight > 0.0f) edges.push_back({2, 3, cross_weight});
+  return edges;
+}
+
+TEST(SceneMiningTest, RecoversPlantedClusters) {
+  SceneMiningConfig config;
+  auto scenes = MineScenes(6, TwoClusters(), config);
+  ASSERT_TRUE(scenes.ok()) << scenes.status().ToString();
+  // Both planted communities should appear as scenes.
+  std::set<std::vector<int64_t>> found(scenes->begin(), scenes->end());
+  EXPECT_TRUE(found.count({0, 1, 2}))
+      << "scenes: " << scenes->size();
+  EXPECT_TRUE(found.count({3, 4, 5}));
+}
+
+TEST(SceneMiningTest, WeakBridgeDoesNotMergeClusters) {
+  SceneMiningConfig config;
+  auto scenes = MineScenes(6, TwoClusters(/*cross_weight=*/0.5f), config);
+  ASSERT_TRUE(scenes.ok());
+  // No mined scene should span both clusters completely.
+  for (const auto& members : *scenes) {
+    const bool has_left =
+        std::find(members.begin(), members.end(), 0) != members.end();
+    const bool has_right =
+        std::find(members.begin(), members.end(), 5) != members.end();
+    EXPECT_FALSE(has_left && has_right)
+        << "merged scene of size " << members.size();
+  }
+}
+
+TEST(SceneMiningTest, OverlappingCategoryJoinsBothScenes) {
+  // Category 6 ("Batteries") connects strongly to both clusters.
+  std::vector<Edge> edges = TwoClusters();
+  edges.push_back({6, 0, 8.0f});
+  edges.push_back({6, 1, 8.0f});
+  edges.push_back({6, 3, 8.0f});
+  edges.push_back({6, 4, 8.0f});
+  SceneMiningConfig config;
+  auto scenes = MineScenes(7, edges, config);
+  ASSERT_TRUE(scenes.ok());
+  int membership = 0;
+  for (const auto& members : *scenes) {
+    membership +=
+        std::find(members.begin(), members.end(), 6) != members.end();
+  }
+  EXPECT_GE(membership, 2) << "overlapping category should join >= 2 scenes";
+}
+
+TEST(SceneMiningTest, DeterministicAcrossCalls) {
+  SceneMiningConfig config;
+  auto a = MineScenes(6, TwoClusters(1.0f), config);
+  auto b = MineScenes(6, TwoClusters(1.0f), config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SceneMiningTest, SizeFiltersApply) {
+  SceneMiningConfig config;
+  config.min_scene_size = 4;  // planted clusters have size 3
+  auto scenes = MineScenes(6, TwoClusters(), config);
+  ASSERT_TRUE(scenes.ok());
+  for (const auto& members : *scenes) {
+    EXPECT_GE(members.size(), 4u);
+  }
+}
+
+TEST(SceneMiningTest, RejectsBadInputs) {
+  SceneMiningConfig config;
+  EXPECT_FALSE(MineScenes(0, {}, config).ok());
+  EXPECT_FALSE(MineScenes(3, {{0, 7, 1.0f}}, config).ok());
+  EXPECT_FALSE(MineScenes(3, {{0, 1, -1.0f}}, config).ok());
+  SceneMiningConfig bad = config;
+  bad.expansion_threshold = 0.0;
+  EXPECT_FALSE(MineScenes(3, {{0, 1, 1.0f}}, bad).ok());
+  bad = config;
+  bad.max_scene_size = 0;
+  EXPECT_FALSE(MineScenes(3, {{0, 1, 1.0f}}, bad).ok());
+  bad = config;
+  bad.seed_weight_floor = 1.5;
+  EXPECT_FALSE(MineScenes(3, {{0, 1, 1.0f}}, bad).ok());
+  bad = config;
+  bad.max_memberships_per_category = 0;
+  EXPECT_FALSE(MineScenes(3, {{0, 1, 1.0f}}, bad).ok());
+}
+
+TEST(SceneMiningTest, MinedScenesOnSyntheticDataAreValid) {
+  // End to end: mine scenes from a synthetic dataset's category co-view
+  // layer and install them; the result must be a valid dataset whose scene
+  // layer still covers every category.
+  SyntheticConfig config;
+  config.num_users = 30;
+  config.num_items = 200;
+  config.num_categories = 15;
+  config.num_scenes = 6;
+  config.sessions_per_user = 6;
+  auto dataset = GenerateSyntheticDataset(config, 3);
+  ASSERT_TRUE(dataset.ok());
+
+  SceneMiningConfig mining;
+  auto scenes = MineScenes(dataset->num_categories,
+                           dataset->category_category_edges, mining);
+  ASSERT_TRUE(scenes.ok());
+  ASSERT_FALSE(scenes->empty());
+
+  Dataset mined = dataset.value();
+  ASSERT_TRUE(ApplyMinedScenes(*scenes, dataset->category_category_edges,
+                               &mined)
+                  .ok());
+  EXPECT_EQ(mined.num_scenes, static_cast<int64_t>(scenes->size()));
+  EXPECT_TRUE(mined.Validate().ok());
+  // Every category belongs to at least one scene.
+  std::vector<bool> covered(static_cast<size_t>(mined.num_categories), false);
+  for (const Edge& e : mined.category_scene_edges) {
+    covered[static_cast<size_t>(e.src)] = true;
+  }
+  for (bool c : covered) EXPECT_TRUE(c);
+  // The scene graph built from mined scenes validates too.
+  EXPECT_TRUE(mined.BuildSceneGraph().Validate().ok());
+}
+
+TEST(SceneMiningTest, ApplyRejectsEmptyAndInvalid) {
+  SyntheticConfig config;
+  config.num_users = 20;
+  config.num_items = 100;
+  config.num_categories = 8;
+  config.num_scenes = 4;
+  auto dataset = GenerateSyntheticDataset(config, 5);
+  ASSERT_TRUE(dataset.ok());
+  Dataset copy = dataset.value();
+  EXPECT_FALSE(ApplyMinedScenes({}, {}, &copy).ok());
+  EXPECT_FALSE(ApplyMinedScenes({{0, 99}}, {}, &copy).ok());
+}
+
+}  // namespace
+}  // namespace scenerec

@@ -1,0 +1,129 @@
+#include <cstdio>
+#include <cstdlib>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "nn/embedding.h"
+#include "nn/mlp.h"
+#include "nn/serialization.h"
+#include "tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace scenerec {
+namespace {
+
+std::string TempPath() {
+  char path_template[] = "/tmp/scenerec_ckpt_XXXXXX";
+  const int fd = ::mkstemp(path_template);
+  EXPECT_GE(fd, 0);
+  if (fd >= 0) ::close(fd);
+  return path_template;
+}
+
+TEST(SerializationTest, RoundTripRestoresValues) {
+  Rng rng(1);
+  Mlp original({4, 8, 2}, Activation::kTanh, Activation::kNone, rng);
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(original, "mlp", path).ok());
+
+  Rng rng2(999);  // different init
+  Mlp restored({4, 8, 2}, Activation::kTanh, Activation::kNone, rng2);
+  Tensor x = Tensor::RandomUniform(Shape({4}), -1, 1, rng);
+  // Outputs differ before loading, match after.
+  const auto before = restored.Forward(x).value();
+  const auto want = original.Forward(x).value();
+  bool identical_before = true;
+  for (size_t i = 0; i < want.size(); ++i) {
+    identical_before = identical_before && before[i] == want[i];
+  }
+  EXPECT_FALSE(identical_before);
+
+  ASSERT_TRUE(LoadCheckpoint(restored, "mlp", path).ok());
+  testing::ExpectVectorNear(restored.Forward(x).value(), want, 1e-7f);
+  ::remove(path.c_str());
+}
+
+TEST(SerializationTest, LargeEmbeddingRoundTrip) {
+  Rng rng(2);
+  Embedding original(5000, 32, rng);
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(original, "emb", path).ok());
+  Rng rng2(3);
+  Embedding restored(5000, 32, rng2);
+  ASSERT_TRUE(LoadCheckpoint(restored, "emb", path).ok());
+  EXPECT_EQ(restored.table().value(), original.table().value());
+  ::remove(path.c_str());
+}
+
+TEST(SerializationTest, TagMismatchRejected) {
+  Rng rng(4);
+  Embedding module(10, 4, rng);
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(module, "model-a", path).ok());
+  Status s = LoadCheckpoint(module, "model-b", path);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  ::remove(path.c_str());
+}
+
+TEST(SerializationTest, ShapeMismatchRejected) {
+  Rng rng(5);
+  Embedding small(10, 4, rng);
+  Embedding big(10, 8, rng);
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(small, "emb", path).ok());
+  Status s = LoadCheckpoint(big, "emb", path);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  ::remove(path.c_str());
+}
+
+TEST(SerializationTest, ParameterCountMismatchRejected) {
+  Rng rng(6);
+  Mlp one_layer({4, 2}, Activation::kNone, Activation::kNone, rng);
+  Mlp two_layers({4, 3, 2}, Activation::kNone, Activation::kNone, rng);
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(one_layer, "mlp", path).ok());
+  EXPECT_FALSE(LoadCheckpoint(two_layers, "mlp", path).ok());
+  ::remove(path.c_str());
+}
+
+TEST(SerializationTest, GarbageFileRejected) {
+  const std::string path = TempPath();
+  {
+    FILE* f = ::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    ::fputs("definitely not a checkpoint", f);
+    ::fclose(f);
+  }
+  Rng rng(7);
+  Embedding module(5, 2, rng);
+  Status s = LoadCheckpoint(module, "emb", path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  ::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileRejected) {
+  Rng rng(8);
+  Embedding module(5, 2, rng);
+  Status s = LoadCheckpoint(module, "emb", "/tmp/scenerec_no_such_ckpt");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(SerializationTest, TruncatedFileRejected) {
+  Rng rng(9);
+  Embedding module(100, 16, rng);
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(module, "emb", path).ok());
+  // Truncate the file to half its size.
+  std::FILE* f = ::fopen(path.c_str(), "r+");
+  ASSERT_NE(f, nullptr);
+  ::fseek(f, 0, SEEK_END);
+  const long size = ::ftell(f);
+  ::fclose(f);
+  ASSERT_EQ(::truncate(path.c_str(), size / 2), 0);
+  EXPECT_FALSE(LoadCheckpoint(module, "emb", path).ok());
+  ::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace scenerec

@@ -1,0 +1,136 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/sessions.h"
+
+namespace scenerec {
+namespace {
+
+// Categories: items 0,1 -> cat 0; items 2,3 -> cat 1.
+const std::vector<int64_t> kItemCategory{0, 0, 1, 1};
+
+TEST(SessionsTest, AllPairsWithinSessionCoView) {
+  std::vector<ViewSession> sessions{{0, {0, 2, 3}}};
+  CoViewConfig config;
+  auto graphs = BuildCoViewGraphs(sessions, kItemCategory, 2, config);
+  ASSERT_TRUE(graphs.ok()) << graphs.status().ToString();
+  // Pairs: (0,2), (0,3), (2,3) — symmetric -> 6 directed edges.
+  EXPECT_EQ(graphs->item_item_edges.size(), 6u);
+  // Category pairs: (0,1) from (0,2) and (0,3); (2,3) same category.
+  EXPECT_EQ(graphs->category_category_edges.size(), 2u);
+}
+
+TEST(SessionsTest, WindowLimitsPairs) {
+  std::vector<ViewSession> sessions{{0, {0, 1, 2, 3}}};
+  CoViewConfig config;
+  config.window = 1;  // only adjacent pairs: (0,1), (1,2), (2,3)
+  auto graphs = BuildCoViewGraphs(sessions, kItemCategory, 2, config);
+  ASSERT_TRUE(graphs.ok());
+  EXPECT_EQ(graphs->item_item_edges.size(), 6u);  // 3 pairs symmetric
+  // (0,3) must NOT be connected.
+  for (const Edge& e : graphs->item_item_edges) {
+    EXPECT_FALSE(e.src == 0 && e.dst == 3);
+  }
+}
+
+TEST(SessionsTest, RepeatedViewsDoNotSelfLoop) {
+  std::vector<ViewSession> sessions{{0, {1, 1, 1}}};
+  CoViewConfig config;
+  auto graphs = BuildCoViewGraphs(sessions, kItemCategory, 2, config);
+  ASSERT_TRUE(graphs.ok());
+  EXPECT_TRUE(graphs->item_item_edges.empty());
+}
+
+TEST(SessionsTest, TopKKeepsMostCoViewedNeighbors) {
+  // Items 2 and 3 each co-view BOTH 0 (once) and 1 (twice); with k=1 they
+  // keep only item 1. Items 0 and 1 keep their strongest neighbor. Unlike
+  // the k=all case, the (0,2)/(0,3) pairs must disappear entirely: neither
+  // direction survives its source's top-1 cut, so symmetrization cannot
+  // reintroduce them.
+  std::vector<ViewSession> sessions{
+      {0, {0, 1}}, {1, {2, 1}},   {1, {2, 1}}, {2, {2, 0}},
+      {3, {3, 1}}, {3, {3, 1}},   {4, {3, 0}}, {5, {0, 1}},
+  };
+  CoViewConfig config;
+  config.max_item_neighbors = 1;
+  auto graphs = BuildCoViewGraphs(sessions, kItemCategory, 2, config);
+  ASSERT_TRUE(graphs.ok());
+  bool has_21 = false, has_31 = false;
+  for (const Edge& e : graphs->item_item_edges) {
+    EXPECT_FALSE(e.src == 2 && e.dst == 0) << "truncated edge survived";
+    EXPECT_FALSE(e.src == 3 && e.dst == 0) << "truncated edge survived";
+    has_21 = has_21 || (e.src == 2 && e.dst == 1);
+    has_31 = has_31 || (e.src == 3 && e.dst == 1);
+  }
+  EXPECT_TRUE(has_21);
+  EXPECT_TRUE(has_31);
+}
+
+TEST(SessionsTest, SymmetrizationMayExceedTopKBudget) {
+  // Documented pipeline property: per-source top-K runs BEFORE
+  // symmetrization (as in Section 5.1), so a hub kept by many sources can
+  // end up with more than K neighbors after the reverse edges are added.
+  std::vector<ViewSession> sessions{
+      {0, {0, 1}}, {1, {0, 2}}, {2, {0, 3}},
+      {3, {1, 2}}, {3, {1, 2}},  // items 1,2 prefer each other over 0
+  };
+  CoViewConfig config;
+  config.max_item_neighbors = 1;
+  auto graphs = BuildCoViewGraphs(sessions, kItemCategory, 2, config);
+  ASSERT_TRUE(graphs.ok());
+  int64_t item0_degree = 0;
+  for (const Edge& e : graphs->item_item_edges) {
+    item0_degree += (e.src == 0);
+  }
+  // Item 0's own cut keeps one neighbor, but 3 still keeps 0.
+  EXPECT_GE(item0_degree, 2);
+}
+
+TEST(SessionsTest, FinalEdgesAreUnitWeightAndSymmetric) {
+  std::vector<ViewSession> sessions{{0, {0, 2}}, {1, {0, 2}}, {2, {2, 3}}};
+  auto graphs = BuildCoViewGraphs(sessions, kItemCategory, 2, CoViewConfig());
+  ASSERT_TRUE(graphs.ok());
+  std::set<std::pair<int64_t, int64_t>> edges;
+  for (const Edge& e : graphs->item_item_edges) {
+    EXPECT_FLOAT_EQ(e.weight, 1.0f);
+    edges.insert({e.src, e.dst});
+  }
+  for (const auto& [src, dst] : edges) {
+    EXPECT_TRUE(edges.count({dst, src})) << src << "->" << dst;
+  }
+}
+
+TEST(SessionsTest, RejectsBadInput) {
+  CoViewConfig config;
+  EXPECT_FALSE(BuildCoViewGraphs({{0, {7}}}, kItemCategory, 2, config).ok());
+  EXPECT_FALSE(BuildCoViewGraphs({}, {}, 2, config).ok());
+  EXPECT_FALSE(BuildCoViewGraphs({}, {0, 5}, 2, config).ok());
+  CoViewConfig bad;
+  bad.max_item_neighbors = 0;
+  EXPECT_FALSE(BuildCoViewGraphs({}, kItemCategory, 2, bad).ok());
+  bad = config;
+  bad.window = -1;
+  EXPECT_FALSE(BuildCoViewGraphs({}, kItemCategory, 2, bad).ok());
+}
+
+TEST(SessionsTest, ClicksDeduplicated) {
+  std::vector<ViewSession> sessions{
+      {0, {1, 2, 1}}, {0, {2}}, {1, {3}}};
+  auto clicks = ClicksFromSessions(sessions);
+  ASSERT_EQ(clicks.size(), 3u);
+  EXPECT_EQ(clicks[0], (std::pair<int64_t, int64_t>{0, 1}));
+  EXPECT_EQ(clicks[1], (std::pair<int64_t, int64_t>{0, 2}));
+  EXPECT_EQ(clicks[2], (std::pair<int64_t, int64_t>{1, 3}));
+}
+
+TEST(SessionsTest, EmptySessionsYieldEmptyGraphs) {
+  auto graphs = BuildCoViewGraphs({}, kItemCategory, 2, CoViewConfig());
+  ASSERT_TRUE(graphs.ok());
+  EXPECT_TRUE(graphs->item_item_edges.empty());
+  EXPECT_TRUE(graphs->category_category_edges.empty());
+  EXPECT_TRUE(ClicksFromSessions({}).empty());
+}
+
+}  // namespace
+}  // namespace scenerec

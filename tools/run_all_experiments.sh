@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates every paper artifact and the repo's recorded outputs:
+#   test_output.txt   — full ctest run
+#   bench_output.txt  — every bench binary with default arguments
+# Takes ~20-30 minutes on one CPU core (Table 2 dominates).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "==> $b" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
