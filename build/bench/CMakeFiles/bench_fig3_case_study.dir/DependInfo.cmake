@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_case_study.cc" "bench/CMakeFiles/bench_fig3_case_study.dir/bench_fig3_case_study.cc.o" "gcc" "bench/CMakeFiles/bench_fig3_case_study.dir/bench_fig3_case_study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/scenerec_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/scenerec_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/scenerec_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/scenerec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/scenerec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/scenerec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/scenerec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/scenerec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scenerec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grid_search.dir/bench_grid_search.cc.o"
+  "CMakeFiles/bench_grid_search.dir/bench_grid_search.cc.o.d"
+  "bench_grid_search"
+  "bench_grid_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grid_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

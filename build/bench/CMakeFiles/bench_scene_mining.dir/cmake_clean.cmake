@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scene_mining.dir/bench_scene_mining.cc.o"
+  "CMakeFiles/bench_scene_mining.dir/bench_scene_mining.cc.o.d"
+  "bench_scene_mining"
+  "bench_scene_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scene_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libscenerec_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_recommendation.dir/explain_recommendation.cpp.o"
+  "CMakeFiles/explain_recommendation.dir/explain_recommendation.cpp.o.d"
+  "explain_recommendation"
+  "explain_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scene_graph_explorer.dir/scene_graph_explorer.cpp.o"
+  "CMakeFiles/scene_graph_explorer.dir/scene_graph_explorer.cpp.o.d"
+  "scene_graph_explorer"
+  "scene_graph_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scene_graph_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenerec_cli.dir/scenerec_cli.cpp.o"
+  "CMakeFiles/scenerec_cli.dir/scenerec_cli.cpp.o.d"
+  "scenerec_cli"
+  "scenerec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenerec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

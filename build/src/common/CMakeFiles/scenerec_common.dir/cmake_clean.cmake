@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenerec_common.dir/flags.cc.o"
+  "CMakeFiles/scenerec_common.dir/flags.cc.o.d"
+  "CMakeFiles/scenerec_common.dir/logging.cc.o"
+  "CMakeFiles/scenerec_common.dir/logging.cc.o.d"
+  "CMakeFiles/scenerec_common.dir/malloc_tuning.cc.o"
+  "CMakeFiles/scenerec_common.dir/malloc_tuning.cc.o.d"
+  "CMakeFiles/scenerec_common.dir/rng.cc.o"
+  "CMakeFiles/scenerec_common.dir/rng.cc.o.d"
+  "CMakeFiles/scenerec_common.dir/status.cc.o"
+  "CMakeFiles/scenerec_common.dir/status.cc.o.d"
+  "CMakeFiles/scenerec_common.dir/string_util.cc.o"
+  "CMakeFiles/scenerec_common.dir/string_util.cc.o.d"
+  "libscenerec_common.a"
+  "libscenerec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenerec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

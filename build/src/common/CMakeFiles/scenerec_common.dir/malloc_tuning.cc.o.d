@@ -1,0 +1,3 @@
+src/common/CMakeFiles/scenerec_common.dir/malloc_tuning.cc.o: \
+ /root/repo/src/common/malloc_tuning.cc /usr/include/stdc-predef.h \
+ /root/repo/src/common/malloc_tuning.h

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenerec_data.dir/dataset.cc.o"
+  "CMakeFiles/scenerec_data.dir/dataset.cc.o.d"
+  "CMakeFiles/scenerec_data.dir/sampler.cc.o"
+  "CMakeFiles/scenerec_data.dir/sampler.cc.o.d"
+  "CMakeFiles/scenerec_data.dir/scene_mining.cc.o"
+  "CMakeFiles/scenerec_data.dir/scene_mining.cc.o.d"
+  "CMakeFiles/scenerec_data.dir/sessions.cc.o"
+  "CMakeFiles/scenerec_data.dir/sessions.cc.o.d"
+  "CMakeFiles/scenerec_data.dir/split.cc.o"
+  "CMakeFiles/scenerec_data.dir/split.cc.o.d"
+  "CMakeFiles/scenerec_data.dir/synthetic.cc.o"
+  "CMakeFiles/scenerec_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/scenerec_data.dir/tsv_io.cc.o"
+  "CMakeFiles/scenerec_data.dir/tsv_io.cc.o.d"
+  "libscenerec_data.a"
+  "libscenerec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenerec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenerec_eval.dir/evaluator.cc.o"
+  "CMakeFiles/scenerec_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/scenerec_eval.dir/metrics.cc.o"
+  "CMakeFiles/scenerec_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/scenerec_eval.dir/top_n.cc.o"
+  "CMakeFiles/scenerec_eval.dir/top_n.cc.o.d"
+  "libscenerec_eval.a"
+  "libscenerec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenerec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenerec_graph.dir/bipartite_graph.cc.o"
+  "CMakeFiles/scenerec_graph.dir/bipartite_graph.cc.o.d"
+  "CMakeFiles/scenerec_graph.dir/csr.cc.o"
+  "CMakeFiles/scenerec_graph.dir/csr.cc.o.d"
+  "CMakeFiles/scenerec_graph.dir/scene_graph.cc.o"
+  "CMakeFiles/scenerec_graph.dir/scene_graph.cc.o.d"
+  "CMakeFiles/scenerec_graph.dir/stats.cc.o"
+  "CMakeFiles/scenerec_graph.dir/stats.cc.o.d"
+  "libscenerec_graph.a"
+  "libscenerec_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenerec_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

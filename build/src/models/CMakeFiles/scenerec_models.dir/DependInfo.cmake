@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bpr_mf.cc" "src/models/CMakeFiles/scenerec_models.dir/bpr_mf.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/bpr_mf.cc.o.d"
+  "/root/repo/src/models/cmn.cc" "src/models/CMakeFiles/scenerec_models.dir/cmn.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/cmn.cc.o.d"
+  "/root/repo/src/models/factory.cc" "src/models/CMakeFiles/scenerec_models.dir/factory.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/factory.cc.o.d"
+  "/root/repo/src/models/gcmc.cc" "src/models/CMakeFiles/scenerec_models.dir/gcmc.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/gcmc.cc.o.d"
+  "/root/repo/src/models/item_pop.cc" "src/models/CMakeFiles/scenerec_models.dir/item_pop.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/item_pop.cc.o.d"
+  "/root/repo/src/models/item_rank.cc" "src/models/CMakeFiles/scenerec_models.dir/item_rank.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/item_rank.cc.o.d"
+  "/root/repo/src/models/kgat.cc" "src/models/CMakeFiles/scenerec_models.dir/kgat.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/kgat.cc.o.d"
+  "/root/repo/src/models/kgcn.cc" "src/models/CMakeFiles/scenerec_models.dir/kgcn.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/kgcn.cc.o.d"
+  "/root/repo/src/models/ncf.cc" "src/models/CMakeFiles/scenerec_models.dir/ncf.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/ncf.cc.o.d"
+  "/root/repo/src/models/neighbor_util.cc" "src/models/CMakeFiles/scenerec_models.dir/neighbor_util.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/neighbor_util.cc.o.d"
+  "/root/repo/src/models/ngcf.cc" "src/models/CMakeFiles/scenerec_models.dir/ngcf.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/ngcf.cc.o.d"
+  "/root/repo/src/models/pinsage.cc" "src/models/CMakeFiles/scenerec_models.dir/pinsage.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/pinsage.cc.o.d"
+  "/root/repo/src/models/propagation.cc" "src/models/CMakeFiles/scenerec_models.dir/propagation.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/propagation.cc.o.d"
+  "/root/repo/src/models/recommender.cc" "src/models/CMakeFiles/scenerec_models.dir/recommender.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/recommender.cc.o.d"
+  "/root/repo/src/models/scene_rec.cc" "src/models/CMakeFiles/scenerec_models.dir/scene_rec.cc.o" "gcc" "src/models/CMakeFiles/scenerec_models.dir/scene_rec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/scenerec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/scenerec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/scenerec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/scenerec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/scenerec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scenerec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenerec_models.dir/bpr_mf.cc.o"
+  "CMakeFiles/scenerec_models.dir/bpr_mf.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/cmn.cc.o"
+  "CMakeFiles/scenerec_models.dir/cmn.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/factory.cc.o"
+  "CMakeFiles/scenerec_models.dir/factory.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/gcmc.cc.o"
+  "CMakeFiles/scenerec_models.dir/gcmc.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/item_pop.cc.o"
+  "CMakeFiles/scenerec_models.dir/item_pop.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/item_rank.cc.o"
+  "CMakeFiles/scenerec_models.dir/item_rank.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/kgat.cc.o"
+  "CMakeFiles/scenerec_models.dir/kgat.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/kgcn.cc.o"
+  "CMakeFiles/scenerec_models.dir/kgcn.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/ncf.cc.o"
+  "CMakeFiles/scenerec_models.dir/ncf.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/neighbor_util.cc.o"
+  "CMakeFiles/scenerec_models.dir/neighbor_util.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/ngcf.cc.o"
+  "CMakeFiles/scenerec_models.dir/ngcf.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/pinsage.cc.o"
+  "CMakeFiles/scenerec_models.dir/pinsage.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/propagation.cc.o"
+  "CMakeFiles/scenerec_models.dir/propagation.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/recommender.cc.o"
+  "CMakeFiles/scenerec_models.dir/recommender.cc.o.d"
+  "CMakeFiles/scenerec_models.dir/scene_rec.cc.o"
+  "CMakeFiles/scenerec_models.dir/scene_rec.cc.o.d"
+  "libscenerec_models.a"
+  "libscenerec_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenerec_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/scenerec_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/scenerec_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/scenerec_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/scenerec_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/scenerec_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/scenerec_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/scenerec_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/scenerec_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/nn/CMakeFiles/scenerec_nn.dir/serialization.cc.o" "gcc" "src/nn/CMakeFiles/scenerec_nn.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/scenerec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/scenerec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scenerec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

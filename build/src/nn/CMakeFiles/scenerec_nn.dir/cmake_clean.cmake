@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenerec_nn.dir/embedding.cc.o"
+  "CMakeFiles/scenerec_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/scenerec_nn.dir/linear.cc.o"
+  "CMakeFiles/scenerec_nn.dir/linear.cc.o.d"
+  "CMakeFiles/scenerec_nn.dir/mlp.cc.o"
+  "CMakeFiles/scenerec_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/scenerec_nn.dir/optimizer.cc.o"
+  "CMakeFiles/scenerec_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/scenerec_nn.dir/serialization.cc.o"
+  "CMakeFiles/scenerec_nn.dir/serialization.cc.o.d"
+  "libscenerec_nn.a"
+  "libscenerec_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenerec_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenerec_tensor.dir/grad_check.cc.o"
+  "CMakeFiles/scenerec_tensor.dir/grad_check.cc.o.d"
+  "CMakeFiles/scenerec_tensor.dir/ops.cc.o"
+  "CMakeFiles/scenerec_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/scenerec_tensor.dir/shape.cc.o"
+  "CMakeFiles/scenerec_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/scenerec_tensor.dir/tensor.cc.o"
+  "CMakeFiles/scenerec_tensor.dir/tensor.cc.o.d"
+  "libscenerec_tensor.a"
+  "libscenerec_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenerec_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenerec_train.dir/grid_search.cc.o"
+  "CMakeFiles/scenerec_train.dir/grid_search.cc.o.d"
+  "CMakeFiles/scenerec_train.dir/trainer.cc.o"
+  "CMakeFiles/scenerec_train.dir/trainer.cc.o.d"
+  "libscenerec_train.a"
+  "libscenerec_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenerec_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscenerec_train.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_learning_test.dir/model_learning_test.cc.o"
+  "CMakeFiles/model_learning_test.dir/model_learning_test.cc.o.d"
+  "model_learning_test"
+  "model_learning_test.pdb"
+  "model_learning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_learning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scene_mining_test.dir/scene_mining_test.cc.o"
+  "CMakeFiles/scene_mining_test.dir/scene_mining_test.cc.o.d"
+  "scene_mining_test"
+  "scene_mining_test.pdb"
+  "scene_mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scene_mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
