@@ -12,6 +12,7 @@
 #include "bench/bench_util.h"
 #include "common/flags.h"
 #include "common/malloc_tuning.h"
+#include "common/thread_pool.h"
 #include "common/string_util.h"
 
 namespace {
@@ -31,11 +32,19 @@ int Run(int argc, char** argv) {
   flags.AddDouble("lr", 0.0, "learning rate; 0 = per-model tuned default");
   flags.AddInt64("seed", 42, "RNG seed");
   flags.AddBool("verbose", false, "per-epoch logging");
+  flags.AddInt64("threads", 1,
+                 "worker threads for training/evaluation; 0 = all hardware "
+                 "threads, 1 = serial (bitwise-reproducible)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s.ToString() << "\n" << flags.Help();
     return 1;
   }
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  if (flags.GetInt64("threads") < 0) {
+    std::cerr << "--threads must be non-negative (0 = hardware concurrency)\n";
+    return 1;
+  }
+  SetDefaultThreadPoolThreads(flags.GetInt64("threads"));
 
   JdPreset preset = JdPreset::kElectronics;
   for (JdPreset p : AllJdPresets()) {
@@ -66,6 +75,7 @@ int Run(int argc, char** argv) {
     train_config.epochs = flags.GetInt64("epochs");
     train_config.seed = seed + 23;
     train_config.verbose = flags.GetBool("verbose");
+    train_config.threads = flags.GetInt64("threads");
     train_config.learning_rate =
         flags.GetDouble("lr") > 0.0
             ? static_cast<float>(flags.GetDouble("lr"))

@@ -22,6 +22,7 @@
 #include "bench/bench_util.h"
 #include "common/flags.h"
 #include "common/malloc_tuning.h"
+#include "common/thread_pool.h"
 #include "data/tsv_io.h"
 #include "eval/top_n.h"
 #include "models/factory.h"
@@ -99,6 +100,7 @@ int Train(const FlagParser& flags, CliContext& context) {
   config.optimizer = flags.GetString("optimizer");
   config.seed = static_cast<uint64_t>(flags.GetInt64("data_seed")) + 23;
   config.verbose = flags.GetBool("verbose");
+  config.threads = flags.GetInt64("threads");
   auto result =
       TrainAndEvaluate(*context.model, context.split, context.train_graph,
                        config);
@@ -127,8 +129,13 @@ int Train(const FlagParser& flags, CliContext& context) {
 
 int Evaluate(const FlagParser& flags, CliContext& context) {
   context.model->OnEvalBegin();
+  ThreadPool* pool = DefaultThreadPool();
+  if (pool->num_threads() <= 1 ||
+      !context.model->PrepareParallelScoring(*pool)) {
+    pool = nullptr;
+  }
   RankingMetrics sampled =
-      EvaluateRanking(context.model->Scorer(), context.split.test, 10);
+      EvaluateRanking(context.model->Scorer(), context.split.test, 10, pool);
   std::printf("sampled-negatives protocol: NDCG@10 %.4f HR@10 %.4f MRR %.4f "
               "(%lld users)\n",
               sampled.ndcg, sampled.hr, sampled.mrr,
@@ -136,7 +143,7 @@ int Evaluate(const FlagParser& flags, CliContext& context) {
   if (flags.GetBool("full_ranking")) {
     RankingMetrics full =
         EvaluateFullRanking(context.model->Scorer(), context.train_graph,
-                            context.split.test, 10);
+                            context.split.test, 10, pool);
     std::printf("full-vocabulary protocol:   NDCG@10 %.4f HR@10 %.4f MRR %.4f\n",
                 full.ndcg, full.hr, full.mrr);
   }
@@ -188,10 +195,18 @@ int Run(int argc, char** argv) {
   flags.AddInt64("top_n", 10, "recommendations to print (recommend)");
   flags.AddBool("full_ranking", false, "also run the all-items protocol (evaluate)");
   flags.AddBool("verbose", false, "per-epoch logging");
+  flags.AddInt64("threads", 1,
+                 "worker threads for training/evaluation; 0 = all hardware "
+                 "threads, 1 = serial (bitwise-reproducible)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s.ToString() << "\n" << flags.Help();
     return 1;
   }
+  if (flags.GetInt64("threads") < 0) {
+    std::cerr << "--threads must be non-negative (0 = hardware concurrency)\n";
+    return 1;
+  }
+  SetDefaultThreadPoolThreads(flags.GetInt64("threads"));
   if (flags.positional().size() != 1) {
     std::cerr << "usage: scenerec_cli <train|evaluate|recommend> [flags]\n"
               << flags.Help();

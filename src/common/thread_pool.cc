@@ -1,0 +1,169 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/check.h"
+
+namespace scenerec {
+
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+/// One in-flight ParallelFor. Workers and the caller pull chunk indices
+/// from `next` until it passes `num_chunks`; the last finisher signals
+/// `done`.
+struct ThreadPool::LoopState {
+  int64_t n = 0;
+  int64_t chunk = 0;       // indices per chunk (last chunk may be short)
+  int64_t num_chunks = 0;
+  const std::function<void(int64_t, int64_t)>* body = nullptr;
+
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> completed{0};
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::exception_ptr error;  // first exception, guarded by mutex
+};
+
+ThreadPool::ThreadPool(int64_t num_threads) : num_threads_(num_threads) {
+  SCENEREC_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int64_t i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::InWorkerThread() { return t_in_worker; }
+
+int64_t ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int64_t>(n);
+}
+
+void ThreadPool::RunChunks(LoopState& state) {
+  while (true) {
+    const int64_t c = state.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= state.num_chunks) return;
+    const int64_t begin = c * state.chunk;
+    const int64_t end = std::min(state.n, begin + state.chunk);
+    try {
+      (*state.body)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (!state.error) state.error = std::current_exception();
+    }
+    if (state.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state.num_chunks) {
+      // Last chunk: wake the caller. Lock pairs with the caller's wait to
+      // avoid a lost notification between its predicate check and sleep.
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerMain() {
+  t_in_worker = true;
+  while (true) {
+    std::shared_ptr<LoopState> loop;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+      if (shutdown_ && pending_.empty()) return;
+      loop = pending_.back();
+      if (loop->next.load(std::memory_order_relaxed) >= loop->num_chunks) {
+        // Loop already fully claimed; retire it instead of spinning.
+        pending_.pop_back();
+        continue;
+      }
+    }
+    RunChunks(*loop);
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t n, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body) {
+  SCENEREC_CHECK_GE(n, 0);
+  if (n == 0) return;
+  grain = std::max<int64_t>(1, grain);
+  // Inline when there is nothing to fan out to, the range is one chunk, or
+  // we are already inside a worker (nested parallelism runs sequentially).
+  if (num_threads_ == 1 || n <= grain || InWorkerThread()) {
+    body(0, n);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  const int64_t max_chunks = (n + grain - 1) / grain;
+  // A few chunks per lane keeps load-balancing without scheduling overhead.
+  const int64_t target = std::min<int64_t>(max_chunks, num_threads_ * 4);
+  state->chunk = (n + target - 1) / target;
+  state->num_chunks = (n + state->chunk - 1) / state->chunk;
+  state->n = n;
+  state->body = &body;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(state);
+  }
+  wake_.notify_all();
+
+  // The caller is a full participant: it only sleeps once every chunk has
+  // been claimed and is waiting for stragglers.
+  RunChunks(*state);
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] {
+      return state->completed.load(std::memory_order_acquire) ==
+             state->num_chunks;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), state),
+                   pending_.end());
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+int64_t ResolveThreadCount(int64_t requested) {
+  SCENEREC_CHECK_GE(requested, 0);
+  return requested == 0 ? ThreadPool::HardwareConcurrency() : requested;
+}
+
+namespace {
+std::mutex g_default_pool_mutex;
+std::unique_ptr<ThreadPool> g_default_pool;      // guarded by mutex
+int64_t g_default_pool_threads = 0;              // 0 = hardware concurrency
+}  // namespace
+
+ThreadPool* DefaultThreadPool() {
+  std::lock_guard<std::mutex> lock(g_default_pool_mutex);
+  if (g_default_pool == nullptr) {
+    g_default_pool =
+        std::make_unique<ThreadPool>(ResolveThreadCount(g_default_pool_threads));
+  }
+  return g_default_pool.get();
+}
+
+void SetDefaultThreadPoolThreads(int64_t num_threads) {
+  std::lock_guard<std::mutex> lock(g_default_pool_mutex);
+  g_default_pool_threads = num_threads;
+  g_default_pool.reset();  // next DefaultThreadPool() rebuilds at the new size
+}
+
+}  // namespace scenerec

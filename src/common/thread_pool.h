@@ -1,0 +1,93 @@
+#ifndef SCENEREC_COMMON_THREAD_POOL_H_
+#define SCENEREC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scenerec {
+
+/// Fixed-size worker pool for data-parallel loops. The unit of work is a
+/// half-open index range handed to ParallelFor; tasks are distributed by a
+/// shared atomic cursor, so uneven chunks load-balance automatically.
+///
+/// Concurrency contract:
+///   - ParallelFor blocks until every chunk has run and rethrows the first
+///     exception thrown by any chunk (remaining chunks still complete, so
+///     the loop never leaves work half-dispatched).
+///   - The calling thread participates in the loop, so a pool with
+///     num_threads == N runs at most N bodies concurrently (N-1 workers
+///     plus the caller).
+///   - Reentrancy: a ParallelFor issued from inside any pool's worker runs
+///     inline on that worker. This makes nested parallelism (e.g. a
+///     parallel grid search whose cells train with a parallel trainer)
+///     deadlock-free and non-oversubscribing by construction.
+///
+/// The pool itself is thread-safe: concurrent ParallelFor calls from
+/// different threads share the workers.
+class ThreadPool {
+ public:
+  /// Spawns num_threads - 1 workers (the caller is the last lane).
+  /// num_threads must be >= 1; 1 means "no workers, run everything inline".
+  explicit ThreadPool(int64_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int64_t num_threads() const { return num_threads_; }
+
+  /// Runs body(begin, end) over a partition of [0, n) with chunks of at
+  /// least `grain` indices. Blocks until done; rethrows the first chunk
+  /// exception. body must be safe to invoke concurrently from multiple
+  /// threads for disjoint ranges.
+  void ParallelFor(int64_t n, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  /// True when the calling thread is a worker of ANY ThreadPool. Used to
+  /// run nested parallel sections inline instead of fanning out again.
+  static bool InWorkerThread();
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int64_t HardwareConcurrency();
+
+ private:
+  struct LoopState;
+
+  void WorkerMain();
+  /// Grabs chunks from `state` until the loop is exhausted.
+  static void RunChunks(LoopState& state);
+
+  int64_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  /// Loops waiting for worker participation (usually zero or one).
+  std::vector<std::shared_ptr<LoopState>> pending_;
+  bool shutdown_ = false;
+};
+
+/// Resolves a --threads style setting: 0 means "use every hardware thread",
+/// any positive value is taken literally. Negative values are invalid and
+/// must be rejected by config validation before reaching here.
+int64_t ResolveThreadCount(int64_t requested);
+
+/// Process-wide default pool, created on first use with the thread count
+/// last passed to SetDefaultThreadPoolThreads (or hardware concurrency if
+/// never configured). Binaries wire their --threads flag through
+/// SetDefaultThreadPoolThreads at startup, before any parallel work runs.
+ThreadPool* DefaultThreadPool();
+
+/// Configures the default pool size (0 = hardware concurrency). Must be
+/// called before the first DefaultThreadPool() use; later calls rebuild the
+/// pool, which is only safe while no parallel work is in flight.
+void SetDefaultThreadPoolThreads(int64_t num_threads);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_COMMON_THREAD_POOL_H_

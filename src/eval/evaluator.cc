@@ -1,70 +1,113 @@
 #include "eval/evaluator.h"
 
+#include <array>
+
 #include "common/check.h"
 
 namespace scenerec {
 
-RankingMetrics EvaluateRanking(const ScoreFn& score,
-                               const std::vector<EvalInstance>& instances,
-                               int64_t k) {
-  SCENEREC_CHECK_GT(k, 0);
-  RankingMetrics metrics;
-  metrics.num_instances = static_cast<int64_t>(instances.size());
-  if (instances.empty()) return metrics;
+namespace {
 
+/// Per-instance (hr, ndcg, mrr) contributions. Parallel and serial runs
+/// both fill an index-addressed table and reduce it in index order, which
+/// makes the parallel metrics bitwise identical to the serial ones (the
+/// summation order never depends on thread scheduling).
+RankingMetrics ReduceInOrder(const std::vector<std::array<double, 3>>& per) {
+  RankingMetrics metrics;
+  metrics.num_instances = static_cast<int64_t>(per.size());
   double hr_sum = 0.0;
   double ndcg_sum = 0.0;
   double mrr_sum = 0.0;
-  std::vector<float> negative_scores;
-  for (const EvalInstance& instance : instances) {
-    const float positive_score = score(instance.user, instance.positive_item);
-    negative_scores.clear();
-    negative_scores.reserve(instance.negative_items.size());
-    for (int64_t item : instance.negative_items) {
-      negative_scores.push_back(score(instance.user, item));
-    }
-    const int64_t rank = RankOfPositive(positive_score, negative_scores);
-    hr_sum += HitRatioAtK(rank, k);
-    ndcg_sum += NdcgAtK(rank, k);
-    mrr_sum += ReciprocalRank(rank);
+  for (const auto& m : per) {
+    hr_sum += m[0];
+    ndcg_sum += m[1];
+    mrr_sum += m[2];
   }
-  metrics.hr = hr_sum / static_cast<double>(instances.size());
-  metrics.ndcg = ndcg_sum / static_cast<double>(instances.size());
-  metrics.mrr = mrr_sum / static_cast<double>(instances.size());
+  metrics.hr = hr_sum / static_cast<double>(per.size());
+  metrics.ndcg = ndcg_sum / static_cast<double>(per.size());
+  metrics.mrr = mrr_sum / static_cast<double>(per.size());
   return metrics;
+}
+
+/// Runs body(i) for every i in [0, n), on the pool when one is supplied.
+/// The ScoreFn must be thread-safe in the parallel case; callers gate on
+/// Recommender::PrepareParallelScoring.
+void ForEachInstance(ThreadPool* pool, int64_t n,
+                     const std::function<void(int64_t)>& body) {
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(n, /*grain=*/1, [&body](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) body(i);
+    });
+  } else {
+    for (int64_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+}  // namespace
+
+RankingMetrics EvaluateRanking(const ScoreFn& score,
+                               const std::vector<EvalInstance>& instances,
+                               int64_t k, ThreadPool* pool) {
+  SCENEREC_CHECK_GT(k, 0);
+  if (instances.empty()) {
+    RankingMetrics metrics;
+    metrics.num_instances = 0;
+    return metrics;
+  }
+
+  std::vector<std::array<double, 3>> per(instances.size());
+  ForEachInstance(pool, static_cast<int64_t>(instances.size()),
+                  [&](int64_t idx) {
+                    const EvalInstance& instance =
+                        instances[static_cast<size_t>(idx)];
+                    const float positive_score =
+                        score(instance.user, instance.positive_item);
+                    std::vector<float> negative_scores;
+                    negative_scores.reserve(instance.negative_items.size());
+                    for (int64_t item : instance.negative_items) {
+                      negative_scores.push_back(score(instance.user, item));
+                    }
+                    const int64_t rank =
+                        RankOfPositive(positive_score, negative_scores);
+                    per[static_cast<size_t>(idx)] = {HitRatioAtK(rank, k),
+                                                     NdcgAtK(rank, k),
+                                                     ReciprocalRank(rank)};
+                  });
+  return ReduceInOrder(per);
 }
 
 RankingMetrics EvaluateFullRanking(const ScoreFn& score,
                                    const UserItemGraph& train_graph,
                                    const std::vector<EvalInstance>& instances,
-                                   int64_t k) {
+                                   int64_t k, ThreadPool* pool) {
   SCENEREC_CHECK_GT(k, 0);
-  RankingMetrics metrics;
-  metrics.num_instances = static_cast<int64_t>(instances.size());
-  if (instances.empty()) return metrics;
-
-  double hr_sum = 0.0;
-  double ndcg_sum = 0.0;
-  double mrr_sum = 0.0;
-  const int64_t num_items = train_graph.num_items();
-  for (const EvalInstance& instance : instances) {
-    const float positive_score = score(instance.user, instance.positive_item);
-    // Count candidates ranked strictly above the positive, skipping items
-    // the user already interacted with during training (standard masking).
-    int64_t rank = 0;
-    for (int64_t item = 0; item < num_items; ++item) {
-      if (item == instance.positive_item) continue;
-      if (train_graph.HasInteraction(instance.user, item)) continue;
-      if (score(instance.user, item) > positive_score) ++rank;
-    }
-    hr_sum += HitRatioAtK(rank, k);
-    ndcg_sum += NdcgAtK(rank, k);
-    mrr_sum += ReciprocalRank(rank);
+  if (instances.empty()) {
+    RankingMetrics metrics;
+    metrics.num_instances = 0;
+    return metrics;
   }
-  metrics.hr = hr_sum / static_cast<double>(instances.size());
-  metrics.ndcg = ndcg_sum / static_cast<double>(instances.size());
-  metrics.mrr = mrr_sum / static_cast<double>(instances.size());
-  return metrics;
+
+  const int64_t num_items = train_graph.num_items();
+  std::vector<std::array<double, 3>> per(instances.size());
+  ForEachInstance(
+      pool, static_cast<int64_t>(instances.size()), [&](int64_t idx) {
+        const EvalInstance& instance = instances[static_cast<size_t>(idx)];
+        const float positive_score =
+            score(instance.user, instance.positive_item);
+        // Count candidates ranked strictly above the positive, skipping items
+        // the user already interacted with during training (standard
+        // masking).
+        int64_t rank = 0;
+        for (int64_t item = 0; item < num_items; ++item) {
+          if (item == instance.positive_item) continue;
+          if (train_graph.HasInteraction(instance.user, item)) continue;
+          if (score(instance.user, item) > positive_score) ++rank;
+        }
+        per[static_cast<size_t>(idx)] = {HitRatioAtK(rank, k),
+                                         NdcgAtK(rank, k),
+                                         ReciprocalRank(rank)};
+      });
+  return ReduceInOrder(per);
 }
 
 }  // namespace scenerec

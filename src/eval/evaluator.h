@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/split.h"
 #include "graph/bipartite_graph.h"
 #include "eval/metrics.h"
@@ -17,19 +18,25 @@ using ScoreFn = std::function<float(int64_t user, int64_t item)>;
 /// Runs the paper's ranking protocol (Section 5.3): for every evaluation
 /// instance the positive is ranked against its sampled negatives, and HR@K /
 /// NDCG@K / MRR are averaged over instances.
+///
+/// When `pool` is non-null, instances are scored in parallel; `score` must
+/// then be safe to call concurrently (see
+/// Recommender::PrepareParallelScoring). Per-instance results are reduced
+/// in instance order, so the metrics are bitwise identical to a serial run.
 RankingMetrics EvaluateRanking(const ScoreFn& score,
                                const std::vector<EvalInstance>& instances,
-                               int64_t k);
+                               int64_t k, ThreadPool* pool = nullptr);
 
 /// Stricter all-item protocol (as used by the NGCF/KGAT papers): each
 /// instance's positive is ranked against the ENTIRE item vocabulary except
 /// the user's training interactions (the instance's sampled negative list is
 /// ignored). Far more expensive — O(num_items) scores per instance — but
-/// free of negative-sampling variance.
+/// free of negative-sampling variance. Same `pool` contract as
+/// EvaluateRanking.
 RankingMetrics EvaluateFullRanking(const ScoreFn& score,
                                    const UserItemGraph& train_graph,
                                    const std::vector<EvalInstance>& instances,
-                                   int64_t k);
+                                   int64_t k, ThreadPool* pool = nullptr);
 
 }  // namespace scenerec
 

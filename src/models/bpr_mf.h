@@ -22,6 +22,10 @@ class BprMf : public Recommender {
   float Score(int64_t user, int64_t item) override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
+  /// Scoring reads only the embedding tables: no sampling, no caches.
+  bool SupportsShardedLoss() const override { return true; }
+  bool PrepareParallelScoring(ThreadPool&) override { return true; }
+
  private:
   Embedding user_embedding_;
   Embedding item_embedding_;

@@ -21,11 +21,15 @@ Cmn::Cmn(const UserItemGraph* graph, int64_t dim, int64_t max_neighbors,
 }
 
 Tensor Cmn::ScoreForTraining(int64_t user, int64_t item) {
+  return ShardScore(user, item,
+                    NoGradGuard::enabled() ? nullptr : &sample_rng_);
+}
+
+Tensor Cmn::ShardScore(int64_t user, int64_t item, Rng* rng) {
   Tensor m_u = user_memory_.Lookup(user);
   Tensor e_i = item_embedding_.Lookup(item);
 
   // Neighborhood: users that co-consumed the item, excluding the target user.
-  Rng* rng = NoGradGuard::enabled() ? nullptr : &sample_rng_;
   std::vector<int64_t> neighbors;
   for (int64_t v :
        CapNeighbors(graph_->UsersOfItem(item), max_neighbors_ + 1, rng)) {

@@ -23,7 +23,7 @@ Tensor Gcmc::ScoreForTraining(int64_t user, int64_t item) {
   return Dot(Row(z, prop_.UserNode(user)), Row(z, prop_.ItemNode(item)));
 }
 
-Tensor Gcmc::BatchLoss(const std::vector<BprTriple>& batch) {
+Tensor Gcmc::BatchLoss(std::span<const BprTriple> batch) {
   SCENEREC_CHECK(!batch.empty());
   Tensor z = Propagate();
   Tensor total;
@@ -40,6 +40,12 @@ Tensor Gcmc::BatchLoss(const std::vector<BprTriple>& batch) {
 void Gcmc::OnEvalBegin() {
   NoGradGuard no_grad;
   cached_ = Propagate().value();
+}
+
+bool Gcmc::PrepareParallelScoring(ThreadPool& pool) {
+  (void)pool;  // one full-graph propagation; nothing to fan out
+  if (cached_.empty()) OnEvalBegin();
+  return true;
 }
 
 float Gcmc::Score(int64_t user, int64_t item) {

@@ -2,6 +2,7 @@
 #define SCENEREC_MODELS_GCMC_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,9 +28,12 @@ class Gcmc : public Recommender {
 
   std::string name() const override { return "GCMC"; }
   Tensor ScoreForTraining(int64_t user, int64_t item) override;
-  Tensor BatchLoss(const std::vector<BprTriple>& batch) override;
+  Tensor BatchLoss(std::span<const BprTriple> batch) override;
   float Score(int64_t user, int64_t item) override;
   void OnEvalBegin() override;
+  /// After the cache refresh Score() is a pure read of the propagated
+  /// layer snapshot, so concurrent scoring is safe.
+  bool PrepareParallelScoring(ThreadPool& pool) override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
  private:

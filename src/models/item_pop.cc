@@ -15,7 +15,7 @@ Tensor ItemPop::ScoreForTraining(int64_t user, int64_t item) {
   return Tensor::Scalar(static_cast<float>(graph_->ItemDegree(item)));
 }
 
-Tensor ItemPop::BatchLoss(const std::vector<BprTriple>& batch) {
+Tensor ItemPop::BatchLoss(std::span<const BprTriple> batch) {
   (void)batch;
   // Constant model: zero loss that still "depends" on the dummy parameter so
   // Backward() has a gradient path (with zero gradient).

@@ -2,6 +2,7 @@
 #define SCENEREC_MODELS_ITEM_POP_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -20,9 +21,12 @@ class ItemPop : public Recommender {
 
   std::string name() const override { return "ItemPop"; }
   Tensor ScoreForTraining(int64_t user, int64_t item) override;
-  Tensor BatchLoss(const std::vector<BprTriple>& batch) override;
+  Tensor BatchLoss(std::span<const BprTriple> batch) override;
   float Score(int64_t user, int64_t item) override;
   void CollectParameters(std::vector<Tensor>* out) const override;
+
+  /// Score() reads the immutable training graph only.
+  bool PrepareParallelScoring(ThreadPool&) override { return true; }
 
  private:
   const UserItemGraph* graph_;

@@ -86,7 +86,7 @@ Tensor ItemRank::ScoreForTraining(int64_t user, int64_t item) {
   return Tensor::Scalar(Score(user, item));
 }
 
-Tensor ItemRank::BatchLoss(const std::vector<BprTriple>& batch) {
+Tensor ItemRank::BatchLoss(std::span<const BprTriple> batch) {
   (void)batch;
   // Training-free model; see ItemPop for the dummy-gradient rationale.
   return Scale(Reshape(dummy_, Shape()), 0.0f);
@@ -94,6 +94,14 @@ Tensor ItemRank::BatchLoss(const std::vector<BprTriple>& batch) {
 
 float ItemRank::Score(int64_t user, int64_t item) {
   return RankVector(user)[static_cast<size_t>(item)];
+}
+
+bool ItemRank::PrepareParallelScoring(ThreadPool& pool) {
+  pool.ParallelFor(graph_->num_users(), /*grain=*/1,
+                   [this](int64_t begin, int64_t end) {
+                     for (int64_t u = begin; u < end; ++u) RankVector(u);
+                   });
+  return true;
 }
 
 void ItemRank::CollectParameters(std::vector<Tensor>* out) const {

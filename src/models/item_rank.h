@@ -2,6 +2,7 @@
 #define SCENEREC_MODELS_ITEM_RANK_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,9 +28,13 @@ class ItemRank : public Recommender {
 
   std::string name() const override { return "ItemRank"; }
   Tensor ScoreForTraining(int64_t user, int64_t item) override;
-  Tensor BatchLoss(const std::vector<BprTriple>& batch) override;
+  Tensor BatchLoss(std::span<const BprTriple> batch) override;
   float Score(int64_t user, int64_t item) override;
   void CollectParameters(std::vector<Tensor>* out) const override;
+
+  /// Fills every user's rank vector up front (each worker writes a disjoint
+  /// cache slot), after which Score() is a pure read.
+  bool PrepareParallelScoring(ThreadPool& pool) override;
 
  private:
   /// Power iteration for one user; cached.

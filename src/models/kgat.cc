@@ -177,7 +177,7 @@ Tensor Kgat::ScoreForTraining(int64_t user, int64_t item) {
   return total;
 }
 
-Tensor Kgat::BatchLoss(const std::vector<BprTriple>& batch) {
+Tensor Kgat::BatchLoss(std::span<const BprTriple> batch) {
   SCENEREC_CHECK(!batch.empty());
   std::vector<Tensor> layers = Propagate();
   Tensor total;
@@ -211,6 +211,12 @@ void Kgat::OnEvalBegin() {
   cached_layers_.clear();
   cached_layers_.reserve(layers.size());
   for (const Tensor& layer : layers) cached_layers_.push_back(layer.value());
+}
+
+bool Kgat::PrepareParallelScoring(ThreadPool& pool) {
+  (void)pool;  // one full-graph propagation; nothing to fan out
+  if (cached_layers_.empty()) OnEvalBegin();
+  return true;
 }
 
 float Kgat::Score(int64_t user, int64_t item) {

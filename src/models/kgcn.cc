@@ -22,7 +22,11 @@ Kgcn::Kgcn(const UserItemGraph* graph, const SceneGraph* scene, int64_t dim,
 }
 
 Tensor Kgcn::ScoreForTraining(int64_t user, int64_t item) {
-  Rng* rng = NoGradGuard::enabled() ? nullptr : &sample_rng_;
+  return ShardScore(user, item,
+                    NoGradGuard::enabled() ? nullptr : &sample_rng_);
+}
+
+Tensor Kgcn::ShardScore(int64_t user, int64_t item, Rng* rng) {
   Tensor e_u = user_embedding_.Lookup(user);
   Tensor e_i = item_embedding_.Lookup(item);
 

@@ -33,6 +33,12 @@ class Kgcn : public Recommender {
   Tensor ScoreForTraining(int64_t user, int64_t item) override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
+  /// All neighborhood sampling flows through the caller's rng, so shards
+  /// are independent; the eval path (rng = nullptr) is stateless.
+  Tensor ShardScore(int64_t user, int64_t item, Rng* rng) override;
+  bool SupportsShardedLoss() const override { return true; }
+  bool PrepareParallelScoring(ThreadPool&) override { return true; }
+
  private:
   const UserItemGraph* graph_;
   const SceneGraph* scene_;

@@ -25,6 +25,10 @@ class Ncf : public Recommender {
   Tensor ScoreForTraining(int64_t user, int64_t item) override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
+  /// Pure feed-forward over embeddings: no sampling, no mutable caches.
+  bool SupportsShardedLoss() const override { return true; }
+  bool PrepareParallelScoring(ThreadPool&) override { return true; }
+
  private:
   Embedding gmf_user_;
   Embedding gmf_item_;

@@ -54,7 +54,7 @@ Tensor Ngcf::ScoreForTraining(int64_t user, int64_t item) {
   return total;
 }
 
-Tensor Ngcf::BatchLoss(const std::vector<BprTriple>& batch) {
+Tensor Ngcf::BatchLoss(std::span<const BprTriple> batch) {
   SCENEREC_CHECK(!batch.empty());
   std::vector<Tensor> layers = Propagate();
   Tensor total;
@@ -79,6 +79,12 @@ void Ngcf::OnEvalBegin() {
   cached_layers_.clear();
   cached_layers_.reserve(layers.size());
   for (const Tensor& layer : layers) cached_layers_.push_back(layer.value());
+}
+
+bool Ngcf::PrepareParallelScoring(ThreadPool& pool) {
+  (void)pool;  // one full-graph propagation; nothing to fan out
+  if (cached_layers_.empty()) OnEvalBegin();
+  return true;
 }
 
 float Ngcf::Score(int64_t user, int64_t item) {

@@ -55,7 +55,11 @@ Tensor PinSage::Output(Side side, int64_t id, Rng* rng) {
 }
 
 Tensor PinSage::ScoreForTraining(int64_t user, int64_t item) {
-  Rng* rng = NoGradGuard::enabled() ? nullptr : &sample_rng_;
+  return ShardScore(user, item,
+                    NoGradGuard::enabled() ? nullptr : &sample_rng_);
+}
+
+Tensor PinSage::ShardScore(int64_t user, int64_t item, Rng* rng) {
   Tensor z_u = Output(Side::kUser, user, rng);
   Tensor z_i = Output(Side::kItem, item, rng);
   return Dot(z_u, z_i);

@@ -4,13 +4,29 @@
 
 namespace scenerec {
 
-Tensor Recommender::BatchLoss(const std::vector<BprTriple>& batch) {
+Tensor Recommender::BatchLoss(std::span<const BprTriple> batch) {
   SCENEREC_CHECK(!batch.empty());
   Tensor total;
   for (const BprTriple& triple : batch) {
     Tensor loss =
         BprPairLoss(ScoreForTraining(triple.user, triple.positive_item),
                     ScoreForTraining(triple.user, triple.negative_item));
+    total = total.defined() ? Add(total, loss) : loss;
+  }
+  return total;
+}
+
+Tensor Recommender::BatchLossShard(std::span<const BprTriple> shard,
+                                   int64_t shard_index, Rng& rng) {
+  (void)shard_index;
+  SCENEREC_CHECK(SupportsShardedLoss())
+      << name() << " was not audited for sharded training";
+  SCENEREC_CHECK(!shard.empty());
+  Tensor total;
+  for (const BprTriple& triple : shard) {
+    Tensor loss =
+        BprPairLoss(ShardScore(triple.user, triple.positive_item, &rng),
+                    ShardScore(triple.user, triple.negative_item, &rng));
     total = total.defined() ? Add(total, loss) : loss;
   }
   return total;

@@ -2,9 +2,12 @@
 #define SCENEREC_MODELS_RECOMMENDER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "data/sampler.h"
 #include "eval/evaluator.h"
 #include "graph/bipartite_graph.h"
@@ -41,11 +44,55 @@ class Recommender : public Module {
   /// which the optimizer applies as weight decay). The default implementation
   /// scores each pair independently; full-graph propagation models (NGCF,
   /// KGAT) override it to share one propagation across the batch.
-  virtual Tensor BatchLoss(const std::vector<BprTriple>& batch);
+  virtual Tensor BatchLoss(std::span<const BprTriple> batch);
+
+  // -- Sharded (data-parallel) training ---------------------------------
+  //
+  // The parallel trainer splits each batch into shards and runs
+  // BatchLossShard + Backward concurrently, one shard per pool lane
+  // (docs/parallelism.md). A model may opt in by returning true from
+  // SupportsShardedLoss and guaranteeing that concurrent BatchLossShard
+  // calls with distinct shard indices share NO mutable state: every source
+  // of randomness must come from the passed Rng and every memo cache must
+  // be per-shard (see SceneRec) or absent.
+
+  /// True if BatchLossShard may be called concurrently. Defaults to false;
+  /// models stay serial until they are audited for shard safety.
+  virtual bool SupportsShardedLoss() const { return false; }
+
+  /// Called once before the shard loop of every parallel step with the
+  /// number of shards about to run, so the model can size per-shard caches.
+  /// Never called concurrently with BatchLossShard.
+  virtual void PrepareShards(int64_t num_shards) { (void)num_shards; }
+
+  /// BatchLoss restricted to one shard. `rng` replaces the model's internal
+  /// sampling generator so shards draw independent streams. The default
+  /// scores pairs via ShardScore; models with cross-pair memoization
+  /// override it. Requires SupportsShardedLoss().
+  virtual Tensor BatchLossShard(std::span<const BprTriple> shard,
+                                int64_t shard_index, Rng& rng);
+
+  /// Differentiable pair score whose sampling randomness comes from `rng`
+  /// (nullptr = deterministic, as in evaluation). Default ignores rng and
+  /// calls ScoreForTraining — correct only for models that do not sample.
+  virtual Tensor ShardScore(int64_t user, int64_t item, Rng* rng) {
+    (void)rng;
+    return ScoreForTraining(user, item);
+  }
 
   /// Inference-mode score. Default: ScoreForTraining under NoGradGuard.
   /// Models with cached propagated representations override this.
   virtual float Score(int64_t user, int64_t item);
+
+  /// Makes Score() safe to call concurrently and returns true, or returns
+  /// false if this model's scoring path cannot be parallelized. Called by
+  /// the trainer/evaluator after OnEvalBegin; implementations typically
+  /// precompute lazily-filled eval caches here (optionally using `pool`)
+  /// so that concurrent Score() calls are pure reads. Defaults to false.
+  virtual bool PrepareParallelScoring(ThreadPool& pool) {
+    (void)pool;
+    return false;
+  }
 
   /// Hook invoked before an evaluation sweep, e.g. to refresh cached
   /// propagated embeddings with the current parameters. Default no-op.

@@ -46,11 +46,11 @@ std::string SceneRec::name() const {
   return "SceneRec";
 }
 
-Tensor SceneRec::SceneSum(int64_t category) const {
-  if (scene_sum_cache_.empty()) {
-    scene_sum_cache_.resize(static_cast<size_t>(scene_->num_categories()));
+Tensor SceneRec::SceneSum(int64_t category, StepCaches& caches) const {
+  if (caches.scene_sum.empty()) {
+    caches.scene_sum.resize(static_cast<size_t>(scene_->num_categories()));
   }
-  Tensor& memo = scene_sum_cache_[static_cast<size_t>(category)];
+  Tensor& memo = caches.scene_sum[static_cast<size_t>(category)];
   if (memo.defined()) return memo;
   auto scenes = scene_->ScenesOfCategory(category);
   if (scenes.empty()) {
@@ -62,10 +62,7 @@ Tensor SceneRec::SceneSum(int64_t category) const {
   return memo;
 }
 
-void SceneRec::ClearStepCaches() {
-  scene_sum_cache_.clear();
-  category_repr_cache_.clear();
-}
+void SceneRec::ClearStepCaches() { step_caches_.Clear(); }
 
 void SceneRec::OnEvalBegin() {
   ClearStepCaches();
@@ -73,15 +70,16 @@ void SceneRec::OnEvalBegin() {
   eval_item_cache_.clear();
 }
 
-Tensor SceneRec::CategoryRepr(int64_t category, Rng* rng) {
-  if (category_repr_cache_.empty()) {
-    category_repr_cache_.resize(static_cast<size_t>(scene_->num_categories()));
+Tensor SceneRec::CategoryRepr(int64_t category, StepCaches& caches,
+                              Rng* rng) {
+  if (caches.category_repr.empty()) {
+    caches.category_repr.resize(static_cast<size_t>(scene_->num_categories()));
   }
-  Tensor& memo = category_repr_cache_[static_cast<size_t>(category)];
+  Tensor& memo = caches.category_repr[static_cast<size_t>(category)];
   if (memo.defined()) return memo;
 
   // Eq. (3): scene-specific representation.
-  Tensor h_scene = SceneSum(category);
+  Tensor h_scene = SceneSum(category, caches);
 
   // Eqs. (4)-(6): category-specific representation via scene-based
   // attention over related categories.
@@ -97,7 +95,7 @@ Tensor SceneRec::CategoryRepr(int64_t category, Rng* rng) {
       std::vector<Tensor> logits;
       logits.reserve(neighbors.size());
       for (int64_t q : neighbors) {
-        logits.push_back(CosineSimilarity(query, SceneSum(q)));
+        logits.push_back(CosineSimilarity(query, SceneSum(q, caches)));
       }
       Tensor alpha = Softmax(Stack(logits));
       h_cat = WeightedSumRows(rows, alpha);
@@ -111,11 +109,12 @@ Tensor SceneRec::CategoryRepr(int64_t category, Rng* rng) {
   return memo;
 }
 
-Tensor SceneRec::SceneSpaceItemRepr(int64_t item, Rng* rng) {
+Tensor SceneRec::SceneSpaceItemRepr(int64_t item, StepCaches& caches,
+                                    Rng* rng) {
   // Eq. (8): the item's category representation.
   Tensor h_category;
   if (config_.use_scene) {
-    h_category = CategoryRepr(scene_->CategoryOfItem(item), rng);
+    h_category = CategoryRepr(scene_->CategoryOfItem(item), caches, rng);
   }
 
   // Eqs. (9)-(11): attentive aggregation over item neighbors, attention from
@@ -129,12 +128,12 @@ Tensor SceneRec::SceneSpaceItemRepr(int64_t item, Rng* rng) {
     } else {
       Tensor rows = item_embedding_.LookupMany(neighbors);
       if (config_.use_attention && config_.use_scene) {
-        Tensor query = SceneSum(scene_->CategoryOfItem(item));
+        Tensor query = SceneSum(scene_->CategoryOfItem(item), caches);
         std::vector<Tensor> logits;
         logits.reserve(neighbors.size());
         for (int64_t q : neighbors) {
-          logits.push_back(
-              CosineSimilarity(query, SceneSum(scene_->CategoryOfItem(q))));
+          logits.push_back(CosineSimilarity(
+              query, SceneSum(scene_->CategoryOfItem(q), caches)));
         }
         Tensor beta = Softmax(Stack(logits));
         h_item = WeightedSumRows(rows, beta);
@@ -187,7 +186,8 @@ Tensor SceneRec::UserSpaceItemRepr(int64_t item, Rng* rng) {
   return item_user_agg_.Forward(sum);
 }
 
-Tensor SceneRec::GeneralItemRepr(int64_t item, Rng* rng) {
+Tensor SceneRec::GeneralItemRepr(int64_t item, StepCaches& caches,
+                                 Rng* rng) {
   const bool eval_mode = NoGradGuard::enabled();
   if (eval_mode) {
     if (eval_item_cache_.empty()) {
@@ -199,7 +199,7 @@ Tensor SceneRec::GeneralItemRepr(int64_t item, Rng* rng) {
   }
   // Eq. (13): MLP over the concatenated user-based and scene-based views.
   Tensor user_view = UserSpaceItemRepr(item, rng);
-  Tensor scene_view = SceneSpaceItemRepr(item, rng);
+  Tensor scene_view = SceneSpaceItemRepr(item, caches, rng);
   Tensor repr = item_mlp_.Forward(Concat({user_view, scene_view}));
   if (eval_mode) eval_item_cache_[static_cast<size_t>(item)] = repr;
   return repr;
@@ -213,24 +213,100 @@ Tensor SceneRec::Rating(const Tensor& user_repr, const Tensor& item_repr) {
 Tensor SceneRec::ScoreForTraining(int64_t user, int64_t item) {
   Rng* rng = NoGradGuard::enabled() ? nullptr : &sample_rng_;
   if (rng != nullptr) ClearStepCaches();  // fresh parameters each step
-  return Rating(UserRepr(user, rng), GeneralItemRepr(item, rng));
+  return Rating(UserRepr(user, rng), GeneralItemRepr(item, step_caches_, rng));
 }
 
-Tensor SceneRec::BatchLoss(const std::vector<BprTriple>& batch) {
+Tensor SceneRec::BatchLoss(std::span<const BprTriple> batch) {
   SCENEREC_CHECK(!batch.empty());
   ClearStepCaches();
-  Rng* rng = &sample_rng_;
+  return ShardLoss(batch, step_caches_, sample_rng_);
+}
+
+void SceneRec::PrepareShards(int64_t num_shards) {
+  SCENEREC_CHECK_GE(num_shards, 1);
+  shard_caches_.resize(static_cast<size_t>(num_shards));
+}
+
+Tensor SceneRec::BatchLossShard(std::span<const BprTriple> shard,
+                                int64_t shard_index, Rng& rng) {
+  SCENEREC_CHECK_GE(shard_index, 0);
+  SCENEREC_CHECK_LT(shard_index, static_cast<int64_t>(shard_caches_.size()))
+      << "PrepareShards must size the cache table before the shard loop";
+  StepCaches& caches = shard_caches_[static_cast<size_t>(shard_index)];
+  caches.Clear();  // fresh parameters each step
+  return ShardLoss(shard, caches, rng);
+}
+
+Tensor SceneRec::ShardLoss(std::span<const BprTriple> triples,
+                           StepCaches& caches, Rng& rng) {
   Tensor total;
-  for (const BprTriple& triple : batch) {
+  for (const BprTriple& triple : triples) {
     // The user representation is shared between the positive and negative
     // scores of a triple.
-    Tensor m_u = UserRepr(triple.user, rng);
-    Tensor pos = Rating(m_u, GeneralItemRepr(triple.positive_item, rng));
-    Tensor neg = Rating(m_u, GeneralItemRepr(triple.negative_item, rng));
+    Tensor m_u = UserRepr(triple.user, &rng);
+    Tensor pos =
+        Rating(m_u, GeneralItemRepr(triple.positive_item, caches, &rng));
+    Tensor neg =
+        Rating(m_u, GeneralItemRepr(triple.negative_item, caches, &rng));
     Tensor loss = BprPairLoss(pos, neg);
     total = total.defined() ? Add(total, loss) : loss;
   }
   return total;
+}
+
+bool SceneRec::PrepareParallelScoring(ThreadPool& pool) {
+  // Fill every eval memo in dependency order; within a stage each index
+  // writes only its own (pre-sized) cache slot, so stages parallelize over
+  // disjoint memory. NoGradGuard is thread-local and therefore instantiated
+  // inside each worker body.
+  if (scene_ != nullptr) {
+    const int64_t num_categories = scene_->num_categories();
+    if (step_caches_.scene_sum.empty()) {
+      step_caches_.scene_sum.resize(static_cast<size_t>(num_categories));
+    }
+    pool.ParallelFor(num_categories, /*grain=*/16,
+                     [this](int64_t begin, int64_t end) {
+                       NoGradGuard no_grad;
+                       for (int64_t c = begin; c < end; ++c) {
+                         SceneSum(c, step_caches_);
+                       }
+                     });
+    if (config_.use_scene) {
+      if (step_caches_.category_repr.empty()) {
+        step_caches_.category_repr.resize(static_cast<size_t>(num_categories));
+      }
+      pool.ParallelFor(num_categories, /*grain=*/4,
+                       [this](int64_t begin, int64_t end) {
+                         NoGradGuard no_grad;
+                         for (int64_t c = begin; c < end; ++c) {
+                           CategoryRepr(c, step_caches_, /*rng=*/nullptr);
+                         }
+                       });
+    }
+  }
+  const int64_t num_items = user_item_->num_items();
+  if (eval_item_cache_.empty()) {
+    eval_item_cache_.resize(static_cast<size_t>(num_items));
+  }
+  pool.ParallelFor(num_items, /*grain=*/4,
+                   [this](int64_t begin, int64_t end) {
+                     NoGradGuard no_grad;
+                     for (int64_t i = begin; i < end; ++i) {
+                       GeneralItemRepr(i, step_caches_, /*rng=*/nullptr);
+                     }
+                   });
+  const int64_t num_users = user_item_->num_users();
+  if (eval_user_cache_.empty()) {
+    eval_user_cache_.resize(static_cast<size_t>(num_users));
+  }
+  pool.ParallelFor(num_users, /*grain=*/4,
+                   [this](int64_t begin, int64_t end) {
+                     NoGradGuard no_grad;
+                     for (int64_t u = begin; u < end; ++u) {
+                       UserRepr(u, /*rng=*/nullptr);
+                     }
+                   });
+  return true;
 }
 
 float SceneRec::AverageAttentionScore(int64_t user, int64_t item) const {
@@ -238,12 +314,13 @@ float SceneRec::AverageAttentionScore(int64_t user, int64_t item) const {
   auto history = user_item_->ItemsOfUser(user);
   if (history.empty()) return 0.0f;
   NoGradGuard no_grad;
-  Tensor candidate = SceneSum(scene_->CategoryOfItem(item));
+  StepCaches local_caches;  // keeps this const path off the shared memos
+  Tensor candidate = SceneSum(scene_->CategoryOfItem(item), local_caches);
   float total = 0.0f;
   int64_t count = 0;
   for (int64_t j : history) {
     if (j == item) continue;
-    Tensor other = SceneSum(scene_->CategoryOfItem(j));
+    Tensor other = SceneSum(scene_->CategoryOfItem(j), local_caches);
     total += CosineSimilarity(candidate, other).scalar();
     ++count;
   }

@@ -2,6 +2,7 @@
 #define SCENEREC_MODELS_SCENE_REC_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -56,9 +57,24 @@ class SceneRec : public Recommender {
 
   std::string name() const override;
   Tensor ScoreForTraining(int64_t user, int64_t item) override;
-  Tensor BatchLoss(const std::vector<BprTriple>& batch) override;
+  Tensor BatchLoss(std::span<const BprTriple> batch) override;
   void OnEvalBegin() override;
   void CollectParameters(std::vector<Tensor>* out) const override;
+
+  // -- Sharded training / parallel evaluation -----------------------------
+  // The step memos (scene sums, category representations) become per-shard
+  // StepCaches so concurrent shards never share an autograd intermediate;
+  // see docs/parallelism.md for the cache thread-safety rules.
+  bool SupportsShardedLoss() const override { return true; }
+  void PrepareShards(int64_t num_shards) override;
+  Tensor BatchLossShard(std::span<const BprTriple> shard, int64_t shard_index,
+                        Rng& rng) override;
+
+  /// Precomputes every eval memo in dependency stages (scene sums ->
+  /// category reprs -> item reprs -> user reprs), each stage parallel over
+  /// disjoint cache slots, then returns true: Score() becomes a pure read
+  /// plus a thread-local rating MLP forward.
+  bool PrepareParallelScoring(ThreadPool& pool) override;
 
   const SceneRecConfig& config() const { return config_; }
 
@@ -71,11 +87,26 @@ class SceneRec : public Recommender {
   float AverageAttentionScore(int64_t user, int64_t item) const;
 
  private:
+  /// Step-scoped memo tables. One instance per execution lane: the members
+  /// `step_caches_` for the serial path (and eval sweeps), one entry of
+  /// `shard_caches_` per shard of a parallel step, or a stack local (see
+  /// AverageAttentionScore). Memoized tensors are autograd nodes, so a
+  /// StepCaches must never be shared by two concurrent Backward graphs.
+  struct StepCaches {
+    std::vector<Tensor> scene_sum;
+    std::vector<Tensor> category_repr;
+
+    void Clear() {
+      scene_sum.clear();
+      category_repr.clear();
+    }
+  };
+
   /// Sum of scene embeddings of CS(c) — eq. (3); zeros if c has no scenes.
   /// Memoized per step (the result is identical for every use of the same
   /// category within one forward pass, and reusing the autograd node simply
   /// accumulates gradients along all uses).
-  Tensor SceneSum(int64_t category) const;
+  Tensor SceneSum(int64_t category, StepCaches& caches) const;
 
   /// Drops the per-step memos (scene sums, category representations). Called
   /// at the start of every training step; parameters change between steps so
@@ -83,10 +114,10 @@ class SceneRec : public Recommender {
   void ClearStepCaches();
 
   /// m_{c_p} — eqs. (3)-(7).
-  Tensor CategoryRepr(int64_t category, Rng* rng);
+  Tensor CategoryRepr(int64_t category, StepCaches& caches, Rng* rng);
 
   /// m^S_{i_p} — eqs. (8)-(12), honoring ablation switches.
-  Tensor SceneSpaceItemRepr(int64_t item, Rng* rng);
+  Tensor SceneSpaceItemRepr(int64_t item, StepCaches& caches, Rng* rng);
 
   /// m_{u_p} — eq. (1).
   Tensor UserRepr(int64_t user, Rng* rng);
@@ -95,7 +126,12 @@ class SceneRec : public Recommender {
   Tensor UserSpaceItemRepr(int64_t item, Rng* rng);
 
   /// m_{i_p} — eq. (13).
-  Tensor GeneralItemRepr(int64_t item, Rng* rng);
+  Tensor GeneralItemRepr(int64_t item, StepCaches& caches, Rng* rng);
+
+  /// Shared body of BatchLoss and BatchLossShard: summed BPR loss of
+  /// `triples` with memos in `caches` and sampling from `rng`.
+  Tensor ShardLoss(std::span<const BprTriple> triples, StepCaches& caches,
+                   Rng& rng);
 
   /// r'_pq — eq. (14).
   Tensor Rating(const Tensor& user_repr, const Tensor& item_repr);
@@ -119,12 +155,14 @@ class SceneRec : public Recommender {
 
   Rng sample_rng_;
 
-  // Step-scoped memos (valid within one forward pass / one eval sweep).
-  mutable std::vector<Tensor> scene_sum_cache_;
-  std::vector<Tensor> category_repr_cache_;
+  // Step-scoped memos of the serial path (valid within one forward pass /
+  // one eval sweep) and the per-shard tables of the parallel path.
+  mutable StepCaches step_caches_;
+  std::vector<StepCaches> shard_caches_;
   // Eval-sweep-scoped memos, only consulted under NoGradGuard: evaluation
   // scores num_users x 101 pairs, and both representations are deterministic
-  // between parameter updates.
+  // between parameter updates. During parallel evaluation they are filled
+  // up-front by PrepareParallelScoring and then only read.
   std::vector<Tensor> eval_user_cache_;
   std::vector<Tensor> eval_item_cache_;
 };

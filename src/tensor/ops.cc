@@ -32,8 +32,11 @@ Tensor MakeOp(Shape shape, std::vector<float> value,
 }
 
 /// Accumulates `src` into node's grad buffer (allocating on demand).
+/// Leaf parameters may be shared between concurrent Backward passes, so
+/// accumulation into them is serialized (see LockGradIfSharedLeaf).
 void AccumulateGrad(const Tensor::NodePtr& node, const float* src, size_t n) {
   if (!node->requires_grad) return;
+  auto lock = internal_tensor::LockGradIfSharedLeaf(node.get());
   node->EnsureGrad();
   float* dst = node->grad.data();
   for (size_t i = 0; i < n; ++i) dst[i] += src[i];
@@ -72,6 +75,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
       const auto& g = on->grad;
       AccumulateGrad(an, g.data(), g.size());
       if (!bn->requires_grad) return;
+      auto lock = internal_tensor::LockGradIfSharedLeaf(bn.get());
       bn->EnsureGrad();
       if (bias_broadcast) {
         const int64_t rows = an->shape.dim(0);
@@ -105,6 +109,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
       const auto& g = on->grad;
       AccumulateGrad(an, g.data(), g.size());
       if (bn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(bn.get());
         bn->EnsureGrad();
         for (size_t i = 0; i < g.size(); ++i) bn->grad[i] -= g[i];
       }
@@ -128,12 +133,14 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
     on->backward_fn = [an, bn, on]() {
       const auto& g = on->grad;
       if (an->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
         an->EnsureGrad();
         for (size_t i = 0; i < g.size(); ++i) {
           an->grad[i] += g[i] * bn->value[i];
         }
       }
       if (bn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(bn.get());
         bn->EnsureGrad();
         for (size_t i = 0; i < g.size(); ++i) {
           bn->grad[i] += g[i] * an->value[i];
@@ -159,12 +166,14 @@ Tensor Div(const Tensor& a, const Tensor& b) {
     on->backward_fn = [an, bn, on]() {
       const auto& g = on->grad;
       if (an->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
         an->EnsureGrad();
         for (size_t i = 0; i < g.size(); ++i) {
           an->grad[i] += g[i] / bn->value[i];
         }
       }
       if (bn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(bn.get());
         bn->EnsureGrad();
         for (size_t i = 0; i < g.size(); ++i) {
           const float bval = bn->value[i];
@@ -190,6 +199,7 @@ Tensor UnaryOp(const Tensor& a, Fwd forward, Dydx dydx) {
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on, dydx]() {
+      auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
       an->EnsureGrad();
       const auto& g = on->grad;
       for (size_t i = 0; i < g.size(); ++i) {
@@ -222,14 +232,16 @@ Tensor ScaleBy(const Tensor& a, const Tensor& scalar) {
     on->backward_fn = [an, sn, on]() {
       const auto& g = on->grad;
       if (an->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
         an->EnsureGrad();
         const float s_val = sn->value[0];
         for (size_t i = 0; i < g.size(); ++i) an->grad[i] += g[i] * s_val;
       }
       if (sn->requires_grad) {
-        sn->EnsureGrad();
         float acc = 0.0f;
         for (size_t i = 0; i < g.size(); ++i) acc += g[i] * an->value[i];
+        auto lock = internal_tensor::LockGradIfSharedLeaf(sn.get());
+        sn->EnsureGrad();
         sn->grad[0] += acc;
       }
     };
@@ -321,6 +333,7 @@ Tensor Sum(const Tensor& a) {
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on]() {
+      auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
       an->EnsureGrad();
       const float g = on->grad[0];
       for (float& gv : an->grad) gv += g;
@@ -347,6 +360,7 @@ Tensor SumRows(const Tensor& a) {
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on, rows, cols]() {
+      auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
       an->EnsureGrad();
       const auto& g = on->grad;
       for (int64_t r = 0; r < rows; ++r) {
@@ -387,6 +401,7 @@ Tensor MaxRows(const Tensor& a) {
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on, argmax, cols]() {
+      auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
       an->EnsureGrad();
       const auto& g = on->grad;
       for (int64_t c = 0; c < cols; ++c) {
@@ -419,6 +434,7 @@ Tensor L2NormalizeRows(const Tensor& a, float epsilon) {
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on, inv_norms, rows, cols]() {
+      auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
       an->EnsureGrad();
       const auto& g = on->grad;
       const auto& y = on->value;  // normalized rows
@@ -456,6 +472,7 @@ Tensor Dropout(const Tensor& a, float rate, Rng& rng) {
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on, mask]() {
+      auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
       an->EnsureGrad();
       const auto& g = on->grad;
       for (size_t i = 0; i < g.size(); ++i) {
@@ -493,6 +510,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     on->backward_fn = [an, bn, on, m, k, n]() {
       const auto& g = on->grad;
       if (an->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
         an->EnsureGrad();
         // dA = G * B^T
         for (int64_t i = 0; i < m; ++i) {
@@ -506,6 +524,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         }
       }
       if (bn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(bn.get());
         bn->EnsureGrad();
         // dB = A^T * G
         for (int64_t p = 0; p < k; ++p) {
@@ -546,6 +565,7 @@ Tensor MatVec(const Tensor& w, const Tensor& x) {
     on->backward_fn = [wn, xn, on, m, n]() {
       const auto& g = on->grad;
       if (wn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(wn.get());
         wn->EnsureGrad();
         for (int64_t i = 0; i < m; ++i) {
           const float gi = g[i];
@@ -555,6 +575,7 @@ Tensor MatVec(const Tensor& w, const Tensor& x) {
         }
       }
       if (xn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(xn.get());
         xn->EnsureGrad();
         for (int64_t i = 0; i < m; ++i) {
           const float gi = g[i];
@@ -584,12 +605,14 @@ Tensor Dot(const Tensor& a, const Tensor& b) {
     on->backward_fn = [an, bn, on]() {
       const float g = on->grad[0];
       if (an->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
         an->EnsureGrad();
         for (size_t i = 0; i < an->value.size(); ++i) {
           an->grad[i] += g * bn->value[i];
         }
       }
       if (bn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(bn.get());
         bn->EnsureGrad();
         for (size_t i = 0; i < bn->value.size(); ++i) {
           bn->grad[i] += g * an->value[i];
@@ -632,6 +655,7 @@ Tensor Concat(const std::vector<Tensor>& parts) {
       for (const auto& input : on->inputs) {
         const size_t n = input->value.size();
         if (input->requires_grad) {
+          auto lock = internal_tensor::LockGradIfSharedLeaf(input.get());
           input->EnsureGrad();
           for (size_t i = 0; i < n; ++i) input->grad[i] += g[offset + i];
         }
@@ -659,6 +683,7 @@ Tensor Stack(const std::vector<Tensor>& scalars) {
       for (size_t i = 0; i < on->inputs.size(); ++i) {
         const auto& input = on->inputs[i];
         if (input->requires_grad) {
+          auto lock = internal_tensor::LockGradIfSharedLeaf(input.get());
           input->EnsureGrad();
           input->grad[0] += g[i];
         }
@@ -688,6 +713,7 @@ Tensor StackRows(const std::vector<Tensor>& rows) {
       for (size_t r = 0; r < on->inputs.size(); ++r) {
         const auto& input = on->inputs[r];
         if (!input->requires_grad) continue;
+        auto lock = internal_tensor::LockGradIfSharedLeaf(input.get());
         input->EnsureGrad();
         const float* grow = g.data() + r * static_cast<size_t>(d);
         for (int64_t c = 0; c < d; ++c) input->grad[c] += grow[c];
@@ -711,6 +737,7 @@ Tensor Row(const Tensor& a, int64_t row) {
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on, row, cols]() {
+      auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
       an->EnsureGrad();
       const auto& g = on->grad;
       float* grow = an->grad.data() + row * cols;
@@ -753,6 +780,7 @@ Tensor Gather(const Tensor& table, const std::vector<int64_t>& indices) {
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [tn, on, indices, d]() {
+      auto lock = internal_tensor::LockGradIfSharedLeaf(tn.get());
       tn->EnsureGrad();
       const auto& g = on->grad;
       for (size_t r = 0; r < indices.size(); ++r) {
@@ -784,6 +812,7 @@ Tensor Softmax(const Tensor& logits) {
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [ln, on]() {
+      auto lock = internal_tensor::LockGradIfSharedLeaf(ln.get());
       ln->EnsureGrad();
       const auto& g = on->grad;
       const auto& y = on->value;
@@ -820,6 +849,7 @@ Tensor WeightedSumRows(const Tensor& rows, const Tensor& weights) {
     on->backward_fn = [rn, wn, on, k, d]() {
       const auto& g = on->grad;
       if (rn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(rn.get());
         rn->EnsureGrad();
         for (int64_t r = 0; r < k; ++r) {
           const float w = wn->value[r];
@@ -829,6 +859,7 @@ Tensor WeightedSumRows(const Tensor& rows, const Tensor& weights) {
         }
       }
       if (wn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(wn.get());
         wn->EnsureGrad();
         for (int64_t r = 0; r < k; ++r) {
           const float* row = rn->value.data() + r * d;
@@ -876,6 +907,7 @@ Tensor SpMM(const CsrGraph* adj,
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [adj, edge_weights, xn, on, rows, d]() {
+      auto lock = internal_tensor::LockGradIfSharedLeaf(xn.get());
       xn->EnsureGrad();
       const auto& g = on->grad;
       size_t edge_index = 0;

@@ -8,6 +8,25 @@ namespace scenerec {
 
 using internal_tensor::TensorNode;
 
+namespace internal_tensor {
+
+namespace {
+/// Striped locks for concurrent leaf-gradient accumulation. Collisions only
+/// cost extra serialization, never correctness; 64 stripes keep the
+/// collision rate negligible for models with tens of parameters.
+constexpr size_t kGradLockStripes = 64;
+std::mutex g_grad_locks[kGradLockStripes];
+}  // namespace
+
+std::unique_lock<std::mutex> LockGradIfSharedLeaf(TensorNode* node) {
+  if (!node->inputs.empty()) return {};  // shard-private intermediate
+  const size_t stripe =
+      (reinterpret_cast<uintptr_t>(node) >> 6) % kGradLockStripes;
+  return std::unique_lock<std::mutex>(g_grad_locks[stripe]);
+}
+
+}  // namespace internal_tensor
+
 namespace {
 
 Tensor MakeLeaf(const Shape& shape, std::vector<float> values,

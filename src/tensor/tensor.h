@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,17 @@ struct TensorNode {
     if (grad.empty()) grad.assign(value.size(), 0.0f);
   }
 };
+
+/// Serializes gradient accumulation into SHARED leaf parameters during
+/// concurrent Backward passes. The sharding model (docs/parallelism.md)
+/// guarantees that intermediate nodes belong to exactly one shard's graph,
+/// so only leaves — nodes with no inputs, i.e. the model parameters every
+/// shard reads — can be written by two Backward calls at once. Returns a
+/// held lock for such a leaf and an empty (no-op) lock for intermediates.
+///
+/// Locks are striped by node address; ops must never hold two at once
+/// (accumulate into one input, release, then lock the next).
+std::unique_lock<std::mutex> LockGradIfSharedLeaf(TensorNode* node);
 
 }  // namespace internal_tensor
 
@@ -145,6 +157,15 @@ class Tensor {
 /// Runs reverse-mode autodiff from `loss` (must be scalar, requires_grad).
 /// Accumulates into grad() of every reachable tensor, leaves included, so
 /// repeated Backward calls without ZeroGrad sum gradients.
+///
+/// Thread safety: Backward may run concurrently on different threads
+/// provided the loss graphs share no intermediate nodes (each thread built
+/// its own forward pass). Shared LEAF parameters are fine — accumulation
+/// into them is serialized per node by LockGradIfSharedLeaf — and the
+/// result equals the serial sum of shard gradients up to float summation
+/// order. Two Backward calls over graphs that share an intermediate node
+/// are NOT safe (and would double-count that node's subgraph even
+/// serially).
 void Backward(const Tensor& loss);
 
 /// RAII scope that disables graph construction: ops executed inside compute

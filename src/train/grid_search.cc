@@ -1,6 +1,10 @@
 #include "train/grid_search.h"
 
+#include <memory>
+#include <optional>
+
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace scenerec {
 
@@ -12,32 +16,78 @@ StatusOr<GridSearchResult> GridSearch(
   if (learning_rates.empty() || weight_decays.empty()) {
     return Status::InvalidArgument("empty grid");
   }
+
+  struct Cell {
+    float learning_rate;
+    float weight_decay;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(learning_rates.size() * weight_decays.size());
+  for (float lr : learning_rates) {
+    for (float wd : weight_decays) cells.push_back({lr, wd});
+  }
+
+  // Models are built serially, up front: builders usually capture an Rng by
+  // reference, so construction order must not depend on thread scheduling.
+  // Training the cells is then embarrassingly parallel — each model owns its
+  // parameters, and nested TrainAndEvaluate calls detect that they run on a
+  // pool worker and stay serial (see ThreadPool reentrancy contract).
+  std::vector<std::unique_ptr<Recommender>> models;
+  models.reserve(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    models.push_back(builder());
+    SCENEREC_CHECK(models.back() != nullptr);
+  }
+
+  std::vector<std::optional<TrainResult>> runs(cells.size());
+  std::vector<Status> statuses(cells.size(), Status::OK());
+  const auto run_cell = [&](int64_t i) {
+    const size_t idx = static_cast<size_t>(i);
+    TrainConfig config = base_config;
+    config.learning_rate = cells[idx].learning_rate;
+    config.weight_decay = cells[idx].weight_decay;
+    StatusOr<TrainResult> run =
+        TrainAndEvaluate(*models[idx], split, train_graph, config);
+    if (run.ok()) {
+      runs[idx] = std::move(run).value();
+    } else {
+      statuses[idx] = run.status();
+    }
+  };
+
+  ThreadPool* pool = DefaultThreadPool();
+  if (pool->num_threads() > 1 && !ThreadPool::InWorkerThread()) {
+    pool->ParallelFor(static_cast<int64_t>(cells.size()), /*grain=*/1,
+                      [&run_cell](int64_t begin, int64_t end) {
+                        for (int64_t i = begin; i < end; ++i) run_cell(i);
+                      });
+  } else {
+    for (int64_t i = 0; i < static_cast<int64_t>(cells.size()); ++i) {
+      run_cell(i);
+    }
+  }
+
+  // Deterministic reduction: entries keep grid order and ties on validation
+  // NDCG resolve to the earliest cell, exactly as in the serial sweep.
   GridSearchResult result;
   double best_ndcg = -1.0;
-  for (float lr : learning_rates) {
-    for (float wd : weight_decays) {
-      std::unique_ptr<Recommender> model = builder();
-      SCENEREC_CHECK(model != nullptr);
-      TrainConfig config = base_config;
-      config.learning_rate = lr;
-      config.weight_decay = wd;
-      SCENEREC_ASSIGN_OR_RETURN(
-          TrainResult run, TrainAndEvaluate(*model, split, train_graph, config));
-      GridSearchEntry entry;
-      entry.learning_rate = lr;
-      entry.weight_decay = wd;
-      entry.validation = run.best_validation;
-      entry.test = run.test;
-      if (base_config.verbose) {
-        SCENEREC_LOG(INFO) << "grid lr=" << lr << " wd=" << wd
-                           << " val NDCG=" << entry.validation.ndcg;
-      }
-      if (entry.validation.ndcg > best_ndcg) {
-        best_ndcg = entry.validation.ndcg;
-        result.best = entry;
-      }
-      result.entries.push_back(entry);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+    GridSearchEntry entry;
+    entry.learning_rate = cells[i].learning_rate;
+    entry.weight_decay = cells[i].weight_decay;
+    entry.validation = runs[i]->best_validation;
+    entry.test = runs[i]->test;
+    if (base_config.verbose) {
+      SCENEREC_LOG(INFO) << "grid lr=" << entry.learning_rate
+                         << " wd=" << entry.weight_decay
+                         << " val NDCG=" << entry.validation.ndcg;
     }
+    if (entry.validation.ndcg > best_ndcg) {
+      best_ndcg = entry.validation.ndcg;
+      result.best = entry;
+    }
+    result.entries.push_back(entry);
   }
   return result;
 }

@@ -1,7 +1,11 @@
 #include "train/trainer.h"
 
+#include <memory>
+#include <span>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "nn/optimizer.h"
 #include "nn/serialization.h"
 #include "tensor/ops.h"
@@ -25,6 +29,10 @@ Status TrainConfig::Validate() const {
   if (eval_k <= 0) return Status::InvalidArgument("eval_k must be positive");
   if (patience < 0) {
     return Status::InvalidArgument("patience must be non-negative");
+  }
+  if (threads < 0) {
+    return Status::InvalidArgument(
+        "threads must be non-negative (0 = hardware concurrency)");
   }
   return Status::OK();
 }
@@ -61,6 +69,33 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
 
   Rng rng(config.seed);
   BprBatcher batcher(split.train, train_graph);
+
+  // Parallel setup. The pool is created only for a genuinely parallel run:
+  // inside another pool's worker (e.g. a parallel grid search) training
+  // stays serial, which both avoids oversubscription and keeps nested runs
+  // bitwise-deterministic.
+  const int64_t num_threads = ResolveThreadCount(config.threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1 && !ThreadPool::InWorkerThread()) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+  }
+  const bool shard_training = pool != nullptr && model.SupportsShardedLoss();
+  // Each shard samples from its own generator. The shard generators derive
+  // from a stream independent of `rng` so that the batcher draws (epoch
+  // shuffles, negative samples) are identical in serial and parallel runs —
+  // parallelism then changes only model-internal sampling and float
+  // summation order.
+  std::vector<Rng> shard_rngs;
+  if (shard_training) {
+    Rng shard_seed_rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+    shard_rngs.reserve(static_cast<size_t>(num_threads));
+    for (int64_t s = 0; s < num_threads; ++s) {
+      shard_rngs.push_back(shard_seed_rng.Split());
+    }
+  }
+  // Below this many triples a shard is not worth its scheduling overhead.
+  constexpr int64_t kMinShardTriples = 8;
+
   std::vector<Tensor> params = model.Parameters();
   OptimizerOptions optimizer_options;
   optimizer_options.learning_rate = config.learning_rate;
@@ -81,25 +116,67 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
     model.OnEpochBegin();
     optimizer->set_learning_rate(current_lr);
     const std::vector<BprTriple> triples = batcher.NextEpoch(rng);
+    const std::span<const BprTriple> all_triples(triples);
     double loss_sum = 0.0;
     for (size_t begin = 0; begin < triples.size();
          begin += static_cast<size_t>(config.batch_size)) {
       const size_t end = std::min(
           triples.size(), begin + static_cast<size_t>(config.batch_size));
-      std::vector<BprTriple> batch(triples.begin() + begin,
-                                   triples.begin() + end);
+      const std::span<const BprTriple> batch =
+          all_triples.subspan(begin, end - begin);
       optimizer->ZeroGrad();
-      Tensor loss = model.BatchLoss(batch);
-      loss_sum += loss.scalar();
-      Backward(loss);
+      const int64_t num_shards =
+          shard_training
+              ? std::min<int64_t>(
+                    num_threads,
+                    (static_cast<int64_t>(batch.size()) + kMinShardTriples - 1) /
+                        kMinShardTriples)
+              : 1;
+      if (num_shards > 1) {
+        // Data-parallel step: each shard builds its own forward graph and
+        // runs Backward concurrently; accumulation into the shared leaf
+        // parameters is serialized per node inside the autograd engine, so
+        // after the loop the gradients equal the serial sum of shard
+        // gradients (up to float summation order). One optimizer step then
+        // applies the combined gradient.
+        model.PrepareShards(num_shards);
+        std::vector<Tensor> shard_losses(static_cast<size_t>(num_shards));
+        pool->ParallelFor(
+            num_shards, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+              for (int64_t s = lo; s < hi; ++s) {
+                const size_t shard_begin =
+                    batch.size() * static_cast<size_t>(s) /
+                    static_cast<size_t>(num_shards);
+                const size_t shard_end =
+                    batch.size() * static_cast<size_t>(s + 1) /
+                    static_cast<size_t>(num_shards);
+                Tensor loss = model.BatchLossShard(
+                    batch.subspan(shard_begin, shard_end - shard_begin), s,
+                    shard_rngs[static_cast<size_t>(s)]);
+                Backward(loss);
+                shard_losses[static_cast<size_t>(s)] = loss;
+              }
+            });
+        // Reduce in shard order so the reported loss is scheduling-free.
+        for (const Tensor& shard_loss : shard_losses) {
+          loss_sum += shard_loss.scalar();
+        }
+      } else {
+        Tensor loss = model.BatchLoss(batch);
+        loss_sum += loss.scalar();
+        Backward(loss);
+      }
       optimizer->Step();
     }
     const double mean_loss = loss_sum / static_cast<double>(triples.size());
     result.epoch_losses.push_back(mean_loss);
 
     model.OnEvalBegin();
-    RankingMetrics validation =
-        EvaluateRanking(model.Scorer(), split.validation, config.eval_k);
+    ThreadPool* eval_pool =
+        (pool != nullptr && model.PrepareParallelScoring(*pool)) ? pool.get()
+                                                                 : nullptr;
+    RankingMetrics validation = EvaluateRanking(
+        model.Scorer(), split.validation, config.eval_k, eval_pool);
     result.epoch_validations.push_back(validation);
     if (config.verbose) {
       SCENEREC_LOG(INFO) << model.name() << " epoch " << epoch + 1 << "/"
@@ -131,7 +208,11 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
   if (!best_snapshot.empty()) RestoreParameters(params, best_snapshot);
   model.OnEpochBegin();  // e.g. KGAT attention must match restored weights
   model.OnEvalBegin();
-  result.test = EvaluateRanking(model.Scorer(), split.test, config.eval_k);
+  ThreadPool* test_pool =
+      (pool != nullptr && model.PrepareParallelScoring(*pool)) ? pool.get()
+                                                               : nullptr;
+  result.test =
+      EvaluateRanking(model.Scorer(), split.test, config.eval_k, test_pool);
   return result;
 }
 

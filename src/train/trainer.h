@@ -32,6 +32,12 @@ struct TrainConfig {
   /// Stop after this many epochs without validation-NDCG improvement
   /// (0 disables early stopping).
   int64_t patience = 3;
+  /// Worker threads for data-parallel training and evaluation. 1 (default)
+  /// is the fully serial, bitwise-reproducible path; 0 means "use every
+  /// hardware thread"; N > 1 splits each batch into up to N shards whose
+  /// backward passes run concurrently (see docs/parallelism.md — parallel
+  /// training is deterministic only up to float summation order).
+  int64_t threads = 1;
   uint64_t seed = 42;
   /// Log per-epoch progress via SCENEREC_LOG(INFO).
   bool verbose = false;

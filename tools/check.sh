@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Correctness gate for the parallel execution layer:
+#   1. regular build + full test suite
+#   2. ThreadSanitizer build (-DSCENEREC_SANITIZE=thread) + the tests that
+#      exercise concurrency (ThreadPool, sharded training, parallel eval)
+#
+# TSan-instrumented training is ~10x slower, so the sanitizer stage runs
+# only the parallel-specific binaries, not the whole suite. Run from the
+# repo root; build trees land in build/ and build-tsan/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> stage 1: regular build + ctest"
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "==> stage 2: ThreadSanitizer build"
+cmake -B build-tsan -G Ninja -DSCENEREC_SANITIZE=thread
+cmake --build build-tsan --target parallel_test eval_test train_test
+
+echo "==> stage 2: parallel tests under TSan"
+# halt_on_error makes a data race fail the script, not just print a report.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+build-tsan/tests/parallel_test
+build-tsan/tests/eval_test
+build-tsan/tests/train_test
+
+echo "==> all checks passed"

@@ -3,8 +3,14 @@
 #   test_output.txt   — full ctest run
 #   bench_output.txt  — every bench binary with default arguments
 # Takes ~20-30 minutes on one CPU core (Table 2 dominates).
+#
+# THREADS controls the worker-thread count handed to the binaries that
+# accept --threads (0 = all hardware threads, 1 = serial default; see
+# docs/parallelism.md). Example: THREADS=0 tools/run_all_experiments.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+THREADS="${THREADS:-1}"
 
 cmake -B build -G Ninja
 cmake --build build
@@ -16,3 +22,6 @@ for b in build/bench/bench_*; do
   echo "==> $b" | tee -a bench_output.txt
   "$b" 2>&1 | tee -a bench_output.txt
 done
+
+echo "==> model_comparison (threads=$THREADS)" | tee -a bench_output.txt
+build/examples/model_comparison --threads="$THREADS" 2>&1 | tee -a bench_output.txt
