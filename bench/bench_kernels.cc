@@ -14,6 +14,7 @@
 #include "models/propagation.h"
 #include "nn/embedding.h"
 #include "nn/mlp.h"
+#include "tensor/arena.h"
 #include "tensor/ops.h"
 
 namespace scenerec {
@@ -54,9 +55,119 @@ void BM_MatVecForwardBackward(benchmark::State& state) {
     w.ZeroGrad();
     x.ZeroGrad();
   }
-  state.SetItemsProcessed(state.iterations() * 4 * n * n);
+  // Forward y = Wx is 2n² flops; backward adds dW += g xᵀ (2n²) and
+  // dx += Wᵀ g (2n²).
+  state.SetItemsProcessed(state.iterations() * 6 * n * n);
 }
 BENCHMARK(BM_MatVecForwardBackward)->Arg(64)->Arg(256);
+
+void BM_GemmTallSkinny(benchmark::State& state) {
+  // The eq. (13)/(14) shape after batching: tall activation matrices
+  // [batch, 64] against square-ish weights.
+  const int64_t batch = state.range(0);
+  const int64_t d = 64;
+  Rng rng(11);
+  Tensor a = Tensor::RandomUniform(Shape({batch, 2 * d}), -1, 1, rng);
+  Tensor b = Tensor::RandomUniform(Shape({2 * d, d}), -1, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * batch * 2 * d * d);
+}
+BENCHMARK(BM_GemmTallSkinny)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MatVecBatch(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const int64_t n = 64;
+  Rng rng(12);
+  Tensor w = Tensor::RandomUniform(Shape({n, n}), -1, 1, rng);
+  Tensor xs = Tensor::RandomUniform(Shape({rows, n}), -1, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatVecBatch(w, xs));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rows * n * n);
+}
+BENCHMARK(BM_MatVecBatch)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MatVecLoop(benchmark::State& state) {
+  // Baseline for BM_MatVecBatch: the pre-batching pattern of one MatVec
+  // graph node per entity.
+  const int64_t rows = state.range(0);
+  const int64_t n = 64;
+  Rng rng(12);
+  Tensor w = Tensor::RandomUniform(Shape({n, n}), -1, 1, rng);
+  Tensor xs = Tensor::RandomUniform(Shape({rows, n}), -1, 1, rng);
+  for (auto _ : state) {
+    for (int64_t r = 0; r < rows; ++r) {
+      benchmark::DoNotOptimize(MatVec(w, Row(xs, r)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rows * n * n);
+}
+BENCHMARK(BM_MatVecLoop)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CosineSimilarityFused(benchmark::State& state) {
+  Rng rng(13);
+  Tensor a = Tensor::RandomUniform(Shape({64}), -1, 1, rng, true);
+  Tensor b = Tensor::RandomUniform(Shape({64}), -1, 1, rng, true);
+  for (auto _ : state) {
+    Backward(CosineSimilarity(a, b));
+    a.ZeroGrad();
+    b.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_CosineSimilarityFused);
+
+void BM_CosineSimilarityUnfused(benchmark::State& state) {
+  // Baseline for BM_CosineSimilarityFused: the five-node composition
+  // (dot, two norms, product, division) the fused op replaces.
+  Rng rng(13);
+  Tensor a = Tensor::RandomUniform(Shape({64}), -1, 1, rng, true);
+  Tensor b = Tensor::RandomUniform(Shape({64}), -1, 1, rng, true);
+  for (auto _ : state) {
+    Backward(CosineSimilarityUnfused(a, b));
+    a.ZeroGrad();
+    b.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_CosineSimilarityUnfused);
+
+void BM_StepHeap(benchmark::State& state) {
+  // A training-step-shaped op chain (batched linear + activation + reduce,
+  // forward and backward) with every intermediate on the heap.
+  Rng rng(14);
+  Tensor w = Tensor::RandomUniform(Shape({64, 64}), -1, 1, rng, true);
+  Tensor bias = Tensor::Zeros(Shape({64}), /*requires_grad=*/true);
+  Tensor xs = Tensor::RandomUniform(Shape({64, 64}), -1, 1, rng);
+  for (auto _ : state) {
+    Tensor loss = Sum(LinearActRows(w, xs, bias, kernels::FusedAct::kTanh));
+    Backward(loss);
+    w.ZeroGrad();
+    bias.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64 * 64);
+}
+BENCHMARK(BM_StepHeap);
+
+void BM_StepArena(benchmark::State& state) {
+  // BM_StepHeap with intermediates bump-allocated from the step arena and
+  // reclaimed in O(1) at the next iteration's scope entry.
+  Rng rng(14);
+  Tensor w = Tensor::RandomUniform(Shape({64, 64}), -1, 1, rng, true);
+  Tensor bias = Tensor::Zeros(Shape({64}), /*requires_grad=*/true);
+  Tensor xs = Tensor::RandomUniform(Shape({64, 64}), -1, 1, rng);
+  for (auto _ : state) {
+    ArenaScope step;
+    Tensor loss = Sum(LinearActRows(w, xs, bias, kernels::FusedAct::kTanh));
+    Backward(loss);
+    w.ZeroGrad();
+    bias.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64 * 64);
+}
+BENCHMARK(BM_StepArena);
 
 void BM_EmbeddingGatherScatter(benchmark::State& state) {
   const int64_t k = state.range(0);

@@ -70,14 +70,8 @@ void SceneRec::OnEvalBegin() {
   eval_item_cache_.clear();
 }
 
-Tensor SceneRec::CategoryRepr(int64_t category, StepCaches& caches,
-                              Rng* rng) {
-  if (caches.category_repr.empty()) {
-    caches.category_repr.resize(static_cast<size_t>(scene_->num_categories()));
-  }
-  Tensor& memo = caches.category_repr[static_cast<size_t>(category)];
-  if (memo.defined()) return memo;
-
+Tensor SceneRec::CategoryFuseInput(int64_t category, StepCaches& caches,
+                                   Rng* rng) {
   // Eq. (3): scene-specific representation.
   Tensor h_scene = SceneSum(category, caches);
 
@@ -104,13 +98,27 @@ Tensor SceneRec::CategoryRepr(int64_t category, StepCaches& caches,
     }
   }
 
+  return Concat({h_scene, h_cat});
+}
+
+Tensor SceneRec::CategoryRepr(int64_t category, StepCaches& caches,
+                              Rng* rng) {
+  if (caches.category_repr.empty()) {
+    caches.category_repr.resize(static_cast<size_t>(scene_->num_categories()));
+  }
+  Tensor& memo = caches.category_repr[static_cast<size_t>(category)];
+  if (memo.defined()) return memo;
   // Eq. (7): fuse scene-specific and category-specific parts.
-  memo = category_fuse_.Forward(Concat({h_scene, h_cat}));
+  memo = category_fuse_.Forward(CategoryFuseInput(category, caches, rng));
   return memo;
 }
 
-Tensor SceneRec::SceneSpaceItemRepr(int64_t item, StepCaches& caches,
-                                    Rng* rng) {
+const Linear& SceneRec::scene_fuse_layer() const {
+  return (config_.use_scene && config_.use_item_item) ? item_fuse_
+                                                      : item_fuse_single_;
+}
+
+Tensor SceneRec::SceneFuseInput(int64_t item, StepCaches& caches, Rng* rng) {
   // Eq. (8): the item's category representation.
   Tensor h_category;
   if (config_.use_scene) {
@@ -144,15 +152,26 @@ Tensor SceneRec::SceneSpaceItemRepr(int64_t item, StepCaches& caches,
     }
   }
 
-  // Eq. (12) and its ablated forms.
+  // Eq. (12)'s input (or the single surviving view under ablations; the
+  // nosce variant keeps only the item-item sub-network).
   if (config_.use_scene && config_.use_item_item) {
-    return item_fuse_.Forward(Concat({h_category, h_item}));
+    return Concat({h_category, h_item});
   }
-  if (config_.use_scene) {  // SceneRec-noitem
-    return item_fuse_single_.Forward(h_category);
-  }
-  // SceneRec-nosce: only the item-item sub-network remains.
-  return item_fuse_single_.Forward(h_item);
+  return config_.use_scene ? h_category : h_item;
+}
+
+Tensor SceneRec::SceneSpaceItemRepr(int64_t item, StepCaches& caches,
+                                    Rng* rng) {
+  // Eq. (12) and its ablated forms.
+  return scene_fuse_layer().Forward(SceneFuseInput(item, caches, rng));
+}
+
+Tensor SceneRec::UserAggSum(int64_t user, Rng* rng) {
+  // Eq. (1)'s aggregation: sum of interacted item embeddings.
+  std::vector<int64_t> items =
+      CapNeighbors(user_item_->ItemsOfUser(user), config_.max_neighbors, rng);
+  return items.empty() ? Tensor::Zeros(Shape({config_.embedding_dim}))
+                       : SumRows(item_embedding_.LookupMany(items));
 }
 
 Tensor SceneRec::UserRepr(int64_t user, Rng* rng) {
@@ -165,25 +184,23 @@ Tensor SceneRec::UserRepr(int64_t user, Rng* rng) {
       return eval_user_cache_[static_cast<size_t>(user)];
     }
   }
-  // Eq. (1): aggregate the embeddings of interacted items.
-  std::vector<int64_t> items =
-      CapNeighbors(user_item_->ItemsOfUser(user), config_.max_neighbors, rng);
-  Tensor sum = items.empty()
-                   ? Tensor::Zeros(Shape({config_.embedding_dim}))
-                   : SumRows(item_embedding_.LookupMany(items));
-  Tensor repr = user_agg_.Forward(sum);
+  // Eq. (1).
+  Tensor repr = user_agg_.Forward(UserAggSum(user, rng));
   if (eval_mode) eval_user_cache_[static_cast<size_t>(user)] = repr;
   return repr;
 }
 
-Tensor SceneRec::UserSpaceItemRepr(int64_t item, Rng* rng) {
-  // Eq. (2): aggregate the embeddings of engaged users.
+Tensor SceneRec::UserSpaceSum(int64_t item, Rng* rng) {
+  // Eq. (2)'s aggregation: sum of engaged user embeddings.
   std::vector<int64_t> users =
       CapNeighbors(user_item_->UsersOfItem(item), config_.max_neighbors, rng);
-  Tensor sum = users.empty()
-                   ? Tensor::Zeros(Shape({config_.embedding_dim}))
-                   : SumRows(user_embedding_.LookupMany(users));
-  return item_user_agg_.Forward(sum);
+  return users.empty() ? Tensor::Zeros(Shape({config_.embedding_dim}))
+                       : SumRows(user_embedding_.LookupMany(users));
+}
+
+Tensor SceneRec::UserSpaceItemRepr(int64_t item, Rng* rng) {
+  // Eq. (2).
+  return item_user_agg_.Forward(UserSpaceSum(item, rng));
 }
 
 Tensor SceneRec::GeneralItemRepr(int64_t item, StepCaches& caches,
@@ -203,6 +220,28 @@ Tensor SceneRec::GeneralItemRepr(int64_t item, StepCaches& caches,
   Tensor repr = item_mlp_.Forward(Concat({user_view, scene_view}));
   if (eval_mode) eval_item_cache_[static_cast<size_t>(item)] = repr;
   return repr;
+}
+
+Tensor SceneRec::ItemRowsFromParts(const std::vector<Tensor>& user_space_sums,
+                                   const std::vector<Tensor>& scene_inputs) {
+  // Batched eq. (13): every per-item Linear/MLP runs once over stacked rows.
+  Tensor user_view = item_user_agg_.ForwardRows(StackRows(user_space_sums));
+  Tensor scene_view = scene_fuse_layer().ForwardRows(StackRows(scene_inputs));
+  return item_mlp_.ForwardRows(ConcatCols(user_view, scene_view));
+}
+
+Tensor SceneRec::GeneralItemReprRows(std::span<const int64_t> items,
+                                     StepCaches& caches, Rng* rng) {
+  SCENEREC_CHECK(!items.empty());
+  std::vector<Tensor> user_space_sums;
+  std::vector<Tensor> scene_inputs;
+  user_space_sums.reserve(items.size());
+  scene_inputs.reserve(items.size());
+  for (int64_t item : items) {
+    user_space_sums.push_back(UserSpaceSum(item, rng));
+    scene_inputs.push_back(SceneFuseInput(item, caches, rng));
+  }
+  return ItemRowsFromParts(user_space_sums, scene_inputs);
 }
 
 Tensor SceneRec::Rating(const Tensor& user_repr, const Tensor& item_repr) {
@@ -239,19 +278,44 @@ Tensor SceneRec::BatchLossShard(std::span<const BprTriple> shard,
 
 Tensor SceneRec::ShardLoss(std::span<const BprTriple> triples,
                            StepCaches& caches, Rng& rng) {
-  Tensor total;
+  if (triples.empty()) return Tensor();
+  const int64_t n = static_cast<int64_t>(triples.size());
+  // Collect the pre-linear aggregation inputs in the same per-triple order
+  // as the per-entity loop used to (user, then positive item, then negative
+  // item) so the neighbor-sampling RNG stream is unchanged; the Linear/MLP
+  // layers then each run once over the stacked rows.
+  std::vector<Tensor> user_sums;       // one row per triple
+  std::vector<Tensor> item_user_sums;  // pos0, neg0, pos1, neg1, ...
+  std::vector<Tensor> scene_inputs;    // same interleaved order
+  user_sums.reserve(triples.size());
+  item_user_sums.reserve(2 * triples.size());
+  scene_inputs.reserve(2 * triples.size());
   for (const BprTriple& triple : triples) {
-    // The user representation is shared between the positive and negative
-    // scores of a triple.
-    Tensor m_u = UserRepr(triple.user, &rng);
-    Tensor pos =
-        Rating(m_u, GeneralItemRepr(triple.positive_item, caches, &rng));
-    Tensor neg =
-        Rating(m_u, GeneralItemRepr(triple.negative_item, caches, &rng));
-    Tensor loss = BprPairLoss(pos, neg);
-    total = total.defined() ? Add(total, loss) : loss;
+    user_sums.push_back(UserAggSum(triple.user, &rng));
+    for (int64_t item : {triple.positive_item, triple.negative_item}) {
+      item_user_sums.push_back(UserSpaceSum(item, &rng));
+      scene_inputs.push_back(SceneFuseInput(item, caches, &rng));
+    }
   }
-  return total;
+  Tensor user_rows = user_agg_.ForwardRows(StackRows(user_sums));  // [n, d]
+  Tensor item_rows = ItemRowsFromParts(item_user_sums, scene_inputs);  // [2n,d]
+  // Duplicate each user row next to its positive and negative item rows and
+  // rate all 2n pairs in one batched eq. (14) forward.
+  std::vector<int64_t> user_dup(static_cast<size_t>(2 * n));
+  std::vector<int64_t> pos_idx(static_cast<size_t>(n));
+  std::vector<int64_t> neg_idx(static_cast<size_t>(n));
+  for (int64_t t = 0; t < n; ++t) {
+    user_dup[static_cast<size_t>(2 * t)] = t;
+    user_dup[static_cast<size_t>(2 * t + 1)] = t;
+    pos_idx[static_cast<size_t>(t)] = 2 * t;
+    neg_idx[static_cast<size_t>(t)] = 2 * t + 1;
+  }
+  Tensor scores = rating_mlp_.ForwardRows(
+      ConcatCols(GatherRows(user_rows, user_dup), item_rows));  // [2n, 1]
+  // Eq. (15): softplus(neg - pos) summed over pairs, in triple order (same
+  // accumulation order as the former per-pair Add chain).
+  return Sum(Softplus(
+      Sub(GatherRows(scores, neg_idx), GatherRows(scores, pos_idx))));
 }
 
 bool SceneRec::PrepareParallelScoring(ThreadPool& pool) {
@@ -275,37 +339,59 @@ bool SceneRec::PrepareParallelScoring(ThreadPool& pool) {
       if (step_caches_.category_repr.empty()) {
         step_caches_.category_repr.resize(static_cast<size_t>(num_categories));
       }
-      pool.ParallelFor(num_categories, /*grain=*/4,
-                       [this](int64_t begin, int64_t end) {
-                         NoGradGuard no_grad;
-                         for (int64_t c = begin; c < end; ++c) {
-                           CategoryRepr(c, step_caches_, /*rng=*/nullptr);
-                         }
-                       });
+      // Each chunk builds its eq. (7) inputs and runs category_fuse_ once as
+      // a row-batched GEMM; Row(rows, r) is bitwise equal to the lazy
+      // single-category forward, so serial evaluation stays bitwise
+      // identical.
+      pool.ParallelFor(
+          num_categories, /*grain=*/16, [this](int64_t begin, int64_t end) {
+            NoGradGuard no_grad;
+            std::vector<Tensor> inputs;
+            inputs.reserve(static_cast<size_t>(end - begin));
+            for (int64_t c = begin; c < end; ++c) {
+              inputs.push_back(CategoryFuseInput(c, step_caches_, nullptr));
+            }
+            Tensor rows = category_fuse_.ForwardRows(StackRows(inputs));
+            for (int64_t c = begin; c < end; ++c) {
+              step_caches_.category_repr[static_cast<size_t>(c)] =
+                  Row(rows, c - begin);
+            }
+          });
     }
   }
   const int64_t num_items = user_item_->num_items();
   if (eval_item_cache_.empty()) {
     eval_item_cache_.resize(static_cast<size_t>(num_items));
   }
-  pool.ParallelFor(num_items, /*grain=*/4,
-                   [this](int64_t begin, int64_t end) {
-                     NoGradGuard no_grad;
-                     for (int64_t i = begin; i < end; ++i) {
-                       GeneralItemRepr(i, step_caches_, /*rng=*/nullptr);
-                     }
-                   });
+  pool.ParallelFor(
+      num_items, /*grain=*/32, [this](int64_t begin, int64_t end) {
+        NoGradGuard no_grad;
+        std::vector<int64_t> items(static_cast<size_t>(end - begin));
+        for (int64_t i = begin; i < end; ++i) {
+          items[static_cast<size_t>(i - begin)] = i;
+        }
+        Tensor rows = GeneralItemReprRows(items, step_caches_, nullptr);
+        for (int64_t i = begin; i < end; ++i) {
+          eval_item_cache_[static_cast<size_t>(i)] = Row(rows, i - begin);
+        }
+      });
   const int64_t num_users = user_item_->num_users();
   if (eval_user_cache_.empty()) {
     eval_user_cache_.resize(static_cast<size_t>(num_users));
   }
-  pool.ParallelFor(num_users, /*grain=*/4,
-                   [this](int64_t begin, int64_t end) {
-                     NoGradGuard no_grad;
-                     for (int64_t u = begin; u < end; ++u) {
-                       UserRepr(u, /*rng=*/nullptr);
-                     }
-                   });
+  pool.ParallelFor(
+      num_users, /*grain=*/32, [this](int64_t begin, int64_t end) {
+        NoGradGuard no_grad;
+        std::vector<Tensor> sums;
+        sums.reserve(static_cast<size_t>(end - begin));
+        for (int64_t u = begin; u < end; ++u) {
+          sums.push_back(UserAggSum(u, nullptr));
+        }
+        Tensor rows = user_agg_.ForwardRows(StackRows(sums));
+        for (int64_t u = begin; u < end; ++u) {
+          eval_user_cache_[static_cast<size_t>(u)] = Row(rows, u - begin);
+        }
+      });
   return true;
 }
 

@@ -113,20 +113,53 @@ class SceneRec : public Recommender {
   /// memos would be stale.
   void ClearStepCaches();
 
+  /// The input of eq. (7)'s fusion layer: h_scene || h_cat (eqs. 3-6).
+  /// Split out of CategoryRepr so batched callers can stack these rows and
+  /// run category_fuse_ once per batch.
+  Tensor CategoryFuseInput(int64_t category, StepCaches& caches, Rng* rng);
+
   /// m_{c_p} — eqs. (3)-(7).
   Tensor CategoryRepr(int64_t category, StepCaches& caches, Rng* rng);
+
+  /// The input row of eq. (12)'s fusion layer (h_category || h_item, or the
+  /// single surviving part under ablations). The fuse layer itself is
+  /// `scene_fuse_layer()`.
+  Tensor SceneFuseInput(int64_t item, StepCaches& caches, Rng* rng);
+
+  /// The Linear applied to SceneFuseInput: item_fuse_ when both views are
+  /// enabled, item_fuse_single_ under ablations.
+  const Linear& scene_fuse_layer() const;
 
   /// m^S_{i_p} — eqs. (8)-(12), honoring ablation switches.
   Tensor SceneSpaceItemRepr(int64_t item, StepCaches& caches, Rng* rng);
 
+  /// Aggregated item-embedding sum feeding eq. (1) (before W_u).
+  Tensor UserAggSum(int64_t user, Rng* rng);
+
   /// m_{u_p} — eq. (1).
   Tensor UserRepr(int64_t user, Rng* rng);
+
+  /// Aggregated user-embedding sum feeding eq. (2) (before W_iu).
+  Tensor UserSpaceSum(int64_t item, Rng* rng);
 
   /// m^U_{i_p} — eq. (2).
   Tensor UserSpaceItemRepr(int64_t item, Rng* rng);
 
   /// m_{i_p} — eq. (13).
   Tensor GeneralItemRepr(int64_t item, StepCaches& caches, Rng* rng);
+
+  /// Batched eq. (13): one row per item of `items`, computed with row-
+  /// batched GEMMs. Row r is bitwise equal to GeneralItemRepr(items[r])
+  /// because every batched kernel matches its single-row path bitwise.
+  Tensor GeneralItemReprRows(std::span<const int64_t> items,
+                             StepCaches& caches, Rng* rng);
+
+  /// Assembles eq. (13) rows from pre-collected aggregation inputs: row r is
+  /// item_mlp_(item_user_agg_(user_space_sums[r]) ||
+  /// scene_fuse_layer()(scene_inputs[r])). Shared by GeneralItemReprRows and
+  /// the batched ShardLoss.
+  Tensor ItemRowsFromParts(const std::vector<Tensor>& user_space_sums,
+                           const std::vector<Tensor>& scene_inputs);
 
   /// Shared body of BatchLoss and BatchLossShard: summed BPR loss of
   /// `triples` with memos in `caches` and sampling from `rng`.

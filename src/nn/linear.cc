@@ -3,6 +3,25 @@
 #include "tensor/ops.h"
 
 namespace scenerec {
+namespace {
+
+kernels::FusedAct ToFusedAct(Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return kernels::FusedAct::kNone;
+    case Activation::kSigmoid:
+      return kernels::FusedAct::kSigmoid;
+    case Activation::kTanh:
+      return kernels::FusedAct::kTanh;
+    case Activation::kRelu:
+      return kernels::FusedAct::kRelu;
+    case Activation::kLeakyRelu:
+      return kernels::FusedAct::kLeakyRelu;
+  }
+  return kernels::FusedAct::kNone;
+}
+
+}  // namespace
 
 Linear::Linear(int64_t in_dim, int64_t out_dim, Activation activation,
                Rng& rng)
@@ -13,8 +32,11 @@ Linear::Linear(int64_t in_dim, int64_t out_dim, Activation activation,
       bias_(Tensor::Zeros(Shape({out_dim}), /*requires_grad=*/true)) {}
 
 Tensor Linear::Forward(const Tensor& x) const {
-  Tensor pre = Add(MatVec(weight_, x), bias_);
-  return ApplyActivation(activation_, pre);
+  return LinearAct(weight_, x, bias_, ToFusedAct(activation_));
+}
+
+Tensor Linear::ForwardRows(const Tensor& xs) const {
+  return LinearActRows(weight_, xs, bias_, ToFusedAct(activation_));
 }
 
 void Linear::CollectParameters(std::vector<Tensor>* out) const {

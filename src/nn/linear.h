@@ -24,7 +24,13 @@ class Linear : public Module {
   Linear& operator=(Linear&&) = default;
 
   /// Applies the layer to a rank-1 input of length in_dim -> [out_dim].
+  /// A single fused LinearAct graph node (no MatVec/Add/activation chain).
   Tensor Forward(const Tensor& x) const;
+
+  /// Applies the layer to every row of xs [R, in_dim] -> [R, out_dim] in one
+  /// fused node. Row r is bitwise equal to Forward(Row(xs, r)), so callers
+  /// may batch per-entity forwards freely.
+  Tensor ForwardRows(const Tensor& xs) const;
 
   void CollectParameters(std::vector<Tensor>* out) const override;
 

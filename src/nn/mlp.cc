@@ -21,6 +21,12 @@ Tensor Mlp::Forward(const Tensor& x) const {
   return h;
 }
 
+Tensor Mlp::ForwardRows(const Tensor& xs) const {
+  Tensor h = xs;
+  for (const Linear& layer : layers_) h = layer.ForwardRows(h);
+  return h;
+}
+
 void Mlp::CollectParameters(std::vector<Tensor>* out) const {
   for (const Linear& layer : layers_) layer.CollectParameters(out);
 }

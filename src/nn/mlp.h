@@ -27,6 +27,10 @@ class Mlp : public Module {
   /// Applies the stack to a rank-1 input of length dims.front().
   Tensor Forward(const Tensor& x) const;
 
+  /// Applies the stack to every row of xs [R, dims.front()] ->
+  /// [R, dims.back()]. Row r is bitwise equal to Forward(Row(xs, r)).
+  Tensor ForwardRows(const Tensor& xs) const;
+
   void CollectParameters(std::vector<Tensor>* out) const override;
 
   int64_t in_dim() const { return layers_.front().in_dim(); }

@@ -1,0 +1,206 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#include "common/check.h"
+
+// Manual poisoning: reads of recycled step memory become hard ASan errors
+// instead of silently observing stale floats.
+#if defined(__SANITIZE_ADDRESS__)
+#define SCENEREC_HAS_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SCENEREC_HAS_ASAN 1
+#endif
+#endif
+
+#ifdef SCENEREC_HAS_ASAN
+#include <sanitizer/asan_interface.h>
+#define SCENEREC_POISON(p, n) __asan_poison_memory_region((p), (n))
+#define SCENEREC_UNPOISON(p, n) __asan_unpoison_memory_region((p), (n))
+#else
+#define SCENEREC_POISON(p, n) ((void)0)
+#define SCENEREC_UNPOISON(p, n) ((void)0)
+#endif
+
+namespace scenerec {
+namespace {
+
+size_t AlignUp(size_t n, size_t alignment) {
+  return (n + alignment - 1) & ~(alignment - 1);
+}
+
+thread_local Arena* t_current_arena = nullptr;
+
+Arena& ThreadStepArena() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace
+
+Arena::Arena(size_t initial_block_bytes)
+    : next_block_bytes_(std::max(initial_block_bytes, kAlignment)) {}
+
+Arena::~Arena() {
+  for (Block& block : blocks_) {
+    SCENEREC_UNPOISON(block.data, block.size);
+    ::operator delete(block.data, std::align_val_t{kAlignment});
+  }
+}
+
+void Arena::NextBlock(size_t bytes) {
+  // Reuse an already-owned block if one of the remaining ones is big enough;
+  // Reset() keeps them around exactly for this.
+  while (block_index_ + 1 < blocks_.size()) {
+    ++block_index_;
+    offset_ = 0;
+    if (blocks_[block_index_].size >= bytes) return;
+  }
+  size_t size = std::max(next_block_bytes_, AlignUp(bytes, kAlignment));
+  next_block_bytes_ = size * 2;
+  char* data =
+      static_cast<char*>(::operator new(size, std::align_val_t{kAlignment}));
+  SCENEREC_POISON(data, size);
+  blocks_.push_back(Block{data, size});
+  block_index_ = blocks_.size() - 1;
+  offset_ = 0;
+  bytes_reserved_ += size;
+}
+
+void* Arena::Allocate(size_t bytes) {
+  bytes = AlignUp(std::max(bytes, size_t{1}), kAlignment);
+  if (blocks_.empty() || offset_ + bytes > blocks_[block_index_].size) {
+    NextBlock(bytes);
+  }
+  Block& block = blocks_[block_index_];
+  SCENEREC_CHECK(offset_ + bytes <= block.size);
+  char* p = block.data + offset_;
+  offset_ += bytes;
+  bytes_used_ += bytes;
+  SCENEREC_UNPOISON(p, bytes);
+  return p;
+}
+
+void Arena::Reset() {
+  for (Block& block : blocks_) {
+    SCENEREC_POISON(block.data, block.size);
+  }
+  block_index_ = 0;
+  offset_ = 0;
+  bytes_used_ = 0;
+}
+
+bool Arena::Owns(const void* p) const {
+  const char* c = static_cast<const char*>(p);
+  for (const Block& block : blocks_) {
+    if (c >= block.data && c < block.data + block.size) return true;
+  }
+  return false;
+}
+
+Arena* CurrentArena() { return t_current_arena; }
+
+ArenaScope::ArenaScope() : previous_(t_current_arena) {
+  Arena& arena = ThreadStepArena();
+  arena.Reset();
+  t_current_arena = &arena;
+}
+
+ArenaScope::~ArenaScope() {
+  // Deactivate without resetting: buffers allocated inside stay readable
+  // until the next ArenaScope on this thread (the trainer reads shard losses
+  // after the parallel region joins).
+  t_current_arena = previous_;
+}
+
+ArenaPauseGuard::ArenaPauseGuard() : previous_(t_current_arena) {
+  t_current_arena = nullptr;
+}
+
+ArenaPauseGuard::~ArenaPauseGuard() { t_current_arena = previous_; }
+
+FloatBuffer::FloatBuffer(size_t n, float fill) {
+  AllocateStorage(n);
+  std::fill(data_, data_ + size_, fill);
+}
+
+FloatBuffer FloatBuffer::Uninitialized(size_t n) {
+  FloatBuffer buffer;
+  buffer.AllocateStorage(n);
+  return buffer;
+}
+
+FloatBuffer::FloatBuffer(std::vector<float> v)
+    : size_(v.size()), owned_(std::move(v)) {
+  data_ = owned_.data();
+}
+
+FloatBuffer::FloatBuffer(const FloatBuffer& other) {
+  AllocateStorage(other.size_);
+  std::memcpy(data_, other.data_, size_ * sizeof(float));
+}
+
+FloatBuffer& FloatBuffer::operator=(const FloatBuffer& other) {
+  if (this == &other) return *this;
+  if (size_ != other.size_) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    AllocateStorage(other.size_);
+  }
+  std::memcpy(data_, other.data_, size_ * sizeof(float));
+  return *this;
+}
+
+FloatBuffer::FloatBuffer(FloatBuffer&& other) noexcept
+    : data_(other.data_), size_(other.size_), owned_(std::move(other.owned_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+FloatBuffer& FloatBuffer::operator=(FloatBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  owned_ = std::move(other.owned_);
+  data_ = other.data_;
+  size_ = other.size_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+void FloatBuffer::assign(size_t n, float fill) {
+  if (size_ != n) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    AllocateStorage(n);
+  }
+  std::fill(data_, data_ + size_, fill);
+}
+
+FloatBuffer& FloatBuffer::operator=(const std::vector<float>& v) {
+  if (size_ != v.size()) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    AllocateStorage(v.size());
+  }
+  std::memcpy(data_, v.data(), size_ * sizeof(float));
+  return *this;
+}
+
+bool operator==(const FloatBuffer& a, const FloatBuffer& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+void FloatBuffer::AllocateStorage(size_t n) {
+  size_ = n;
+  if (Arena* arena = t_current_arena) {
+    data_ = static_cast<float*>(arena->Allocate(n * sizeof(float)));
+  } else {
+    owned_.resize(n);
+    data_ = owned_.data();
+  }
+}
+
+}  // namespace scenerec

@@ -1,0 +1,185 @@
+#ifndef SCENEREC_TENSOR_ARENA_H_
+#define SCENEREC_TENSOR_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scenerec {
+
+/// Bump-pointer allocator backing the value/grad storage of step-scoped
+/// autograd nodes. A training step allocates thousands of small float
+/// buffers that all die together when the step's graph is dropped; the arena
+/// turns each of those mallocs into a pointer bump and each free into a
+/// no-op, and returns the whole step's memory with one Reset().
+///
+/// Thread model: an Arena is single-threaded. Each worker thread owns one
+/// (see ArenaScope); arenas are never shared across threads.
+///
+/// Under AddressSanitizer the arena poisons its blocks on Reset() and
+/// unpoisons exactly the bytes handed out by Allocate(), so a read through a
+/// stale pointer into a previous step's memory is reported as a
+/// use-after-poison instead of silently returning recycled bytes. The
+/// alignment padding between allocations stays poisoned and acts as a
+/// redzone.
+class Arena {
+ public:
+  /// Alignment of every allocation: one cache line, enough for any SIMD
+  /// width the kernels use.
+  static constexpr size_t kAlignment = 64;
+  static constexpr size_t kDefaultBlockBytes = size_t{1} << 20;  // 1 MiB
+
+  explicit Arena(size_t initial_block_bytes = kDefaultBlockBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of kAlignment-aligned storage valid until Reset().
+  /// Never fails (grows by doubling block sizes); bytes == 0 returns a
+  /// non-null pointer.
+  void* Allocate(size_t bytes);
+
+  /// Invalidates every allocation. Blocks are kept for reuse, so a steady
+  /// -state training loop stops allocating from the OS after the first step.
+  void Reset();
+
+  /// True if `p` points into one of this arena's blocks (diagnostics/tests).
+  bool Owns(const void* p) const;
+
+  /// Bytes handed out since the last Reset().
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total block capacity owned by the arena.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Block {
+    char* data;
+    size_t size;
+  };
+
+  /// Makes `blocks_[block_index_]` able to hold `bytes` more (possibly by
+  /// moving to / appending a new block).
+  void NextBlock(size_t bytes);
+
+  std::vector<Block> blocks_;
+  size_t block_index_ = 0;  // block currently being bumped
+  size_t offset_ = 0;       // bump offset within that block
+  size_t next_block_bytes_;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+/// The arena allocations on this thread currently route to, or null when
+/// storage should come from the heap. Set by ArenaScope / ArenaPauseGuard.
+Arena* CurrentArena();
+
+/// RAII scope that routes FloatBuffer allocations on the calling thread into
+/// the thread's step arena. The trainer enters one scope per training step
+/// (per shard, on that shard's worker thread).
+///
+/// Reset-on-entry: entering a scope RESETS the thread's arena, invalidating
+/// everything allocated under the previous scope on this thread. Memory
+/// allocated inside a scope therefore stays readable after the scope exits
+/// — that is what lets the trainer read shard losses after the parallel
+/// region joins — and is reclaimed when the next step begins. See
+/// docs/kernels.md for the lifetime rules.
+class ArenaScope {
+ public:
+  ArenaScope();
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* previous_;
+};
+
+/// Temporarily routes allocations back to the heap inside an active
+/// ArenaScope. Used for storage that must outlive the step, e.g. the
+/// gradient buffers of leaf parameters (allocated lazily during Backward,
+/// consumed by the optimizer after the step, reused across steps).
+class ArenaPauseGuard {
+ public:
+  ArenaPauseGuard();
+  ~ArenaPauseGuard();
+
+  ArenaPauseGuard(const ArenaPauseGuard&) = delete;
+  ArenaPauseGuard& operator=(const ArenaPauseGuard&) = delete;
+
+ private:
+  Arena* previous_;
+};
+
+/// Float storage for tensor values and gradients. The backing memory is
+/// chosen at allocation time: inside an ArenaScope it comes from the
+/// thread's step arena (freed wholesale at the next step), otherwise from
+/// the heap (leaf parameters, eval caches, tests). The buffer itself never
+/// frees arena memory — destruction of an arena-backed buffer is a no-op,
+/// which makes dropping a step graph after its arena was reset safe.
+///
+/// Interface mirrors the subset of std::vector<float> the codebase uses;
+/// conversion to/from std::vector<float> is provided for snapshot/restore
+/// paths that genuinely want heap copies.
+class FloatBuffer {
+ public:
+  FloatBuffer() = default;
+
+  /// n zero-initialized floats.
+  explicit FloatBuffer(size_t n) : FloatBuffer(n, 0.0f) {}
+  FloatBuffer(size_t n, float fill);
+
+  /// n floats with indeterminate contents; caller overwrites every element.
+  static FloatBuffer Uninitialized(size_t n);
+
+  /// Adopts a heap vector without copying (leaf factories).
+  FloatBuffer(std::vector<float> v);  // NOLINT: implicit by design
+
+  FloatBuffer(const FloatBuffer& other);
+  FloatBuffer& operator=(const FloatBuffer& other);
+  FloatBuffer(FloatBuffer&& other) noexcept;
+  FloatBuffer& operator=(FloatBuffer&& other) noexcept;
+  ~FloatBuffer() = default;
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  float* begin() { return data_; }
+  float* end() { return data_ + size_; }
+  const float* begin() const { return data_; }
+  const float* end() const { return data_ + size_; }
+
+  float& operator[](size_t i) { return data_[i]; }
+  const float& operator[](size_t i) const { return data_[i]; }
+
+  /// Re-fills with n copies of `fill`, reallocating if the size changes.
+  void assign(size_t n, float fill);
+
+  /// Heap copy, for code that snapshots values across steps.
+  operator std::vector<float>() const {  // NOLINT: implicit by design
+    return std::vector<float>(data_, data_ + size_);
+  }
+
+  /// Copies a heap vector in (restore paths). Reallocates on size change.
+  FloatBuffer& operator=(const std::vector<float>& v);
+
+ private:
+  /// Points data_ at n floats from the current arena or the heap.
+  void AllocateStorage(size_t n);
+
+  float* data_ = nullptr;
+  size_t size_ = 0;
+  std::vector<float> owned_;  // engaged only for heap-backed buffers
+};
+
+bool operator==(const FloatBuffer& a, const FloatBuffer& b);
+inline bool operator!=(const FloatBuffer& a, const FloatBuffer& b) {
+  return !(a == b);
+}
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_TENSOR_ARENA_H_

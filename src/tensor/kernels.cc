@@ -1,0 +1,253 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scenerec {
+namespace kernels {
+
+float ActApply(FusedAct act, float x, float leaky_slope) {
+  switch (act) {
+    case FusedAct::kNone:
+      return x;
+    case FusedAct::kSigmoid: {
+      // Branch on sign for numerical stability at large |x| (same formula as
+      // the standalone Sigmoid op, so fused and composed paths agree).
+      if (x >= 0.0f) {
+        const float z = std::exp(-x);
+        return 1.0f / (1.0f + z);
+      }
+      const float z = std::exp(x);
+      return z / (1.0f + z);
+    }
+    case FusedAct::kTanh:
+      return std::tanh(x);
+    case FusedAct::kRelu:
+      return x > 0.0f ? x : 0.0f;
+    case FusedAct::kLeakyRelu:
+      return x > 0.0f ? x : leaky_slope * x;
+  }
+  return x;
+}
+
+float ActGradFromY(FusedAct act, float y, float leaky_slope) {
+  switch (act) {
+    case FusedAct::kNone:
+      return 1.0f;
+    case FusedAct::kSigmoid:
+      return y * (1.0f - y);
+    case FusedAct::kTanh:
+      return 1.0f - y * y;
+    case FusedAct::kRelu:
+      // y > 0 iff x > 0, matching the forward's strict-inequality convention.
+      return y > 0.0f ? 1.0f : 0.0f;
+    case FusedAct::kLeakyRelu:
+      return y > 0.0f ? 1.0f : leaky_slope;
+  }
+  return 1.0f;
+}
+
+namespace {
+
+/// Width of the partial-accumulator bank in Dot. Eight floats span one AVX
+/// register (or two SSE registers); the bank fully unrolls, so the compiler
+/// keeps it in vector registers without needing to reassociate anything.
+constexpr int64_t kLanes = 8;
+
+}  // namespace
+
+float Dot(const float* SCENEREC_RESTRICT a, const float* SCENEREC_RESTRICT b,
+          int64_t n) {
+  float acc[kLanes] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (int64_t l = 0; l < kLanes; ++l) acc[l] += a[i + l] * b[i + l];
+  }
+  // Fixed-shape horizontal reduction: the result depends only on n, never on
+  // how the loop above was vectorized.
+  float total = ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+                ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+void Axpy(float alpha, const float* SCENEREC_RESTRICT x,
+          float* SCENEREC_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Gemv(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
+          const float* SCENEREC_RESTRICT x, float* SCENEREC_RESTRICT y) {
+  for (int64_t i = 0; i < m; ++i) y[i] = Dot(w + i * n, x, n);
+}
+
+void GemvRows(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
+              const float* SCENEREC_RESTRICT xs, int64_t rows,
+              float* SCENEREC_RESTRICT ys) {
+  // Each row runs the identical Gemv path — bitwise equal to `rows`
+  // standalone calls, which is what lets model code batch per-entity
+  // forwards without changing results.
+  for (int64_t r = 0; r < rows; ++r) {
+    Gemv(w, m, n, xs + r * n, ys + r * m);
+  }
+}
+
+void GemvTAccum(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
+                const float* SCENEREC_RESTRICT g,
+                float* SCENEREC_RESTRICT dx) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float gi = g[i];
+    if (gi == 0.0f) continue;
+    Axpy(gi, w + i * n, dx, n);
+  }
+}
+
+void GerAccum(const float* SCENEREC_RESTRICT g, const float* SCENEREC_RESTRICT x,
+              int64_t m, int64_t n, float* SCENEREC_RESTRICT dw) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float gi = g[i];
+    if (gi == 0.0f) continue;
+    Axpy(gi, x, dw + i * n, n);
+  }
+}
+
+void Gemm(const float* SCENEREC_RESTRICT a, const float* SCENEREC_RESTRICT b,
+          float* SCENEREC_RESTRICT c, int64_t m, int64_t k, int64_t n) {
+  std::fill(c, c + m * n, 0.0f);
+  // Axpy-form i-k-j loop: streams rows of B, keeps 4 rows of C in registers.
+  // Blocking over k bounds the B panel touched per C tile; because C[i, j]
+  // still accumulates p in strictly ascending order, the result is
+  // independent of both the tile shape and m (batch-size invariant).
+  constexpr int64_t kKc = 256;
+  for (int64_t p0 = 0; p0 < k; p0 += kKc) {
+    const int64_t p1 = std::min(p0 + kKc, k);
+    int64_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float* SCENEREC_RESTRICT a0 = a + (i + 0) * k;
+      const float* SCENEREC_RESTRICT a1 = a + (i + 1) * k;
+      const float* SCENEREC_RESTRICT a2 = a + (i + 2) * k;
+      const float* SCENEREC_RESTRICT a3 = a + (i + 3) * k;
+      float* SCENEREC_RESTRICT c0 = c + (i + 0) * n;
+      float* SCENEREC_RESTRICT c1 = c + (i + 1) * n;
+      float* SCENEREC_RESTRICT c2 = c + (i + 2) * n;
+      float* SCENEREC_RESTRICT c3 = c + (i + 3) * n;
+      for (int64_t p = p0; p < p1; ++p) {
+        const float* SCENEREC_RESTRICT br = b + p * n;
+        const float av0 = a0[p];
+        const float av1 = a1[p];
+        const float av2 = a2[p];
+        const float av3 = a3[p];
+        for (int64_t j = 0; j < n; ++j) {
+          const float bv = br[j];
+          c0[j] += av0 * bv;
+          c1[j] += av1 * bv;
+          c2[j] += av2 * bv;
+          c3[j] += av3 * bv;
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const float* SCENEREC_RESTRICT ai = a + i * k;
+      float* SCENEREC_RESTRICT ci = c + i * n;
+      for (int64_t p = p0; p < p1; ++p) {
+        const float av = ai[p];
+        const float* SCENEREC_RESTRICT br = b + p * n;
+        for (int64_t j = 0; j < n; ++j) ci[j] += av * br[j];
+      }
+    }
+  }
+}
+
+void GemmNTAccum(const float* SCENEREC_RESTRICT g,
+                 const float* SCENEREC_RESTRICT b, float* SCENEREC_RESTRICT da,
+                 int64_t m, int64_t n, int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* SCENEREC_RESTRICT grow = g + i * n;
+    float* SCENEREC_RESTRICT darow = da + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      darow[p] += Dot(grow, b + p * n, n);
+    }
+  }
+}
+
+void GemmTNAccum(const float* SCENEREC_RESTRICT a,
+                 const float* SCENEREC_RESTRICT g, float* SCENEREC_RESTRICT db,
+                 int64_t m, int64_t k, int64_t n) {
+  for (int64_t p = 0; p < k; ++p) {
+    float* SCENEREC_RESTRICT dbrow = db + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* SCENEREC_RESTRICT grow = g + i * n;
+      for (int64_t j = 0; j < n; ++j) dbrow[j] += av * grow[j];
+    }
+  }
+}
+
+// -- Scalar references -------------------------------------------------------
+//
+// Naive loops with the most obvious accumulation order. The equivalence
+// tests allow a small tolerance because the vectorized kernels reduce in a
+// different (but fixed) order.
+
+float DotRef(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void AxpyRef(float alpha, const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void GemvRef(const float* w, int64_t m, int64_t n, const float* x, float* y) {
+  for (int64_t i = 0; i < m; ++i) y[i] = DotRef(w + i * n, x, n);
+}
+
+void GemvTAccumRef(const float* w, int64_t m, int64_t n, const float* g,
+                   float* dx) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) dx[j] += g[i] * w[i * n + j];
+  }
+}
+
+void GerAccumRef(const float* g, const float* x, int64_t m, int64_t n,
+                 float* dw) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) dw[i * n + j] += g[i] * x[j];
+  }
+}
+
+void GemmRef(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void GemmNTAccumRef(const float* g, const float* b, float* da, int64_t m,
+                    int64_t n, int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      da[i * k + p] += DotRef(g + i * n, b + p * n, n);
+    }
+  }
+}
+
+void GemmTNAccumRef(const float* a, const float* g, float* db, int64_t m,
+                    int64_t k, int64_t n) {
+  for (int64_t p = 0; p < k; ++p) {
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        db[p * n + j] += a[i * k + p] * g[i * n + j];
+      }
+    }
+  }
+}
+
+}  // namespace kernels
+}  // namespace scenerec

@@ -1,6 +1,9 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <cstring>
+
+#include "tensor/kernels.h"
 
 namespace scenerec {
 
@@ -9,9 +12,10 @@ using internal_tensor::TensorNode;
 namespace {
 
 /// Builds an op result node. `backward` is stored only when some input
-/// requires gradients; it may assume out->grad is allocated.
-Tensor MakeOp(Shape shape, std::vector<float> value,
-              std::vector<Tensor> inputs, std::function<void()> backward) {
+/// requires gradients; it may assume out->grad is allocated. The value
+/// buffer lands in the step arena when one is active (see tensor/arena.h).
+Tensor MakeOp(Shape shape, FloatBuffer value, std::vector<Tensor> inputs,
+              std::function<void()> backward) {
   auto node = std::make_shared<TensorNode>();
   node->shape = std::move(shape);
   node->value = std::move(value);
@@ -38,8 +42,7 @@ void AccumulateGrad(const Tensor::NodePtr& node, const float* src, size_t n) {
   if (!node->requires_grad) return;
   auto lock = internal_tensor::LockGradIfSharedLeaf(node.get());
   node->EnsureGrad();
-  float* dst = node->grad.data();
-  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+  kernels::Axpy(1.0f, src, node->grad.data(), static_cast<int64_t>(n));
 }
 
 }  // namespace
@@ -54,7 +57,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   }
   const auto& av = a.value();
   const auto& bv = b.value();
-  std::vector<float> out(av.size());
+  FloatBuffer out = FloatBuffer::Uninitialized(av.size());
   if (bias_broadcast) {
     const int64_t rows = a.shape().dim(0);
     const int64_t cols = a.shape().dim(1);
@@ -81,12 +84,11 @@ Tensor Add(const Tensor& a, const Tensor& b) {
         const int64_t rows = an->shape.dim(0);
         const int64_t cols = an->shape.dim(1);
         for (int64_t r = 0; r < rows; ++r) {
-          for (int64_t c = 0; c < cols; ++c) {
-            bn->grad[c] += g[r * cols + c];
-          }
+          kernels::Axpy(1.0f, g.data() + r * cols, bn->grad.data(), cols);
         }
       } else {
-        for (size_t i = 0; i < g.size(); ++i) bn->grad[i] += g[i];
+        kernels::Axpy(1.0f, g.data(), bn->grad.data(),
+                      static_cast<int64_t>(g.size()));
       }
     };
   }
@@ -98,7 +100,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
       << a.shape().ToString() << "vs" << b.shape().ToString();
   const auto& av = a.value();
   const auto& bv = b.value();
-  std::vector<float> out(av.size());
+  FloatBuffer out = FloatBuffer::Uninitialized(av.size());
   for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] - bv[i];
   auto an = a.node();
   auto bn = b.node();
@@ -111,7 +113,8 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
       if (bn->requires_grad) {
         auto lock = internal_tensor::LockGradIfSharedLeaf(bn.get());
         bn->EnsureGrad();
-        for (size_t i = 0; i < g.size(); ++i) bn->grad[i] -= g[i];
+        kernels::Axpy(-1.0f, g.data(), bn->grad.data(),
+                      static_cast<int64_t>(g.size()));
       }
     };
   }
@@ -123,7 +126,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
       << a.shape().ToString() << "vs" << b.shape().ToString();
   const auto& av = a.value();
   const auto& bv = b.value();
-  std::vector<float> out(av.size());
+  FloatBuffer out = FloatBuffer::Uninitialized(av.size());
   for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] * bv[i];
   auto an = a.node();
   auto bn = b.node();
@@ -156,7 +159,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
       << a.shape().ToString() << "vs" << b.shape().ToString();
   const auto& av = a.value();
   const auto& bv = b.value();
-  std::vector<float> out(av.size());
+  FloatBuffer out = FloatBuffer::Uninitialized(av.size());
   for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] / bv[i];
   auto an = a.node();
   auto bn = b.node();
@@ -192,7 +195,7 @@ namespace {
 template <typename Fwd, typename Dydx>
 Tensor UnaryOp(const Tensor& a, Fwd forward, Dydx dydx) {
   const auto& av = a.value();
-  std::vector<float> out(av.size());
+  FloatBuffer out = FloatBuffer::Uninitialized(av.size());
   for (size_t i = 0; i < av.size(); ++i) out[i] = forward(av[i]);
   auto an = a.node();
   auto result = MakeOp(a.shape(), std::move(out), {a}, nullptr);
@@ -222,7 +225,7 @@ Tensor ScaleBy(const Tensor& a, const Tensor& scalar) {
   SCENEREC_CHECK_EQ(scalar.num_elements(), 1);
   const auto& av = a.value();
   const float s = scalar.value()[0];
-  std::vector<float> out(av.size());
+  FloatBuffer out = FloatBuffer::Uninitialized(av.size());
   for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] * s;
   auto an = a.node();
   auto sn = scalar.node();
@@ -235,11 +238,12 @@ Tensor ScaleBy(const Tensor& a, const Tensor& scalar) {
         auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
         an->EnsureGrad();
         const float s_val = sn->value[0];
-        for (size_t i = 0; i < g.size(); ++i) an->grad[i] += g[i] * s_val;
+        kernels::Axpy(s_val, g.data(), an->grad.data(),
+                      static_cast<int64_t>(g.size()));
       }
       if (sn->requires_grad) {
-        float acc = 0.0f;
-        for (size_t i = 0; i < g.size(); ++i) acc += g[i] * an->value[i];
+        const float acc = kernels::Dot(g.data(), an->value.data(),
+                                       static_cast<int64_t>(g.size()));
         auto lock = internal_tensor::LockGradIfSharedLeaf(sn.get());
         sn->EnsureGrad();
         sn->grad[0] += acc;
@@ -260,13 +264,7 @@ Tensor Sigmoid(const Tensor& a) {
   return UnaryOp(
       a,
       [](float x) {
-        // Branch on sign for numerical stability at large |x|.
-        if (x >= 0.0f) {
-          const float z = std::exp(-x);
-          return 1.0f / (1.0f + z);
-        }
-        const float z = std::exp(x);
-        return z / (1.0f + z);
+        return kernels::ActApply(kernels::FusedAct::kSigmoid, x, 0.0f);
       },
       [](float, float y) { return y * (1.0f - y); });
 }
@@ -329,7 +327,7 @@ Tensor Sum(const Tensor& a) {
   float total = 0.0f;
   for (float v : av) total += v;
   auto an = a.node();
-  auto result = MakeOp(Shape(), {total}, {a}, nullptr);
+  auto result = MakeOp(Shape(), FloatBuffer(1, total), {a}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on]() {
@@ -351,9 +349,9 @@ Tensor SumRows(const Tensor& a) {
   const int64_t rows = a.shape().dim(0);
   const int64_t cols = a.shape().dim(1);
   const auto& av = a.value();
-  std::vector<float> out(static_cast<size_t>(cols), 0.0f);
+  FloatBuffer out(static_cast<size_t>(cols), 0.0f);
   for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t c = 0; c < cols; ++c) out[c] += av[r * cols + c];
+    kernels::Axpy(1.0f, av.data() + r * cols, out.data(), cols);
   }
   auto an = a.node();
   auto result = MakeOp(Shape({cols}), std::move(out), {a}, nullptr);
@@ -364,7 +362,7 @@ Tensor SumRows(const Tensor& a) {
       an->EnsureGrad();
       const auto& g = on->grad;
       for (int64_t r = 0; r < rows; ++r) {
-        for (int64_t c = 0; c < cols; ++c) an->grad[r * cols + c] += g[c];
+        kernels::Axpy(1.0f, g.data(), an->grad.data() + r * cols, cols);
       }
     };
   }
@@ -381,7 +379,7 @@ Tensor MaxRows(const Tensor& a) {
   const int64_t rows = a.shape().dim(0);
   const int64_t cols = a.shape().dim(1);
   const auto& av = a.value();
-  std::vector<float> out(static_cast<size_t>(cols));
+  FloatBuffer out = FloatBuffer::Uninitialized(static_cast<size_t>(cols));
   std::vector<int64_t> argmax(static_cast<size_t>(cols), 0);
   for (int64_t c = 0; c < cols; ++c) {
     float best = av[static_cast<size_t>(c)];
@@ -418,12 +416,11 @@ Tensor L2NormalizeRows(const Tensor& a, float epsilon) {
   const int64_t rows = a.shape().dim(0);
   const int64_t cols = a.shape().dim(1);
   const auto& av = a.value();
-  std::vector<float> out(av.size());
+  FloatBuffer out = FloatBuffer::Uninitialized(av.size());
   std::vector<float> inv_norms(static_cast<size_t>(rows));
   for (int64_t r = 0; r < rows; ++r) {
     const float* row = av.data() + r * cols;
-    float sq = epsilon;
-    for (int64_t c = 0; c < cols; ++c) sq += row[c] * row[c];
+    const float sq = epsilon + kernels::Dot(row, row, cols);
     const float inv = 1.0f / std::sqrt(sq);
     inv_norms[static_cast<size_t>(r)] = inv;
     float* orow = out.data() + r * cols;
@@ -442,8 +439,7 @@ Tensor L2NormalizeRows(const Tensor& a, float epsilon) {
       for (int64_t r = 0; r < rows; ++r) {
         const float* grow = g.data() + r * cols;
         const float* yrow = y.data() + r * cols;
-        float dot = 0.0f;
-        for (int64_t c = 0; c < cols; ++c) dot += grow[c] * yrow[c];
+        const float dot = kernels::Dot(grow, yrow, cols);
         const float inv = inv_norms[static_cast<size_t>(r)];
         float* xrow = an->grad.data() + r * cols;
         for (int64_t c = 0; c < cols; ++c) {
@@ -461,7 +457,7 @@ Tensor Dropout(const Tensor& a, float rate, Rng& rng) {
   const auto& av = a.value();
   const float scale = 1.0f / (1.0f - rate);
   auto mask = std::make_shared<std::vector<float>>(av.size());
-  std::vector<float> out(av.size());
+  FloatBuffer out = FloatBuffer::Uninitialized(av.size());
   for (size_t i = 0; i < av.size(); ++i) {
     const float keep = rng.NextBernoulli(rate) ? 0.0f : scale;
     (*mask)[i] = keep;
@@ -492,16 +488,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t n = b.shape().dim(1);
   const auto& av = a.value();
   const auto& bv = b.value();
-  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float aval = av[i * k + p];
-      if (aval == 0.0f) continue;
-      const float* brow = bv.data() + p * n;
-      float* orow = out.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += aval * brow[j];
-    }
-  }
+  FloatBuffer out = FloatBuffer::Uninitialized(static_cast<size_t>(m * n));
+  kernels::Gemm(av.data(), bv.data(), out.data(), m, k, n);
   auto an = a.node();
   auto bn = b.node();
   auto result = MakeOp(Shape({m, n}), std::move(out), {a, b}, nullptr);
@@ -512,29 +500,100 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       if (an->requires_grad) {
         auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
         an->EnsureGrad();
-        // dA = G * B^T
-        for (int64_t i = 0; i < m; ++i) {
-          for (int64_t p = 0; p < k; ++p) {
-            float acc = 0.0f;
-            const float* grow = g.data() + i * n;
-            const float* brow = bn->value.data() + p * n;
-            for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-            an->grad[i * k + p] += acc;
-          }
-        }
+        // dA += G B^T
+        kernels::GemmNTAccum(g.data(), bn->value.data(), an->grad.data(), m,
+                             n, k);
       }
       if (bn->requires_grad) {
         auto lock = internal_tensor::LockGradIfSharedLeaf(bn.get());
         bn->EnsureGrad();
-        // dB = A^T * G
-        for (int64_t p = 0; p < k; ++p) {
-          for (int64_t i = 0; i < m; ++i) {
-            const float aval = an->value[i * k + p];
-            if (aval == 0.0f) continue;
-            const float* grow = g.data() + i * n;
-            float* brow = bn->grad.data() + p * n;
-            for (int64_t j = 0; j < n; ++j) brow[j] += aval * grow[j];
-          }
+        // dB += A^T G
+        kernels::GemmTNAccum(an->value.data(), g.data(), bn->grad.data(), m,
+                             k, n);
+      }
+    };
+  }
+  return result;
+}
+
+namespace {
+
+/// Shared forward/backward for MatVec, MatVecBatch, LinearAct and
+/// LinearActRows: ys = act(W xs + bias) row by row, where `bias` may be
+/// null (plain MatVec) and rows == 1 covers the vector case. Every row goes
+/// through kernels::Gemv, which is what makes the batched entry points
+/// bitwise equal to their per-entity loops.
+Tensor LinearRowsImpl(const Tensor& w, const Tensor& xs, const Tensor* bias,
+                      kernels::FusedAct act, float leaky_slope,
+                      int64_t rows, Shape out_shape) {
+  const int64_t m = w.shape().dim(0);
+  const int64_t n = w.shape().dim(1);
+  const auto& wv = w.value();
+  const auto& xv = xs.value();
+  FloatBuffer out = FloatBuffer::Uninitialized(static_cast<size_t>(rows * m));
+  kernels::GemvRows(wv.data(), m, n, xv.data(), rows, out.data());
+  if (bias != nullptr) {
+    SCENEREC_CHECK_EQ(bias->shape().rank(), 1);
+    SCENEREC_CHECK_EQ(bias->shape().dim(0), m);
+    const auto& biasv = bias->value();
+    for (int64_t r = 0; r < rows; ++r) {
+      float* orow = out.data() + r * m;
+      for (int64_t i = 0; i < m; ++i) {
+        orow[i] = kernels::ActApply(act, orow[i] + biasv[i], leaky_slope);
+      }
+    }
+  } else if (act != kernels::FusedAct::kNone) {
+    for (int64_t r = 0; r < rows; ++r) {
+      float* orow = out.data() + r * m;
+      for (int64_t i = 0; i < m; ++i) {
+        orow[i] = kernels::ActApply(act, orow[i], leaky_slope);
+      }
+    }
+  }
+  auto wn = w.node();
+  auto xn = xs.node();
+  auto bn = bias != nullptr ? bias->node() : Tensor::NodePtr();
+  std::vector<Tensor> inputs = {w, xs};
+  if (bias != nullptr) inputs.push_back(*bias);
+  auto result =
+      MakeOp(std::move(out_shape), std::move(out), std::move(inputs), nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [wn, xn, bn, on, act, leaky_slope, rows, m, n]() {
+      const auto& g = on->grad;
+      const auto& y = on->value;
+      // d(pre-activation) for all rows; activation derivatives are
+      // recoverable from the outputs alone. Arena-backed within a step.
+      FloatBuffer dpre =
+          FloatBuffer::Uninitialized(static_cast<size_t>(rows * m));
+      if (act == kernels::FusedAct::kNone) {
+        std::memcpy(dpre.data(), g.data(), g.size() * sizeof(float));
+      } else {
+        for (size_t i = 0; i < g.size(); ++i) {
+          dpre[i] = g[i] * kernels::ActGradFromY(act, y[i], leaky_slope);
+        }
+      }
+      if (wn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(wn.get());
+        wn->EnsureGrad();
+        for (int64_t r = 0; r < rows; ++r) {
+          kernels::GerAccum(dpre.data() + r * m, xn->value.data() + r * n, m,
+                            n, wn->grad.data());
+        }
+      }
+      if (bn != nullptr && bn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(bn.get());
+        bn->EnsureGrad();
+        for (int64_t r = 0; r < rows; ++r) {
+          kernels::Axpy(1.0f, dpre.data() + r * m, bn->grad.data(), m);
+        }
+      }
+      if (xn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(xn.get());
+        xn->EnsureGrad();
+        for (int64_t r = 0; r < rows; ++r) {
+          kernels::GemvTAccum(wn->value.data(), m, n, dpre.data() + r * m,
+                              xn->grad.data() + r * n);
         }
       }
     };
@@ -542,51 +601,46 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return result;
 }
 
+}  // namespace
+
 Tensor MatVec(const Tensor& w, const Tensor& x) {
   SCENEREC_CHECK_EQ(w.shape().rank(), 2);
   SCENEREC_CHECK_EQ(x.shape().rank(), 1);
-  const int64_t m = w.shape().dim(0);
-  const int64_t n = w.shape().dim(1);
-  SCENEREC_CHECK_EQ(x.shape().dim(0), n);
-  const auto& wv = w.value();
-  const auto& xv = x.value();
-  std::vector<float> out(static_cast<size_t>(m), 0.0f);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* wrow = wv.data() + i * n;
-    float acc = 0.0f;
-    for (int64_t j = 0; j < n; ++j) acc += wrow[j] * xv[j];
-    out[i] = acc;
-  }
-  auto wn = w.node();
-  auto xn = x.node();
-  auto result = MakeOp(Shape({m}), std::move(out), {w, x}, nullptr);
-  TensorNode* on = result.node().get();
-  if (result.requires_grad()) {
-    on->backward_fn = [wn, xn, on, m, n]() {
-      const auto& g = on->grad;
-      if (wn->requires_grad) {
-        auto lock = internal_tensor::LockGradIfSharedLeaf(wn.get());
-        wn->EnsureGrad();
-        for (int64_t i = 0; i < m; ++i) {
-          const float gi = g[i];
-          if (gi == 0.0f) continue;
-          float* wrow = wn->grad.data() + i * n;
-          for (int64_t j = 0; j < n; ++j) wrow[j] += gi * xn->value[j];
-        }
-      }
-      if (xn->requires_grad) {
-        auto lock = internal_tensor::LockGradIfSharedLeaf(xn.get());
-        xn->EnsureGrad();
-        for (int64_t i = 0; i < m; ++i) {
-          const float gi = g[i];
-          if (gi == 0.0f) continue;
-          const float* wrow = wn->value.data() + i * n;
-          for (int64_t j = 0; j < n; ++j) xn->grad[j] += gi * wrow[j];
-        }
-      }
-    };
-  }
-  return result;
+  SCENEREC_CHECK_EQ(x.shape().dim(0), w.shape().dim(1));
+  return LinearRowsImpl(w, x, nullptr, kernels::FusedAct::kNone, 0.0f,
+                        /*rows=*/1, Shape({w.shape().dim(0)}));
+}
+
+Tensor MatVecBatch(const Tensor& w, const Tensor& xs) {
+  SCENEREC_CHECK_EQ(w.shape().rank(), 2);
+  SCENEREC_CHECK_EQ(xs.shape().rank(), 2);
+  SCENEREC_CHECK_EQ(xs.shape().dim(1), w.shape().dim(1));
+  const int64_t rows = xs.shape().dim(0);
+  return LinearRowsImpl(w, xs, nullptr, kernels::FusedAct::kNone, 0.0f, rows,
+                        Shape({rows, w.shape().dim(0)}));
+}
+
+Tensor LinearAct(const Tensor& w, const Tensor& x, const Tensor& bias,
+                 kernels::FusedAct act, float leaky_slope) {
+  SCENEREC_CHECK_EQ(w.shape().rank(), 2);
+  SCENEREC_CHECK_EQ(x.shape().rank(), 1);
+  SCENEREC_CHECK_EQ(x.shape().dim(0), w.shape().dim(1));
+  return LinearRowsImpl(w, x, &bias, act, leaky_slope, /*rows=*/1,
+                        Shape({w.shape().dim(0)}));
+}
+
+Tensor LinearSigmoid(const Tensor& w, const Tensor& x, const Tensor& bias) {
+  return LinearAct(w, x, bias, kernels::FusedAct::kSigmoid);
+}
+
+Tensor LinearActRows(const Tensor& w, const Tensor& xs, const Tensor& bias,
+                     kernels::FusedAct act, float leaky_slope) {
+  SCENEREC_CHECK_EQ(w.shape().rank(), 2);
+  SCENEREC_CHECK_EQ(xs.shape().rank(), 2);
+  SCENEREC_CHECK_EQ(xs.shape().dim(1), w.shape().dim(1));
+  const int64_t rows = xs.shape().dim(0);
+  return LinearRowsImpl(w, xs, &bias, act, leaky_slope, rows,
+                        Shape({rows, w.shape().dim(0)}));
 }
 
 Tensor Dot(const Tensor& a, const Tensor& b) {
@@ -595,11 +649,11 @@ Tensor Dot(const Tensor& a, const Tensor& b) {
       << a.shape().ToString() << "vs" << b.shape().ToString();
   const auto& av = a.value();
   const auto& bv = b.value();
-  float acc = 0.0f;
-  for (size_t i = 0; i < av.size(); ++i) acc += av[i] * bv[i];
+  const float acc =
+      kernels::Dot(av.data(), bv.data(), static_cast<int64_t>(av.size()));
   auto an = a.node();
   auto bn = b.node();
-  auto result = MakeOp(Shape(), {acc}, {a, b}, nullptr);
+  auto result = MakeOp(Shape(), FloatBuffer(1, acc), {a, b}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, bn, on]() {
@@ -607,16 +661,14 @@ Tensor Dot(const Tensor& a, const Tensor& b) {
       if (an->requires_grad) {
         auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
         an->EnsureGrad();
-        for (size_t i = 0; i < an->value.size(); ++i) {
-          an->grad[i] += g * bn->value[i];
-        }
+        kernels::Axpy(g, bn->value.data(), an->grad.data(),
+                      static_cast<int64_t>(an->value.size()));
       }
       if (bn->requires_grad) {
         auto lock = internal_tensor::LockGradIfSharedLeaf(bn.get());
         bn->EnsureGrad();
-        for (size_t i = 0; i < bn->value.size(); ++i) {
-          bn->grad[i] += g * an->value[i];
-        }
+        kernels::Axpy(g, an->value.data(), bn->grad.data(),
+                      static_cast<int64_t>(bn->value.size()));
       }
     };
   }
@@ -624,6 +676,50 @@ Tensor Dot(const Tensor& a, const Tensor& b) {
 }
 
 Tensor CosineSimilarity(const Tensor& a, const Tensor& b, float epsilon) {
+  SCENEREC_CHECK_EQ(a.shape().rank(), 1);
+  SCENEREC_CHECK(a.shape() == b.shape())
+      << a.shape().ToString() << "vs" << b.shape().ToString();
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  const int64_t d = static_cast<int64_t>(av.size());
+  const float s = kernels::Dot(av.data(), bv.data(), d);
+  const float na2 = kernels::Dot(av.data(), av.data(), d) + epsilon;
+  const float nb2 = kernels::Dot(bv.data(), bv.data(), d) + epsilon;
+  const float denom = std::sqrt(na2) * std::sqrt(nb2);
+  const float cos = s / denom;
+  auto an = a.node();
+  auto bn = b.node();
+  auto result = MakeOp(Shape(), FloatBuffer(1, cos), {a, b}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, bn, on, na2, nb2, denom, cos]() {
+      // c = s / (|a| |b|)  =>  dc/da_i = b_i / denom - c a_i / |a|^2
+      // (|a|^2 includes the epsilon, matching the stabilized forward).
+      const float g = on->grad[0];
+      const size_t d = an->value.size();
+      if (an->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
+        an->EnsureGrad();
+        for (size_t i = 0; i < d; ++i) {
+          an->grad[i] +=
+              g * (bn->value[i] / denom - cos * an->value[i] / na2);
+        }
+      }
+      if (bn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(bn.get());
+        bn->EnsureGrad();
+        for (size_t i = 0; i < d; ++i) {
+          bn->grad[i] +=
+              g * (an->value[i] / denom - cos * bn->value[i] / nb2);
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor CosineSimilarityUnfused(const Tensor& a, const Tensor& b,
+                               float epsilon) {
   SCENEREC_CHECK_EQ(a.shape().rank(), 1);
   SCENEREC_CHECK(a.shape() == b.shape())
       << a.shape().ToString() << "vs" << b.shape().ToString();
@@ -640,11 +736,12 @@ Tensor Concat(const std::vector<Tensor>& parts) {
     SCENEREC_CHECK_EQ(t.shape().rank(), 1);
     total += t.shape().dim(0);
   }
-  std::vector<float> out;
-  out.reserve(static_cast<size_t>(total));
+  FloatBuffer out = FloatBuffer::Uninitialized(static_cast<size_t>(total));
+  size_t offset = 0;
   for (const Tensor& t : parts) {
     const auto& v = t.value();
-    out.insert(out.end(), v.begin(), v.end());
+    std::memcpy(out.data() + offset, v.data(), v.size() * sizeof(float));
+    offset += v.size();
   }
   auto result = MakeOp(Shape({total}), std::move(out), parts, nullptr);
   TensorNode* on = result.node().get();
@@ -657,7 +754,8 @@ Tensor Concat(const std::vector<Tensor>& parts) {
         if (input->requires_grad) {
           auto lock = internal_tensor::LockGradIfSharedLeaf(input.get());
           input->EnsureGrad();
-          for (size_t i = 0; i < n; ++i) input->grad[i] += g[offset + i];
+          kernels::Axpy(1.0f, g.data() + offset, input->grad.data(),
+                        static_cast<int64_t>(n));
         }
         offset += n;
       }
@@ -668,11 +766,10 @@ Tensor Concat(const std::vector<Tensor>& parts) {
 
 Tensor Stack(const std::vector<Tensor>& scalars) {
   SCENEREC_CHECK(!scalars.empty());
-  std::vector<float> out;
-  out.reserve(scalars.size());
-  for (const Tensor& t : scalars) {
-    SCENEREC_CHECK_EQ(t.num_elements(), 1);
-    out.push_back(t.value()[0]);
+  FloatBuffer out = FloatBuffer::Uninitialized(scalars.size());
+  for (size_t i = 0; i < scalars.size(); ++i) {
+    SCENEREC_CHECK_EQ(scalars[i].num_elements(), 1);
+    out[i] = scalars[i].value()[0];
   }
   auto result = MakeOp(Shape({static_cast<int64_t>(scalars.size())}),
                        std::move(out), scalars, nullptr);
@@ -696,13 +793,14 @@ Tensor Stack(const std::vector<Tensor>& scalars) {
 Tensor StackRows(const std::vector<Tensor>& rows) {
   SCENEREC_CHECK(!rows.empty());
   const int64_t d = rows[0].shape().dim(0);
-  std::vector<float> out;
-  out.reserve(rows.size() * static_cast<size_t>(d));
-  for (const Tensor& t : rows) {
-    SCENEREC_CHECK_EQ(t.shape().rank(), 1);
-    SCENEREC_CHECK_EQ(t.shape().dim(0), d);
-    const auto& v = t.value();
-    out.insert(out.end(), v.begin(), v.end());
+  FloatBuffer out =
+      FloatBuffer::Uninitialized(rows.size() * static_cast<size_t>(d));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    SCENEREC_CHECK_EQ(rows[r].shape().rank(), 1);
+    SCENEREC_CHECK_EQ(rows[r].shape().dim(0), d);
+    const auto& v = rows[r].value();
+    std::memcpy(out.data() + r * static_cast<size_t>(d), v.data(),
+                v.size() * sizeof(float));
   }
   auto result = MakeOp(Shape({static_cast<int64_t>(rows.size()), d}),
                        std::move(out), rows, nullptr);
@@ -715,8 +813,84 @@ Tensor StackRows(const std::vector<Tensor>& rows) {
         if (!input->requires_grad) continue;
         auto lock = internal_tensor::LockGradIfSharedLeaf(input.get());
         input->EnsureGrad();
-        const float* grow = g.data() + r * static_cast<size_t>(d);
-        for (int64_t c = 0; c < d; ++c) input->grad[c] += grow[c];
+        kernels::Axpy(1.0f, g.data() + r * static_cast<size_t>(d),
+                      input->grad.data(), d);
+      }
+    };
+  }
+  return result;
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  SCENEREC_CHECK_EQ(a.shape().rank(), 2);
+  SCENEREC_CHECK_EQ(b.shape().rank(), 2);
+  const int64_t rows = a.shape().dim(0);
+  SCENEREC_CHECK_EQ(b.shape().dim(0), rows);
+  const int64_t da = a.shape().dim(1);
+  const int64_t db = b.shape().dim(1);
+  const int64_t d = da + db;
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  FloatBuffer out = FloatBuffer::Uninitialized(static_cast<size_t>(rows * d));
+  for (int64_t r = 0; r < rows; ++r) {
+    std::memcpy(out.data() + r * d, av.data() + r * da,
+                static_cast<size_t>(da) * sizeof(float));
+    std::memcpy(out.data() + r * d + da, bv.data() + r * db,
+                static_cast<size_t>(db) * sizeof(float));
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  auto result = MakeOp(Shape({rows, d}), std::move(out), {a, b}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, bn, on, rows, da, db, d]() {
+      const auto& g = on->grad;
+      if (an->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
+        an->EnsureGrad();
+        for (int64_t r = 0; r < rows; ++r) {
+          kernels::Axpy(1.0f, g.data() + r * d, an->grad.data() + r * da, da);
+        }
+      }
+      if (bn->requires_grad) {
+        auto lock = internal_tensor::LockGradIfSharedLeaf(bn.get());
+        bn->EnsureGrad();
+        for (int64_t r = 0; r < rows; ++r) {
+          kernels::Axpy(1.0f, g.data() + r * d + da,
+                        bn->grad.data() + r * db, db);
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Tensor GatherRows(const Tensor& a, std::vector<int64_t> rows) {
+  SCENEREC_CHECK_EQ(a.shape().rank(), 2);
+  SCENEREC_CHECK(!rows.empty());
+  const int64_t m = a.shape().dim(0);
+  const int64_t d = a.shape().dim(1);
+  const auto& av = a.value();
+  FloatBuffer out =
+      FloatBuffer::Uninitialized(rows.size() * static_cast<size_t>(d));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    SCENEREC_CHECK_GE(rows[r], 0);
+    SCENEREC_CHECK_LT(rows[r], m);
+    std::memcpy(out.data() + r * static_cast<size_t>(d),
+                av.data() + rows[r] * d, static_cast<size_t>(d) * sizeof(float));
+  }
+  auto an = a.node();
+  auto result = MakeOp(Shape({static_cast<int64_t>(rows.size()), d}),
+                       std::move(out), {a}, nullptr);
+  TensorNode* on = result.node().get();
+  if (result.requires_grad()) {
+    on->backward_fn = [an, on, rows = std::move(rows), d]() {
+      auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
+      an->EnsureGrad();
+      const auto& g = on->grad;
+      for (size_t r = 0; r < rows.size(); ++r) {
+        kernels::Axpy(1.0f, g.data() + r * static_cast<size_t>(d),
+                      an->grad.data() + rows[r] * d, d);
       }
     };
   }
@@ -730,8 +904,9 @@ Tensor Row(const Tensor& a, int64_t row) {
   SCENEREC_CHECK_GE(row, 0);
   SCENEREC_CHECK_LT(row, rows);
   const auto& av = a.value();
-  std::vector<float> out(av.begin() + row * cols,
-                         av.begin() + (row + 1) * cols);
+  FloatBuffer out = FloatBuffer::Uninitialized(static_cast<size_t>(cols));
+  std::memcpy(out.data(), av.data() + row * cols,
+              static_cast<size_t>(cols) * sizeof(float));
   auto an = a.node();
   auto result = MakeOp(Shape({cols}), std::move(out), {a}, nullptr);
   TensorNode* on = result.node().get();
@@ -739,9 +914,8 @@ Tensor Row(const Tensor& a, int64_t row) {
     on->backward_fn = [an, on, row, cols]() {
       auto lock = internal_tensor::LockGradIfSharedLeaf(an.get());
       an->EnsureGrad();
-      const auto& g = on->grad;
-      float* grow = an->grad.data() + row * cols;
-      for (int64_t c = 0; c < cols; ++c) grow[c] += g[c];
+      kernels::Axpy(1.0f, on->grad.data(), an->grad.data() + row * cols,
+                    cols);
     };
   }
   return result;
@@ -767,12 +941,14 @@ Tensor Gather(const Tensor& table, const std::vector<int64_t>& indices) {
   const int64_t vocab = table.shape().dim(0);
   const int64_t d = table.shape().dim(1);
   const auto& tv = table.value();
-  std::vector<float> out;
-  out.reserve(indices.size() * static_cast<size_t>(d));
-  for (int64_t idx : indices) {
+  FloatBuffer out =
+      FloatBuffer::Uninitialized(indices.size() * static_cast<size_t>(d));
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const int64_t idx = indices[r];
     SCENEREC_CHECK_GE(idx, 0);
     SCENEREC_CHECK_LT(idx, vocab);
-    out.insert(out.end(), tv.begin() + idx * d, tv.begin() + (idx + 1) * d);
+    std::memcpy(out.data() + r * static_cast<size_t>(d), tv.data() + idx * d,
+                static_cast<size_t>(d) * sizeof(float));
   }
   auto tn = table.node();
   auto result = MakeOp(Shape({static_cast<int64_t>(indices.size()), d}),
@@ -785,9 +961,8 @@ Tensor Gather(const Tensor& table, const std::vector<int64_t>& indices) {
       const auto& g = on->grad;
       for (size_t r = 0; r < indices.size(); ++r) {
         const int64_t idx = indices[r];
-        float* dst = tn->grad.data() + idx * d;
-        const float* src = g.data() + r * static_cast<size_t>(d);
-        for (int64_t c = 0; c < d; ++c) dst[c] += src[c];
+        kernels::Axpy(1.0f, g.data() + r * static_cast<size_t>(d),
+                      tn->grad.data() + idx * d, d);
         tn->touched_rows.push_back(idx);
       }
     };
@@ -800,7 +975,7 @@ Tensor Softmax(const Tensor& logits) {
   const auto& lv = logits.value();
   float max_logit = lv[0];
   for (float v : lv) max_logit = std::max(max_logit, v);
-  std::vector<float> out(lv.size());
+  FloatBuffer out = FloatBuffer::Uninitialized(lv.size());
   float denom = 0.0f;
   for (size_t i = 0; i < lv.size(); ++i) {
     out[i] = std::exp(lv[i] - max_logit);
@@ -816,8 +991,8 @@ Tensor Softmax(const Tensor& logits) {
       ln->EnsureGrad();
       const auto& g = on->grad;
       const auto& y = on->value;
-      float dot = 0.0f;
-      for (size_t i = 0; i < g.size(); ++i) dot += g[i] * y[i];
+      const float dot =
+          kernels::Dot(g.data(), y.data(), static_cast<int64_t>(g.size()));
       for (size_t i = 0; i < g.size(); ++i) {
         ln->grad[i] += y[i] * (g[i] - dot);
       }
@@ -834,12 +1009,11 @@ Tensor WeightedSumRows(const Tensor& rows, const Tensor& weights) {
   SCENEREC_CHECK_EQ(weights.shape().dim(0), k);
   const auto& rv = rows.value();
   const auto& wv = weights.value();
-  std::vector<float> out(static_cast<size_t>(d), 0.0f);
+  FloatBuffer out(static_cast<size_t>(d), 0.0f);
   for (int64_t r = 0; r < k; ++r) {
     const float w = wv[r];
     if (w == 0.0f) continue;
-    const float* row = rv.data() + r * d;
-    for (int64_t c = 0; c < d; ++c) out[c] += w * row[c];
+    kernels::Axpy(w, rv.data() + r * d, out.data(), d);
   }
   auto rn = rows.node();
   auto wn = weights.node();
@@ -854,18 +1028,14 @@ Tensor WeightedSumRows(const Tensor& rows, const Tensor& weights) {
         for (int64_t r = 0; r < k; ++r) {
           const float w = wn->value[r];
           if (w == 0.0f) continue;
-          float* row = rn->grad.data() + r * d;
-          for (int64_t c = 0; c < d; ++c) row[c] += w * g[c];
+          kernels::Axpy(w, g.data(), rn->grad.data() + r * d, d);
         }
       }
       if (wn->requires_grad) {
         auto lock = internal_tensor::LockGradIfSharedLeaf(wn.get());
         wn->EnsureGrad();
         for (int64_t r = 0; r < k; ++r) {
-          const float* row = rn->value.data() + r * d;
-          float acc = 0.0f;
-          for (int64_t c = 0; c < d; ++c) acc += row[c] * g[c];
-          wn->grad[r] += acc;
+          wn->grad[r] += kernels::Dot(rn->value.data() + r * d, g.data(), d);
         }
       }
     };
@@ -886,7 +1056,7 @@ Tensor SpMM(const CsrGraph* adj,
   const int64_t rows = adj->num_src();
   const int64_t d = x.shape().dim(1);
   const auto& xv = x.value();
-  std::vector<float> out(static_cast<size_t>(rows * d), 0.0f);
+  FloatBuffer out(static_cast<size_t>(rows * d), 0.0f);
   {
     size_t edge_index = 0;
     for (int64_t s = 0; s < rows; ++s) {
@@ -897,8 +1067,7 @@ Tensor SpMM(const CsrGraph* adj,
         const float w =
             edge_weights ? (*edge_weights)[edge_index] : weights[j];
         if (w == 0.0f) continue;
-        const float* xrow = xv.data() + neighbors[j] * d;
-        for (int64_t c = 0; c < d; ++c) orow[c] += w * xrow[c];
+        kernels::Axpy(w, xv.data() + neighbors[j] * d, orow, d);
       }
     }
   }
@@ -919,8 +1088,7 @@ Tensor SpMM(const CsrGraph* adj,
           const float w =
               edge_weights ? (*edge_weights)[edge_index] : weights[j];
           if (w == 0.0f) continue;
-          float* xrow = xn->grad.data() + neighbors[j] * d;
-          for (int64_t c = 0; c < d; ++c) xrow[c] += w * grow[c];
+          kernels::Axpy(w, grow, xn->grad.data() + neighbors[j] * d, d);
         }
       }
     };

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/csr.h"
+#include "tensor/kernels.h"
 #include "tensor/tensor.h"
 
 namespace scenerec {
@@ -107,14 +108,41 @@ Tensor MatMul(const Tensor& a, const Tensor& b);
 /// of the paper are MatVec(W, x) + b.
 Tensor MatVec(const Tensor& w, const Tensor& x);
 
+/// Row-batched MatVec: each row of xs [R, n] is multiplied by w [m, n],
+/// giving [R, m]. Row r is computed by the exact same kernel as
+/// MatVec(w, Row(xs, r)) — bitwise equal — so per-entity model code can be
+/// lifted into one batched call without changing results.
+Tensor MatVecBatch(const Tensor& w, const Tensor& xs);
+
+/// Fused act(W x + bias) in a single graph node: the MatVec + bias-add +
+/// activation chain of equations (1), (2), (7), (12) without two
+/// intermediate nodes. `bias` must be rank-1 of length m.
+Tensor LinearAct(const Tensor& w, const Tensor& x, const Tensor& bias,
+                 kernels::FusedAct act, float leaky_slope = 0.01f);
+
+/// LinearAct specialised to the paper's sigma = logistic sigmoid.
+Tensor LinearSigmoid(const Tensor& w, const Tensor& x, const Tensor& bias);
+
+/// Row-batched LinearAct: xs [R, n] -> [R, m] where row r equals
+/// LinearAct(w, Row(xs, r), bias, act) bitwise (same per-row kernel).
+Tensor LinearActRows(const Tensor& w, const Tensor& xs, const Tensor& bias,
+                     kernels::FusedAct act, float leaky_slope = 0.01f);
+
 /// Dot product of two rank-1 tensors -> scalar.
 Tensor Dot(const Tensor& a, const Tensor& b);
 
 /// Cosine similarity of two rank-1 tensors -> scalar, the attention function
 /// f(.,.) in equations (5) and (10). Stabilized with a small epsilon so
-/// zero vectors yield 0 with finite gradients.
+/// zero vectors yield 0 with finite gradients. Fused: forward and the full
+/// quotient-rule backward live in one graph node (the composed form built
+/// five nodes per neighbor edge).
 Tensor CosineSimilarity(const Tensor& a, const Tensor& b,
                         float epsilon = 1e-8f);
+
+/// The pre-fusion composition (Dot / norms / Div as separate nodes). Kept as
+/// a reference for the equivalence tests and the fused-vs-unfused benchmark.
+Tensor CosineSimilarityUnfused(const Tensor& a, const Tensor& b,
+                               float epsilon = 1e-8f);
 
 // -- Shape manipulation ------------------------------------------------------
 
@@ -127,6 +155,16 @@ Tensor Stack(const std::vector<Tensor>& scalars);
 
 /// Stacks k rank-1 tensors of length d into a [k, d] matrix.
 Tensor StackRows(const std::vector<Tensor>& rows);
+
+/// Column-concatenation of [R, d1] and [R, d2] -> [R, d1 + d2]: row r is
+/// Concat({Row(a, r), Row(b, r)}). Feeds batched MLPs whose per-row input is
+/// a concatenation (equations (13), (14)).
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+/// out[r, :] = a[rows[r], :] for a [m, d] tensor -> [R, d]. Unlike Gather
+/// this targets intermediate tensors (e.g. expanding one user row per
+/// scored pair) and does not record touched_rows on the input.
+Tensor GatherRows(const Tensor& a, std::vector<int64_t> rows);
 
 /// Extracts row `row` of a [m, d] tensor as a rank-1 tensor (view copy).
 Tensor Row(const Tensor& a, int64_t row);

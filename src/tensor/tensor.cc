@@ -25,12 +25,24 @@ std::unique_lock<std::mutex> LockGradIfSharedLeaf(TensorNode* node) {
   return std::unique_lock<std::mutex>(g_grad_locks[stripe]);
 }
 
+void TensorNode::EnsureGrad() {
+  if (!grad.empty()) return;
+  if (inputs.empty()) {
+    // Leaf (parameter): its gradient outlives the step's arena — the
+    // optimizer reads it after the trainer's ArenaScope ends and the buffer
+    // is reused across steps — so force it onto the heap.
+    ArenaPauseGuard heap_only;
+    grad.assign(value.size(), 0.0f);
+  } else {
+    grad.assign(value.size(), 0.0f);
+  }
+}
+
 }  // namespace internal_tensor
 
 namespace {
 
-Tensor MakeLeaf(const Shape& shape, std::vector<float> values,
-                bool requires_grad) {
+Tensor MakeLeaf(const Shape& shape, FloatBuffer values, bool requires_grad) {
   auto node = std::make_shared<TensorNode>();
   node->shape = shape;
   node->value = std::move(values);
@@ -41,21 +53,19 @@ Tensor MakeLeaf(const Shape& shape, std::vector<float> values,
 }  // namespace
 
 Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
-  return MakeLeaf(shape,
-                  std::vector<float>(static_cast<size_t>(shape.num_elements()),
-                                     0.0f),
-                  requires_grad);
+  return MakeLeaf(
+      shape, FloatBuffer(static_cast<size_t>(shape.num_elements()), 0.0f),
+      requires_grad);
 }
 
 Tensor Tensor::Full(const Shape& shape, float fill, bool requires_grad) {
-  return MakeLeaf(shape,
-                  std::vector<float>(static_cast<size_t>(shape.num_elements()),
-                                     fill),
-                  requires_grad);
+  return MakeLeaf(
+      shape, FloatBuffer(static_cast<size_t>(shape.num_elements()), fill),
+      requires_grad);
 }
 
 Tensor Tensor::Scalar(float value, bool requires_grad) {
-  return MakeLeaf(Shape(), {value}, requires_grad);
+  return MakeLeaf(Shape(), FloatBuffer(1, value), requires_grad);
 }
 
 Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
@@ -99,17 +109,17 @@ bool Tensor::requires_grad() const {
   return node_->requires_grad;
 }
 
-const std::vector<float>& Tensor::value() const {
+const FloatBuffer& Tensor::value() const {
   SCENEREC_CHECK(node_ != nullptr);
   return node_->value;
 }
 
-std::vector<float>& Tensor::mutable_value() {
+FloatBuffer& Tensor::mutable_value() {
   SCENEREC_CHECK(node_ != nullptr);
   return node_->value;
 }
 
-const std::vector<float>& Tensor::grad() const {
+const FloatBuffer& Tensor::grad() const {
   SCENEREC_CHECK(node_ != nullptr);
   return node_->grad;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "tensor/arena.h"
 #include "tensor/shape.h"
 
 namespace scenerec {
@@ -22,11 +23,15 @@ namespace internal_tensor {
 /// Users never touch TensorNode directly; the Tensor handle below wraps it.
 struct TensorNode {
   Shape shape;
-  std::vector<float> value;
+
+  /// Forward value. Arena-backed for nodes created inside a training step's
+  /// ArenaScope, heap-backed otherwise (parameters, eval passes, tests).
+  FloatBuffer value;
 
   /// Gradient of the final loss w.r.t. this node. Same length as `value`
   /// once allocated; empty until first accumulation (see EnsureGrad).
-  std::vector<float> grad;
+  /// Leaf gradients are always heap-backed — see EnsureGrad.
+  FloatBuffer grad;
 
   /// True if gradients should flow into (or through) this node.
   bool requires_grad = false;
@@ -43,10 +48,11 @@ struct TensorNode {
   /// instead of scanning the full table.
   std::vector<int64_t> touched_rows;
 
-  /// Allocates (zero-filled) `grad` if not yet present.
-  void EnsureGrad() {
-    if (grad.empty()) grad.assign(value.size(), 0.0f);
-  }
+  /// Allocates (zero-filled) `grad` if not yet present. For leaves (no
+  /// inputs, i.e. parameters) the buffer is forced onto the heap even inside
+  /// an ArenaScope, because the optimizer consumes it after the step's arena
+  /// scope ends and it persists across steps.
+  void EnsureGrad();
 };
 
 /// Serializes gradient accumulation into SHARED leaf parameters during
@@ -121,12 +127,13 @@ class Tensor {
   int64_t num_elements() const { return shape().num_elements(); }
   bool requires_grad() const;
 
-  /// Forward value, row-major.
-  const std::vector<float>& value() const;
-  std::vector<float>& mutable_value();
+  /// Forward value, row-major. FloatBuffer converts to std::vector<float>
+  /// when a heap copy is wanted (snapshots).
+  const FloatBuffer& value() const;
+  FloatBuffer& mutable_value();
 
   /// Gradient buffer; empty if never written. Valid after Backward().
-  const std::vector<float>& grad() const;
+  const FloatBuffer& grad() const;
 
   /// Element accessors for scalars/vectors/matrices.
   float scalar() const;

@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "nn/optimizer.h"
 #include "nn/serialization.h"
+#include "tensor/arena.h"
 #include "tensor/ops.h"
 
 namespace scenerec {
@@ -143,6 +144,11 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
         std::vector<Tensor> shard_losses(static_cast<size_t>(num_shards));
         pool->ParallelFor(
             num_shards, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+              // Route this lane's forward/backward intermediates through the
+              // worker's step arena. The scope resets the arena on entry (not
+              // exit), so the shard-loss scalars stay readable after the
+              // join below; parameter leaves are heap-backed regardless.
+              ArenaScope step_arena;
               for (int64_t s = lo; s < hi; ++s) {
                 const size_t shard_begin =
                     batch.size() * static_cast<size_t>(s) /
@@ -162,6 +168,10 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
           loss_sum += shard_loss.scalar();
         }
       } else {
+        // Serial step: the whole forward graph and every gradient buffer of
+        // non-leaf nodes live in this thread's step arena, reclaimed in O(1)
+        // when the next step's scope resets it.
+        ArenaScope step_arena;
         Tensor loss = model.BatchLoss(batch);
         loss_sum += loss.scalar();
         Backward(loss);

@@ -1,7 +1,11 @@
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "tensor/arena.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "tests/test_util.h"
@@ -9,6 +13,7 @@
 namespace scenerec {
 namespace {
 
+using testing::ExpectGradientsClose;
 using testing::ExpectVectorNear;
 
 // Forward-value tests for every op. Gradient correctness is covered
@@ -250,6 +255,360 @@ TEST(OpsForwardTest, BprPairLossValues) {
   EXPECT_NEAR(bad.scalar(), 20.0f, 1e-3);
   Tensor even = BprPairLoss(Tensor::Scalar(1.0f), Tensor::Scalar(1.0f));
   EXPECT_NEAR(even.scalar(), std::log(2.0f), 1e-5);
+}
+
+// -- Fused / batched ops ------------------------------------------------------
+
+TEST(FusedOpsTest, LinearActMatchesComposition) {
+  Rng rng(11);
+  Tensor w = Tensor::RandomUniform(Shape({3, 4}), -1, 1, rng);
+  Tensor x = Tensor::RandomUniform(Shape({4}), -1, 1, rng);
+  Tensor b = Tensor::RandomUniform(Shape({3}), -1, 1, rng);
+  Tensor composed = Sigmoid(Add(MatVec(w, x), b));
+  Tensor fused = LinearSigmoid(w, x, b);
+  EXPECT_EQ(fused.shape(), Shape({3}));
+  ExpectVectorNear(fused.value(), composed.value(), 1e-6f);
+}
+
+TEST(FusedOpsTest, LinearActRowsBitwiseEqualsSingleRows) {
+  Rng rng(12);
+  Tensor w = Tensor::RandomUniform(Shape({5, 7}), -1, 1, rng);
+  Tensor b = Tensor::RandomUniform(Shape({5}), -1, 1, rng);
+  Tensor xs = Tensor::RandomUniform(Shape({4, 7}), -1, 1, rng);
+  Tensor batched = LinearActRows(w, xs, b, kernels::FusedAct::kLeakyRelu);
+  ASSERT_EQ(batched.shape(), Shape({4, 5}));
+  for (int64_t r = 0; r < 4; ++r) {
+    Tensor single =
+        LinearAct(w, Row(xs, r), b, kernels::FusedAct::kLeakyRelu);
+    for (int64_t j = 0; j < 5; ++j) {
+      // Bitwise equality: the batched path must use the identical per-row
+      // kernel (the parallel-vs-serial eval tests depend on this).
+      EXPECT_EQ(batched.at(r * 5 + j), single.at(j)) << r << "," << j;
+    }
+  }
+}
+
+TEST(FusedOpsTest, MatVecBatchBitwiseEqualsMatVec) {
+  Rng rng(13);
+  Tensor w = Tensor::RandomUniform(Shape({6, 3}), -1, 1, rng);
+  Tensor xs = Tensor::RandomUniform(Shape({5, 3}), -1, 1, rng);
+  Tensor batched = MatVecBatch(w, xs);
+  ASSERT_EQ(batched.shape(), Shape({5, 6}));
+  for (int64_t r = 0; r < 5; ++r) {
+    Tensor single = MatVec(w, Row(xs, r));
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(batched.at(r * 6 + j), single.at(j)) << r << "," << j;
+    }
+  }
+}
+
+TEST(FusedOpsTest, FusedCosineMatchesUnfused) {
+  Rng rng(14);
+  Tensor a = Tensor::RandomUniform(Shape({9}), -1, 1, rng);
+  Tensor b = Tensor::RandomUniform(Shape({9}), -1, 1, rng);
+  EXPECT_NEAR(CosineSimilarity(a, b).scalar(),
+              CosineSimilarityUnfused(a, b).scalar(), 1e-5f);
+}
+
+TEST(FusedOpsTest, ConcatColsValues) {
+  Tensor a = Tensor::FromVector(Shape({2, 2}), {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector(Shape({2, 3}), {5, 6, 7, 8, 9, 10});
+  Tensor c = ConcatCols(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 5}));
+  ExpectVectorNear(c.value(), {1, 2, 5, 6, 7, 3, 4, 8, 9, 10});
+}
+
+TEST(FusedOpsTest, GatherRowsValues) {
+  Tensor a = Tensor::FromVector(Shape({3, 2}), {1, 2, 3, 4, 5, 6});
+  Tensor g = GatherRows(a, {2, 0, 2});
+  EXPECT_EQ(g.shape(), Shape({3, 2}));
+  ExpectVectorNear(g.value(), {5, 6, 1, 2, 5, 6});
+}
+
+// -- Gradient checks for the fused / batched ops ------------------------------
+
+TEST(FusedOpsGradTest, LinearActAllActivations) {
+  const kernels::FusedAct acts[] = {
+      kernels::FusedAct::kNone, kernels::FusedAct::kSigmoid,
+      kernels::FusedAct::kTanh, kernels::FusedAct::kRelu,
+      kernels::FusedAct::kLeakyRelu};
+  for (kernels::FusedAct act : acts) {
+    Rng rng(20 + static_cast<int>(act));
+    Tensor w = Tensor::RandomUniform(Shape({3, 4}), -1, 1, rng, true);
+    Tensor x = Tensor::RandomUniform(Shape({4}), 0.1f, 1, rng, true);
+    Tensor b = Tensor::RandomUniform(Shape({3}), -1, 1, rng, true);
+    ExpectGradientsClose([&] { return Sum(LinearAct(w, x, b, act)); },
+                         {w, x, b});
+  }
+}
+
+TEST(FusedOpsGradTest, LinearSigmoid) {
+  Rng rng(25);
+  Tensor w = Tensor::RandomUniform(Shape({2, 5}), -1, 1, rng, true);
+  Tensor x = Tensor::RandomUniform(Shape({5}), -1, 1, rng, true);
+  Tensor b = Tensor::RandomUniform(Shape({2}), -1, 1, rng, true);
+  ExpectGradientsClose([&] { return Sum(LinearSigmoid(w, x, b)); }, {w, x, b});
+}
+
+TEST(FusedOpsGradTest, LinearActRows) {
+  Rng rng(26);
+  Tensor w = Tensor::RandomUniform(Shape({3, 4}), -1, 1, rng, true);
+  Tensor xs = Tensor::RandomUniform(Shape({5, 4}), 0.1f, 1, rng, true);
+  Tensor b = Tensor::RandomUniform(Shape({3}), -1, 1, rng, true);
+  ExpectGradientsClose(
+      [&] {
+        return Sum(LinearActRows(w, xs, b, kernels::FusedAct::kTanh));
+      },
+      {w, xs, b});
+}
+
+TEST(FusedOpsGradTest, MatVecBatch) {
+  Rng rng(27);
+  Tensor w = Tensor::RandomUniform(Shape({4, 3}), -1, 1, rng, true);
+  Tensor xs = Tensor::RandomUniform(Shape({6, 3}), -1, 1, rng, true);
+  ExpectGradientsClose([&] { return Sum(MatVecBatch(w, xs)); }, {w, xs});
+}
+
+TEST(FusedOpsGradTest, FusedCosineSimilarity) {
+  Rng rng(28);
+  Tensor a = Tensor::RandomUniform(Shape({6}), -1, 1, rng, true);
+  Tensor b = Tensor::RandomUniform(Shape({6}), -1, 1, rng, true);
+  ExpectGradientsClose([&] { return CosineSimilarity(a, b); }, {a, b});
+}
+
+TEST(FusedOpsGradTest, FusedCosineSimilarityNearZeroVectors) {
+  // The eps-regularized gradient must stay finite and match finite
+  // differences even when one input is (almost) the zero vector.
+  Tensor a = Tensor::FromVector(Shape({3}), {1e-3f, -1e-3f, 1e-3f},
+                                /*requires_grad=*/true);
+  Tensor b = Tensor::FromVector(Shape({3}), {0.5f, -0.25f, 1.0f},
+                                /*requires_grad=*/true);
+  ExpectGradientsClose([&] { return CosineSimilarity(a, b); }, {a, b},
+                       /*eps=*/1e-4f, /*rtol=*/8e-2f, /*atol=*/5e-3f);
+}
+
+TEST(FusedOpsGradTest, ConcatCols) {
+  Rng rng(29);
+  Tensor a = Tensor::RandomUniform(Shape({3, 2}), -1, 1, rng, true);
+  Tensor b = Tensor::RandomUniform(Shape({3, 4}), -1, 1, rng, true);
+  ExpectGradientsClose([&] { return Sum(ConcatCols(a, b)); }, {a, b});
+}
+
+TEST(FusedOpsGradTest, GatherRowsWithDuplicates) {
+  Rng rng(30);
+  Tensor a = Tensor::RandomUniform(Shape({4, 3}), -1, 1, rng, true);
+  ExpectGradientsClose(
+      [&] { return Sum(GatherRows(a, {1, 3, 1, 0})); }, {a});
+}
+
+// -- Vectorized kernels vs scalar references ----------------------------------
+
+// Shapes straddling the 8-lane accumulator bank and the 4-row GEMM tile:
+// 1 and 3 exercise pure tails, 17 a bank plus tail, 63/65 straddle the
+// 64-element boundary.
+const int64_t kKernelSizes[] = {1, 3, 17, 63, 65};
+
+std::vector<float> RandomVec(int64_t n, Rng& rng) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.NextDouble()) * 2.0f - 1.0f;
+  return v;
+}
+
+void ExpectNearRel(const std::vector<float>& got,
+                   const std::vector<float>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    const float tol = 1e-5f + 1e-4f * std::fabs(want[i]);
+    EXPECT_NEAR(got[i], want[i], tol) << "at index " << i;
+  }
+}
+
+TEST(KernelEquivalenceTest, DotMatchesRef) {
+  Rng rng(40);
+  for (int64_t n : kKernelSizes) {
+    std::vector<float> a = RandomVec(n, rng);
+    std::vector<float> b = RandomVec(n, rng);
+    const float want = kernels::DotRef(a.data(), b.data(), n);
+    const float got = kernels::Dot(a.data(), b.data(), n);
+    EXPECT_NEAR(got, want, 1e-5f + 1e-4f * std::fabs(want)) << "n=" << n;
+  }
+}
+
+TEST(KernelEquivalenceTest, GemvMatchesRef) {
+  Rng rng(41);
+  for (int64_t m : kKernelSizes) {
+    for (int64_t n : kKernelSizes) {
+      std::vector<float> w = RandomVec(m * n, rng);
+      std::vector<float> x = RandomVec(n, rng);
+      std::vector<float> want(static_cast<size_t>(m));
+      std::vector<float> got(static_cast<size_t>(m));
+      kernels::GemvRef(w.data(), m, n, x.data(), want.data());
+      kernels::Gemv(w.data(), m, n, x.data(), got.data());
+      ExpectNearRel(got, want);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, GemvTAccumMatchesRef) {
+  Rng rng(42);
+  for (int64_t m : kKernelSizes) {
+    for (int64_t n : kKernelSizes) {
+      std::vector<float> w = RandomVec(m * n, rng);
+      std::vector<float> g = RandomVec(m, rng);
+      std::vector<float> want = RandomVec(n, rng);
+      std::vector<float> got = want;
+      kernels::GemvTAccumRef(w.data(), m, n, g.data(), want.data());
+      kernels::GemvTAccum(w.data(), m, n, g.data(), got.data());
+      ExpectNearRel(got, want);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, GerAccumMatchesRef) {
+  Rng rng(43);
+  for (int64_t m : kKernelSizes) {
+    for (int64_t n : kKernelSizes) {
+      std::vector<float> g = RandomVec(m, rng);
+      std::vector<float> x = RandomVec(n, rng);
+      std::vector<float> want = RandomVec(m * n, rng);
+      std::vector<float> got = want;
+      kernels::GerAccumRef(g.data(), x.data(), m, n, want.data());
+      kernels::GerAccum(g.data(), x.data(), m, n, got.data());
+      ExpectNearRel(got, want);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, GemmMatchesRef) {
+  Rng rng(44);
+  for (int64_t m : kKernelSizes) {
+    for (int64_t n : kKernelSizes) {
+      const int64_t k = 65 - (m % 3);  // vary k a little too
+      std::vector<float> a = RandomVec(m * k, rng);
+      std::vector<float> b = RandomVec(k * n, rng);
+      std::vector<float> want(static_cast<size_t>(m * n));
+      std::vector<float> got(static_cast<size_t>(m * n));
+      kernels::GemmRef(a.data(), b.data(), want.data(), m, k, n);
+      kernels::Gemm(a.data(), b.data(), got.data(), m, k, n);
+      ExpectNearRel(got, want);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, GemmNTAccumMatchesRef) {
+  Rng rng(45);
+  for (int64_t m : kKernelSizes) {
+    const int64_t n = 33;
+    const int64_t k = 17;
+    std::vector<float> g = RandomVec(m * n, rng);
+    std::vector<float> b = RandomVec(k * n, rng);
+    std::vector<float> want = RandomVec(m * k, rng);
+    std::vector<float> got = want;
+    kernels::GemmNTAccumRef(g.data(), b.data(), want.data(), m, n, k);
+    kernels::GemmNTAccum(g.data(), b.data(), got.data(), m, n, k);
+    ExpectNearRel(got, want);
+  }
+}
+
+TEST(KernelEquivalenceTest, GemmTNAccumMatchesRef) {
+  Rng rng(46);
+  for (int64_t n : kKernelSizes) {
+    const int64_t m = 33;
+    const int64_t k = 17;
+    std::vector<float> a = RandomVec(m * k, rng);
+    std::vector<float> g = RandomVec(m * n, rng);
+    std::vector<float> want = RandomVec(k * n, rng);
+    std::vector<float> got = want;
+    kernels::GemmTNAccumRef(a.data(), g.data(), want.data(), m, k, n);
+    kernels::GemmTNAccum(a.data(), g.data(), got.data(), m, k, n);
+    ExpectNearRel(got, want);
+  }
+}
+
+TEST(KernelEquivalenceTest, GemvRowsBitwiseEqualsGemv) {
+  Rng rng(47);
+  const int64_t m = 5, n = 17, rows = 4;
+  std::vector<float> w = RandomVec(m * n, rng);
+  std::vector<float> xs = RandomVec(rows * n, rng);
+  std::vector<float> batched(static_cast<size_t>(rows * m));
+  kernels::GemvRows(w.data(), m, n, xs.data(), rows, batched.data());
+  for (int64_t r = 0; r < rows; ++r) {
+    std::vector<float> single(static_cast<size_t>(m));
+    kernels::Gemv(w.data(), m, n, xs.data() + r * n, single.data());
+    for (int64_t i = 0; i < m; ++i) {
+      EXPECT_EQ(batched[static_cast<size_t>(r * m + i)],
+                single[static_cast<size_t>(i)])
+          << r << "," << i;
+    }
+  }
+}
+
+// -- Arena-backed autograd ----------------------------------------------------
+
+TEST(ArenaOpsTest, OpsAllocateFromActiveArenaAndLeafGradsStayOnHeap) {
+  Tensor w = Tensor::FromVector(Shape({2, 2}), {1, 2, 3, 4},
+                                /*requires_grad=*/true);
+  Tensor loss;
+  const Arena* arena = nullptr;
+  {
+    ArenaScope scope;
+    arena = CurrentArena();
+    ASSERT_NE(arena, nullptr);
+    Tensor x = Tensor::FromVector(Shape({2}), {1, -1});
+    loss = Sum(MatVec(w, x));
+    EXPECT_TRUE(arena->Owns(loss.value().data()));
+    Backward(loss);
+    // Leaf gradients feed the optimizer across the arena reset boundary, so
+    // they must live on the heap even while a scope is active.
+    EXPECT_FALSE(arena->Owns(w.grad().data()));
+  }
+  // Reset-on-entry: values stay readable after the scope exits (the trainer
+  // reads shard losses after the parallel join).
+  EXPECT_FLOAT_EQ(loss.scalar(), -2.0f);  // (1-2) + (3-4)
+  ExpectVectorNear(w.grad(), {1, -1, 1, -1});
+}
+
+TEST(ArenaOpsTest, ScopedStepsProduceSameResultsAsHeap) {
+  Rng rng(50);
+  Tensor w = Tensor::RandomUniform(Shape({4, 4}), -1, 1, rng, true);
+  Tensor b = Tensor::RandomUniform(Shape({4}), -1, 1, rng, true);
+  Tensor x = Tensor::RandomUniform(Shape({4}), -1, 1, rng);
+
+  Tensor heap_loss = Sum(LinearSigmoid(w, x, b));
+  Backward(heap_loss);
+  const std::vector<float> heap_grad = w.grad();
+  w.ZeroGrad();
+  b.ZeroGrad();
+
+  float arena_loss = 0.0f;
+  {
+    ArenaScope scope;
+    Tensor loss = Sum(LinearSigmoid(w, x, b));
+    Backward(loss);
+    arena_loss = loss.scalar();
+  }
+  EXPECT_FLOAT_EQ(arena_loss, heap_loss.scalar());
+  for (size_t i = 0; i < heap_grad.size(); ++i) {
+    EXPECT_FLOAT_EQ(w.grad()[i], heap_grad[i]) << i;
+  }
+}
+
+TEST(ArenaOpsTest, ScopeReentryReclaimsMemory) {
+  size_t used_after_first = 0;
+  {
+    ArenaScope scope;
+    Tensor a = Tensor::Zeros(Shape({1024}));
+    used_after_first = CurrentArena()->bytes_used();
+    EXPECT_GE(used_after_first, 1024 * sizeof(float));
+  }
+  {
+    ArenaScope scope;
+    // Entry reset: the previous step's bytes are reclaimed before this
+    // scope allocates anything.
+    EXPECT_EQ(CurrentArena()->bytes_used(), 0u);
+    Tensor b = Tensor::Zeros(Shape({1024}));
+    EXPECT_EQ(CurrentArena()->bytes_used(), used_after_first);
+  }
 }
 
 }  // namespace

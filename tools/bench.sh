@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the two benchmark suites and records their results as JSON at the
+# repo root (BENCH_kernels.json, BENCH_parallel.json) so kernel-layer and
+# parallel-layer changes can be compared against committed numbers.
+#
+# Usage: tools/bench.sh [benchmark_filter_regex]
+# A filter (e.g. 'MatVec|Gemm') restricts both suites; the JSON files then
+# contain only the filtered benchmarks, so commit full runs only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-.}"
+
+cmake -B build >/dev/null
+cmake --build build --target bench_kernels bench_parallel
+
+echo "==> bench_kernels -> BENCH_kernels.json"
+build/bench/bench_kernels \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json >BENCH_kernels.json
+
+echo "==> bench_parallel -> BENCH_parallel.json"
+build/bench/bench_parallel \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json >BENCH_parallel.json
+
+echo "==> done"

@@ -1,22 +1,39 @@
 #!/usr/bin/env bash
-# Correctness gate for the parallel execution layer:
+# Correctness gate for the parallel execution layer and the kernel layer:
 #   1. regular build + full test suite
 #   2. ThreadSanitizer build (-DSCENEREC_SANITIZE=thread) + the tests that
 #      exercise concurrency (ThreadPool, sharded training, parallel eval)
+#   3. ASan+UBSan build (-DSCENEREC_SANITIZE=address,undefined) + the tensor
+#      and op tests, which cover the arena allocator (manual ASan poisoning
+#      marks reset and never-allocated arena bytes as redzones) and every
+#      vectorized kernel's pointer arithmetic
 #
-# TSan-instrumented training is ~10x slower, so the sanitizer stage runs
-# only the parallel-specific binaries, not the whole suite. Run from the
-# repo root; build trees land in build/ and build-tsan/.
+# Sanitizer-instrumented training is ~10x slower, so stages 2 and 3 run only
+# the binaries relevant to them, not the whole suite. Run from the repo
+# root; build trees land in build/, build-tsan/ and build-asan/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Configure `dir` with the remaining args. Prefers Ninja for fresh build
+# directories but leaves an already-configured tree on its existing
+# generator (cmake errors out on a generator switch).
+configure() {
+  local dir="$1"
+  shift
+  if [ ! -f "$dir/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+    cmake -B "$dir" -G Ninja "$@"
+  else
+    cmake -B "$dir" "$@"
+  fi
+}
+
 echo "==> stage 1: regular build + ctest"
-cmake -B build -G Ninja
+configure build
 cmake --build build
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 echo "==> stage 2: ThreadSanitizer build"
-cmake -B build-tsan -G Ninja -DSCENEREC_SANITIZE=thread
+configure build-tsan -DSCENEREC_SANITIZE=thread
 cmake --build build-tsan --target parallel_test eval_test train_test
 
 echo "==> stage 2: parallel tests under TSan"
@@ -25,5 +42,13 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 build-tsan/tests/parallel_test
 build-tsan/tests/eval_test
 build-tsan/tests/train_test
+
+echo "==> stage 3: ASan+UBSan build"
+configure build-asan -DSCENEREC_SANITIZE=address,undefined
+cmake --build build-asan --target tensor_test ops_test
+
+echo "==> stage 3: tensor/op tests under ASan+UBSan"
+build-asan/tests/tensor_test
+build-asan/tests/ops_test
 
 echo "==> all checks passed"
