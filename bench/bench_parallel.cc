@@ -12,6 +12,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "data/split.h"
 #include "data/synthetic.h"
@@ -100,6 +101,33 @@ void BM_TrainEpochSceneRec(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
 }
 BENCHMARK(BM_TrainEpochSceneRec)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+/// The telemetry layer's overhead on a full training epoch: arg 0 is the
+/// enabled flag. Compare the enabled:0 and enabled:1 rows — the acceptance
+/// bar is under 1% (tools/bench.sh records the pair in BENCH_telemetry.json).
+/// Disabled-mode cost is one relaxed load + branch per instrument site.
+void BM_TrainEpochTelemetry(benchmark::State& state) {
+  const BenchData& data = Data();
+  const bool enabled = state.range(0) != 0;
+  telemetry::Telemetry::SetEnabled(enabled);
+  telemetry::Telemetry::Reset();
+  TrainConfig config;
+  config.epochs = 1;
+  config.patience = 0;
+  config.learning_rate = 5e-3f;
+  config.threads = 1;  // serial: no pool noise, pure instrument cost
+  for (auto _ : state) {
+    Rng rng(7);
+    BprMf model(data.dataset.num_users, data.dataset.num_items, 32, rng);
+    auto result = TrainAndEvaluate(model, data.split, data.graph, config);
+    SCENEREC_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->test.ndcg);
+  }
+  telemetry::Telemetry::SetEnabled(false);
+  state.counters["telemetry"] = enabled ? 1.0 : 0.0;
+}
+BENCHMARK(BM_TrainEpochTelemetry)->Arg(0)->Arg(1)->Unit(
     benchmark::kMillisecond);
 
 /// Full-vocabulary ranking protocol, parallel over evaluation instances.

@@ -12,6 +12,7 @@
 #include "bench/bench_util.h"
 #include "common/flags.h"
 #include "common/malloc_tuning.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "common/string_util.h"
 
@@ -35,6 +36,9 @@ int Run(int argc, char** argv) {
   flags.AddInt64("threads", 1,
                  "worker threads for training/evaluation; 0 = all hardware "
                  "threads, 1 = serial (bitwise-reproducible)");
+  flags.AddImplicitString("telemetry", "", "-",
+                          "collect runtime telemetry; bare dumps JSON to "
+                          "stdout at exit, =path.json writes a file");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s.ToString() << "\n" << flags.Help();
     return 1;
@@ -45,6 +49,8 @@ int Run(int argc, char** argv) {
     return 1;
   }
   SetDefaultThreadPoolThreads(flags.GetInt64("threads"));
+  const std::string telemetry_sink = flags.GetString("telemetry");
+  if (!telemetry_sink.empty()) telemetry::Telemetry::SetEnabled(true);
 
   JdPreset preset = JdPreset::kElectronics;
   for (JdPreset p : AllJdPresets()) {
@@ -76,6 +82,7 @@ int Run(int argc, char** argv) {
     train_config.seed = seed + 23;
     train_config.verbose = flags.GetBool("verbose");
     train_config.threads = flags.GetInt64("threads");
+    train_config.telemetry = telemetry::Telemetry::Enabled();
     train_config.learning_rate =
         flags.GetDouble("lr") > 0.0
             ? static_cast<float>(flags.GetDouble("lr"))
@@ -89,6 +96,17 @@ int Run(int argc, char** argv) {
                 cell->test.ndcg, cell->test.hr, cell->train_seconds,
                 static_cast<long long>(cell->epochs_run));
     std::fflush(stdout);
+  }
+  if (!telemetry_sink.empty()) {
+    if (telemetry_sink == "-") {
+      std::cout << telemetry::Telemetry::ToJson();
+    } else if (Status s = telemetry::Telemetry::WriteJsonFile(telemetry_sink);
+               !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    } else {
+      std::printf("telemetry written to %s\n", telemetry_sink.c_str());
+    }
   }
   return 0;
 }

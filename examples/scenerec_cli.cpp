@@ -22,6 +22,7 @@
 #include "bench/bench_util.h"
 #include "common/flags.h"
 #include "common/malloc_tuning.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "data/tsv_io.h"
 #include "eval/top_n.h"
@@ -101,6 +102,7 @@ int Train(const FlagParser& flags, CliContext& context) {
   config.seed = static_cast<uint64_t>(flags.GetInt64("data_seed")) + 23;
   config.verbose = flags.GetBool("verbose");
   config.threads = flags.GetInt64("threads");
+  config.telemetry = telemetry::Telemetry::Enabled();
   auto result =
       TrainAndEvaluate(*context.model, context.split, context.train_graph,
                        config);
@@ -198,6 +200,9 @@ int Run(int argc, char** argv) {
   flags.AddInt64("threads", 1,
                  "worker threads for training/evaluation; 0 = all hardware "
                  "threads, 1 = serial (bitwise-reproducible)");
+  flags.AddImplicitString("telemetry", "", "-",
+                          "collect runtime telemetry; bare dumps JSON to "
+                          "stdout at exit, =path.json writes a file");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s.ToString() << "\n" << flags.Help();
     return 1;
@@ -207,6 +212,8 @@ int Run(int argc, char** argv) {
     return 1;
   }
   SetDefaultThreadPoolThreads(flags.GetInt64("threads"));
+  const std::string telemetry_sink = flags.GetString("telemetry");
+  if (!telemetry_sink.empty()) telemetry::Telemetry::SetEnabled(true);
   if (flags.positional().size() != 1) {
     std::cerr << "usage: scenerec_cli <train|evaluate|recommend> [flags]\n"
               << flags.Help();
@@ -219,24 +226,43 @@ int Run(int argc, char** argv) {
   }
 
   const std::string command = flags.positional()[0];
-  if (command == "train") return Train(flags, context);
+  int code = 1;
+  if (command == "train") {
+    code = Train(flags, context);
+  } else if (command == "evaluate" || command == "recommend") {
+    // evaluate / recommend restore the checkpoint first.
+    const std::string ckpt = flags.GetString("ckpt");
+    if (ckpt.empty()) {
+      std::cerr << command << " requires --ckpt\n";
+      return 1;
+    }
+    if (Status s =
+            LoadCheckpoint(*context.model, context.model->name(), ckpt);
+        !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+    code = command == "evaluate" ? Evaluate(flags, context)
+                                 : Recommend(flags, context);
+  } else {
+    std::cerr << "unknown command: " << command << "\n";
+    return 1;
+  }
 
-  // evaluate / recommend restore the checkpoint first.
-  const std::string ckpt = flags.GetString("ckpt");
-  if (ckpt.empty()) {
-    std::cerr << command << " requires --ckpt\n";
-    return 1;
+  // Dump telemetry even when the command failed: the counters are exactly
+  // what you want when diagnosing a diverged or slow run.
+  if (!telemetry_sink.empty()) {
+    if (telemetry_sink == "-") {
+      std::cout << telemetry::Telemetry::ToJson();
+    } else if (Status s = telemetry::Telemetry::WriteJsonFile(telemetry_sink);
+               !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    } else {
+      std::printf("telemetry written to %s\n", telemetry_sink.c_str());
+    }
   }
-  if (Status s =
-          LoadCheckpoint(*context.model, context.model->name(), ckpt);
-      !s.ok()) {
-    std::cerr << s.ToString() << "\n";
-    return 1;
-  }
-  if (command == "evaluate") return Evaluate(flags, context);
-  if (command == "recommend") return Recommend(flags, context);
-  std::cerr << "unknown command: " << command << "\n";
-  return 1;
+  return code;
 }
 
 }  // namespace

@@ -48,6 +48,19 @@ void FlagParser::AddString(const std::string& name,
   flags_.emplace(name, std::move(flag));
 }
 
+void FlagParser::AddImplicitString(const std::string& name,
+                                   const std::string& default_value,
+                                   const std::string& implicit_value,
+                                   const std::string& help) {
+  SCENEREC_CHECK(flags_.find(name) == flags_.end()) << "duplicate flag" << name;
+  Flag flag;
+  flag.type = Type::kImplicitString;
+  flag.help = help;
+  flag.string_value = default_value;
+  flag.implicit_value = implicit_value;
+  flags_.emplace(name, std::move(flag));
+}
+
 Status FlagParser::SetFromString(Flag& flag, const std::string& name,
                                  const std::string& text) {
   switch (flag.type) {
@@ -81,6 +94,7 @@ Status FlagParser::SetFromString(Flag& flag, const std::string& name,
       return Status::OK();
     }
     case Type::kString:
+    case Type::kImplicitString:
       flag.string_value = text;
       return Status::OK();
   }
@@ -117,6 +131,12 @@ Status FlagParser::Parse(int argc, char** argv) {
         flag.bool_value = true;
         continue;
       }
+      if (flag.type == Type::kImplicitString) {
+        // `--telemetry` without `=path` takes the implicit value and never
+        // consumes the next token (which would swallow a positional arg).
+        flag.string_value = flag.implicit_value;
+        continue;
+      }
       if (i + 1 >= argc) {
         return Status::InvalidArgument("flag --" + name + " expects a value");
       }
@@ -148,7 +168,12 @@ bool FlagParser::GetBool(const std::string& name) const {
 }
 
 const std::string& FlagParser::GetString(const std::string& name) const {
-  return GetFlag(name, Type::kString).string_value;
+  auto it = flags_.find(name);
+  SCENEREC_CHECK(it != flags_.end()) << "flag not registered:" << name;
+  SCENEREC_CHECK(it->second.type == Type::kString ||
+                 it->second.type == Type::kImplicitString)
+      << "flag type mismatch:" << name;
+  return it->second.string_value;
 }
 
 std::string FlagParser::Help() const {
@@ -169,6 +194,9 @@ std::string FlagParser::Help() const {
         break;
       case Type::kString:
         out << "=<string> (default \"" << flag.string_value << "\")";
+        break;
+      case Type::kImplicitString:
+        out << "[=<string>] (bare sets \"" << flag.implicit_value << "\")";
         break;
     }
     out << "  " << flag.help << "\n";

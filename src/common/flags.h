@@ -34,6 +34,13 @@ class FlagParser {
                const std::string& help);
   void AddString(const std::string& name, const std::string& default_value,
                  const std::string& help);
+  /// A string flag that may appear bare: `--name` sets `implicit_value`
+  /// (without consuming the next argv token), `--name=text` sets `text`.
+  /// Read it back with GetString.
+  void AddImplicitString(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& implicit_value,
+                         const std::string& help);
 
   /// Parses argv; returns InvalidArgument on unknown flags or bad values.
   /// Non-flag positional arguments are collected into positional().
@@ -52,7 +59,7 @@ class FlagParser {
   std::string Help() const;
 
  private:
-  enum class Type { kInt64, kDouble, kBool, kString };
+  enum class Type { kInt64, kDouble, kBool, kString, kImplicitString };
 
   struct Flag {
     Type type;
@@ -61,6 +68,7 @@ class FlagParser {
     double double_value = 0.0;
     bool bool_value = false;
     std::string string_value;
+    std::string implicit_value;  // kImplicitString only: value when bare
   };
 
   Status SetFromString(Flag& flag, const std::string& name,

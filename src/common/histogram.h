@@ -1,0 +1,86 @@
+#ifndef SCENEREC_COMMON_HISTOGRAM_H_
+#define SCENEREC_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace scenerec {
+
+/// Log-scale (power-of-two) histogram over non-negative 64-bit values —
+/// typically nanosecond latencies or byte sizes. Bucket `b` counts values
+/// whose bit width is `b`: bucket 0 holds exactly 0, bucket b >= 1 holds the
+/// half-open range [2^(b-1), 2^b). 65 buckets cover the full uint64 domain,
+/// so Record never clips and two histograms merge bucket-by-bucket without
+/// any range negotiation.
+///
+/// This is the plain, single-owner representation used for snapshots and
+/// retired-thread accumulation; the telemetry registry's per-thread slabs
+/// keep the same bucket layout in relaxed atomics (see common/telemetry.h).
+inline constexpr int kHistogramBuckets = 65;
+
+/// Bucket index of a value: std::bit_width, i.e. 0 for 0, floor(log2(v))+1
+/// otherwise.
+inline int HistogramBucket(uint64_t value) { return std::bit_width(value); }
+
+/// Inclusive lower bound of bucket `b` (0 for buckets 0 and 1).
+inline uint64_t HistogramBucketLow(int b) {
+  return b <= 1 ? 0 : uint64_t{1} << (b - 1);
+}
+
+/// Inclusive upper bound of bucket `b`.
+inline uint64_t HistogramBucketHigh(int b) {
+  if (b == 0) return 0;
+  if (b >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << b) - 1;
+}
+
+struct HistogramData {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  void Record(uint64_t value) {
+    ++count;
+    sum += value;
+    if (value > max) max = value;
+    ++buckets[HistogramBucket(value)];
+  }
+
+  void Merge(const HistogramData& other) {
+    count += other.count;
+    sum += other.sum;
+    if (other.max > max) max = other.max;
+    for (int b = 0; b < kHistogramBuckets; ++b) buckets[b] += other.buckets[b];
+  }
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Approximate quantile from the bucket boundaries: the midpoint of the
+  /// bucket containing the q-th sample (clamped to the observed max, so
+  /// p100 of a single sample is exact). q must be in [0, 1].
+  double Percentile(double q) const {
+    if (count == 0) return 0.0;
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count));
+    if (target >= count) target = count - 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      seen += buckets[b];
+      if (seen > target) {
+        const double lo = static_cast<double>(HistogramBucketLow(b));
+        double hi = static_cast<double>(HistogramBucketHigh(b));
+        if (hi > static_cast<double>(max)) hi = static_cast<double>(max);
+        return (lo + hi) / 2.0;
+      }
+    }
+    return static_cast<double>(max);
+  }
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,330 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace scenerec {
+namespace telemetry {
+
+namespace internal {
+
+thread_local constinit ThreadSlab* t_slab = nullptr;
+
+namespace {
+
+/// Non-atomic mirror of a ThreadSlab, accumulating the slabs of exited
+/// threads so their contributions survive the thread.
+struct RetiredTotals {
+  std::array<uint64_t, kMaxCounters> counters{};
+  std::array<uint64_t, kMaxGauges> gauge_sum{};
+  std::array<uint64_t, kMaxGauges> gauge_max{};
+  std::array<HistogramData, kMaxHistograms> hists;
+};
+
+/// Registered names + live slabs, behind one mutex. A Meyers singleton so
+/// namespace-scope metric registration in any translation unit is safe.
+struct Registry {
+  std::mutex mu;
+
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<GaugeAgg> gauge_aggs;
+  std::vector<std::string> hist_names;
+  std::vector<std::string> hist_units;
+
+  std::vector<ThreadSlab*> slabs;  // live threads, including the caller's
+  RetiredTotals retired;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+uint64_t Load(const std::atomic<uint64_t>& cell) {
+  return cell.load(std::memory_order_relaxed);
+}
+
+HistogramData LoadHist(const ThreadSlab::HistCell& cell) {
+  HistogramData data;
+  data.count = Load(cell.count);
+  data.sum = Load(cell.sum);
+  data.max = Load(cell.max);
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    data.buckets[b] = Load(cell.buckets[b]);
+  }
+  return data;
+}
+
+void ZeroSlab(ThreadSlab& slab) {
+  for (auto& c : slab.counters) c.store(0, std::memory_order_relaxed);
+  for (auto& g : slab.gauges) g.store(0, std::memory_order_relaxed);
+  for (auto& h : slab.hists) {
+    h.count.store(0, std::memory_order_relaxed);
+    h.sum.store(0, std::memory_order_relaxed);
+    h.max.store(0, std::memory_order_relaxed);
+    for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+/// Folds an exiting thread's slab into the retired totals and drops it from
+/// the live list.
+void RetireSlab(ThreadSlab* slab) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (int i = 0; i < kMaxCounters; ++i) {
+    reg.retired.counters[i] += Load(slab->counters[i]);
+  }
+  for (int i = 0; i < kMaxGauges; ++i) {
+    const uint64_t v = Load(slab->gauges[i]);
+    reg.retired.gauge_sum[i] += v;
+    reg.retired.gauge_max[i] = std::max(reg.retired.gauge_max[i], v);
+  }
+  for (int i = 0; i < kMaxHistograms; ++i) {
+    reg.retired.hists[i].Merge(LoadHist(slab->hists[i]));
+  }
+  reg.slabs.erase(std::remove(reg.slabs.begin(), reg.slabs.end(), slab),
+                  reg.slabs.end());
+}
+
+/// Thread-exit hook: owns the slab, merges it into the retired totals when
+/// the thread dies.
+struct SlabOwner {
+  std::unique_ptr<ThreadSlab> slab = std::make_unique<ThreadSlab>();
+  ~SlabOwner() {
+    RetireSlab(slab.get());
+    t_slab = nullptr;
+  }
+};
+
+}  // namespace
+
+ThreadSlab& CreateSlab() {
+  static thread_local SlabOwner owner;
+  if (t_slab == nullptr) {
+    Registry& reg = GetRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.slabs.push_back(owner.slab.get());
+    t_slab = owner.slab.get();
+  }
+  return *t_slab;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Finds `name` in `names` or appends it; CHECKs the per-kind cap.
+int ResolveId(std::vector<std::string>& names, const std::string& name,
+              int cap, const char* kind) {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  SCENEREC_CHECK(static_cast<int>(names.size()) < cap)
+      << "telemetry: too many " << kind << " metrics (cap " << cap
+      << "), registering " << name;
+  names.push_back(name);
+  return static_cast<int>(names.size()) - 1;
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Counter RegisterCounter(const std::string& name) {
+  internal::Registry& reg = internal::GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return Counter(
+      ResolveId(reg.counter_names, name, kMaxCounters, "counter"));
+}
+
+Gauge RegisterGauge(const std::string& name, GaugeAgg agg) {
+  internal::Registry& reg = internal::GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const int id = ResolveId(reg.gauge_names, name, kMaxGauges, "gauge");
+  if (id == static_cast<int>(reg.gauge_aggs.size())) {
+    reg.gauge_aggs.push_back(agg);
+  } else {
+    SCENEREC_CHECK(reg.gauge_aggs[static_cast<size_t>(id)] == agg)
+        << "telemetry: gauge " << name
+        << " re-registered with a different aggregation";
+  }
+  return Gauge(id);
+}
+
+Histogram RegisterHistogram(const std::string& name, const std::string& unit) {
+  internal::Registry& reg = internal::GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const int id =
+      ResolveId(reg.hist_names, name, kMaxHistograms, "histogram");
+  if (id == static_cast<int>(reg.hist_units.size())) {
+    reg.hist_units.push_back(unit);
+  }
+  return Histogram(id);
+}
+
+uint64_t TelemetrySnapshot::CounterValue(const std::string& name) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+uint64_t TelemetrySnapshot::GaugeValue(const std::string& name) const {
+  for (const GaugeSample& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+const HistogramSample* TelemetrySnapshot::FindHistogram(
+    const std::string& name) const& {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string TelemetrySnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(out, counters[i].name);
+    out += ": " + std::to_string(counters[i].value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(out, gauges[i].name);
+    out += ": " + std::to_string(gauges[i].value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(out, h.name);
+    out += ": {\"unit\": ";
+    AppendJsonString(out, h.unit);
+    out += ", \"count\": " + std::to_string(h.data.count);
+    out += ", \"sum\": " + std::to_string(h.data.sum);
+    out += ", \"max\": " + std::to_string(h.data.max);
+    out += ", \"mean\": " + FormatDouble(h.data.Mean());
+    out += ", \"p50\": " + FormatDouble(h.data.Percentile(0.50));
+    out += ", \"p90\": " + FormatDouble(h.data.Percentile(0.90));
+    out += ", \"p99\": " + FormatDouble(h.data.Percentile(0.99));
+    out += ", \"buckets\": [";
+    bool first = true;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (h.data.buckets[b] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "[" + std::to_string(HistogramBucketLow(b)) + ", " +
+             std::to_string(HistogramBucketHigh(b)) + ", " +
+             std::to_string(h.data.buckets[b]) + "]";
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+TelemetrySnapshot Telemetry::Snapshot() {
+  internal::Registry& reg = internal::GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  TelemetrySnapshot snapshot;
+
+  snapshot.counters.resize(reg.counter_names.size());
+  for (size_t i = 0; i < reg.counter_names.size(); ++i) {
+    snapshot.counters[i].name = reg.counter_names[i];
+    uint64_t total = reg.retired.counters[i];
+    for (internal::ThreadSlab* slab : reg.slabs) {
+      total += slab->counters[i].load(std::memory_order_relaxed);
+    }
+    snapshot.counters[i].value = total;
+  }
+
+  snapshot.gauges.resize(reg.gauge_names.size());
+  for (size_t i = 0; i < reg.gauge_names.size(); ++i) {
+    GaugeSample& sample = snapshot.gauges[i];
+    sample.name = reg.gauge_names[i];
+    sample.agg = reg.gauge_aggs[i];
+    if (sample.agg == GaugeAgg::kSum) {
+      uint64_t total = reg.retired.gauge_sum[i];
+      for (internal::ThreadSlab* slab : reg.slabs) {
+        total += slab->gauges[i].load(std::memory_order_relaxed);
+      }
+      sample.value = total;
+    } else {
+      uint64_t peak = reg.retired.gauge_max[i];
+      for (internal::ThreadSlab* slab : reg.slabs) {
+        peak = std::max(peak, slab->gauges[i].load(std::memory_order_relaxed));
+      }
+      sample.value = peak;
+    }
+  }
+
+  snapshot.histograms.resize(reg.hist_names.size());
+  for (size_t i = 0; i < reg.hist_names.size(); ++i) {
+    HistogramSample& sample = snapshot.histograms[i];
+    sample.name = reg.hist_names[i];
+    sample.unit = reg.hist_units[i];
+    sample.data = reg.retired.hists[i];
+    for (internal::ThreadSlab* slab : reg.slabs) {
+      sample.data.Merge(internal::LoadHist(slab->hists[i]));
+    }
+  }
+  return snapshot;
+}
+
+void Telemetry::Reset() {
+  internal::Registry& reg = internal::GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.retired = internal::RetiredTotals{};
+  for (internal::ThreadSlab* slab : reg.slabs) internal::ZeroSlab(*slab);
+}
+
+std::string Telemetry::ToJson() { return Snapshot().ToJson(); }
+
+Status Telemetry::WriteJsonFile(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open telemetry file: " + path);
+  out << ToJson();
+  out.flush();
+  if (!out) return Status::IOError("failed writing telemetry file: " + path);
+  return Status::OK();
+}
+
+}  // namespace telemetry
+}  // namespace scenerec

@@ -1,0 +1,264 @@
+#ifndef SCENEREC_COMMON_TELEMETRY_H_
+#define SCENEREC_COMMON_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+
+namespace scenerec {
+namespace telemetry {
+
+// Process-wide observability registry: named counters, gauges, and log-scale
+// histograms, collected with a thread-local fast path (docs/observability.md).
+//
+// Design in one paragraph: each metric is registered once (by name) and
+// resolves to a slot index into a fixed-layout per-thread slab. Hot-path
+// updates touch only the calling thread's slab — a relaxed atomic load/store
+// pair that compiles to a plain load+add+store, with no read-modify-write
+// instruction, lock, or fence — so instrumenting a kernel costs a branch on
+// the global enabled flag plus a couple of moves. Scrapes (Snapshot) merge
+// every live slab plus the accumulated slabs of exited threads under the
+// registry mutex; relaxed atomics make the cross-thread reads well-defined
+// (TSan-clean) at the price of a snapshot being at most one in-flight update
+// stale per thread, which is fine for telemetry.
+//
+// When telemetry is disabled (the default), every update short-circuits on
+// one relaxed load of a global bool — measured at well under 1% of an epoch
+// in bench_parallel's BM_TrainEpochTelemetry (see BENCH_telemetry.json).
+
+/// Hard caps on registered metrics per kind. The per-thread slab is a fixed
+/// array sized by these, so registration past the cap is a CHECK failure —
+/// raise them if the instrumented surface grows.
+inline constexpr int kMaxCounters = 64;
+inline constexpr int kMaxGauges = 32;
+inline constexpr int kMaxHistograms = 32;
+
+/// Global enable flag. Relaxed: flipping it is advisory, not a fence —
+/// updates racing with SetEnabled may or may not be recorded.
+inline std::atomic<bool> g_enabled{false};
+
+inline bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+namespace internal {
+
+/// Per-thread storage for every registered metric. Only the owning thread
+/// writes; scrapers read concurrently with relaxed loads. All cells are
+/// zero-initialized.
+struct ThreadSlab {
+  struct HistCell {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+  };
+
+  std::array<std::atomic<uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<uint64_t>, kMaxGauges> gauges{};
+  std::array<HistCell, kMaxHistograms> hists{};
+};
+
+/// The calling thread's slab pointer; null until the first recorded update.
+/// constinit so access from inline fast paths is a direct TLS load (no
+/// dynamic-initialization wrapper).
+extern thread_local constinit ThreadSlab* t_slab;
+
+/// Creates + registers this thread's slab (idempotent), sets t_slab.
+ThreadSlab& CreateSlab();
+
+inline ThreadSlab& Slab() {
+  ThreadSlab* s = t_slab;
+  return s != nullptr ? *s : CreateSlab();
+}
+
+/// Owner-only increment: a plain load+add+store (no RMW instruction). Safe
+/// because each slab cell has exactly one writer — its owning thread.
+inline void CellAdd(std::atomic<uint64_t>& cell, uint64_t n) {
+  cell.store(cell.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+inline void CellMax(std::atomic<uint64_t>& cell, uint64_t v) {
+  if (v > cell.load(std::memory_order_relaxed)) {
+    cell.store(v, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace internal
+
+/// Monotonically increasing event/quantity count (merge: sum over threads).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) const {
+    if (!Enabled()) return;
+    internal::CellAdd(internal::Slab().counters[id_], n);
+  }
+
+ private:
+  friend Counter RegisterCounter(const std::string& name);
+  explicit Counter(int id) : id_(id) {}
+  int id_;
+};
+
+/// How a gauge's per-thread values combine on scrape.
+enum class GaugeAgg {
+  kSum,  // e.g. bytes reserved across per-thread arenas
+  kMax,  // e.g. high-water marks
+};
+
+/// Last-value-wins per thread; cross-thread merge per the registered
+/// aggregation.
+class Gauge {
+ public:
+  void Set(uint64_t v) const {
+    if (!Enabled()) return;
+    internal::Slab().gauges[id_].store(v, std::memory_order_relaxed);
+  }
+
+  /// Raises this thread's value to at least v (for kMax gauges).
+  void RaiseTo(uint64_t v) const {
+    if (!Enabled()) return;
+    internal::CellMax(internal::Slab().gauges[id_], v);
+  }
+
+ private:
+  friend Gauge RegisterGauge(const std::string& name, GaugeAgg agg);
+  explicit Gauge(int id) : id_(id) {}
+  int id_;
+};
+
+/// Log-scale distribution of a non-negative quantity (latency ns, bytes).
+class Histogram {
+ public:
+  void Record(uint64_t value) const {
+    if (!Enabled()) return;
+    internal::ThreadSlab::HistCell& h = internal::Slab().hists[id_];
+    internal::CellAdd(h.count, 1);
+    internal::CellAdd(h.sum, value);
+    internal::CellMax(h.max, value);
+    internal::CellAdd(h.buckets[HistogramBucket(value)], 1);
+  }
+
+ private:
+  friend Histogram RegisterHistogram(const std::string& name,
+                                     const std::string& unit);
+  explicit Histogram(int id) : id_(id) {}
+  int id_;
+};
+
+/// Registration is idempotent by name (the same name returns the same slot)
+/// and cheap enough for function-local statics, but instrumented hot paths
+/// should register once at namespace scope or via a static local handle.
+Counter RegisterCounter(const std::string& name);
+Gauge RegisterGauge(const std::string& name, GaugeAgg agg);
+Histogram RegisterHistogram(const std::string& name, const std::string& unit);
+
+/// RAII latency timer: reads the clock only when telemetry is enabled at
+/// construction, records elapsed nanoseconds into `hist` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram hist)
+      : hist_(hist), armed_(Enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (armed_) hist_.Record(ElapsedNs());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  uint64_t ElapsedNs() const {
+    if (!armed_) return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  Histogram hist_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// -- Scrape ------------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  GaugeAgg agg = GaugeAgg::kSum;
+  uint64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string unit;
+  HistogramData data;
+};
+
+/// A consistent-enough point-in-time view: metrics registered at scrape time
+/// with their values merged across all threads that ever recorded.
+struct TelemetrySnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Value of a counter/gauge by name; 0 if never registered.
+  uint64_t CounterValue(const std::string& name) const;
+  uint64_t GaugeValue(const std::string& name) const;
+  /// Histogram by name; nullptr if never registered. The pointer aliases
+  /// this snapshot's storage, so the rvalue overload is deleted — calling it
+  /// on a temporary (`Telemetry::Snapshot().FindHistogram(...)`) would
+  /// dangle the moment the full expression ends.
+  const HistogramSample* FindHistogram(const std::string& name) const&;
+  const HistogramSample* FindHistogram(const std::string& name) const&& =
+      delete;
+
+  /// Serializes the snapshot as a stable JSON document:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "histograms": {name: {"unit": u, "count": c, "sum": s, "max": m,
+  ///                          "mean": x, "p50": a, "p90": b, "p99": d,
+  ///                          "buckets": [[low, high, count], ...]}, ...}}
+  /// Bucket triples list only non-empty buckets.
+  std::string ToJson() const;
+};
+
+/// Static facade over the process-wide registry.
+class Telemetry {
+ public:
+  /// Turns collection on/off. Off (the default) reduces every instrument to
+  /// one relaxed load + predictable branch.
+  static void SetEnabled(bool enabled) {
+    g_enabled.store(enabled, std::memory_order_relaxed);
+  }
+  static bool Enabled() { return telemetry::Enabled(); }
+
+  /// Merges every thread's slab (live and exited) into a snapshot.
+  static TelemetrySnapshot Snapshot();
+
+  /// Zeroes every metric on every thread. Call only while no instrumented
+  /// code is running concurrently (between runs, in tests): updates racing
+  /// with Reset may survive it.
+  static void Reset();
+
+  /// Snapshot().ToJson() convenience.
+  static std::string ToJson();
+
+  /// Writes ToJson() to `path` (truncating). IOError on failure.
+  static Status WriteJsonFile(const std::string& path);
+};
+
+}  // namespace telemetry
+}  // namespace scenerec
+
+#endif  // SCENEREC_COMMON_TELEMETRY_H_

@@ -5,11 +5,24 @@
 #include <exception>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace scenerec {
 
 namespace {
 thread_local bool t_in_worker = false;
+
+// Pool telemetry (docs/observability.md): loop/chunk counts plus the two
+// latency distributions that expose scheduling health — per-chunk execution
+// time (load balance across lanes) and the caller's post-participation wait
+// for stragglers (the cost of imbalance).
+const telemetry::Counter t_loops =
+    telemetry::RegisterCounter("pool/parallel_for_calls");
+const telemetry::Counter t_chunks = telemetry::RegisterCounter("pool/chunks_run");
+const telemetry::Histogram t_chunk_ns =
+    telemetry::RegisterHistogram("pool/chunk_ns", "ns");
+const telemetry::Histogram t_wait_ns =
+    telemetry::RegisterHistogram("pool/caller_wait_ns", "ns");
 }  // namespace
 
 /// One in-flight ParallelFor. Workers and the caller pull chunk indices
@@ -60,11 +73,13 @@ void ThreadPool::RunChunks(LoopState& state) {
     const int64_t begin = c * state.chunk;
     const int64_t end = std::min(state.n, begin + state.chunk);
     try {
+      telemetry::ScopedTimer chunk_timer(t_chunk_ns);
       (*state.body)(begin, end);
     } catch (...) {
       std::lock_guard<std::mutex> lock(state.mutex);
       if (!state.error) state.error = std::current_exception();
     }
+    t_chunks.Add(1);
     if (state.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         state.num_chunks) {
       // Last chunk: wake the caller. Lock pairs with the caller's wait to
@@ -116,6 +131,7 @@ void ThreadPool::ParallelFor(
   state->n = n;
   state->body = &body;
 
+  t_loops.Add(1);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     pending_.push_back(state);
@@ -126,6 +142,9 @@ void ThreadPool::ParallelFor(
   // been claimed and is waiting for stragglers.
   RunChunks(*state);
   {
+    // Everything from here to loop completion is straggler wait: the time
+    // the caller idles because lanes finished unevenly.
+    telemetry::ScopedTimer wait_timer(t_wait_ns);
     std::unique_lock<std::mutex> lock(state->mutex);
     state->done.wait(lock, [&] {
       return state->completed.load(std::memory_order_acquire) ==
@@ -137,7 +156,18 @@ void ThreadPool::ParallelFor(
     pending_.erase(std::remove(pending_.begin(), pending_.end(), state),
                    pending_.end());
   }
-  if (state->error) std::rethrow_exception(state->error);
+  // Move the exception out of the (shared) LoopState before rethrowing so
+  // its final release always happens on this thread. A worker still holding
+  // the state's shared_ptr must never be the one to destroy the exception:
+  // the caller's rethrown copy can share internals with it (e.g. the what()
+  // string), and freeing those from a pool thread races with the caller
+  // reading them.
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    error = std::move(state->error);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 int64_t ResolveThreadCount(int64_t requested) {

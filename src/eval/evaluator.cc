@@ -1,12 +1,28 @@
 #include "eval/evaluator.h"
 
 #include <array>
+#include <cmath>
+#include <limits>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace scenerec {
 
 namespace {
+
+// Evaluator telemetry (docs/observability.md): candidate throughput plus a
+// detector for diverged models — any non-finite score marks the whole
+// instance NaN, which poisons the aggregate and trips the trainer's
+// finite-validation check instead of silently ranking as perfect.
+const telemetry::Counter t_scored =
+    telemetry::RegisterCounter("eval/scored_candidates");
+const telemetry::Counter t_instances =
+    telemetry::RegisterCounter("eval/instances");
+const telemetry::Counter t_nonfinite =
+    telemetry::RegisterCounter("eval/nonfinite_scores");
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 /// Per-instance (hr, ndcg, mrr) contributions. Parallel and serial runs
 /// both fill an index-addressed table and reduce it in index order, which
@@ -56,23 +72,32 @@ RankingMetrics EvaluateRanking(const ScoreFn& score,
   }
 
   std::vector<std::array<double, 3>> per(instances.size());
-  ForEachInstance(pool, static_cast<int64_t>(instances.size()),
-                  [&](int64_t idx) {
-                    const EvalInstance& instance =
-                        instances[static_cast<size_t>(idx)];
-                    const float positive_score =
-                        score(instance.user, instance.positive_item);
-                    std::vector<float> negative_scores;
-                    negative_scores.reserve(instance.negative_items.size());
-                    for (int64_t item : instance.negative_items) {
-                      negative_scores.push_back(score(instance.user, item));
-                    }
-                    const int64_t rank =
-                        RankOfPositive(positive_score, negative_scores);
-                    per[static_cast<size_t>(idx)] = {HitRatioAtK(rank, k),
-                                                     NdcgAtK(rank, k),
-                                                     ReciprocalRank(rank)};
-                  });
+  ForEachInstance(
+      pool, static_cast<int64_t>(instances.size()), [&](int64_t idx) {
+        const EvalInstance& instance = instances[static_cast<size_t>(idx)];
+        const float positive_score =
+            score(instance.user, instance.positive_item);
+        bool finite = std::isfinite(positive_score);
+        std::vector<float> negative_scores;
+        negative_scores.reserve(instance.negative_items.size());
+        for (int64_t item : instance.negative_items) {
+          const float s = score(instance.user, item);
+          finite = finite && std::isfinite(s);
+          negative_scores.push_back(s);
+        }
+        t_instances.Add(1);
+        t_scored.Add(1 + static_cast<uint64_t>(negative_scores.size()));
+        if (!finite) {
+          t_nonfinite.Add(1);
+          per[static_cast<size_t>(idx)] = {kNaN, kNaN, kNaN};
+          return;
+        }
+        const PositiveRank rank =
+            RankOfPositive(positive_score, negative_scores);
+        per[static_cast<size_t>(idx)] = {HitRatioAtK(rank, k),
+                                         NdcgAtK(rank, k),
+                                         ReciprocalRank(rank)};
+      });
   return ReduceInOrder(per);
 }
 
@@ -94,14 +119,30 @@ RankingMetrics EvaluateFullRanking(const ScoreFn& score,
         const EvalInstance& instance = instances[static_cast<size_t>(idx)];
         const float positive_score =
             score(instance.user, instance.positive_item);
-        // Count candidates ranked strictly above the positive, skipping items
-        // the user already interacted with during training (standard
+        bool finite = std::isfinite(positive_score);
+        // Split the candidate set into strictly-above and tied, skipping
+        // items the user already interacted with during training (standard
         // masking).
-        int64_t rank = 0;
+        PositiveRank rank;
+        uint64_t scored = 1;
         for (int64_t item = 0; item < num_items; ++item) {
           if (item == instance.positive_item) continue;
           if (train_graph.HasInteraction(instance.user, item)) continue;
-          if (score(instance.user, item) > positive_score) ++rank;
+          const float s = score(instance.user, item);
+          ++scored;
+          finite = finite && std::isfinite(s);
+          if (s > positive_score) {
+            ++rank.num_above;
+          } else if (s == positive_score) {
+            ++rank.num_tied;
+          }
+        }
+        t_instances.Add(1);
+        t_scored.Add(scored);
+        if (!finite) {
+          t_nonfinite.Add(1);
+          per[static_cast<size_t>(idx)] = {kNaN, kNaN, kNaN};
+          return;
         }
         per[static_cast<size_t>(idx)] = {HitRatioAtK(rank, k),
                                          NdcgAtK(rank, k),

@@ -1,14 +1,19 @@
 #include "eval/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace scenerec {
 
-int64_t RankOfPositive(float positive_score,
-                       const std::vector<float>& negative_scores) {
-  int64_t rank = 0;
+PositiveRank RankOfPositive(float positive_score,
+                            const std::vector<float>& negative_scores) {
+  PositiveRank rank;
   for (float s : negative_scores) {
-    if (s > positive_score) ++rank;
+    if (s > positive_score) {
+      ++rank.num_above;
+    } else if (s == positive_score) {
+      ++rank.num_tied;
+    }
   }
   return rank;
 }
@@ -22,6 +27,32 @@ double NdcgAtK(int64_t rank, int64_t k) {
 
 double ReciprocalRank(int64_t rank) {
   return 1.0 / (static_cast<double>(rank) + 1.0);
+}
+
+double HitRatioAtK(const PositiveRank& rank, int64_t k) {
+  // Of the num_tied + 1 equally likely positions, those below k are hits:
+  // positions num_above .. min(k, worst + 1) - 1.
+  const int64_t slots = rank.num_tied + 1;
+  const int64_t hits = std::clamp<int64_t>(k - rank.num_above, 0, slots);
+  return static_cast<double>(hits) / static_cast<double>(slots);
+}
+
+double NdcgAtK(const PositiveRank& rank, int64_t k) {
+  // E[ndcg] over the uniform tie placement. num_tied is bounded by the
+  // candidate count, so the loop is cheap relative to scoring.
+  double sum = 0.0;
+  for (int64_t r = rank.BestRank(); r <= rank.WorstRank(); ++r) {
+    sum += NdcgAtK(r, k);
+  }
+  return sum / static_cast<double>(rank.num_tied + 1);
+}
+
+double ReciprocalRank(const PositiveRank& rank) {
+  double sum = 0.0;
+  for (int64_t r = rank.BestRank(); r <= rank.WorstRank(); ++r) {
+    sum += ReciprocalRank(r);
+  }
+  return sum / static_cast<double>(rank.num_tied + 1);
 }
 
 }  // namespace scenerec

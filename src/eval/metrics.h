@@ -6,23 +6,48 @@
 
 namespace scenerec {
 
-/// Rank (0-based) of the positive item among {positive} ∪ negatives when
-/// ordered by descending score. Negatives scoring strictly higher than the
-/// positive push it down; ties rank the positive above the tied negatives
-/// (the convention of the reference NCF evaluation code).
-int64_t RankOfPositive(float positive_score,
-                       const std::vector<float>& negative_scores);
+/// Position of the positive item among {positive} ∪ negatives when ordered
+/// by descending score, split into the part that is certain (negatives
+/// scoring strictly higher) and the part that depends on tie-breaking
+/// (negatives scoring exactly equal). The positive's 0-based rank is
+/// `num_above + t` where t is uniform over [0, num_tied] under a random
+/// tie order.
+struct PositiveRank {
+  int64_t num_above = 0;  ///< negatives with score strictly above the positive
+  int64_t num_tied = 0;   ///< negatives with score exactly equal
 
-/// Hit Ratio @ K for one instance: 1 if the positive ranks in the top K.
+  int64_t BestRank() const { return num_above; }
+  int64_t WorstRank() const { return num_above + num_tied; }
+};
+
+/// Computes the positive's rank interval. Non-finite negative scores compare
+/// false against everything and therefore count as neither above nor tied;
+/// callers that need to detect them (the evaluator does) must check score
+/// finiteness themselves.
+PositiveRank RankOfPositive(float positive_score,
+                            const std::vector<float>& negative_scores);
+
+/// Hit Ratio @ K for one instance at an exact rank: 1 if rank < k.
 double HitRatioAtK(int64_t rank, int64_t k);
 
-/// NDCG @ K for one instance: 1/log2(rank + 2) if the positive ranks in the
-/// top K, else 0. With one relevant item the ideal DCG is 1, so no further
-/// normalization is needed.
+/// NDCG @ K for one instance at an exact rank: 1/log2(rank + 2) if the
+/// positive ranks in the top K, else 0. With one relevant item the ideal DCG
+/// is 1, so no further normalization is needed.
 double NdcgAtK(int64_t rank, int64_t k);
 
-/// Reciprocal rank for one instance: 1 / (rank + 1). Uncut (no @K).
+/// Reciprocal rank for one instance at an exact rank: 1 / (rank + 1).
 double ReciprocalRank(int64_t rank);
+
+/// Tie-aware metrics: the expected value of the exact-rank metric when the
+/// positive is placed uniformly at random among its tied negatives (ranks
+/// num_above .. num_above + num_tied, each with probability
+/// 1 / (num_tied + 1)). With no ties these reduce to the exact-rank
+/// versions. This replaces the old convention of always ranking the
+/// positive above tied negatives, which let constant-score models claim
+/// perfect metrics.
+double HitRatioAtK(const PositiveRank& rank, int64_t k);
+double NdcgAtK(const PositiveRank& rank, int64_t k);
+double ReciprocalRank(const PositiveRank& rank);
 
 /// Aggregated ranking metrics (means over evaluation instances). The paper
 /// reports hr and ndcg; mrr is provided additionally.

@@ -5,6 +5,7 @@
 #include <new>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 // Manual poisoning: reads of recycled step memory become hard ASan errors
 // instead of silently observing stale floats.
@@ -38,6 +39,16 @@ Arena& ThreadStepArena() {
   static thread_local Arena arena;
   return arena;
 }
+
+// Arena telemetry is recorded only in Reset() — once per training step per
+// thread — so the Allocate() bump path stays untouched. The step's usage is
+// scraped at the moment it is discarded.
+const telemetry::Histogram t_step_bytes =
+    telemetry::RegisterHistogram("arena/step_bytes", "bytes");
+const telemetry::Gauge t_high_water = telemetry::RegisterGauge(
+    "arena/high_water_bytes", telemetry::GaugeAgg::kMax);
+const telemetry::Gauge t_reserved = telemetry::RegisterGauge(
+    "arena/reserved_bytes", telemetry::GaugeAgg::kSum);
 
 }  // namespace
 
@@ -85,6 +96,11 @@ void* Arena::Allocate(size_t bytes) {
 }
 
 void Arena::Reset() {
+  if (bytes_used_ > 0) {
+    t_step_bytes.Record(bytes_used_);
+    t_high_water.RaiseTo(bytes_used_);
+    t_reserved.Set(bytes_reserved_);
+  }
   for (Block& block : blocks_) {
     SCENEREC_POISON(block.data, block.size);
   }

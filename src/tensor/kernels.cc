@@ -3,8 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/telemetry.h"
+
 namespace scenerec {
 namespace kernels {
+
+namespace {
+
+// Kernel call + FLOP accounting (docs/observability.md). Instrumented at the
+// per-call level only: Dot/Axpy run inside these kernels' inner loops and
+// stay untouched, so the cost per GEMM/GEMV is one enabled-flag branch and
+// two thread-local stores. GemvRows counts one gemv per row (its rows ARE
+// gemv calls, bitwise), plus its own batched-call counter.
+const telemetry::Counter t_gemm_calls =
+    telemetry::RegisterCounter("kernels/gemm_calls");
+const telemetry::Counter t_gemv_calls =
+    telemetry::RegisterCounter("kernels/gemv_calls");
+const telemetry::Counter t_gemv_rows_calls =
+    telemetry::RegisterCounter("kernels/gemv_rows_calls");
+const telemetry::Counter t_accum_calls =
+    telemetry::RegisterCounter("kernels/backward_accum_calls");
+const telemetry::Counter t_flops = telemetry::RegisterCounter("kernels/flops");
+
+}  // namespace
 
 float ActApply(FusedAct act, float x, float leaky_slope) {
   switch (act) {
@@ -78,15 +99,19 @@ void Axpy(float alpha, const float* SCENEREC_RESTRICT x,
 
 void Gemv(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
           const float* SCENEREC_RESTRICT x, float* SCENEREC_RESTRICT y) {
+  t_gemv_calls.Add(1);
+  t_flops.Add(static_cast<uint64_t>(2 * m * n));
   for (int64_t i = 0; i < m; ++i) y[i] = Dot(w + i * n, x, n);
 }
 
 void GemvRows(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
               const float* SCENEREC_RESTRICT xs, int64_t rows,
               float* SCENEREC_RESTRICT ys) {
+  t_gemv_rows_calls.Add(1);
   // Each row runs the identical Gemv path — bitwise equal to `rows`
   // standalone calls, which is what lets model code batch per-entity
-  // forwards without changing results.
+  // forwards without changing results. (The inner Gemv also accounts the
+  // per-row calls and FLOPs.)
   for (int64_t r = 0; r < rows; ++r) {
     Gemv(w, m, n, xs + r * n, ys + r * m);
   }
@@ -95,6 +120,8 @@ void GemvRows(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
 void GemvTAccum(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
                 const float* SCENEREC_RESTRICT g,
                 float* SCENEREC_RESTRICT dx) {
+  t_accum_calls.Add(1);
+  t_flops.Add(static_cast<uint64_t>(2 * m * n));
   for (int64_t i = 0; i < m; ++i) {
     const float gi = g[i];
     if (gi == 0.0f) continue;
@@ -104,6 +131,8 @@ void GemvTAccum(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
 
 void GerAccum(const float* SCENEREC_RESTRICT g, const float* SCENEREC_RESTRICT x,
               int64_t m, int64_t n, float* SCENEREC_RESTRICT dw) {
+  t_accum_calls.Add(1);
+  t_flops.Add(static_cast<uint64_t>(2 * m * n));
   for (int64_t i = 0; i < m; ++i) {
     const float gi = g[i];
     if (gi == 0.0f) continue;
@@ -113,6 +142,8 @@ void GerAccum(const float* SCENEREC_RESTRICT g, const float* SCENEREC_RESTRICT x
 
 void Gemm(const float* SCENEREC_RESTRICT a, const float* SCENEREC_RESTRICT b,
           float* SCENEREC_RESTRICT c, int64_t m, int64_t k, int64_t n) {
+  t_gemm_calls.Add(1);
+  t_flops.Add(static_cast<uint64_t>(2 * m * k * n));
   std::fill(c, c + m * n, 0.0f);
   // Axpy-form i-k-j loop: streams rows of B, keeps 4 rows of C in registers.
   // Blocking over k bounds the B panel touched per C tile; because C[i, j]
@@ -161,6 +192,8 @@ void Gemm(const float* SCENEREC_RESTRICT a, const float* SCENEREC_RESTRICT b,
 void GemmNTAccum(const float* SCENEREC_RESTRICT g,
                  const float* SCENEREC_RESTRICT b, float* SCENEREC_RESTRICT da,
                  int64_t m, int64_t n, int64_t k) {
+  t_accum_calls.Add(1);
+  t_flops.Add(static_cast<uint64_t>(2 * m * n * k));
   for (int64_t i = 0; i < m; ++i) {
     const float* SCENEREC_RESTRICT grow = g + i * n;
     float* SCENEREC_RESTRICT darow = da + i * k;
@@ -173,6 +206,8 @@ void GemmNTAccum(const float* SCENEREC_RESTRICT g,
 void GemmTNAccum(const float* SCENEREC_RESTRICT a,
                  const float* SCENEREC_RESTRICT g, float* SCENEREC_RESTRICT db,
                  int64_t m, int64_t k, int64_t n) {
+  t_accum_calls.Add(1);
+  t_flops.Add(static_cast<uint64_t>(2 * m * k * n));
   for (int64_t p = 0; p < k; ++p) {
     float* SCENEREC_RESTRICT dbrow = db + p * n;
     for (int64_t i = 0; i < m; ++i) {

@@ -1,10 +1,15 @@
 #include "train/trainer.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <memory>
 #include <span>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "nn/optimizer.h"
 #include "nn/serialization.h"
@@ -40,6 +45,37 @@ Status TrainConfig::Validate() const {
 
 namespace {
 
+// Trainer telemetry (docs/observability.md). The phase histograms record one
+// sample per epoch (the epoch's total time in that phase); shard_skew_pct
+// records one sample per sharded batch. train/nonfinite_loss counts aborted
+// runs — a non-zero value in a telemetry dump means divergence, not slowness.
+const telemetry::Counter t_epochs = telemetry::RegisterCounter("train/epochs");
+const telemetry::Counter t_batches =
+    telemetry::RegisterCounter("train/batches");
+const telemetry::Counter t_triples =
+    telemetry::RegisterCounter("train/triples");
+const telemetry::Counter t_nonfinite_loss =
+    telemetry::RegisterCounter("train/nonfinite_loss");
+const telemetry::Histogram t_sampling_ns =
+    telemetry::RegisterHistogram("trainer/sampling_ns", "ns");
+const telemetry::Histogram t_forward_ns =
+    telemetry::RegisterHistogram("trainer/forward_ns", "ns");
+const telemetry::Histogram t_backward_ns =
+    telemetry::RegisterHistogram("trainer/backward_ns", "ns");
+const telemetry::Histogram t_optimizer_ns =
+    telemetry::RegisterHistogram("trainer/optimizer_ns", "ns");
+const telemetry::Histogram t_eval_ns =
+    telemetry::RegisterHistogram("trainer/eval_ns", "ns");
+const telemetry::Histogram t_shard_skew =
+    telemetry::RegisterHistogram("trainer/shard_skew_pct", "pct");
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Copies current parameter values (for best-epoch model selection).
 std::vector<std::vector<float>> SnapshotParameters(
     const std::vector<Tensor>& params) {
@@ -67,6 +103,10 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
   if (split.train.empty()) {
     return Status::FailedPrecondition("empty training set");
   }
+  if (config.telemetry) telemetry::Telemetry::SetEnabled(true);
+  // Phase timing only runs when telemetry is on; otherwise the loop below is
+  // byte-for-byte the uninstrumented path (instrument is loop-invariant).
+  const bool instrument = telemetry::Enabled();
 
   Rng rng(config.seed);
   BprBatcher batcher(split.train, train_graph);
@@ -116,7 +156,19 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     model.OnEpochBegin();
     optimizer->set_learning_rate(current_lr);
+    // Per-epoch phase accumulators (ns). Forward/backward are atomics
+    // because shard workers add to them; the contended adds happen at most
+    // once per shard per batch, far off the kernel hot path.
+    uint64_t sampling_ns = 0;
+    uint64_t optimizer_ns = 0;
+    uint64_t eval_ns = 0;
+    std::atomic<uint64_t> forward_ns{0};
+    std::atomic<uint64_t> backward_ns{0};
+    uint64_t max_skew_pct = 0;
+
+    uint64_t phase_start = instrument ? NowNs() : 0;
     const std::vector<BprTriple> triples = batcher.NextEpoch(rng);
+    if (instrument) sampling_ns = NowNs() - phase_start;
     const std::span<const BprTriple> all_triples(triples);
     double loss_sum = 0.0;
     for (size_t begin = 0; begin < triples.size();
@@ -133,6 +185,7 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
                     (static_cast<int64_t>(batch.size()) + kMinShardTriples - 1) /
                         kMinShardTriples)
               : 1;
+      double batch_loss = 0.0;
       if (num_shards > 1) {
         // Data-parallel step: each shard builds its own forward graph and
         // runs Backward concurrently; accumulation into the shared leaf
@@ -142,6 +195,7 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
         // applies the combined gradient.
         model.PrepareShards(num_shards);
         std::vector<Tensor> shard_losses(static_cast<size_t>(num_shards));
+        std::vector<uint64_t> shard_ns(static_cast<size_t>(num_shards), 0);
         pool->ParallelFor(
             num_shards, /*grain=*/1, [&](int64_t lo, int64_t hi) {
               // Route this lane's forward/backward intermediates through the
@@ -156,27 +210,71 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
                 const size_t shard_end =
                     batch.size() * static_cast<size_t>(s + 1) /
                     static_cast<size_t>(num_shards);
+                const uint64_t t0 = instrument ? NowNs() : 0;
                 Tensor loss = model.BatchLossShard(
                     batch.subspan(shard_begin, shard_end - shard_begin), s,
                     shard_rngs[static_cast<size_t>(s)]);
+                const uint64_t t1 = instrument ? NowNs() : 0;
                 Backward(loss);
+                if (instrument) {
+                  const uint64_t t2 = NowNs();
+                  forward_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+                  backward_ns.fetch_add(t2 - t1, std::memory_order_relaxed);
+                  shard_ns[static_cast<size_t>(s)] = t2 - t0;
+                }
                 shard_losses[static_cast<size_t>(s)] = loss;
               }
             });
+        if (instrument) {
+          // Shard imbalance for this step: how much slower the slowest
+          // shard was than the fastest, as a percentage of the slowest.
+          const auto [lo_it, hi_it] =
+              std::minmax_element(shard_ns.begin(), shard_ns.end());
+          if (*hi_it > 0) {
+            const uint64_t skew = (*hi_it - *lo_it) * 100 / *hi_it;
+            t_shard_skew.Record(skew);
+            max_skew_pct = std::max(max_skew_pct, skew);
+          }
+        }
         // Reduce in shard order so the reported loss is scheduling-free.
         for (const Tensor& shard_loss : shard_losses) {
-          loss_sum += shard_loss.scalar();
+          batch_loss += shard_loss.scalar();
         }
       } else {
         // Serial step: the whole forward graph and every gradient buffer of
         // non-leaf nodes live in this thread's step arena, reclaimed in O(1)
         // when the next step's scope resets it.
         ArenaScope step_arena;
+        const uint64_t t0 = instrument ? NowNs() : 0;
         Tensor loss = model.BatchLoss(batch);
-        loss_sum += loss.scalar();
+        const uint64_t t1 = instrument ? NowNs() : 0;
+        batch_loss = loss.scalar();
         Backward(loss);
+        if (instrument) {
+          const uint64_t t2 = NowNs();
+          forward_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+          backward_ns.fetch_add(t2 - t1, std::memory_order_relaxed);
+        }
       }
+      if (!std::isfinite(batch_loss)) {
+        // A NaN/Inf loss would otherwise poison the parameters and then
+        // sail through model selection (NaN comparisons are all false, so
+        // `ndcg > best` never updates and the stale snapshot ships
+        // silently). Fail loudly instead.
+        t_nonfinite_loss.Add(1);
+        SCENEREC_LOG(ERROR) << model.name() << " diverged: non-finite loss "
+                            << batch_loss << " in epoch " << epoch + 1
+                            << " at triple offset " << begin << "/"
+                            << triples.size()
+                            << " (lr " << current_lr << ")";
+        return Status::Internal("training diverged: non-finite batch loss");
+      }
+      loss_sum += batch_loss;
+      t_batches.Add(1);
+      t_triples.Add(batch.size());
+      phase_start = instrument ? NowNs() : 0;
       optimizer->Step();
+      if (instrument) optimizer_ns += NowNs() - phase_start;
     }
     const double mean_loss = loss_sum / static_cast<double>(triples.size());
     result.epoch_losses.push_back(mean_loss);
@@ -185,8 +283,25 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
     ThreadPool* eval_pool =
         (pool != nullptr && model.PrepareParallelScoring(*pool)) ? pool.get()
                                                                  : nullptr;
+    phase_start = instrument ? NowNs() : 0;
     RankingMetrics validation = EvaluateRanking(
         model.Scorer(), split.validation, config.eval_k, eval_pool);
+    if (instrument) eval_ns = NowNs() - phase_start;
+    if (!std::isfinite(validation.ndcg) || !std::isfinite(validation.hr) ||
+        !std::isfinite(validation.mrr)) {
+      // The evaluator reports NaN when any score was non-finite. Without
+      // this check a diverged model is NaN-blind: `ndcg > best_ndcg` is
+      // false for NaN, so the run would quietly keep an earlier snapshot
+      // (or, before the evaluator fix, even rank the NaN model as perfect).
+      t_nonfinite_loss.Add(1);
+      SCENEREC_LOG(ERROR) << model.name()
+                          << " diverged: non-finite validation metrics in "
+                          << "epoch " << epoch + 1 << " (NDCG "
+                          << validation.ndcg << ", HR " << validation.hr
+                          << ")";
+      return Status::Internal(
+          "training diverged: non-finite validation metrics");
+    }
     result.epoch_validations.push_back(validation);
     if (config.verbose) {
       SCENEREC_LOG(INFO) << model.name() << " epoch " << epoch + 1 << "/"
@@ -194,6 +309,26 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
                          << " val NDCG@" << config.eval_k << " "
                          << validation.ndcg << " HR@" << config.eval_k << " "
                          << validation.hr;
+    }
+    if (instrument) {
+      t_epochs.Add(1);
+      t_sampling_ns.Record(sampling_ns);
+      t_forward_ns.Record(forward_ns.load(std::memory_order_relaxed));
+      t_backward_ns.Record(backward_ns.load(std::memory_order_relaxed));
+      t_optimizer_ns.Record(optimizer_ns);
+      t_eval_ns.Record(eval_ns);
+      if (config.verbose) {
+        const auto ms = [](uint64_t ns) {
+          return static_cast<double>(ns) / 1e6;
+        };
+        SCENEREC_LOG(INFO)
+            << model.name() << " epoch " << epoch + 1 << " phases[ms]"
+            << " sample=" << ms(sampling_ns)
+            << " fwd=" << ms(forward_ns.load(std::memory_order_relaxed))
+            << " bwd=" << ms(backward_ns.load(std::memory_order_relaxed))
+            << " opt=" << ms(optimizer_ns) << " eval=" << ms(eval_ns)
+            << " max_shard_skew=" << max_skew_pct << "%";
+      }
     }
     ++result.epochs_run;
     if (validation.ndcg > best_ndcg) {

@@ -41,6 +41,11 @@ struct TrainConfig {
   uint64_t seed = 42;
   /// Log per-epoch progress via SCENEREC_LOG(INFO).
   bool verbose = false;
+  /// Turn on the process-wide telemetry registry for this run (counters,
+  /// gauges, phase timers — docs/observability.md) and, with `verbose`, log a
+  /// one-line per-epoch phase-time summary. The caller scrapes/dumps the
+  /// registry (e.g. via --telemetry[=path.json] in the CLIs).
+  bool telemetry = false;
   /// When non-empty, the best-validation parameters are also written to
   /// this checkpoint file (tagged with the model's name) every time the
   /// validation NDCG improves — a crash mid-run loses at most the epochs

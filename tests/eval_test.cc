@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -13,17 +14,52 @@ namespace {
 // -- RankOfPositive ----------------------------------------------------------
 
 TEST(MetricsTest, RankCountsStrictlyGreater) {
-  EXPECT_EQ(RankOfPositive(0.9f, {0.1f, 0.2f, 0.3f}), 0);
-  EXPECT_EQ(RankOfPositive(0.25f, {0.1f, 0.2f, 0.3f}), 1);
-  EXPECT_EQ(RankOfPositive(0.0f, {0.1f, 0.2f, 0.3f}), 3);
+  EXPECT_EQ(RankOfPositive(0.9f, {0.1f, 0.2f, 0.3f}).num_above, 0);
+  EXPECT_EQ(RankOfPositive(0.25f, {0.1f, 0.2f, 0.3f}).num_above, 1);
+  EXPECT_EQ(RankOfPositive(0.0f, {0.1f, 0.2f, 0.3f}).num_above, 3);
+  EXPECT_EQ(RankOfPositive(0.25f, {0.1f, 0.2f, 0.3f}).num_tied, 0);
 }
 
-TEST(MetricsTest, TiesFavorThePositive) {
-  EXPECT_EQ(RankOfPositive(0.5f, {0.5f, 0.5f}), 0);
+TEST(MetricsTest, TiesAreCountedSeparately) {
+  const PositiveRank rank = RankOfPositive(0.5f, {0.5f, 0.5f, 0.7f, 0.1f});
+  EXPECT_EQ(rank.num_above, 1);
+  EXPECT_EQ(rank.num_tied, 2);
+  EXPECT_EQ(rank.BestRank(), 1);
+  EXPECT_EQ(rank.WorstRank(), 3);
 }
 
 TEST(MetricsTest, EmptyNegativesRankZero) {
-  EXPECT_EQ(RankOfPositive(0.5f, {}), 0);
+  const PositiveRank rank = RankOfPositive(0.5f, {});
+  EXPECT_EQ(rank.num_above, 0);
+  EXPECT_EQ(rank.num_tied, 0);
+}
+
+TEST(MetricsTest, TiedMetricsAverageOverRandomTieOrder) {
+  // Positive tied with both negatives: rank is uniform over {0, 1, 2}.
+  const PositiveRank rank = RankOfPositive(0.5f, {0.5f, 0.5f});
+  EXPECT_DOUBLE_EQ(HitRatioAtK(rank, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(HitRatioAtK(rank, 2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(HitRatioAtK(rank, 3), 1.0);
+  EXPECT_DOUBLE_EQ(
+      NdcgAtK(rank, 10),
+      (1.0 + 1.0 / std::log2(3.0) + 1.0 / std::log2(4.0)) / 3.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(rank), (1.0 + 0.5 + 1.0 / 3.0) / 3.0);
+}
+
+TEST(MetricsTest, TieAwareMetricsReduceToExactWithoutTies) {
+  const PositiveRank rank = RankOfPositive(0.5f, {0.9f, 0.8f, 0.1f});
+  EXPECT_DOUBLE_EQ(HitRatioAtK(rank, 10), HitRatioAtK(int64_t{2}, 10));
+  EXPECT_DOUBLE_EQ(NdcgAtK(rank, 10), NdcgAtK(int64_t{2}, 10));
+  EXPECT_DOUBLE_EQ(ReciprocalRank(rank), ReciprocalRank(int64_t{2}));
+}
+
+TEST(MetricsTest, TieHitRatioBelowCutoffIsZero) {
+  // All tie placements land at rank >= k: no credit at all.
+  PositiveRank rank;
+  rank.num_above = 5;
+  rank.num_tied = 3;
+  EXPECT_DOUBLE_EQ(HitRatioAtK(rank, 5), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(rank, 5), 0.0);
 }
 
 // -- HR / NDCG ------------------------------------------------------------------
@@ -91,6 +127,57 @@ TEST(EvaluatorTest, MidRankGivesPartialCredit) {
   RankingMetrics m = EvaluateRanking(score, instances, 10);
   EXPECT_DOUBLE_EQ(m.hr, 1.0);
   EXPECT_DOUBLE_EQ(m.ndcg, 1.0 / std::log2(6.0));
+}
+
+TEST(EvaluatorTest, ConstantScorerIsNotPerfect) {
+  // A model scoring every item identically must not look perfect: with N
+  // tied negatives, HR@k is the chance a random tie order places the
+  // positive in the top k, i.e. k / (N + 1).
+  std::vector<EvalInstance> instances(1);
+  instances[0].user = 0;
+  instances[0].positive_item = 100;
+  for (int64_t n = 0; n < 19; ++n) instances[0].negative_items.push_back(n);
+  auto score = [](int64_t, int64_t) { return 0.5f; };
+  RankingMetrics m = EvaluateRanking(score, instances, 10);
+  EXPECT_DOUBLE_EQ(m.hr, 10.0 / 20.0);
+  EXPECT_LT(m.ndcg, 1.0);
+  EXPECT_GT(m.ndcg, 0.0);
+}
+
+TEST(EvaluatorTest, NonFiniteScoresPoisonMetrics) {
+  // A diverged model emitting NaN must not rank as perfect (NaN comparisons
+  // are all false, so the positive would count zero negatives above it).
+  std::vector<EvalInstance> instances(1);
+  instances[0] = {0, 100, {1, 2, 3}};
+  auto score = [](int64_t, int64_t item) {
+    return item == 100 ? std::numeric_limits<float>::quiet_NaN() : 0.0f;
+  };
+  RankingMetrics m = EvaluateRanking(score, instances, 10);
+  EXPECT_TRUE(std::isnan(m.hr));
+  EXPECT_TRUE(std::isnan(m.ndcg));
+  EXPECT_TRUE(std::isnan(m.mrr));
+}
+
+TEST(EvaluatorTest, FullRankingNonFiniteScoresPoisonMetrics) {
+  UserItemGraph train = UserItemGraph::Build(1, 6, {{0, 0}});
+  std::vector<EvalInstance> instances(1);
+  instances[0] = {0, 2, {}};
+  auto score = [](int64_t, int64_t item) {
+    return item == 4 ? std::numeric_limits<float>::infinity() : 0.5f;
+  };
+  RankingMetrics m = EvaluateFullRanking(score, train, instances, 2);
+  EXPECT_TRUE(std::isnan(m.ndcg));
+}
+
+TEST(EvaluatorTest, FullRankingGivesTiedItemsExpectedCredit) {
+  // 1 user, 4 items, no training interactions beyond item 0. Items 1..3 all
+  // tie with the positive (item 2): rank uniform over {0, 1, 2}.
+  UserItemGraph train = UserItemGraph::Build(1, 4, {{0, 0}});
+  std::vector<EvalInstance> instances(1);
+  instances[0] = {0, 2, {}};
+  auto score = [](int64_t, int64_t) { return 1.0f; };
+  RankingMetrics m = EvaluateFullRanking(score, train, instances, 1);
+  EXPECT_DOUBLE_EQ(m.hr, 1.0 / 3.0);
 }
 
 TEST(EvaluatorTest, EmptyInstances) {

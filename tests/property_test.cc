@@ -191,21 +191,32 @@ TEST_P(RankingProperty, RankMatchesSortReference) {
     negatives.push_back(rng.NextFloat(-5.0f, 5.0f));
   }
   const float positive = rng.NextFloat(-5.0f, 5.0f);
-  const int64_t rank = RankOfPositive(positive, negatives);
-  // Reference: sort descending, positive placed before ties.
+  const PositiveRank rank = RankOfPositive(positive, negatives);
+  // Reference: sort descending; num_above is where the positive's tie block
+  // starts, num_tied is that block's length.
   std::vector<float> sorted = negatives;
   std::sort(sorted.begin(), sorted.end(), std::greater<float>());
   int64_t reference = 0;
   while (reference < n && sorted[static_cast<size_t>(reference)] > positive) {
     ++reference;
   }
-  EXPECT_EQ(rank, reference);
-  EXPECT_GE(rank, 0);
-  EXPECT_LE(rank, n);
-  // NDCG and HR are consistent: hit iff ndcg > 0 (for k <= n+1).
+  int64_t reference_tied = 0;
+  while (reference + reference_tied < n &&
+         sorted[static_cast<size_t>(reference + reference_tied)] == positive) {
+    ++reference_tied;
+  }
+  EXPECT_EQ(rank.num_above, reference);
+  EXPECT_EQ(rank.num_tied, reference_tied);
+  EXPECT_GE(rank.num_above, 0);
+  EXPECT_LE(rank.WorstRank(), n);
+  // Tie-aware metrics stay in [0, 1], are bounded by the best-case exact
+  // rank, and HR > 0 iff NDCG > 0 (some tie placement lands inside k).
   for (int64_t k : {1, 5, 10}) {
     EXPECT_EQ(HitRatioAtK(rank, k) > 0, NdcgAtK(rank, k) > 0);
+    EXPECT_LE(NdcgAtK(rank, k), NdcgAtK(rank.BestRank(), k));
     EXPECT_LE(NdcgAtK(rank, k), 1.0);
+    EXPECT_GE(HitRatioAtK(rank, k), 0.0);
+    EXPECT_LE(HitRatioAtK(rank, k), 1.0);
   }
 }
 

@@ -1,0 +1,312 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/thread_pool.h"
+
+namespace scenerec {
+namespace telemetry {
+namespace {
+
+/// Every test runs with a clean, enabled registry and leaves telemetry
+/// disabled afterwards (other test binaries assume the disabled default).
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Telemetry::SetEnabled(true);
+    Telemetry::Reset();
+  }
+  void TearDown() override {
+    Telemetry::Reset();
+    Telemetry::SetEnabled(false);
+  }
+};
+
+// -- Histogram buckets -------------------------------------------------------
+
+TEST(HistogramBucketTest, Log2BucketEdges) {
+  EXPECT_EQ(HistogramBucket(0), 0);
+  EXPECT_EQ(HistogramBucket(1), 1);
+  EXPECT_EQ(HistogramBucket(2), 2);
+  EXPECT_EQ(HistogramBucket(3), 2);
+  EXPECT_EQ(HistogramBucket(4), 3);
+  EXPECT_EQ(HistogramBucket(1023), 10);
+  EXPECT_EQ(HistogramBucket(1024), 11);
+  EXPECT_EQ(HistogramBucket(UINT64_MAX), kHistogramBuckets - 1);
+  // Every bucket's [low, high] range (both bounds inclusive) maps back to
+  // that bucket. Buckets 0 and 1 share low 0, so start at 2.
+  for (int b = 2; b < kHistogramBuckets; ++b) {
+    EXPECT_EQ(HistogramBucket(HistogramBucketLow(b)), b) << "bucket " << b;
+    EXPECT_EQ(HistogramBucket(HistogramBucketHigh(b)), b) << "bucket " << b;
+  }
+}
+
+TEST(HistogramDataTest, RecordMergeAndStats) {
+  HistogramData a;
+  a.Record(10);
+  a.Record(100);
+  HistogramData b;
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.sum, 1110u);
+  EXPECT_EQ(a.max, 1000u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 1110.0 / 3.0);
+}
+
+TEST(HistogramDataTest, PercentilesAreMonotoneAndBounded) {
+  HistogramData h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const double p50 = h.Percentile(0.50);
+  const double p90 = h.Percentile(0.90);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, static_cast<double>(h.max));
+  // Log-scale buckets: p50 of uniform 1..1000 lands in the [512, 1024)
+  // bucket's neighborhood — accept a loose factor-of-2 band.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_DOUBLE_EQ(HistogramData{}.Percentile(0.5), 0.0);
+}
+
+// -- Counters / gauges / enabled gate ----------------------------------------
+
+TEST_F(TelemetryTest, CounterAccumulatesOnOneThread) {
+  Counter c = RegisterCounter("test/basic_counter");
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(Telemetry::Snapshot().CounterValue("test/basic_counter"), 42u);
+}
+
+TEST_F(TelemetryTest, RegistrationIsIdempotentByName) {
+  Counter a = RegisterCounter("test/same_counter");
+  Counter b = RegisterCounter("test/same_counter");
+  a.Add(1);
+  b.Add(2);
+  EXPECT_EQ(Telemetry::Snapshot().CounterValue("test/same_counter"), 3u);
+}
+
+TEST_F(TelemetryTest, DisabledUpdatesAreDropped) {
+  Counter c = RegisterCounter("test/disabled_counter");
+  Telemetry::SetEnabled(false);
+  c.Add(100);
+  Telemetry::SetEnabled(true);
+  c.Add(1);
+  EXPECT_EQ(Telemetry::Snapshot().CounterValue("test/disabled_counter"), 1u);
+}
+
+TEST_F(TelemetryTest, GaugeAggregationModes) {
+  Gauge sum = RegisterGauge("test/sum_gauge", GaugeAgg::kSum);
+  Gauge peak = RegisterGauge("test/max_gauge", GaugeAgg::kMax);
+  sum.Set(7);
+  peak.RaiseTo(10);
+  peak.RaiseTo(5);  // lower: must not regress the thread's value
+  std::thread other([&] {
+    sum.Set(3);
+    peak.RaiseTo(20);
+  });
+  other.join();
+  TelemetrySnapshot snapshot = Telemetry::Snapshot();
+  EXPECT_EQ(snapshot.GaugeValue("test/sum_gauge"), 10u);   // 7 + 3
+  EXPECT_EQ(snapshot.GaugeValue("test/max_gauge"), 20u);  // max(10, 20)
+}
+
+TEST_F(TelemetryTest, SnapshotAfterResetIsZero) {
+  Counter c = RegisterCounter("test/reset_counter");
+  Histogram h = RegisterHistogram("test/reset_hist", "ns");
+  c.Add(5);
+  h.Record(123);
+  std::thread exited([&] { c.Add(50); });
+  exited.join();  // lands in the retired totals
+  EXPECT_EQ(Telemetry::Snapshot().CounterValue("test/reset_counter"), 55u);
+  Telemetry::Reset();
+  TelemetrySnapshot snapshot = Telemetry::Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("test/reset_counter"), 0u);
+  const HistogramSample* hist = snapshot.FindHistogram("test/reset_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->data.count, 0u);
+  // And the metric is still usable after the reset.
+  c.Add(2);
+  EXPECT_EQ(Telemetry::Snapshot().CounterValue("test/reset_counter"), 2u);
+}
+
+TEST_F(TelemetryTest, ExitedThreadContributionsSurvive) {
+  Counter c = RegisterCounter("test/retired_counter");
+  Histogram h = RegisterHistogram("test/retired_hist", "ns");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      c.Add(static_cast<uint64_t>(t + 1));
+      h.Record(static_cast<uint64_t>(100 * (t + 1)));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  TelemetrySnapshot snapshot = Telemetry::Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("test/retired_counter"), 1u + 2 + 3 + 4);
+  const HistogramSample* hist = snapshot.FindHistogram("test/retired_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->data.count, 4u);
+  EXPECT_EQ(hist->data.sum, 1000u);
+  EXPECT_EQ(hist->data.max, 400u);
+}
+
+// -- Merge across pool workers (run under TSan in tools/check.sh) ------------
+
+TEST_F(TelemetryTest, CountsMergeAcrossPoolWorkers) {
+  Counter c = RegisterCounter("test/pool_counter");
+  Histogram h = RegisterHistogram("test/pool_hist", "items");
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  pool.ParallelFor(kN, /*grain=*/64, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      c.Add(1);
+      h.Record(static_cast<uint64_t>(i % 97));
+    }
+  });
+  TelemetrySnapshot snapshot = Telemetry::Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("test/pool_counter"),
+            static_cast<uint64_t>(kN));
+  const HistogramSample* hist = snapshot.FindHistogram("test/pool_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->data.count, static_cast<uint64_t>(kN));
+}
+
+TEST_F(TelemetryTest, SnapshotRacesWithWritersCleanly) {
+  // Scrape while workers write: values may be mid-update (stale) but every
+  // read is well-defined — this is the TSan-critical path.
+  Counter c = RegisterCounter("test/racing_counter");
+  ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)Telemetry::Snapshot();
+    }
+  });
+  pool.ParallelFor(100000, /*grain=*/256, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) c.Add(1);
+  });
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  EXPECT_EQ(Telemetry::Snapshot().CounterValue("test/racing_counter"), 100000u);
+}
+
+// -- ScopedTimer -------------------------------------------------------------
+
+TEST_F(TelemetryTest, ScopedTimerRecordsElapsed) {
+  Histogram h = RegisterHistogram("test/timer_hist", "ns");
+  {
+    ScopedTimer timer(h);
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 1000; ++i) sink += static_cast<uint64_t>(i);
+  }
+  const TelemetrySnapshot snapshot = Telemetry::Snapshot();
+  const HistogramSample* hist = snapshot.FindHistogram("test/timer_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->data.count, 1u);
+  EXPECT_GT(hist->data.sum, 0u);
+}
+
+TEST_F(TelemetryTest, ScopedTimerDisabledRecordsNothing) {
+  Histogram h = RegisterHistogram("test/timer_off_hist", "ns");
+  Telemetry::SetEnabled(false);
+  {
+    ScopedTimer timer(h);
+    EXPECT_EQ(timer.ElapsedNs(), 0u);
+  }
+  Telemetry::SetEnabled(true);
+  const TelemetrySnapshot snapshot = Telemetry::Snapshot();
+  const HistogramSample* hist = snapshot.FindHistogram("test/timer_off_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->data.count, 0u);
+}
+
+// -- JSON --------------------------------------------------------------------
+
+/// Tiny structural checker: enough JSON awareness to verify the dump's
+/// schema without a parser dependency.
+bool JsonHasKey(const std::string& json, const std::string& key) {
+  return json.find('"' + key + '"') != std::string::npos;
+}
+
+std::string JsonScalarAfterKey(const std::string& json,
+                               const std::string& key) {
+  const size_t at = json.find('"' + key + "\":");
+  if (at == std::string::npos) return "";
+  size_t begin = at + key.size() + 3;
+  while (begin < json.size() && json[begin] == ' ') ++begin;
+  size_t end = begin;
+  while (end < json.size() && json[end] != ',' && json[end] != '}' &&
+         json[end] != '\n') {
+    ++end;
+  }
+  return json.substr(begin, end - begin);
+}
+
+TEST_F(TelemetryTest, JsonRoundTripSchema) {
+  Counter c = RegisterCounter("test/json_counter");
+  Gauge g = RegisterGauge("test/json_gauge", GaugeAgg::kMax);
+  Histogram h = RegisterHistogram("test/json_hist", "bytes");
+  c.Add(7);
+  g.RaiseTo(99);
+  h.Record(64);
+  h.Record(64);
+  const std::string json = Telemetry::ToJson();
+
+  // Top-level sections.
+  EXPECT_TRUE(JsonHasKey(json, "counters"));
+  EXPECT_TRUE(JsonHasKey(json, "gauges"));
+  EXPECT_TRUE(JsonHasKey(json, "histograms"));
+  // Scalar values round-trip.
+  EXPECT_EQ(JsonScalarAfterKey(json, "test/json_counter"), "7");
+  EXPECT_EQ(JsonScalarAfterKey(json, "test/json_gauge"), "99");
+  // Histogram object schema.
+  EXPECT_TRUE(JsonHasKey(json, "unit"));
+  EXPECT_TRUE(JsonHasKey(json, "p50"));
+  EXPECT_TRUE(JsonHasKey(json, "p99"));
+  EXPECT_TRUE(JsonHasKey(json, "buckets"));
+  const size_t hist_at = json.find("\"test/json_hist\"");
+  ASSERT_NE(hist_at, std::string::npos);
+  EXPECT_EQ(JsonScalarAfterKey(json.substr(hist_at), "count"), "2");
+  EXPECT_EQ(JsonScalarAfterKey(json.substr(hist_at), "sum"), "128");
+  // Both 64-valued samples land in the [64, 127] bucket.
+  EXPECT_NE(json.find("[64, 127, 2]"), std::string::npos);
+  // Balanced braces/brackets — cheap well-formedness proxy.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(TelemetryTest, WriteJsonFileRoundTrip) {
+  Counter c = RegisterCounter("test/file_counter");
+  c.Add(3);
+  const std::string path = ::testing::TempDir() + "/telemetry_test.json";
+  ASSERT_TRUE(Telemetry::WriteJsonFile(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, Telemetry::ToJson());
+  EXPECT_EQ(JsonScalarAfterKey(contents, "test/file_counter"), "3");
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, WriteJsonFileFailsOnBadPath) {
+  EXPECT_FALSE(
+      Telemetry::WriteJsonFile("/nonexistent-dir/telemetry.json").ok());
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace scenerec

@@ -1,14 +1,17 @@
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include "common/telemetry.h"
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "models/bpr_mf.h"
 #include "models/factory.h"
 #include "nn/serialization.h"
+#include "tensor/ops.h"
 #include "train/grid_search.h"
 #include "train/trainer.h"
 
@@ -254,6 +257,142 @@ TEST_F(TrainTest, GridSearchPicksBestValidationCell) {
     best = std::max(best, e.validation.ndcg);
   }
   EXPECT_DOUBLE_EQ(result->best.validation.ndcg, best);
+}
+
+/// Minimal Recommender whose loss goes NaN after `finite_batches` batches —
+/// a stand-in for a diverged model.
+class NanLossModel : public Recommender {
+ public:
+  explicit NanLossModel(int64_t finite_batches)
+      : finite_batches_(finite_batches),
+        param_(Tensor::Scalar(0.1f, /*requires_grad=*/true)) {}
+
+  std::string name() const override { return "NanLossStub"; }
+  void CollectParameters(std::vector<Tensor>* out) const override {
+    out->push_back(param_);
+  }
+  Tensor ScoreForTraining(int64_t, int64_t) override { return param_; }
+  Tensor BatchLoss(std::span<const BprTriple> batch) override {
+    ++batches_;
+    const float factor =
+        batches_ > finite_batches_ ? std::numeric_limits<float>::quiet_NaN()
+                                   : static_cast<float>(batch.size());
+    return Scale(param_, factor);
+  }
+  float Score(int64_t, int64_t) override { return 0.0f; }
+
+ private:
+  int64_t finite_batches_;
+  int64_t batches_ = 0;
+  Tensor param_;
+};
+
+/// Loss stays finite but every inference score is NaN — the shape of a model
+/// whose eval cache diverged.
+class NanScoreModel : public Recommender {
+ public:
+  NanScoreModel() : param_(Tensor::Scalar(0.1f, /*requires_grad=*/true)) {}
+
+  std::string name() const override { return "NanScoreStub"; }
+  void CollectParameters(std::vector<Tensor>* out) const override {
+    out->push_back(param_);
+  }
+  Tensor ScoreForTraining(int64_t, int64_t) override { return param_; }
+  Tensor BatchLoss(std::span<const BprTriple> batch) override {
+    return Scale(param_, static_cast<float>(batch.size()));
+  }
+  float Score(int64_t, int64_t) override {
+    return std::numeric_limits<float>::quiet_NaN();
+  }
+
+ private:
+  Tensor param_;
+};
+
+TEST_F(TrainTest, NonFiniteLossAbortsTraining) {
+  telemetry::Telemetry::SetEnabled(true);
+  telemetry::Telemetry::Reset();
+  NanLossModel model(/*finite_batches=*/3);
+  TrainConfig config;
+  config.epochs = 5;
+  auto result = TrainAndEvaluate(model, split_, train_graph_, config);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_GE(telemetry::Telemetry::Snapshot().CounterValue(
+                "train/nonfinite_loss"),
+            1u);
+  telemetry::Telemetry::Reset();
+  telemetry::Telemetry::SetEnabled(false);
+}
+
+TEST_F(TrainTest, NonFiniteValidationAbortsTraining) {
+  // Pre-fix behavior: NaN scores rank the positive at 0 (all comparisons
+  // false), NDCG came back 1.0, and the diverged model won model selection.
+  // Now the evaluator reports NaN and the trainer must fail loudly.
+  NanScoreModel model;
+  TrainConfig config;
+  config.epochs = 3;
+  auto result = TrainAndEvaluate(model, split_, train_graph_, config);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(TrainTest, EarlyStopRestoresExactBestEpochWeights) {
+  // Run A: long horizon with early stopping and a checkpoint. Run B: fresh
+  // identically-seeded model trained for exactly best_epoch + 1 epochs.
+  // Training is deterministic, so A's restored weights must equal B's
+  // final-best weights bitwise, and the checkpoint must reproduce A's test
+  // metrics exactly.
+  char path_template[] = "/tmp/scenerec_earlystop_ckpt_XXXXXX";
+  const int fd = ::mkstemp(path_template);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+
+  TrainConfig config;
+  config.epochs = 30;
+  config.patience = 2;
+  config.learning_rate = 1e-1f;  // aggressive: plateaus (and stops) quickly
+  config.checkpoint_path = path_template;
+  Rng rng_a(21);
+  BprMf model_a(dataset_.num_users, dataset_.num_items, 8, rng_a);
+  auto result_a = TrainAndEvaluate(model_a, split_, train_graph_, config);
+  ASSERT_TRUE(result_a.ok()) << result_a.status().ToString();
+  ASSERT_LT(result_a->epochs_run, 30) << "early stopping never fired";
+  ASSERT_GE(result_a->best_epoch, 0);
+
+  TrainConfig config_b;
+  config_b.epochs = result_a->best_epoch + 1;
+  config_b.patience = 0;
+  config_b.learning_rate = config.learning_rate;
+  Rng rng_b(21);
+  BprMf model_b(dataset_.num_users, dataset_.num_items, 8, rng_b);
+  auto result_b = TrainAndEvaluate(model_b, split_, train_graph_, config_b);
+  ASSERT_TRUE(result_b.ok());
+  EXPECT_EQ(result_b->best_epoch, result_a->best_epoch);
+
+  // Both models now hold their best-validation snapshots — the same epoch's
+  // weights, reached by identical deterministic trajectories.
+  const std::vector<Tensor> params_a = model_a.Parameters();
+  const std::vector<Tensor> params_b = model_b.Parameters();
+  ASSERT_EQ(params_a.size(), params_b.size());
+  for (size_t i = 0; i < params_a.size(); ++i) {
+    EXPECT_EQ(params_a[i].value(), params_b[i].value()) << "param " << i;
+  }
+
+  // The checkpoint (written when validation last improved) reloads into a
+  // third model that reproduces A's reported metrics exactly.
+  Rng rng_c(9999);
+  BprMf restored(dataset_.num_users, dataset_.num_items, 8, rng_c);
+  ASSERT_TRUE(LoadCheckpoint(restored, restored.name(), path_template).ok());
+  restored.OnEvalBegin();
+  RankingMetrics val =
+      EvaluateRanking(restored.Scorer(), split_.validation, config.eval_k);
+  RankingMetrics test =
+      EvaluateRanking(restored.Scorer(), split_.test, config.eval_k);
+  EXPECT_DOUBLE_EQ(val.ndcg, result_a->best_validation.ndcg);
+  EXPECT_DOUBLE_EQ(test.ndcg, result_a->test.ndcg);
+  EXPECT_DOUBLE_EQ(test.hr, result_a->test.hr);
+  ::remove(path_template);
 }
 
 TEST_F(TrainTest, GridSearchRejectsEmptyGrid) {

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Runs the two benchmark suites and records their results as JSON at the
-# repo root (BENCH_kernels.json, BENCH_parallel.json) so kernel-layer and
-# parallel-layer changes can be compared against committed numbers.
+# Runs the benchmark suites and records their results as JSON at the repo
+# root (BENCH_kernels.json, BENCH_parallel.json, BENCH_telemetry.json) so
+# kernel-layer, parallel-layer and telemetry changes can be compared against
+# committed numbers. BENCH_telemetry.json holds the telemetry-enabled vs
+# -disabled epoch times (BM_TrainEpochTelemetry/1 vs /0); the disabled-mode
+# overhead budget is <1%.
 #
 # Usage: tools/bench.sh [benchmark_filter_regex]
-# A filter (e.g. 'MatVec|Gemm') restricts both suites; the JSON files then
-# contain only the filtered benchmarks, so commit full runs only.
+# A filter (e.g. 'MatVec|Gemm') restricts the first two suites; the JSON
+# files then contain only the filtered benchmarks, so commit full runs only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,5 +26,11 @@ echo "==> bench_parallel -> BENCH_parallel.json"
 build/bench/bench_parallel \
   --benchmark_filter="${FILTER}" \
   --benchmark_format=json >BENCH_parallel.json
+
+echo "==> bench_parallel telemetry on/off -> BENCH_telemetry.json"
+build/bench/bench_parallel \
+  --benchmark_filter='BM_TrainEpochTelemetry' \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >BENCH_telemetry.json
 
 echo "==> done"

@@ -34,7 +34,7 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 echo "==> stage 2: ThreadSanitizer build"
 configure build-tsan -DSCENEREC_SANITIZE=thread
-cmake --build build-tsan --target parallel_test eval_test train_test
+cmake --build build-tsan --target parallel_test eval_test train_test telemetry_test
 
 echo "==> stage 2: parallel tests under TSan"
 # halt_on_error makes a data race fail the script, not just print a report.
@@ -42,13 +42,22 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 build-tsan/tests/parallel_test
 build-tsan/tests/eval_test
 build-tsan/tests/train_test
+# The telemetry merge path is the TSan-critical one: per-thread slab writers
+# racing with Snapshot() scrapers must be data-race-free (relaxed atomics).
+build-tsan/tests/telemetry_test
 
 echo "==> stage 3: ASan+UBSan build"
 configure build-asan -DSCENEREC_SANITIZE=address,undefined
-cmake --build build-asan --target tensor_test ops_test
+cmake --build build-asan --target tensor_test ops_test telemetry_test train_test
 
 echo "==> stage 3: tensor/op tests under ASan+UBSan"
 build-asan/tests/tensor_test
 build-asan/tests/ops_test
+
+echo "==> stage 3: telemetry + trainer divergence tests under ASan+UBSan"
+# Thread-exit slab retirement and the NaN-injection abort paths both free /
+# unwind mid-training; ASan verifies nothing dangles or leaks on those exits.
+build-asan/tests/telemetry_test
+build-asan/tests/train_test --gtest_filter='TrainTest.NonFinite*:TrainTest.EarlyStop*'
 
 echo "==> all checks passed"
