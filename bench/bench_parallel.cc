@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
@@ -129,6 +130,35 @@ void BM_TrainEpochTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainEpochTelemetry)->Arg(0)->Arg(1)->Unit(
     benchmark::kMillisecond);
+
+/// The trace layer's overhead on a full training epoch: arg 0 is the
+/// enabled flag. The disabled row is the one with a budget — every span
+/// site must cost one relaxed load + branch, so enabled:0 vs the
+/// uninstrumented baseline must stay under 1% (tools/bench.sh records the
+/// pair in BENCH_trace.json). The enabled:1 row documents the full
+/// recording cost (timestamping + ring writes + args formatting).
+void BM_TrainEpochTrace(benchmark::State& state) {
+  const BenchData& data = Data();
+  const bool enabled = state.range(0) != 0;
+  trace::Trace::SetEnabled(enabled);
+  trace::Trace::Reset();
+  TrainConfig config;
+  config.epochs = 1;
+  config.patience = 0;
+  config.learning_rate = 5e-3f;
+  config.threads = 1;  // serial: no pool noise, pure instrument cost
+  for (auto _ : state) {
+    Rng rng(7);
+    BprMf model(data.dataset.num_users, data.dataset.num_items, 32, rng);
+    auto result = TrainAndEvaluate(model, data.split, data.graph, config);
+    SCENEREC_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->test.ndcg);
+  }
+  trace::Trace::SetEnabled(false);
+  trace::Trace::Reset();
+  state.counters["trace"] = enabled ? 1.0 : 0.0;
+}
+BENCHMARK(BM_TrainEpochTrace)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 /// Full-vocabulary ranking protocol, parallel over evaluation instances.
 void BM_EvaluateFullRanking(benchmark::State& state) {

@@ -14,6 +14,7 @@
 #include "common/malloc_tuning.h"
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "common/string_util.h"
 
 namespace {
@@ -39,6 +40,10 @@ int Run(int argc, char** argv) {
   flags.AddImplicitString("telemetry", "", "-",
                           "collect runtime telemetry; bare dumps JSON to "
                           "stdout at exit, =path.json writes a file");
+  flags.AddImplicitString("trace", "", "-",
+                          "record a span timeline (Chrome trace-event JSON); "
+                          "bare dumps to stdout at exit, =path.json writes "
+                          "a file");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s.ToString() << "\n" << flags.Help();
     return 1;
@@ -51,6 +56,8 @@ int Run(int argc, char** argv) {
   SetDefaultThreadPoolThreads(flags.GetInt64("threads"));
   const std::string telemetry_sink = flags.GetString("telemetry");
   if (!telemetry_sink.empty()) telemetry::Telemetry::SetEnabled(true);
+  const std::string trace_sink = flags.GetString("trace");
+  if (!trace_sink.empty()) trace::Trace::Start();
 
   JdPreset preset = JdPreset::kElectronics;
   for (JdPreset p : AllJdPresets()) {
@@ -83,6 +90,7 @@ int Run(int argc, char** argv) {
     train_config.verbose = flags.GetBool("verbose");
     train_config.threads = flags.GetInt64("threads");
     train_config.telemetry = telemetry::Telemetry::Enabled();
+    train_config.trace = trace::Trace::Enabled();
     train_config.learning_rate =
         flags.GetDouble("lr") > 0.0
             ? static_cast<float>(flags.GetDouble("lr"))
@@ -106,6 +114,20 @@ int Run(int argc, char** argv) {
       return 1;
     } else {
       std::printf("telemetry written to %s\n", telemetry_sink.c_str());
+    }
+  }
+  if (!trace_sink.empty()) {
+    if (trace_sink == "-") {
+      std::cout << trace::Trace::ToChromeJson();
+    } else if (Status s = trace::Trace::WriteChromeTrace(trace_sink);
+               !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    } else {
+      std::printf("trace written to %s\n", trace_sink.c_str());
+    }
+    if (flags.GetBool("verbose")) {
+      std::cerr << trace::Trace::SelfTimeSummary();
     }
   }
   return 0;

@@ -24,6 +24,7 @@
 #include "common/malloc_tuning.h"
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "data/tsv_io.h"
 #include "eval/top_n.h"
 #include "models/factory.h"
@@ -103,6 +104,7 @@ int Train(const FlagParser& flags, CliContext& context) {
   config.verbose = flags.GetBool("verbose");
   config.threads = flags.GetInt64("threads");
   config.telemetry = telemetry::Telemetry::Enabled();
+  config.trace = trace::Trace::Enabled();
   auto result =
       TrainAndEvaluate(*context.model, context.split, context.train_graph,
                        config);
@@ -203,6 +205,10 @@ int Run(int argc, char** argv) {
   flags.AddImplicitString("telemetry", "", "-",
                           "collect runtime telemetry; bare dumps JSON to "
                           "stdout at exit, =path.json writes a file");
+  flags.AddImplicitString("trace", "", "-",
+                          "record a span timeline (Chrome trace-event JSON, "
+                          "loads in chrome://tracing); bare dumps to stdout "
+                          "at exit, =path.json writes a file");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s.ToString() << "\n" << flags.Help();
     return 1;
@@ -214,6 +220,8 @@ int Run(int argc, char** argv) {
   SetDefaultThreadPoolThreads(flags.GetInt64("threads"));
   const std::string telemetry_sink = flags.GetString("telemetry");
   if (!telemetry_sink.empty()) telemetry::Telemetry::SetEnabled(true);
+  const std::string trace_sink = flags.GetString("trace");
+  if (!trace_sink.empty()) trace::Trace::Start();
   if (flags.positional().size() != 1) {
     std::cerr << "usage: scenerec_cli <train|evaluate|recommend> [flags]\n"
               << flags.Help();
@@ -260,6 +268,24 @@ int Run(int argc, char** argv) {
       return 1;
     } else {
       std::printf("telemetry written to %s\n", telemetry_sink.c_str());
+    }
+  }
+  // Same contract for the trace: dump even on failure — the timeline of a
+  // run that diverged or stalled is exactly the one worth looking at.
+  if (!trace_sink.empty()) {
+    if (trace_sink == "-") {
+      std::cout << trace::Trace::ToChromeJson();
+    } else if (Status s = trace::Trace::WriteChromeTrace(trace_sink);
+               !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    } else {
+      std::printf("trace written to %s\n", trace_sink.c_str());
+    }
+    // Self-time table goes to stderr so `--trace | gzip` style stdout
+    // captures stay valid JSON.
+    if (flags.GetBool("verbose")) {
+      std::cerr << trace::Trace::SelfTimeSummary();
     }
   }
   return code;

@@ -1,12 +1,16 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 
 namespace scenerec {
 
 namespace {
-LogLevel g_min_level = LogLevel::kInfo;
+/// Relaxed atomic: tests flip the level while pool workers log, and the
+/// filter is advisory — a message racing the flip may use either level.
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,10 +25,22 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Small stable per-thread id for log prefixes (0 = first logging thread,
+/// usually main). std::thread::id is unique but unreadable in output.
+int LogThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local const int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_min_level = level; }
-LogLevel GetLogLevel() { return g_min_level; }
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() {
+  return g_min_level.load(std::memory_order_relaxed);
+}
 
 namespace internal_log {
 
@@ -35,12 +51,33 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%d %H:%M:%S", &tm_buf);
+
+  char prefix[128];
+  std::snprintf(prefix, sizeof(prefix), "[%s.%03d %s %s:%d t%d] ", stamp,
+                millis, LevelName(level), base, line, LogThreadId());
+  stream_ << prefix;
 }
 
 LogMessage::~LogMessage() {
-  if (level_ < g_min_level) return;
-  std::cerr << stream_.str() << std::endl;
+  if (level_ < g_min_level.load(std::memory_order_relaxed)) return;
+  // One fwrite per message (stdio locks the stream per call), so lines from
+  // concurrent threads never interleave mid-message.
+  std::string message = stream_.str();
+  message += '\n';
+  std::fwrite(message.data(), 1, message.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace internal_log

@@ -119,15 +119,26 @@ ThreadSlab& CreateSlab() {
 
 namespace {
 
-/// Finds `name` in `names` or appends it; CHECKs the per-kind cap.
+/// Finds `name` in `names` or appends it; fails fast past the per-kind cap
+/// with a message naming the offending metric and everything already
+/// registered (so the overflow is diagnosable without a debugger).
 int ResolveId(std::vector<std::string>& names, const std::string& name,
               int cap, const char* kind) {
   for (size_t i = 0; i < names.size(); ++i) {
     if (names[i] == name) return static_cast<int>(i);
   }
-  SCENEREC_CHECK(static_cast<int>(names.size()) < cap)
-      << "telemetry: too many " << kind << " metrics (cap " << cap
-      << "), registering " << name;
+  if (static_cast<int>(names.size()) >= cap) {
+    std::string registered;
+    for (const std::string& n : names) {
+      if (!registered.empty()) registered += ", ";
+      registered += n;
+    }
+    SCENEREC_CHECK(false)
+        << "telemetry: cannot register " << kind << " \"" << name
+        << "\": cap of " << cap << " " << kind
+        << " metrics reached (raise kMax* in common/telemetry.h). "
+        << "Already registered: " << registered;
+  }
   names.push_back(name);
   return static_cast<int>(names.size()) - 1;
 }

@@ -32,11 +32,13 @@ namespace telemetry {
 // in bench_parallel's BM_TrainEpochTelemetry (see BENCH_telemetry.json).
 
 /// Hard caps on registered metrics per kind. The per-thread slab is a fixed
-/// array sized by these, so registration past the cap is a CHECK failure —
-/// raise them if the instrumented surface grows.
-inline constexpr int kMaxCounters = 64;
-inline constexpr int kMaxGauges = 32;
-inline constexpr int kMaxHistograms = 32;
+/// array sized by these, so registration past the cap fails fast with a
+/// message naming the offending metric and the full registered set — raise
+/// them if the instrumented surface grows (last raised for the trace layer,
+/// which adds `trace/*` metrics on top of the kernel/pool/train set).
+inline constexpr int kMaxCounters = 96;
+inline constexpr int kMaxGauges = 48;
+inline constexpr int kMaxHistograms = 48;
 
 /// Global enable flag. Relaxed: flipping it is advisory, not a fence —
 /// updates racing with SetEnabled may or may not be recorded.

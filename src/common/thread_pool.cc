@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace scenerec {
 
@@ -33,6 +34,11 @@ struct ThreadPool::LoopState {
   int64_t chunk = 0;       // indices per chunk (last chunk may be short)
   int64_t num_chunks = 0;
   const std::function<void(int64_t, int64_t)>* body = nullptr;
+
+  /// The dispatching caller's span, so worker chunk spans nest under the
+  /// ParallelFor that issued them. Written before the state is published
+  /// (under the pool mutex), read-only afterwards.
+  trace::SpanContext trace_ctx;
 
   std::atomic<int64_t> next{0};
   std::atomic<int64_t> completed{0};
@@ -67,6 +73,10 @@ int64_t ThreadPool::HardwareConcurrency() {
 }
 
 void ThreadPool::RunChunks(LoopState& state) {
+  // Workers have an empty span stack, so the guard makes chunk spans (and
+  // anything the body opens) children of the dispatching caller's span. On
+  // the caller itself the stack is non-empty and the guard is inert.
+  trace::ContextGuard trace_guard(state.trace_ctx);
   while (true) {
     const int64_t c = state.next.fetch_add(1, std::memory_order_relaxed);
     if (c >= state.num_chunks) return;
@@ -74,6 +84,9 @@ void ThreadPool::RunChunks(LoopState& state) {
     const int64_t end = std::min(state.n, begin + state.chunk);
     try {
       telemetry::ScopedTimer chunk_timer(t_chunk_ns);
+      SCENEREC_TRACE_SPAN_F("pool/chunk", "pool", ::scenerec::trace::Floor::kNone,
+                            "begin=%lld end=%lld", static_cast<long long>(begin),
+                            static_cast<long long>(end));
       (*state.body)(begin, end);
     } catch (...) {
       std::lock_guard<std::mutex> lock(state.mutex);
@@ -122,7 +135,14 @@ void ThreadPool::ParallelFor(
     return;
   }
 
+  // The dispatch span is the parent every chunk nests under, on whichever
+  // thread the chunk lands. It closes after the join, so it also covers the
+  // caller's straggler wait.
+  trace::SpanScope dispatch_span("pool/parallel_for", "pool",
+                                 trace::Floor::kNone, "n=%lld",
+                                 static_cast<long long>(n));
   auto state = std::make_shared<LoopState>();
+  state->trace_ctx = trace::SpanContext{dispatch_span.id()};
   const int64_t max_chunks = (n + grain - 1) / grain;
   // A few chunks per lane keeps load-balancing without scheduling overhead.
   const int64_t target = std::min<int64_t>(max_chunks, num_threads_ * 4);

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace scenerec {
 
@@ -71,6 +72,9 @@ RankingMetrics EvaluateRanking(const ScoreFn& score,
     return metrics;
   }
 
+  SCENEREC_TRACE_SPAN_F("eval/ranking", "eval", trace::Floor::kNone,
+                        "instances=%zu k=%lld", instances.size(),
+                        static_cast<long long>(k));
   std::vector<std::array<double, 3>> per(instances.size());
   ForEachInstance(
       pool, static_cast<int64_t>(instances.size()), [&](int64_t idx) {
@@ -112,6 +116,9 @@ RankingMetrics EvaluateFullRanking(const ScoreFn& score,
     return metrics;
   }
 
+  SCENEREC_TRACE_SPAN_F("eval/full_ranking", "eval", trace::Floor::kNone,
+                        "instances=%zu k=%lld", instances.size(),
+                        static_cast<long long>(k));
   const int64_t num_items = train_graph.num_items();
   std::vector<std::array<double, 3>> per(instances.size());
   ForEachInstance(

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 
 // Manual poisoning: reads of recycled step memory become hard ASan errors
 // instead of silently observing stale floats.
@@ -22,8 +23,8 @@
 #define SCENEREC_POISON(p, n) __asan_poison_memory_region((p), (n))
 #define SCENEREC_UNPOISON(p, n) __asan_unpoison_memory_region((p), (n))
 #else
-#define SCENEREC_POISON(p, n) ((void)0)
-#define SCENEREC_UNPOISON(p, n) ((void)0)
+#define SCENEREC_POISON(p, n) ((void)(p), (void)(n))
+#define SCENEREC_UNPOISON(p, n) ((void)(p), (void)(n))
 #endif
 
 namespace scenerec {
@@ -96,6 +97,8 @@ void* Arena::Allocate(size_t bytes) {
 }
 
 void Arena::Reset() {
+  SCENEREC_TRACE_SPAN_F("arena/reset", "arena", trace::Floor::kNone,
+                        "used=%zu reserved=%zu", bytes_used_, bytes_reserved_);
   if (bytes_used_ > 0) {
     t_step_bytes.Record(bytes_used_);
     t_high_water.RaiseTo(bytes_used_);

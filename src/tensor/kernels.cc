@@ -4,6 +4,15 @@
 #include <cmath>
 
 #include "common/telemetry.h"
+#include "common/trace.h"
+
+/// Kernel span: recorded only when the call runs at least
+/// TraceOptions::kernel_floor_ns, so tiny GEMVs inside batched loops don't
+/// flood the ring. Dot/Axpy stay uninstrumented (inner-loop primitives).
+#define TRACE_KERNEL(kname, m_, n_)                                        \
+  SCENEREC_TRACE_SPAN_F(kname, "kernel", ::scenerec::trace::Floor::kKernel, \
+                        "m=%lld n=%lld", static_cast<long long>(m_),        \
+                        static_cast<long long>(n_))
 
 namespace scenerec {
 namespace kernels {
@@ -99,6 +108,7 @@ void Axpy(float alpha, const float* SCENEREC_RESTRICT x,
 
 void Gemv(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
           const float* SCENEREC_RESTRICT x, float* SCENEREC_RESTRICT y) {
+  TRACE_KERNEL("Gemv", m, n);
   t_gemv_calls.Add(1);
   t_flops.Add(static_cast<uint64_t>(2 * m * n));
   for (int64_t i = 0; i < m; ++i) y[i] = Dot(w + i * n, x, n);
@@ -107,6 +117,7 @@ void Gemv(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
 void GemvRows(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
               const float* SCENEREC_RESTRICT xs, int64_t rows,
               float* SCENEREC_RESTRICT ys) {
+  TRACE_KERNEL("GemvRows", rows * m, n);
   t_gemv_rows_calls.Add(1);
   // Each row runs the identical Gemv path — bitwise equal to `rows`
   // standalone calls, which is what lets model code batch per-entity
@@ -142,6 +153,7 @@ void GerAccum(const float* SCENEREC_RESTRICT g, const float* SCENEREC_RESTRICT x
 
 void Gemm(const float* SCENEREC_RESTRICT a, const float* SCENEREC_RESTRICT b,
           float* SCENEREC_RESTRICT c, int64_t m, int64_t k, int64_t n) {
+  TRACE_KERNEL("Gemm", m, n);
   t_gemm_calls.Add(1);
   t_flops.Add(static_cast<uint64_t>(2 * m * k * n));
   std::fill(c, c + m * n, 0.0f);
@@ -192,6 +204,7 @@ void Gemm(const float* SCENEREC_RESTRICT a, const float* SCENEREC_RESTRICT b,
 void GemmNTAccum(const float* SCENEREC_RESTRICT g,
                  const float* SCENEREC_RESTRICT b, float* SCENEREC_RESTRICT da,
                  int64_t m, int64_t n, int64_t k) {
+  TRACE_KERNEL("GemmNTAccum", m, k);
   t_accum_calls.Add(1);
   t_flops.Add(static_cast<uint64_t>(2 * m * n * k));
   for (int64_t i = 0; i < m; ++i) {
@@ -206,6 +219,7 @@ void GemmNTAccum(const float* SCENEREC_RESTRICT g,
 void GemmTNAccum(const float* SCENEREC_RESTRICT a,
                  const float* SCENEREC_RESTRICT g, float* SCENEREC_RESTRICT db,
                  int64_t m, int64_t k, int64_t n) {
+  TRACE_KERNEL("GemmTNAccum", k, n);
   t_accum_calls.Add(1);
   t_flops.Add(static_cast<uint64_t>(2 * m * k * n));
   for (int64_t p = 0; p < k; ++p) {

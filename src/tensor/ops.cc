@@ -3,7 +3,14 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/trace.h"
 #include "tensor/kernels.h"
+
+/// Forward-op span: the per-op half of a trace's flamegraph (cat "op",
+/// gated on TraceOptions::op_floor_ns). The backward half is emitted
+/// centrally in Backward() from TensorNode::op_name.
+#define TRACE_OP(opname) \
+  SCENEREC_TRACE_SPAN(opname, "op", ::scenerec::trace::Floor::kOp)
 
 namespace scenerec {
 
@@ -11,12 +18,14 @@ using internal_tensor::TensorNode;
 
 namespace {
 
-/// Builds an op result node. `backward` is stored only when some input
+/// Builds an op result node named `name` (a static string, kept on the node
+/// for backward-pass attribution). `backward` is stored only when some input
 /// requires gradients; it may assume out->grad is allocated. The value
 /// buffer lands in the step arena when one is active (see tensor/arena.h).
-Tensor MakeOp(Shape shape, FloatBuffer value, std::vector<Tensor> inputs,
-              std::function<void()> backward) {
+Tensor MakeOp(const char* name, Shape shape, FloatBuffer value,
+              std::vector<Tensor> inputs, std::function<void()> backward) {
   auto node = std::make_shared<TensorNode>();
+  node->op_name = name;
   node->shape = std::move(shape);
   node->value = std::move(value);
   if (NoGradGuard::enabled()) {
@@ -48,6 +57,7 @@ void AccumulateGrad(const Tensor::NodePtr& node, const float* src, size_t n) {
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
+  TRACE_OP("Add");
   const bool bias_broadcast =
       a.shape().rank() == 2 && b.shape().rank() == 1 &&
       a.shape().dim(1) == b.shape().dim(0);
@@ -71,7 +81,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   }
   auto an = a.node();
   auto bn = b.node();
-  auto result = MakeOp(a.shape(), std::move(out), {a, b}, nullptr);
+  auto result = MakeOp("Add", a.shape(), std::move(out), {a, b}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, bn, on, bias_broadcast]() {
@@ -96,6 +106,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
+  TRACE_OP("Sub");
   SCENEREC_CHECK(a.shape() == b.shape())
       << a.shape().ToString() << "vs" << b.shape().ToString();
   const auto& av = a.value();
@@ -104,7 +115,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] - bv[i];
   auto an = a.node();
   auto bn = b.node();
-  auto result = MakeOp(a.shape(), std::move(out), {a, b}, nullptr);
+  auto result = MakeOp("Sub", a.shape(), std::move(out), {a, b}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, bn, on]() {
@@ -122,6 +133,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
+  TRACE_OP("Mul");
   SCENEREC_CHECK(a.shape() == b.shape())
       << a.shape().ToString() << "vs" << b.shape().ToString();
   const auto& av = a.value();
@@ -130,7 +142,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] * bv[i];
   auto an = a.node();
   auto bn = b.node();
-  auto result = MakeOp(a.shape(), std::move(out), {a, b}, nullptr);
+  auto result = MakeOp("Mul", a.shape(), std::move(out), {a, b}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, bn, on]() {
@@ -155,6 +167,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
+  TRACE_OP("Div");
   SCENEREC_CHECK(a.shape() == b.shape())
       << a.shape().ToString() << "vs" << b.shape().ToString();
   const auto& av = a.value();
@@ -163,7 +176,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
   for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] / bv[i];
   auto an = a.node();
   auto bn = b.node();
-  auto result = MakeOp(a.shape(), std::move(out), {a, b}, nullptr);
+  auto result = MakeOp("Div", a.shape(), std::move(out), {a, b}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, bn, on]() {
@@ -193,12 +206,13 @@ namespace {
 /// Shared implementation for unary elementwise ops.
 /// `forward` maps x -> y; `dydx` maps (x, y) -> local derivative.
 template <typename Fwd, typename Dydx>
-Tensor UnaryOp(const Tensor& a, Fwd forward, Dydx dydx) {
+Tensor UnaryOp(const char* name, const Tensor& a, Fwd forward, Dydx dydx) {
+  trace::SpanScope op_span(name, "op", trace::Floor::kOp);
   const auto& av = a.value();
   FloatBuffer out = FloatBuffer::Uninitialized(av.size());
   for (size_t i = 0; i < av.size(); ++i) out[i] = forward(av[i]);
   auto an = a.node();
-  auto result = MakeOp(a.shape(), std::move(out), {a}, nullptr);
+  auto result = MakeOp(name, a.shape(), std::move(out), {a}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on, dydx]() {
@@ -217,11 +231,12 @@ Tensor UnaryOp(const Tensor& a, Fwd forward, Dydx dydx) {
 
 Tensor Scale(const Tensor& a, float s) {
   return UnaryOp(
-      a, [s](float x) { return s * x; },
+      "Scale", a, [s](float x) { return s * x; },
       [s](float, float) { return s; });
 }
 
 Tensor ScaleBy(const Tensor& a, const Tensor& scalar) {
+  TRACE_OP("ScaleBy");
   SCENEREC_CHECK_EQ(scalar.num_elements(), 1);
   const auto& av = a.value();
   const float s = scalar.value()[0];
@@ -229,7 +244,8 @@ Tensor ScaleBy(const Tensor& a, const Tensor& scalar) {
   for (size_t i = 0; i < av.size(); ++i) out[i] = av[i] * s;
   auto an = a.node();
   auto sn = scalar.node();
-  auto result = MakeOp(a.shape(), std::move(out), {a, scalar}, nullptr);
+  auto result =
+      MakeOp("ScaleBy", a.shape(), std::move(out), {a, scalar}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, sn, on]() {
@@ -255,14 +271,15 @@ Tensor ScaleBy(const Tensor& a, const Tensor& scalar) {
 
 Tensor AddScalar(const Tensor& a, float c) {
   return UnaryOp(
-      a, [c](float x) { return x + c; }, [](float, float) { return 1.0f; });
+      "AddScalar", a, [c](float x) { return x + c; },
+      [](float, float) { return 1.0f; });
 }
 
 Tensor Neg(const Tensor& a) { return Scale(a, -1.0f); }
 
 Tensor Sigmoid(const Tensor& a) {
   return UnaryOp(
-      a,
+      "Sigmoid", a,
       [](float x) {
         return kernels::ActApply(kernels::FusedAct::kSigmoid, x, 0.0f);
       },
@@ -271,25 +288,25 @@ Tensor Sigmoid(const Tensor& a) {
 
 Tensor Tanh(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
+      "Tanh", a, [](float x) { return std::tanh(x); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Relu(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      "Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor LeakyRelu(const Tensor& a, float alpha) {
   return UnaryOp(
-      a, [alpha](float x) { return x > 0.0f ? x : alpha * x; },
+      "LeakyRelu", a, [alpha](float x) { return x > 0.0f ? x : alpha * x; },
       [alpha](float x, float) { return x > 0.0f ? 1.0f : alpha; });
 }
 
 Tensor Softplus(const Tensor& a) {
   return UnaryOp(
-      a,
+      "Softplus", a,
       [](float x) {
         // log(1 + e^x) = max(x, 0) + log1p(e^{-|x|}).
         return (x > 0.0f ? x : 0.0f) + std::log1p(std::exp(-std::fabs(x)));
@@ -306,28 +323,29 @@ Tensor Softplus(const Tensor& a) {
 
 Tensor Exp(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::exp(x); },
+      "Exp", a, [](float x) { return std::exp(x); },
       [](float, float y) { return y; });
 }
 
 Tensor Log(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::log(x); },
+      "Log", a, [](float x) { return std::log(x); },
       [](float x, float) { return 1.0f / x; });
 }
 
 Tensor Sqrt(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::sqrt(x); },
+      "Sqrt", a, [](float x) { return std::sqrt(x); },
       [](float, float y) { return 0.5f / y; });
 }
 
 Tensor Sum(const Tensor& a) {
+  TRACE_OP("Sum");
   const auto& av = a.value();
   float total = 0.0f;
   for (float v : av) total += v;
   auto an = a.node();
-  auto result = MakeOp(Shape(), FloatBuffer(1, total), {a}, nullptr);
+  auto result = MakeOp("Sum", Shape(), FloatBuffer(1, total), {a}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on]() {
@@ -345,6 +363,7 @@ Tensor Mean(const Tensor& a) {
 }
 
 Tensor SumRows(const Tensor& a) {
+  TRACE_OP("SumRows");
   SCENEREC_CHECK_EQ(a.shape().rank(), 2);
   const int64_t rows = a.shape().dim(0);
   const int64_t cols = a.shape().dim(1);
@@ -354,7 +373,7 @@ Tensor SumRows(const Tensor& a) {
     kernels::Axpy(1.0f, av.data() + r * cols, out.data(), cols);
   }
   auto an = a.node();
-  auto result = MakeOp(Shape({cols}), std::move(out), {a}, nullptr);
+  auto result = MakeOp("SumRows", Shape({cols}), std::move(out), {a}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on, rows, cols]() {
@@ -375,6 +394,7 @@ Tensor MeanRows(const Tensor& a) {
 }
 
 Tensor MaxRows(const Tensor& a) {
+  TRACE_OP("MaxRows");
   SCENEREC_CHECK_EQ(a.shape().rank(), 2);
   const int64_t rows = a.shape().dim(0);
   const int64_t cols = a.shape().dim(1);
@@ -395,7 +415,7 @@ Tensor MaxRows(const Tensor& a) {
     argmax[static_cast<size_t>(c)] = best_row;
   }
   auto an = a.node();
-  auto result = MakeOp(Shape({cols}), std::move(out), {a}, nullptr);
+  auto result = MakeOp("MaxRows", Shape({cols}), std::move(out), {a}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on, argmax, cols]() {
@@ -412,6 +432,7 @@ Tensor MaxRows(const Tensor& a) {
 }
 
 Tensor L2NormalizeRows(const Tensor& a, float epsilon) {
+  TRACE_OP("L2NormalizeRows");
   SCENEREC_CHECK_EQ(a.shape().rank(), 2);
   const int64_t rows = a.shape().dim(0);
   const int64_t cols = a.shape().dim(1);
@@ -427,7 +448,8 @@ Tensor L2NormalizeRows(const Tensor& a, float epsilon) {
     for (int64_t c = 0; c < cols; ++c) orow[c] = row[c] * inv;
   }
   auto an = a.node();
-  auto result = MakeOp(a.shape(), std::move(out), {a}, nullptr);
+  auto result =
+      MakeOp("L2NormalizeRows", a.shape(), std::move(out), {a}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on, inv_norms, rows, cols]() {
@@ -452,6 +474,7 @@ Tensor L2NormalizeRows(const Tensor& a, float epsilon) {
 }
 
 Tensor Dropout(const Tensor& a, float rate, Rng& rng) {
+  TRACE_OP("Dropout");
   SCENEREC_CHECK(rate >= 0.0f && rate < 1.0f) << "rate" << rate;
   if (rate == 0.0f) return a;
   const auto& av = a.value();
@@ -464,7 +487,7 @@ Tensor Dropout(const Tensor& a, float rate, Rng& rng) {
     out[i] = av[i] * keep;
   }
   auto an = a.node();
-  auto result = MakeOp(a.shape(), std::move(out), {a}, nullptr);
+  auto result = MakeOp("Dropout", a.shape(), std::move(out), {a}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on, mask]() {
@@ -480,6 +503,7 @@ Tensor Dropout(const Tensor& a, float rate, Rng& rng) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TRACE_OP("MatMul");
   SCENEREC_CHECK_EQ(a.shape().rank(), 2);
   SCENEREC_CHECK_EQ(b.shape().rank(), 2);
   const int64_t m = a.shape().dim(0);
@@ -492,7 +516,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   kernels::Gemm(av.data(), bv.data(), out.data(), m, k, n);
   auto an = a.node();
   auto bn = b.node();
-  auto result = MakeOp(Shape({m, n}), std::move(out), {a, b}, nullptr);
+  auto result =
+      MakeOp("MatMul", Shape({m, n}), std::move(out), {a, b}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, bn, on, m, k, n]() {
@@ -523,9 +548,10 @@ namespace {
 /// null (plain MatVec) and rows == 1 covers the vector case. Every row goes
 /// through kernels::Gemv, which is what makes the batched entry points
 /// bitwise equal to their per-entity loops.
-Tensor LinearRowsImpl(const Tensor& w, const Tensor& xs, const Tensor* bias,
-                      kernels::FusedAct act, float leaky_slope,
-                      int64_t rows, Shape out_shape) {
+Tensor LinearRowsImpl(const char* name, const Tensor& w, const Tensor& xs,
+                      const Tensor* bias, kernels::FusedAct act,
+                      float leaky_slope, int64_t rows, Shape out_shape) {
+  trace::SpanScope op_span(name, "op", trace::Floor::kOp);
   const int64_t m = w.shape().dim(0);
   const int64_t n = w.shape().dim(1);
   const auto& wv = w.value();
@@ -555,8 +581,8 @@ Tensor LinearRowsImpl(const Tensor& w, const Tensor& xs, const Tensor* bias,
   auto bn = bias != nullptr ? bias->node() : Tensor::NodePtr();
   std::vector<Tensor> inputs = {w, xs};
   if (bias != nullptr) inputs.push_back(*bias);
-  auto result =
-      MakeOp(std::move(out_shape), std::move(out), std::move(inputs), nullptr);
+  auto result = MakeOp(name, std::move(out_shape), std::move(out),
+                       std::move(inputs), nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [wn, xn, bn, on, act, leaky_slope, rows, m, n]() {
@@ -607,8 +633,8 @@ Tensor MatVec(const Tensor& w, const Tensor& x) {
   SCENEREC_CHECK_EQ(w.shape().rank(), 2);
   SCENEREC_CHECK_EQ(x.shape().rank(), 1);
   SCENEREC_CHECK_EQ(x.shape().dim(0), w.shape().dim(1));
-  return LinearRowsImpl(w, x, nullptr, kernels::FusedAct::kNone, 0.0f,
-                        /*rows=*/1, Shape({w.shape().dim(0)}));
+  return LinearRowsImpl("MatVec", w, x, nullptr, kernels::FusedAct::kNone,
+                        0.0f, /*rows=*/1, Shape({w.shape().dim(0)}));
 }
 
 Tensor MatVecBatch(const Tensor& w, const Tensor& xs) {
@@ -616,7 +642,8 @@ Tensor MatVecBatch(const Tensor& w, const Tensor& xs) {
   SCENEREC_CHECK_EQ(xs.shape().rank(), 2);
   SCENEREC_CHECK_EQ(xs.shape().dim(1), w.shape().dim(1));
   const int64_t rows = xs.shape().dim(0);
-  return LinearRowsImpl(w, xs, nullptr, kernels::FusedAct::kNone, 0.0f, rows,
+  return LinearRowsImpl("MatVecBatch", w, xs, nullptr,
+                        kernels::FusedAct::kNone, 0.0f, rows,
                         Shape({rows, w.shape().dim(0)}));
 }
 
@@ -625,8 +652,8 @@ Tensor LinearAct(const Tensor& w, const Tensor& x, const Tensor& bias,
   SCENEREC_CHECK_EQ(w.shape().rank(), 2);
   SCENEREC_CHECK_EQ(x.shape().rank(), 1);
   SCENEREC_CHECK_EQ(x.shape().dim(0), w.shape().dim(1));
-  return LinearRowsImpl(w, x, &bias, act, leaky_slope, /*rows=*/1,
-                        Shape({w.shape().dim(0)}));
+  return LinearRowsImpl("LinearAct", w, x, &bias, act, leaky_slope,
+                        /*rows=*/1, Shape({w.shape().dim(0)}));
 }
 
 Tensor LinearSigmoid(const Tensor& w, const Tensor& x, const Tensor& bias) {
@@ -639,11 +666,12 @@ Tensor LinearActRows(const Tensor& w, const Tensor& xs, const Tensor& bias,
   SCENEREC_CHECK_EQ(xs.shape().rank(), 2);
   SCENEREC_CHECK_EQ(xs.shape().dim(1), w.shape().dim(1));
   const int64_t rows = xs.shape().dim(0);
-  return LinearRowsImpl(w, xs, &bias, act, leaky_slope, rows,
+  return LinearRowsImpl("LinearActRows", w, xs, &bias, act, leaky_slope, rows,
                         Shape({rows, w.shape().dim(0)}));
 }
 
 Tensor Dot(const Tensor& a, const Tensor& b) {
+  TRACE_OP("Dot");
   SCENEREC_CHECK_EQ(a.shape().rank(), 1);
   SCENEREC_CHECK(a.shape() == b.shape())
       << a.shape().ToString() << "vs" << b.shape().ToString();
@@ -653,7 +681,7 @@ Tensor Dot(const Tensor& a, const Tensor& b) {
       kernels::Dot(av.data(), bv.data(), static_cast<int64_t>(av.size()));
   auto an = a.node();
   auto bn = b.node();
-  auto result = MakeOp(Shape(), FloatBuffer(1, acc), {a, b}, nullptr);
+  auto result = MakeOp("Dot", Shape(), FloatBuffer(1, acc), {a, b}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, bn, on]() {
@@ -676,6 +704,7 @@ Tensor Dot(const Tensor& a, const Tensor& b) {
 }
 
 Tensor CosineSimilarity(const Tensor& a, const Tensor& b, float epsilon) {
+  TRACE_OP("CosineSimilarity");
   SCENEREC_CHECK_EQ(a.shape().rank(), 1);
   SCENEREC_CHECK(a.shape() == b.shape())
       << a.shape().ToString() << "vs" << b.shape().ToString();
@@ -689,7 +718,8 @@ Tensor CosineSimilarity(const Tensor& a, const Tensor& b, float epsilon) {
   const float cos = s / denom;
   auto an = a.node();
   auto bn = b.node();
-  auto result = MakeOp(Shape(), FloatBuffer(1, cos), {a, b}, nullptr);
+  auto result = MakeOp("CosineSimilarity", Shape(), FloatBuffer(1, cos),
+                       {a, b}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, bn, on, na2, nb2, denom, cos]() {
@@ -730,6 +760,7 @@ Tensor CosineSimilarityUnfused(const Tensor& a, const Tensor& b,
 }
 
 Tensor Concat(const std::vector<Tensor>& parts) {
+  TRACE_OP("Concat");
   SCENEREC_CHECK(!parts.empty());
   int64_t total = 0;
   for (const Tensor& t : parts) {
@@ -743,7 +774,8 @@ Tensor Concat(const std::vector<Tensor>& parts) {
     std::memcpy(out.data() + offset, v.data(), v.size() * sizeof(float));
     offset += v.size();
   }
-  auto result = MakeOp(Shape({total}), std::move(out), parts, nullptr);
+  auto result =
+      MakeOp("Concat", Shape({total}), std::move(out), parts, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [on]() {
@@ -765,13 +797,14 @@ Tensor Concat(const std::vector<Tensor>& parts) {
 }
 
 Tensor Stack(const std::vector<Tensor>& scalars) {
+  TRACE_OP("Stack");
   SCENEREC_CHECK(!scalars.empty());
   FloatBuffer out = FloatBuffer::Uninitialized(scalars.size());
   for (size_t i = 0; i < scalars.size(); ++i) {
     SCENEREC_CHECK_EQ(scalars[i].num_elements(), 1);
     out[i] = scalars[i].value()[0];
   }
-  auto result = MakeOp(Shape({static_cast<int64_t>(scalars.size())}),
+  auto result = MakeOp("Stack", Shape({static_cast<int64_t>(scalars.size())}),
                        std::move(out), scalars, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
@@ -791,6 +824,7 @@ Tensor Stack(const std::vector<Tensor>& scalars) {
 }
 
 Tensor StackRows(const std::vector<Tensor>& rows) {
+  TRACE_OP("StackRows");
   SCENEREC_CHECK(!rows.empty());
   const int64_t d = rows[0].shape().dim(0);
   FloatBuffer out =
@@ -802,7 +836,7 @@ Tensor StackRows(const std::vector<Tensor>& rows) {
     std::memcpy(out.data() + r * static_cast<size_t>(d), v.data(),
                 v.size() * sizeof(float));
   }
-  auto result = MakeOp(Shape({static_cast<int64_t>(rows.size()), d}),
+  auto result = MakeOp("StackRows", Shape({static_cast<int64_t>(rows.size()), d}),
                        std::move(out), rows, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
@@ -822,6 +856,7 @@ Tensor StackRows(const std::vector<Tensor>& rows) {
 }
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  TRACE_OP("ConcatCols");
   SCENEREC_CHECK_EQ(a.shape().rank(), 2);
   SCENEREC_CHECK_EQ(b.shape().rank(), 2);
   const int64_t rows = a.shape().dim(0);
@@ -840,7 +875,8 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   }
   auto an = a.node();
   auto bn = b.node();
-  auto result = MakeOp(Shape({rows, d}), std::move(out), {a, b}, nullptr);
+  auto result =
+      MakeOp("ConcatCols", Shape({rows, d}), std::move(out), {a, b}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, bn, on, rows, da, db, d]() {
@@ -866,6 +902,7 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
 }
 
 Tensor GatherRows(const Tensor& a, std::vector<int64_t> rows) {
+  TRACE_OP("GatherRows");
   SCENEREC_CHECK_EQ(a.shape().rank(), 2);
   SCENEREC_CHECK(!rows.empty());
   const int64_t m = a.shape().dim(0);
@@ -880,8 +917,9 @@ Tensor GatherRows(const Tensor& a, std::vector<int64_t> rows) {
                 av.data() + rows[r] * d, static_cast<size_t>(d) * sizeof(float));
   }
   auto an = a.node();
-  auto result = MakeOp(Shape({static_cast<int64_t>(rows.size()), d}),
-                       std::move(out), {a}, nullptr);
+  auto result =
+      MakeOp("GatherRows", Shape({static_cast<int64_t>(rows.size()), d}),
+             std::move(out), {a}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on, rows = std::move(rows), d]() {
@@ -898,6 +936,7 @@ Tensor GatherRows(const Tensor& a, std::vector<int64_t> rows) {
 }
 
 Tensor Row(const Tensor& a, int64_t row) {
+  TRACE_OP("Row");
   SCENEREC_CHECK_EQ(a.shape().rank(), 2);
   const int64_t rows = a.shape().dim(0);
   const int64_t cols = a.shape().dim(1);
@@ -908,7 +947,7 @@ Tensor Row(const Tensor& a, int64_t row) {
   std::memcpy(out.data(), av.data() + row * cols,
               static_cast<size_t>(cols) * sizeof(float));
   auto an = a.node();
-  auto result = MakeOp(Shape({cols}), std::move(out), {a}, nullptr);
+  auto result = MakeOp("Row", Shape({cols}), std::move(out), {a}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on, row, cols]() {
@@ -925,7 +964,7 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
   SCENEREC_CHECK_EQ(a.num_elements(), shape.num_elements())
       << a.shape().ToString() << "vs" << shape.ToString();
   auto an = a.node();
-  auto result = MakeOp(shape, a.value(), {a}, nullptr);
+  auto result = MakeOp("Reshape", shape, a.value(), {a}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [an, on]() {
@@ -936,6 +975,7 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
 }
 
 Tensor Gather(const Tensor& table, const std::vector<int64_t>& indices) {
+  TRACE_OP("Gather");
   SCENEREC_CHECK_EQ(table.shape().rank(), 2);
   SCENEREC_CHECK(!indices.empty());
   const int64_t vocab = table.shape().dim(0);
@@ -951,8 +991,9 @@ Tensor Gather(const Tensor& table, const std::vector<int64_t>& indices) {
                 static_cast<size_t>(d) * sizeof(float));
   }
   auto tn = table.node();
-  auto result = MakeOp(Shape({static_cast<int64_t>(indices.size()), d}),
-                       std::move(out), {table}, nullptr);
+  auto result =
+      MakeOp("Gather", Shape({static_cast<int64_t>(indices.size()), d}),
+             std::move(out), {table}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [tn, on, indices, d]() {
@@ -971,6 +1012,7 @@ Tensor Gather(const Tensor& table, const std::vector<int64_t>& indices) {
 }
 
 Tensor Softmax(const Tensor& logits) {
+  TRACE_OP("Softmax");
   SCENEREC_CHECK_EQ(logits.shape().rank(), 1);
   const auto& lv = logits.value();
   float max_logit = lv[0];
@@ -983,7 +1025,8 @@ Tensor Softmax(const Tensor& logits) {
   }
   for (float& v : out) v /= denom;
   auto ln = logits.node();
-  auto result = MakeOp(logits.shape(), std::move(out), {logits}, nullptr);
+  auto result =
+      MakeOp("Softmax", logits.shape(), std::move(out), {logits}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [ln, on]() {
@@ -1002,6 +1045,7 @@ Tensor Softmax(const Tensor& logits) {
 }
 
 Tensor WeightedSumRows(const Tensor& rows, const Tensor& weights) {
+  TRACE_OP("WeightedSumRows");
   SCENEREC_CHECK_EQ(rows.shape().rank(), 2);
   SCENEREC_CHECK_EQ(weights.shape().rank(), 1);
   const int64_t k = rows.shape().dim(0);
@@ -1017,7 +1061,8 @@ Tensor WeightedSumRows(const Tensor& rows, const Tensor& weights) {
   }
   auto rn = rows.node();
   auto wn = weights.node();
-  auto result = MakeOp(Shape({d}), std::move(out), {rows, weights}, nullptr);
+  auto result = MakeOp("WeightedSumRows", Shape({d}), std::move(out),
+                       {rows, weights}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [rn, wn, on, k, d]() {
@@ -1046,6 +1091,7 @@ Tensor WeightedSumRows(const Tensor& rows, const Tensor& weights) {
 Tensor SpMM(const CsrGraph* adj,
             const std::shared_ptr<const std::vector<float>>& edge_weights,
             const Tensor& x) {
+  TRACE_OP("SpMM");
   SCENEREC_CHECK(adj != nullptr);
   SCENEREC_CHECK_EQ(x.shape().rank(), 2);
   SCENEREC_CHECK_EQ(x.shape().dim(0), adj->num_dst());
@@ -1072,7 +1118,8 @@ Tensor SpMM(const CsrGraph* adj,
     }
   }
   auto xn = x.node();
-  auto result = MakeOp(Shape({rows, d}), std::move(out), {x}, nullptr);
+  auto result =
+      MakeOp("SpMM", Shape({rows, d}), std::move(out), {x}, nullptr);
   TensorNode* on = result.node().get();
   if (result.requires_grad()) {
     on->backward_fn = [adj, edge_weights, xn, on, rows, d]() {

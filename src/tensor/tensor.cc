@@ -4,6 +4,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "common/trace.h"
+
 namespace scenerec {
 
 using internal_tensor::TensorNode;
@@ -224,12 +226,22 @@ void Backward(const Tensor& loss) {
   }
 
   // Seed d(loss)/d(loss) = 1 and run backward closures in reverse topo order.
+  SCENEREC_TRACE_SPAN_F("autograd/backward", "autograd", trace::Floor::kNone,
+                        "nodes=%zu", topo.size());
+  const bool tracing = trace::Enabled();
   TensorNode* root = loss.node().get();
   root->EnsureGrad();
   root->grad[0] += 1.0f;
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     TensorNode* node = *it;
-    if (node->backward_fn) node->backward_fn();
+    if (node->backward_fn == nullptr) continue;
+    if (tracing) {
+      trace::SpanScope op_span(node->op_name != nullptr ? node->op_name : "op",
+                               "bwd", trace::Floor::kOp);
+      node->backward_fn();
+    } else {
+      node->backward_fn();
+    }
   }
 }
 

@@ -43,6 +43,11 @@ struct TensorNode {
   /// Propagates `grad` of this node into its inputs. Null for leaves.
   std::function<void()> backward_fn;
 
+  /// Static name of the op that produced this node ("MatMul", "Sigmoid",
+  /// ...); null for leaves. Used by tracing to attribute backward execution
+  /// per op type (the forward side is attributed by the op's own span).
+  const char* op_name = nullptr;
+
   /// For sparse parameters (embedding tables): rows whose gradient may be
   /// non-zero since the last ZeroGrad. Lets optimizers do lazy row updates
   /// instead of scanning the full table.

@@ -11,6 +11,7 @@
 #include "common/stopwatch.h"
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "nn/optimizer.h"
 #include "nn/serialization.h"
 #include "tensor/arena.h"
@@ -104,6 +105,7 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
     return Status::FailedPrecondition("empty training set");
   }
   if (config.telemetry) telemetry::Telemetry::SetEnabled(true);
+  if (config.trace) trace::Trace::SetEnabled(true);
   // Phase timing only runs when telemetry is on; otherwise the loop below is
   // byte-for-byte the uninstrumented path (instrument is loop-invariant).
   const bool instrument = telemetry::Enabled();
@@ -154,6 +156,8 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
 
   float current_lr = config.learning_rate;
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    SCENEREC_TRACE_SPAN_F("trainer/epoch", "trainer", trace::Floor::kNone,
+                          "epoch=%lld", static_cast<long long>(epoch + 1));
     model.OnEpochBegin();
     optimizer->set_learning_rate(current_lr);
     // Per-epoch phase accumulators (ns). Forward/backward are atomics
@@ -167,7 +171,10 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
     uint64_t max_skew_pct = 0;
 
     uint64_t phase_start = instrument ? NowNs() : 0;
-    const std::vector<BprTriple> triples = batcher.NextEpoch(rng);
+    const std::vector<BprTriple> triples = [&] {
+      SCENEREC_TRACE_SPAN("trainer/sampling", "trainer", trace::Floor::kNone);
+      return batcher.NextEpoch(rng);
+    }();
     if (instrument) sampling_ns = NowNs() - phase_start;
     const std::span<const BprTriple> all_triples(triples);
     double loss_sum = 0.0;
@@ -211,11 +218,22 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
                     batch.size() * static_cast<size_t>(s + 1) /
                     static_cast<size_t>(num_shards);
                 const uint64_t t0 = instrument ? NowNs() : 0;
-                Tensor loss = model.BatchLossShard(
-                    batch.subspan(shard_begin, shard_end - shard_begin), s,
-                    shard_rngs[static_cast<size_t>(s)]);
+                Tensor loss;
+                {
+                  SCENEREC_TRACE_SPAN_F("trainer/forward", "trainer",
+                                        trace::Floor::kNone, "shard=%lld",
+                                        static_cast<long long>(s));
+                  loss = model.BatchLossShard(
+                      batch.subspan(shard_begin, shard_end - shard_begin), s,
+                      shard_rngs[static_cast<size_t>(s)]);
+                }
                 const uint64_t t1 = instrument ? NowNs() : 0;
-                Backward(loss);
+                {
+                  SCENEREC_TRACE_SPAN_F("trainer/backward", "trainer",
+                                        trace::Floor::kNone, "shard=%lld",
+                                        static_cast<long long>(s));
+                  Backward(loss);
+                }
                 if (instrument) {
                   const uint64_t t2 = NowNs();
                   forward_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
@@ -246,10 +264,18 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
         // when the next step's scope resets it.
         ArenaScope step_arena;
         const uint64_t t0 = instrument ? NowNs() : 0;
-        Tensor loss = model.BatchLoss(batch);
+        Tensor loss;
+        {
+          SCENEREC_TRACE_SPAN("trainer/forward", "trainer", trace::Floor::kNone);
+          loss = model.BatchLoss(batch);
+        }
         const uint64_t t1 = instrument ? NowNs() : 0;
         batch_loss = loss.scalar();
-        Backward(loss);
+        {
+          SCENEREC_TRACE_SPAN("trainer/backward", "trainer",
+                              trace::Floor::kNone);
+          Backward(loss);
+        }
         if (instrument) {
           const uint64_t t2 = NowNs();
           forward_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
@@ -273,7 +299,10 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
       t_batches.Add(1);
       t_triples.Add(batch.size());
       phase_start = instrument ? NowNs() : 0;
-      optimizer->Step();
+      {
+        SCENEREC_TRACE_SPAN("trainer/optimizer", "trainer", trace::Floor::kNone);
+        optimizer->Step();
+      }
       if (instrument) optimizer_ns += NowNs() - phase_start;
     }
     const double mean_loss = loss_sum / static_cast<double>(triples.size());
@@ -284,8 +313,11 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
         (pool != nullptr && model.PrepareParallelScoring(*pool)) ? pool.get()
                                                                  : nullptr;
     phase_start = instrument ? NowNs() : 0;
-    RankingMetrics validation = EvaluateRanking(
-        model.Scorer(), split.validation, config.eval_k, eval_pool);
+    RankingMetrics validation = [&] {
+      SCENEREC_TRACE_SPAN("trainer/eval", "trainer", trace::Floor::kNone);
+      return EvaluateRanking(model.Scorer(), split.validation, config.eval_k,
+                             eval_pool);
+    }();
     if (instrument) eval_ns = NowNs() - phase_start;
     if (!std::isfinite(validation.ndcg) || !std::isfinite(validation.hr) ||
         !std::isfinite(validation.mrr)) {

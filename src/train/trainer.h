@@ -46,6 +46,11 @@ struct TrainConfig {
   /// one-line per-epoch phase-time summary. The caller scrapes/dumps the
   /// registry (e.g. via --telemetry[=path.json] in the CLIs).
   bool telemetry = false;
+  /// Turn on span tracing for this run (common/trace.h): trainer phases,
+  /// per-op autograd spans, kernel calls, and pool chunks are recorded into
+  /// per-thread ring buffers. The caller exports the timeline (e.g. via
+  /// --trace[=path.json] in the CLIs, Chrome trace-event JSON).
+  bool trace = false;
   /// When non-empty, the best-validation parameters are also written to
   /// this checkpoint file (tagged with the model's name) every time the
   /// validation NDCG improves — a crash mid-run loses at most the epochs

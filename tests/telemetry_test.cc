@@ -208,7 +208,7 @@ TEST_F(TelemetryTest, ScopedTimerRecordsElapsed) {
   {
     ScopedTimer timer(h);
     volatile uint64_t sink = 0;
-    for (int i = 0; i < 1000; ++i) sink += static_cast<uint64_t>(i);
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<uint64_t>(i);
   }
   const TelemetrySnapshot snapshot = Telemetry::Snapshot();
   const HistogramSample* hist = snapshot.FindHistogram("test/timer_hist");

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Runs the benchmark suites and records their results as JSON at the repo
-# root (BENCH_kernels.json, BENCH_parallel.json, BENCH_telemetry.json) so
-# kernel-layer, parallel-layer and telemetry changes can be compared against
-# committed numbers. BENCH_telemetry.json holds the telemetry-enabled vs
-# -disabled epoch times (BM_TrainEpochTelemetry/1 vs /0); the disabled-mode
-# overhead budget is <1%.
+# root (BENCH_kernels.json, BENCH_parallel.json, BENCH_telemetry.json,
+# BENCH_trace.json) so kernel-layer, parallel-layer and observability
+# changes can be compared against committed numbers (tools/bench_diff).
+# BENCH_telemetry.json holds the telemetry-enabled vs -disabled epoch times
+# (BM_TrainEpochTelemetry/1 vs /0) and BENCH_trace.json the same pair for
+# span tracing (BM_TrainEpochTrace); the disabled-mode overhead budget for
+# both layers is <1%.
 #
 # Usage: tools/bench.sh [benchmark_filter_regex]
 # A filter (e.g. 'MatVec|Gemm') restricts the first two suites; the JSON
@@ -32,5 +34,11 @@ build/bench/bench_parallel \
   --benchmark_filter='BM_TrainEpochTelemetry' \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
   --benchmark_format=json >BENCH_telemetry.json
+
+echo "==> bench_parallel trace on/off -> BENCH_trace.json"
+build/bench/bench_parallel \
+  --benchmark_filter='BM_TrainEpochTrace' \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >BENCH_trace.json
 
 echo "==> done"

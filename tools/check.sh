@@ -7,6 +7,10 @@
 #      and op tests, which cover the arena allocator (manual ASan poisoning
 #      marks reset and never-allocated arena bytes as redzones) and every
 #      vectorized kernel's pointer arithmetic
+#   4. (opt-in: SCENEREC_PERF=1) benchmark regression gate — re-measures the
+#      benchmark suites and fails via tools/bench_diff --check when any
+#      benchmark regressed past SCENEREC_PERF_THRESHOLD percent (default 20;
+#      generous because single-CPU containers are noisy)
 #
 # Sanitizer-instrumented training is ~10x slower, so stages 2 and 3 run only
 # the binaries relevant to them, not the whole suite. Run from the repo
@@ -34,7 +38,7 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 echo "==> stage 2: ThreadSanitizer build"
 configure build-tsan -DSCENEREC_SANITIZE=thread
-cmake --build build-tsan --target parallel_test eval_test train_test telemetry_test
+cmake --build build-tsan --target parallel_test eval_test train_test telemetry_test trace_test
 
 echo "==> stage 2: parallel tests under TSan"
 # halt_on_error makes a data race fail the script, not just print a report.
@@ -45,10 +49,14 @@ build-tsan/tests/train_test
 # The telemetry merge path is the TSan-critical one: per-thread slab writers
 # racing with Snapshot() scrapers must be data-race-free (relaxed atomics).
 build-tsan/tests/telemetry_test
+# Trace rings are written with PLAIN stores by their owning threads; TSan
+# proves the export-at-quiescence contract (pool join happens-before
+# Snapshot) actually holds across ParallelFor and a traced training run.
+build-tsan/tests/trace_test
 
 echo "==> stage 3: ASan+UBSan build"
 configure build-asan -DSCENEREC_SANITIZE=address,undefined
-cmake --build build-asan --target tensor_test ops_test telemetry_test train_test
+cmake --build build-asan --target tensor_test ops_test telemetry_test train_test trace_test
 
 echo "==> stage 3: tensor/op tests under ASan+UBSan"
 build-asan/tests/tensor_test
@@ -59,5 +67,32 @@ echo "==> stage 3: telemetry + trainer divergence tests under ASan+UBSan"
 # unwind mid-training; ASan verifies nothing dangles or leaks on those exits.
 build-asan/tests/telemetry_test
 build-asan/tests/train_test --gtest_filter='TrainTest.NonFinite*:TrainTest.EarlyStop*'
+
+echo "==> stage 3: trace ring + export under ASan+UBSan"
+# Ring wraparound arithmetic, snprintf'd args buffers and the JSON exporter
+# are exactly the kind of off-by-one surface ASan exists for.
+build-asan/tests/trace_test
+
+if [ "${SCENEREC_PERF:-0}" != "0" ]; then
+  echo "==> stage 4: benchmark regression gate (SCENEREC_PERF=1)"
+  THRESHOLD="${SCENEREC_PERF_THRESHOLD:-20}"
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  cmake --build build --target bench_kernels bench_parallel
+  build/bench/bench_kernels --benchmark_format=json >"$tmp/kernels.json"
+  build/bench/bench_parallel --benchmark_format=json >"$tmp/parallel.json"
+  build/bench/bench_parallel \
+    --benchmark_filter='BM_TrainEpochTelemetry' \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+    --benchmark_format=json >"$tmp/telemetry.json"
+  build/bench/bench_parallel \
+    --benchmark_filter='BM_TrainEpochTrace' \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+    --benchmark_format=json >"$tmp/trace.json"
+  tools/bench_diff --check --threshold="$THRESHOLD" BENCH_kernels.json "$tmp/kernels.json"
+  tools/bench_diff --check --threshold="$THRESHOLD" BENCH_parallel.json "$tmp/parallel.json"
+  tools/bench_diff --check --threshold="$THRESHOLD" BENCH_telemetry.json "$tmp/telemetry.json"
+  tools/bench_diff --check --threshold="$THRESHOLD" BENCH_trace.json "$tmp/trace.json"
+fi
 
 echo "==> all checks passed"
