@@ -84,7 +84,8 @@ int Run(int argc, char** argv) {
     }
     (*model)->OnEvalBegin();
     RankingMetrics full = EvaluateFullRanking(
-        (*model)->Scorer(), prepared.train_graph, prepared.split.test, 10);
+        (*model)->BlockScorer(), prepared.train_graph, prepared.split.test,
+        10);
     std::printf("%-16s | %-9.4f %-10.4f | %-9.4f %-10.4f\n", name.c_str(),
                 result->test.ndcg, result->test.hr, full.ndcg, full.hr);
     std::fflush(stdout);

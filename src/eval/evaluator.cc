@@ -3,6 +3,7 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
 #include "common/telemetry.h"
@@ -16,12 +17,17 @@ namespace {
 // detector for diverged models — any non-finite score marks the whole
 // instance NaN, which poisons the aggregate and trips the trainer's
 // finite-validation check instead of silently ranking as perfect.
+// eval/blocks and eval/block_candidates track the block-scoring fast path:
+// their ratio is the realized batch size (docs/serving.md).
 const telemetry::Counter t_scored =
     telemetry::RegisterCounter("eval/scored_candidates");
 const telemetry::Counter t_instances =
     telemetry::RegisterCounter("eval/instances");
 const telemetry::Counter t_nonfinite =
     telemetry::RegisterCounter("eval/nonfinite_scores");
+const telemetry::Counter t_blocks = telemetry::RegisterCounter("eval/blocks");
+const telemetry::Counter t_block_candidates =
+    telemetry::RegisterCounter("eval/block_candidates");
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
@@ -46,23 +52,50 @@ RankingMetrics ReduceInOrder(const std::vector<std::array<double, 3>>& per) {
   return metrics;
 }
 
-/// Runs body(i) for every i in [0, n), on the pool when one is supplied.
-/// The ScoreFn must be thread-safe in the parallel case; callers gate on
-/// Recommender::PrepareParallelScoring.
-void ForEachInstance(ThreadPool* pool, int64_t n,
-                     const std::function<void(int64_t)>& body) {
+/// Runs body(begin, end) over [0, n), chunked with `grain` on the pool when
+/// one is supplied (one dispatch per chunk, not per instance — at grain=1
+/// the pool's per-chunk bookkeeping dominated small-candidate protocols).
+/// The BlockScoreFn must be thread-safe in the parallel case; callers gate
+/// on Recommender::PrepareParallelScoring.
+void ForEachInstance(ThreadPool* pool, int64_t n, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& body) {
   if (pool != nullptr && pool->num_threads() > 1) {
-    pool->ParallelFor(n, /*grain=*/1, [&body](int64_t begin, int64_t end) {
-      for (int64_t i = begin; i < end; ++i) body(i);
-    });
+    pool->ParallelFor(n, grain, body);
   } else {
-    for (int64_t i = 0; i < n; ++i) body(i);
+    body(0, n);
   }
+}
+
+/// One block-scoring dispatch plus its bookkeeping: scores `items` for
+/// `user` into `out` and returns true iff every score came back finite.
+bool ScoreBlockChecked(const BlockScoreFn& score, int64_t user,
+                       std::span<const int64_t> items, std::span<float> out) {
+  SCENEREC_CHECK_EQ(items.size(), out.size());
+  if (items.empty()) return true;
+  SCENEREC_TRACE_SPAN_F("eval/score_block", "eval", trace::Floor::kOp,
+                        "user=%lld candidates=%zu",
+                        static_cast<long long>(user), items.size());
+  score(user, items, out);
+  t_blocks.Add(1);
+  t_block_candidates.Add(static_cast<uint64_t>(items.size()));
+  bool finite = true;
+  for (float s : out) finite = finite && std::isfinite(s);
+  return finite;
 }
 
 }  // namespace
 
-RankingMetrics EvaluateRanking(const ScoreFn& score,
+BlockScoreFn BlockScorerFromPairs(ScoreFn score) {
+  SCENEREC_CHECK(score != nullptr);
+  return [score = std::move(score)](int64_t user,
+                                    std::span<const int64_t> items,
+                                    std::span<float> out) {
+    SCENEREC_CHECK_EQ(items.size(), out.size());
+    for (size_t r = 0; r < items.size(); ++r) out[r] = score(user, items[r]);
+  };
+}
+
+RankingMetrics EvaluateRanking(const BlockScoreFn& score,
                                const std::vector<EvalInstance>& instances,
                                int64_t k, ThreadPool* pool) {
   SCENEREC_CHECK_GT(k, 0);
@@ -76,36 +109,56 @@ RankingMetrics EvaluateRanking(const ScoreFn& score,
                         "instances=%zu k=%lld", instances.size(),
                         static_cast<long long>(k));
   std::vector<std::array<double, 3>> per(instances.size());
+  // Sampled candidate lists are small (~100), so one instance is little
+  // work: chunk several per pool dispatch.
   ForEachInstance(
-      pool, static_cast<int64_t>(instances.size()), [&](int64_t idx) {
-        const EvalInstance& instance = instances[static_cast<size_t>(idx)];
-        const float positive_score =
-            score(instance.user, instance.positive_item);
-        bool finite = std::isfinite(positive_score);
-        std::vector<float> negative_scores;
-        negative_scores.reserve(instance.negative_items.size());
-        for (int64_t item : instance.negative_items) {
-          const float s = score(instance.user, item);
-          finite = finite && std::isfinite(s);
-          negative_scores.push_back(s);
+      pool, static_cast<int64_t>(instances.size()), /*grain=*/8,
+      [&](int64_t begin, int64_t end) {
+        std::vector<int64_t> candidates;
+        std::vector<float> scores;
+        for (int64_t idx = begin; idx < end; ++idx) {
+          const EvalInstance& instance = instances[static_cast<size_t>(idx)];
+          // One block per instance: positive first, then the sampled
+          // negatives in instance order.
+          candidates.assign(1, instance.positive_item);
+          candidates.insert(candidates.end(),
+                            instance.negative_items.begin(),
+                            instance.negative_items.end());
+          scores.resize(candidates.size());
+          const bool finite =
+              ScoreBlockChecked(score, instance.user, candidates, scores);
+          t_instances.Add(1);
+          t_scored.Add(static_cast<uint64_t>(candidates.size()));
+          if (!finite) {
+            t_nonfinite.Add(1);
+            per[static_cast<size_t>(idx)] = {kNaN, kNaN, kNaN};
+            continue;
+          }
+          // Same counting as RankOfPositive, off the shared score buffer.
+          const float positive_score = scores[0];
+          PositiveRank rank;
+          for (size_t r = 1; r < scores.size(); ++r) {
+            if (scores[r] > positive_score) {
+              ++rank.num_above;
+            } else if (scores[r] == positive_score) {
+              ++rank.num_tied;
+            }
+          }
+          per[static_cast<size_t>(idx)] = {HitRatioAtK(rank, k),
+                                           NdcgAtK(rank, k),
+                                           ReciprocalRank(rank)};
         }
-        t_instances.Add(1);
-        t_scored.Add(1 + static_cast<uint64_t>(negative_scores.size()));
-        if (!finite) {
-          t_nonfinite.Add(1);
-          per[static_cast<size_t>(idx)] = {kNaN, kNaN, kNaN};
-          return;
-        }
-        const PositiveRank rank =
-            RankOfPositive(positive_score, negative_scores);
-        per[static_cast<size_t>(idx)] = {HitRatioAtK(rank, k),
-                                         NdcgAtK(rank, k),
-                                         ReciprocalRank(rank)};
       });
   return ReduceInOrder(per);
 }
 
-RankingMetrics EvaluateFullRanking(const ScoreFn& score,
+RankingMetrics EvaluateRanking(const ScoreFn& score,
+                               const std::vector<EvalInstance>& instances,
+                               int64_t k, ThreadPool* pool) {
+  return EvaluateRanking(BlockScorerFromPairs(score), instances, k, pool);
+}
+
+RankingMetrics EvaluateFullRanking(const BlockScoreFn& score,
                                    const UserItemGraph& train_graph,
                                    const std::vector<EvalInstance>& instances,
                                    int64_t k, ThreadPool* pool) {
@@ -121,41 +174,71 @@ RankingMetrics EvaluateFullRanking(const ScoreFn& score,
                         static_cast<long long>(k));
   const int64_t num_items = train_graph.num_items();
   std::vector<std::array<double, 3>> per(instances.size());
+  // Each instance scores the whole catalog — plenty of work per index.
   ForEachInstance(
-      pool, static_cast<int64_t>(instances.size()), [&](int64_t idx) {
-        const EvalInstance& instance = instances[static_cast<size_t>(idx)];
-        const float positive_score =
-            score(instance.user, instance.positive_item);
-        bool finite = std::isfinite(positive_score);
-        // Split the candidate set into strictly-above and tied, skipping
-        // items the user already interacted with during training (standard
-        // masking).
-        PositiveRank rank;
-        uint64_t scored = 1;
-        for (int64_t item = 0; item < num_items; ++item) {
-          if (item == instance.positive_item) continue;
-          if (train_graph.HasInteraction(instance.user, item)) continue;
-          const float s = score(instance.user, item);
-          ++scored;
-          finite = finite && std::isfinite(s);
-          if (s > positive_score) {
-            ++rank.num_above;
-          } else if (s == positive_score) {
-            ++rank.num_tied;
+      pool, static_cast<int64_t>(instances.size()), /*grain=*/1,
+      [&](int64_t begin, int64_t end) {
+        std::vector<int64_t> candidates;
+        std::vector<float> scores;
+        for (int64_t idx = begin; idx < end; ++idx) {
+          const EvalInstance& instance = instances[static_cast<size_t>(idx)];
+          // Masking as a candidate-list build step: the positive leads,
+          // followed by every item the user has NOT interacted with during
+          // training (standard masking; the sampled negatives are ignored).
+          candidates.clear();
+          candidates.reserve(static_cast<size_t>(num_items));
+          candidates.push_back(instance.positive_item);
+          for (int64_t item = 0; item < num_items; ++item) {
+            if (item == instance.positive_item) continue;
+            if (train_graph.HasInteraction(instance.user, item)) continue;
+            candidates.push_back(item);
           }
+          scores.resize(candidates.size());
+          // Chunked block scoring; above/tied counting is order-independent
+          // integer arithmetic, so the chunk size cannot change the rank.
+          bool finite = true;
+          for (size_t offset = 0; offset < candidates.size();
+               offset += static_cast<size_t>(kScoreBlockSize)) {
+            const size_t len =
+                std::min(static_cast<size_t>(kScoreBlockSize),
+                         candidates.size() - offset);
+            finite = ScoreBlockChecked(
+                         score, instance.user,
+                         std::span<const int64_t>(candidates).subspan(offset,
+                                                                      len),
+                         std::span<float>(scores).subspan(offset, len)) &&
+                     finite;
+          }
+          t_instances.Add(1);
+          t_scored.Add(static_cast<uint64_t>(candidates.size()));
+          if (!finite) {
+            t_nonfinite.Add(1);
+            per[static_cast<size_t>(idx)] = {kNaN, kNaN, kNaN};
+            continue;
+          }
+          const float positive_score = scores[0];
+          PositiveRank rank;
+          for (size_t r = 1; r < scores.size(); ++r) {
+            if (scores[r] > positive_score) {
+              ++rank.num_above;
+            } else if (scores[r] == positive_score) {
+              ++rank.num_tied;
+            }
+          }
+          per[static_cast<size_t>(idx)] = {HitRatioAtK(rank, k),
+                                           NdcgAtK(rank, k),
+                                           ReciprocalRank(rank)};
         }
-        t_instances.Add(1);
-        t_scored.Add(scored);
-        if (!finite) {
-          t_nonfinite.Add(1);
-          per[static_cast<size_t>(idx)] = {kNaN, kNaN, kNaN};
-          return;
-        }
-        per[static_cast<size_t>(idx)] = {HitRatioAtK(rank, k),
-                                         NdcgAtK(rank, k),
-                                         ReciprocalRank(rank)};
       });
   return ReduceInOrder(per);
+}
+
+RankingMetrics EvaluateFullRanking(const ScoreFn& score,
+                                   const UserItemGraph& train_graph,
+                                   const std::vector<EvalInstance>& instances,
+                                   int64_t k, ThreadPool* pool) {
+  return EvaluateFullRanking(BlockScorerFromPairs(score), train_graph,
+                             instances, k, pool);
 }
 
 }  // namespace scenerec

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -15,6 +16,24 @@ namespace scenerec {
 /// Scores one (user, item) pair; higher means more likely to be clicked.
 using ScoreFn = std::function<float(int64_t user, int64_t item)>;
 
+/// Scores one user against a block of candidate items, writing
+/// out[r] = score(user, items[r]). The contract (docs/serving.md): out and
+/// items have the same length, and every out[r] is bitwise equal to the
+/// per-pair ScoreFn result for (user, items[r]) — block scoring is a
+/// throughput optimization, never a numerics change.
+using BlockScoreFn = std::function<void(
+    int64_t user, std::span<const int64_t> items, std::span<float> out)>;
+
+/// Wraps a per-pair scorer as a block scorer (the compatibility fallback
+/// for models and tests that only provide ScoreFn).
+BlockScoreFn BlockScorerFromPairs(ScoreFn score);
+
+/// Candidates per ScoreBlock dispatch on the full-ranking and Top-N paths.
+/// Bounds per-instance scratch (ids + scores) to a few KB so blocks stay
+/// cache-resident; rank counting is order-independent, so chunking cannot
+/// change metrics.
+inline constexpr int64_t kScoreBlockSize = 1024;
+
 /// Runs the paper's ranking protocol (Section 5.3): for every evaluation
 /// instance the positive is ranked against its sampled negatives, and HR@K /
 /// NDCG@K / MRR are averaged over instances.
@@ -23,6 +42,14 @@ using ScoreFn = std::function<float(int64_t user, int64_t item)>;
 /// then be safe to call concurrently (see
 /// Recommender::PrepareParallelScoring). Per-instance results are reduced
 /// in instance order, so the metrics are bitwise identical to a serial run.
+///
+/// Each instance is scored with ONE block dispatch ([positive, negatives...]),
+/// so batching models pay per-candidate cost, not per-call cost.
+RankingMetrics EvaluateRanking(const BlockScoreFn& score,
+                               const std::vector<EvalInstance>& instances,
+                               int64_t k, ThreadPool* pool = nullptr);
+
+/// Per-pair adapter of the above; identical metrics, block size 1 semantics.
 RankingMetrics EvaluateRanking(const ScoreFn& score,
                                const std::vector<EvalInstance>& instances,
                                int64_t k, ThreadPool* pool = nullptr);
@@ -33,6 +60,16 @@ RankingMetrics EvaluateRanking(const ScoreFn& score,
 /// ignored). Far more expensive — O(num_items) scores per instance — but
 /// free of negative-sampling variance. Same `pool` contract as
 /// EvaluateRanking.
+///
+/// Masking is a candidate-list build step: the unmasked items are collected
+/// once per instance and scored in kScoreBlockSize chunks, which turns the
+/// protocol into row-batched GEMMs for models with ScoreBlock support.
+RankingMetrics EvaluateFullRanking(const BlockScoreFn& score,
+                                   const UserItemGraph& train_graph,
+                                   const std::vector<EvalInstance>& instances,
+                                   int64_t k, ThreadPool* pool = nullptr);
+
+/// Per-pair adapter of the above; identical metrics.
 RankingMetrics EvaluateFullRanking(const ScoreFn& score,
                                    const UserItemGraph& train_graph,
                                    const std::vector<EvalInstance>& instances,

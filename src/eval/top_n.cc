@@ -1,32 +1,91 @@
 #include "eval/top_n.h"
 
 #include <algorithm>
+#include <span>
 
 #include "common/check.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace scenerec {
+
+namespace {
+
+// Serving telemetry (docs/observability.md): request rate and candidate
+// throughput of the Top-N path.
+const telemetry::Counter t_requests =
+    telemetry::RegisterCounter("serve/topn_requests");
+const telemetry::Counter t_candidates =
+    telemetry::RegisterCounter("serve/topn_candidates");
+
+/// Score-descending, lower-item-id-first: a strict total order (no two
+/// candidates compare equal), so any correct selection algorithm yields the
+/// identical top-n list.
+bool Better(const Recommendation& a, const Recommendation& b) {
+  return a.score != b.score ? a.score > b.score : a.item < b.item;
+}
+
+}  // namespace
+
+std::vector<Recommendation> TopNRecommendations(
+    const BlockScoreFn& score, const UserItemGraph& train_graph, int64_t user,
+    int64_t n) {
+  SCENEREC_CHECK_GT(n, 0);
+  SCENEREC_CHECK(user >= 0 && user < train_graph.num_users());
+  SCENEREC_TRACE_SPAN_F("serve/topn", "serve", trace::Floor::kNone,
+                        "user=%lld n=%lld", static_cast<long long>(user),
+                        static_cast<long long>(n));
+  t_requests.Add(1);
+
+  // Candidate-list build step: everything the user has not interacted with.
+  std::vector<int64_t> ids;
+  ids.reserve(static_cast<size_t>(train_graph.num_items()));
+  for (int64_t item = 0; item < train_graph.num_items(); ++item) {
+    if (train_graph.HasInteraction(user, item)) continue;
+    ids.push_back(item);
+  }
+  t_candidates.Add(static_cast<uint64_t>(ids.size()));
+  if (ids.empty()) return {};
+
+  // Block-score the candidates in bounded chunks.
+  std::vector<float> scores(ids.size());
+  for (size_t offset = 0; offset < ids.size();
+       offset += static_cast<size_t>(kScoreBlockSize)) {
+    const size_t len =
+        std::min(static_cast<size_t>(kScoreBlockSize), ids.size() - offset);
+    SCENEREC_TRACE_SPAN_F("serve/score_block", "serve", trace::Floor::kOp,
+                          "user=%lld candidates=%zu",
+                          static_cast<long long>(user), len);
+    score(user, std::span<const int64_t>(ids).subspan(offset, len),
+          std::span<float>(scores).subspan(offset, len));
+  }
+
+  std::vector<Recommendation> candidates;
+  candidates.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    candidates.push_back({ids[i], scores[i]});
+  }
+
+  // Partial selection: move the n winners to the front in O(catalog), then
+  // order just that prefix. Better() is a strict total order, so this is
+  // exactly the first n entries a full sort would produce.
+  const size_t keep = std::min<size_t>(static_cast<size_t>(n),
+                                       candidates.size());
+  if (keep < candidates.size()) {
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + static_cast<ptrdiff_t>(keep),
+                     candidates.end(), Better);
+    candidates.resize(keep);
+  }
+  std::sort(candidates.begin(), candidates.end(), Better);
+  return candidates;
+}
 
 std::vector<Recommendation> TopNRecommendations(
     const ScoreFn& score, const UserItemGraph& train_graph, int64_t user,
     int64_t n) {
-  SCENEREC_CHECK_GT(n, 0);
-  SCENEREC_CHECK(user >= 0 && user < train_graph.num_users());
-  std::vector<Recommendation> candidates;
-  candidates.reserve(static_cast<size_t>(train_graph.num_items()));
-  for (int64_t item = 0; item < train_graph.num_items(); ++item) {
-    if (train_graph.HasInteraction(user, item)) continue;
-    candidates.push_back({item, score(user, item)});
-  }
-  const size_t keep = std::min<size_t>(static_cast<size_t>(n),
-                                       candidates.size());
-  std::partial_sort(candidates.begin(), candidates.begin() + keep,
-                    candidates.end(),
-                    [](const Recommendation& a, const Recommendation& b) {
-                      return a.score != b.score ? a.score > b.score
-                                                : a.item < b.item;
-                    });
-  candidates.resize(keep);
-  return candidates;
+  return TopNRecommendations(BlockScorerFromPairs(score), train_graph, user,
+                             n);
 }
 
 }  // namespace scenerec

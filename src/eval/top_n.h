@@ -19,6 +19,17 @@ struct Recommendation {
 /// with in `train_graph` and returns the `n` highest, ordered by descending
 /// score (ties by lower item id). Returns fewer than `n` entries when the
 /// user has interacted with almost the whole catalog.
+///
+/// The candidate list is scored in kScoreBlockSize blocks (the fast path for
+/// models with ScoreBlock support) and the winners are picked by partial
+/// selection — O(catalog + n log n), not O(catalog log catalog) — with the
+/// same strict total order as a full sort, so the returned list is
+/// identical. See docs/serving.md.
+std::vector<Recommendation> TopNRecommendations(const BlockScoreFn& score,
+                                                const UserItemGraph& train_graph,
+                                                int64_t user, int64_t n);
+
+/// Per-pair adapter of the above; identical results.
 std::vector<Recommendation> TopNRecommendations(const ScoreFn& score,
                                                 const UserItemGraph& train_graph,
                                                 int64_t user, int64_t n);

@@ -1,5 +1,6 @@
 #include "models/bpr_mf.h"
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace scenerec {
@@ -18,15 +19,31 @@ Tensor BprMf::ScoreForTraining(int64_t user, int64_t item) {
 }
 
 float BprMf::Score(int64_t user, int64_t item) {
-  // Direct dot product on raw tables: no graph construction needed.
+  // Direct dot product on raw tables: no graph construction needed. Uses
+  // the same fixed-order kernel as ScoreBlock so the two are bitwise equal
+  // (a Gemv against the candidate matrix computes row r via this same Dot).
   const auto& p = user_embedding_.table().value();
   const auto& q = item_embedding_.table().value();
   const int64_t d = user_embedding_.dim();
   const float* prow = p.data() + user * d;
   const float* qrow = q.data() + item * d;
-  float score = item_bias_.value()[static_cast<size_t>(item)];
-  for (int64_t c = 0; c < d; ++c) score += prow[c] * qrow[c];
-  return score;
+  return item_bias_.value()[static_cast<size_t>(item)] +
+         kernels::Dot(prow, qrow, d);
+}
+
+void BprMf::ScoreBlock(int64_t user, std::span<const int64_t> items,
+                       std::span<float> out) {
+  SCENEREC_CHECK_EQ(items.size(), out.size());
+  const auto& p = user_embedding_.table().value();
+  const auto& q = item_embedding_.table().value();
+  const auto& bias = item_bias_.value();
+  const int64_t d = user_embedding_.dim();
+  const float* prow = p.data() + user * d;
+  for (size_t r = 0; r < items.size(); ++r) {
+    const int64_t item = items[r];
+    out[r] = bias[static_cast<size_t>(item)] +
+             kernels::Dot(prow, q.data() + item * d, d);
+  }
 }
 
 void BprMf::CollectParameters(std::vector<Tensor>* out) const {

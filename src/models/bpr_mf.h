@@ -26,6 +26,12 @@ class BprMf : public Recommender {
   bool SupportsShardedLoss() const override { return true; }
   bool PrepareParallelScoring(ThreadPool&) override { return true; }
 
+  /// A block is candidate-row dot products straight off the tables — the
+  /// same fixed-order kernels::Dot per item as Score(), no gather copy.
+  bool SupportsBlockScoring() const override { return true; }
+  void ScoreBlock(int64_t user, std::span<const int64_t> items,
+                  std::span<float> out) override;
+
  private:
   Embedding user_embedding_;
   Embedding item_embedding_;

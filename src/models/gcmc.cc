@@ -1,5 +1,6 @@
 #include "models/gcmc.h"
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace scenerec {
@@ -50,11 +51,21 @@ bool Gcmc::PrepareParallelScoring(ThreadPool& pool) {
 
 float Gcmc::Score(int64_t user, int64_t item) {
   if (cached_.empty()) OnEvalBegin();
+  // Same fixed-order kernel as ScoreBlock: bitwise equal paths.
+  return kernels::Dot(cached_.data() + prop_.UserNode(user) * dim_,
+                      cached_.data() + prop_.ItemNode(item) * dim_, dim_);
+}
+
+void Gcmc::ScoreBlock(int64_t user, std::span<const int64_t> items,
+                      std::span<float> out) {
+  SCENEREC_CHECK_EQ(items.size(), out.size());
+  if (cached_.empty()) OnEvalBegin();
   const float* urow = cached_.data() + prop_.UserNode(user) * dim_;
-  const float* irow = cached_.data() + prop_.ItemNode(item) * dim_;
-  float total = 0.0f;
-  for (int64_t c = 0; c < dim_; ++c) total += urow[c] * irow[c];
-  return total;
+  for (size_t r = 0; r < items.size(); ++r) {
+    out[r] =
+        kernels::Dot(urow, cached_.data() + prop_.ItemNode(items[r]) * dim_,
+                     dim_);
+  }
 }
 
 void Gcmc::CollectParameters(std::vector<Tensor>* out) const {

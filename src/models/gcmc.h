@@ -36,6 +36,12 @@ class Gcmc : public Recommender {
   bool PrepareParallelScoring(ThreadPool& pool) override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
+  /// A block is dot products against the cached candidate rows with the
+  /// same fixed-order kernel as Score() — bitwise equal per pair.
+  bool SupportsBlockScoring() const override { return true; }
+  void ScoreBlock(int64_t user, std::span<const int64_t> items,
+                  std::span<float> out) override;
+
  private:
   /// Full-graph forward: the dense representation matrix Z, [num_nodes, d].
   Tensor Propagate() const;

@@ -27,6 +27,15 @@ float ItemPop::Score(int64_t user, int64_t item) {
   return static_cast<float>(graph_->ItemDegree(item));
 }
 
+void ItemPop::ScoreBlock(int64_t user, std::span<const int64_t> items,
+                         std::span<float> out) {
+  (void)user;
+  SCENEREC_CHECK_EQ(items.size(), out.size());
+  for (size_t r = 0; r < items.size(); ++r) {
+    out[r] = static_cast<float>(graph_->ItemDegree(items[r]));
+  }
+}
+
 void ItemPop::CollectParameters(std::vector<Tensor>* out) const {
   out->push_back(dummy_);
 }

@@ -28,6 +28,11 @@ class ItemPop : public Recommender {
   /// Score() reads the immutable training graph only.
   bool PrepareParallelScoring(ThreadPool&) override { return true; }
 
+  /// A block is a degree lookup per candidate — trivially batchable.
+  bool SupportsBlockScoring() const override { return true; }
+  void ScoreBlock(int64_t user, std::span<const int64_t> items,
+                  std::span<float> out) override;
+
  private:
   const UserItemGraph* graph_;
   /// Dummy trainable scalar so the generic trainer (which requires a

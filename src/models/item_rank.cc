@@ -96,6 +96,15 @@ float ItemRank::Score(int64_t user, int64_t item) {
   return RankVector(user)[static_cast<size_t>(item)];
 }
 
+void ItemRank::ScoreBlock(int64_t user, std::span<const int64_t> items,
+                          std::span<float> out) {
+  SCENEREC_CHECK_EQ(items.size(), out.size());
+  const std::vector<float>& ranks = RankVector(user);
+  for (size_t r = 0; r < items.size(); ++r) {
+    out[r] = ranks[static_cast<size_t>(items[r])];
+  }
+}
+
 bool ItemRank::PrepareParallelScoring(ThreadPool& pool) {
   pool.ParallelFor(graph_->num_users(), /*grain=*/1,
                    [this](int64_t begin, int64_t end) {

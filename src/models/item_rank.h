@@ -36,6 +36,12 @@ class ItemRank : public Recommender {
   /// cache slot), after which Score() is a pure read.
   bool PrepareParallelScoring(ThreadPool& pool) override;
 
+  /// A block resolves the user's rank vector ONCE and indexes it per
+  /// candidate, instead of re-fetching it per pair.
+  bool SupportsBlockScoring() const override { return true; }
+  void ScoreBlock(int64_t user, std::span<const int64_t> items,
+                  std::span<float> out) override;
+
  private:
   /// Power iteration for one user; cached.
   const std::vector<float>& RankVector(int64_t user);

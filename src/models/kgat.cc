@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace scenerec {
@@ -223,13 +224,30 @@ float Kgat::Score(int64_t user, int64_t item) {
   if (cached_layers_.empty()) OnEvalBegin();
   const int64_t u = graph_.propagation.UserNode(user);
   const int64_t i = graph_.propagation.ItemNode(item);
+  // Per-layer fixed-order dots, accumulated layer-major — the exact kernel
+  // and order ScoreBlock uses per candidate, so the two are bitwise equal.
   float total = 0.0f;
   for (const auto& layer : cached_layers_) {
-    const float* urow = layer.data() + u * dim_;
-    const float* irow = layer.data() + i * dim_;
-    for (int64_t c = 0; c < dim_; ++c) total += urow[c] * irow[c];
+    total += kernels::Dot(layer.data() + u * dim_, layer.data() + i * dim_,
+                          dim_);
   }
   return total;
+}
+
+void Kgat::ScoreBlock(int64_t user, std::span<const int64_t> items,
+                      std::span<float> out) {
+  SCENEREC_CHECK_EQ(items.size(), out.size());
+  if (cached_layers_.empty()) OnEvalBegin();
+  const int64_t u = graph_.propagation.UserNode(user);
+  for (size_t r = 0; r < items.size(); ++r) {
+    const int64_t i = graph_.propagation.ItemNode(items[r]);
+    float total = 0.0f;
+    for (const auto& layer : cached_layers_) {
+      total += kernels::Dot(layer.data() + u * dim_, layer.data() + i * dim_,
+                            dim_);
+    }
+    out[r] = total;
+  }
 }
 
 void Kgat::CollectParameters(std::vector<Tensor>* out) const {

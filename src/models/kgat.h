@@ -43,6 +43,12 @@ class Kgat : public Recommender {
   bool PrepareParallelScoring(ThreadPool& pool) override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
+  /// A block is per-layer dot products against the cached candidate rows
+  /// with the same fixed-order kernel as Score() — bitwise equal per pair.
+  bool SupportsBlockScoring() const override { return true; }
+  void ScoreBlock(int64_t user, std::span<const int64_t> items,
+                  std::span<float> out) override;
+
  private:
   std::vector<Tensor> Propagate() const;
   /// Recomputes softmax-normalized attention coefficients per edge.

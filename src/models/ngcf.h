@@ -42,6 +42,13 @@ class Ngcf : public Recommender {
   bool PrepareParallelScoring(ThreadPool& pool) override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
+  /// A block is per-layer dot products against the cached candidate rows,
+  /// layer-major like Score() so the accumulation order (and the result)
+  /// is bitwise identical.
+  bool SupportsBlockScoring() const override { return true; }
+  void ScoreBlock(int64_t user, std::span<const int64_t> items,
+                  std::span<float> out) override;
+
   int64_t depth() const { return depth_; }
 
  protected:

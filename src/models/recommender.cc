@@ -1,5 +1,6 @@
 #include "models/recommender.h"
 
+#include "common/check.h"
 #include "tensor/ops.h"
 
 namespace scenerec {
@@ -35,6 +36,14 @@ Tensor Recommender::BatchLossShard(std::span<const BprTriple> shard,
 float Recommender::Score(int64_t user, int64_t item) {
   NoGradGuard no_grad;
   return ScoreForTraining(user, item).scalar();
+}
+
+void Recommender::ScoreBlock(int64_t user, std::span<const int64_t> items,
+                             std::span<float> out) {
+  // Per-pair fallback adapter: correct for every model (out[r] IS
+  // Score(user, items[r])), batched for none. Batching models override.
+  SCENEREC_CHECK_EQ(items.size(), out.size());
+  for (size_t r = 0; r < items.size(); ++r) out[r] = Score(user, items[r]);
 }
 
 }  // namespace scenerec

@@ -84,6 +84,28 @@ class Recommender : public Module {
   /// Models with cached propagated representations override this.
   virtual float Score(int64_t user, int64_t item);
 
+  // -- Block scoring (batched inference) --------------------------------
+  //
+  // Full-ranking evaluation and Top-N serving score one user against
+  // thousands of candidate items. ScoreBlock is the batched entry point:
+  // models that can gather their (memoized) user/item representations into
+  // matrices answer a whole block with row-batched GEMMs instead of one
+  // autograd forward per pair (docs/serving.md). The contract is strict:
+  // out[r] must be bitwise equal to Score(user, items[r]) for every r, so
+  // callers may switch between the paths freely without metrics drift.
+
+  /// True if ScoreBlock is a genuine batched fast path rather than the
+  /// per-pair fallback loop. Purely informational — ScoreBlock is always
+  /// callable — but benches and tests use it to pick comparison targets.
+  virtual bool SupportsBlockScoring() const { return false; }
+
+  /// Scores `items.size()` candidates for one user into `out` (same
+  /// length). Requires the same preparation as Score (OnEvalBegin, and
+  /// PrepareParallelScoring before concurrent use). The default loops
+  /// Score() — correct for every model, batched for none.
+  virtual void ScoreBlock(int64_t user, std::span<const int64_t> items,
+                          std::span<float> out);
+
   /// Makes Score() safe to call concurrently and returns true, or returns
   /// false if this model's scoring path cannot be parallelized. Called by
   /// the trainer/evaluator after OnEvalBegin; implementations typically
@@ -102,9 +124,18 @@ class Recommender : public Module {
   /// its attention coefficients once per epoch). Default no-op.
   virtual void OnEpochBegin() {}
 
-  /// Adapter for the evaluation harness.
+  /// Adapter for the evaluation harness's per-pair interface.
   ScoreFn Scorer() {
     return [this](int64_t user, int64_t item) { return Score(user, item); };
+  }
+
+  /// Adapter for the evaluation harness's block interface: one virtual
+  /// dispatch per candidate block instead of one std::function call per
+  /// pair. The preferred scorer for EvaluateRanking / EvaluateFullRanking /
+  /// TopNRecommendations.
+  BlockScoreFn BlockScorer() {
+    return [this](int64_t user, std::span<const int64_t> items,
+                  std::span<float> out) { ScoreBlock(user, items, out); };
   }
 };
 

@@ -395,6 +395,35 @@ bool SceneRec::PrepareParallelScoring(ThreadPool& pool) {
   return true;
 }
 
+void SceneRec::ScoreBlock(int64_t user, std::span<const int64_t> items,
+                          std::span<float> out) {
+  SCENEREC_CHECK_EQ(items.size(), out.size());
+  if (items.empty()) return;
+  NoGradGuard no_grad;
+  // Representations come from the eval caches: pre-filled by
+  // PrepareParallelScoring (parallel sweeps, pure reads here) or filled
+  // lazily on first use (serial sweeps) — the identical code path Score()
+  // takes, so cached rows are bitwise-shared between both.
+  const Tensor user_repr = UserRepr(user, nullptr);
+  const int64_t d = config_.embedding_dim;
+  const int64_t rows = static_cast<int64_t>(items.size());
+  std::vector<float> xs(static_cast<size_t>(rows * 2 * d));
+  const float* urow = user_repr.value().data();
+  for (int64_t r = 0; r < rows; ++r) {
+    Tensor item_repr =
+        GeneralItemRepr(items[static_cast<size_t>(r)], step_caches_, nullptr);
+    float* dst = xs.data() + r * 2 * d;
+    const float* irow = item_repr.value().data();
+    for (int64_t c = 0; c < d; ++c) dst[c] = urow[c];
+    for (int64_t c = 0; c < d; ++c) dst[d + c] = irow[c];
+  }
+  // Eq. (14) once per block: [B, 2d] -> [B, 1] row-batched GEMMs.
+  Tensor scores = rating_mlp_.ForwardRows(
+      Tensor::FromVector(Shape({rows, 2 * d}), std::move(xs)));
+  const float* src = scores.value().data();
+  for (int64_t r = 0; r < rows; ++r) out[static_cast<size_t>(r)] = src[r];
+}
+
 float SceneRec::AverageAttentionScore(int64_t user, int64_t item) const {
   if (scene_ == nullptr || !config_.use_scene) return 0.0f;
   auto history = user_item_->ItemsOfUser(user);

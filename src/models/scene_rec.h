@@ -76,6 +76,16 @@ class SceneRec : public Recommender {
   /// plus a thread-local rating MLP forward.
   bool PrepareParallelScoring(ThreadPool& pool) override;
 
+  // -- Block scoring -------------------------------------------------------
+  // Gathers the memoized user/item representations into one [B, 2d] matrix
+  // and runs eq. (14) once per block through rating_mlp_.ForwardRows — a
+  // row-batched GEMM instead of B per-pair autograd forwards. Bitwise equal
+  // to per-pair Score() because ForwardRows row r is bitwise equal to
+  // Forward(row r) (docs/kernels.md) and the gather is a pure copy.
+  bool SupportsBlockScoring() const override { return true; }
+  void ScoreBlock(int64_t user, std::span<const int64_t> items,
+                  std::span<float> out) override;
+
   const SceneRecConfig& config() const { return config_; }
 
   /// Average scene-based attention score between `item` and the items the

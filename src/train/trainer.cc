@@ -315,8 +315,10 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
     phase_start = instrument ? NowNs() : 0;
     RankingMetrics validation = [&] {
       SCENEREC_TRACE_SPAN("trainer/eval", "trainer", trace::Floor::kNone);
-      return EvaluateRanking(model.Scorer(), split.validation, config.eval_k,
-                             eval_pool);
+      // Block interface: batching models answer each instance's candidate
+      // list with row-batched GEMMs instead of per-pair forwards.
+      return EvaluateRanking(model.BlockScorer(), split.validation,
+                             config.eval_k, eval_pool);
     }();
     if (instrument) eval_ns = NowNs() - phase_start;
     if (!std::isfinite(validation.ndcg) || !std::isfinite(validation.hr) ||
@@ -388,8 +390,8 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
   ThreadPool* test_pool =
       (pool != nullptr && model.PrepareParallelScoring(*pool)) ? pool.get()
                                                                : nullptr;
-  result.test =
-      EvaluateRanking(model.Scorer(), split.test, config.eval_k, test_pool);
+  result.test = EvaluateRanking(model.BlockScorer(), split.test,
+                                config.eval_k, test_pool);
   return result;
 }
 

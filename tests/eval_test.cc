@@ -1,5 +1,8 @@
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -299,6 +302,98 @@ TEST(TopNTest, FewerCandidatesThanN) {
   auto recs = TopNRecommendations(score, train, 0, 10);
   ASSERT_EQ(recs.size(), 1u);
   EXPECT_EQ(recs[0].item, 2);
+}
+
+// -- Block-scoring path --------------------------------------------------------
+
+/// Deterministic per-pair scorer shared by the block-path tests.
+float HashScore(int64_t user, int64_t item) {
+  return static_cast<float>(((user * 31 + item) * 2654435761u) % 1000) -
+         500.0f;
+}
+
+TEST(EvaluatorTest, BlockScoreFnMatchesPerPairAdapters) {
+  std::vector<EvalInstance> instances(3);
+  instances[0] = {0, 7, {1, 2, 3}};
+  instances[1] = {1, 9, {4, 5, 6}};
+  instances[2] = {2, 11, {1, 5, 9}};
+  BlockScoreFn block = [](int64_t user, std::span<const int64_t> items,
+                          std::span<float> out) {
+    for (size_t r = 0; r < items.size(); ++r) {
+      out[r] = HashScore(user, items[r]);
+    }
+  };
+  RankingMetrics per_pair = EvaluateRanking(ScoreFn(HashScore), instances, 2);
+  RankingMetrics blocked = EvaluateRanking(block, instances, 2);
+  EXPECT_DOUBLE_EQ(per_pair.hr, blocked.hr);
+  EXPECT_DOUBLE_EQ(per_pair.ndcg, blocked.ndcg);
+  EXPECT_DOUBLE_EQ(per_pair.mrr, blocked.mrr);
+}
+
+TEST(EvaluatorTest, FullRankingChunksBlocksAtScoreBlockSize) {
+  // Catalog larger than two chunks: every dispatched block must respect
+  // kScoreBlockSize, and chunking must not change the metrics.
+  const int64_t num_items = 2 * kScoreBlockSize + 357;
+  UserItemGraph train = UserItemGraph::Build(1, num_items, {{0, 0}});
+  std::vector<EvalInstance> instances(1);
+  instances[0] = {0, 42, {}};
+  size_t max_block = 0;
+  int64_t scored = 0;
+  BlockScoreFn block = [&](int64_t user, std::span<const int64_t> items,
+                           std::span<float> out) {
+    max_block = std::max(max_block, items.size());
+    scored += static_cast<int64_t>(items.size());
+    for (size_t r = 0; r < items.size(); ++r) {
+      out[r] = HashScore(user, items[r]);
+    }
+  };
+  RankingMetrics blocked = EvaluateFullRanking(block, train, instances, 10);
+  EXPECT_LE(max_block, static_cast<size_t>(kScoreBlockSize));
+  EXPECT_EQ(scored, num_items - 1);  // full catalog minus the masked item 0
+  RankingMetrics per_pair =
+      EvaluateFullRanking(ScoreFn(HashScore), train, instances, 10);
+  EXPECT_DOUBLE_EQ(per_pair.hr, blocked.hr);
+  EXPECT_DOUBLE_EQ(per_pair.ndcg, blocked.ndcg);
+  EXPECT_DOUBLE_EQ(per_pair.mrr, blocked.mrr);
+}
+
+TEST(EvaluatorTest, BlockScorerFromPairsForwardsEveryCandidate) {
+  BlockScoreFn block = BlockScorerFromPairs(ScoreFn(HashScore));
+  std::vector<int64_t> items = {5, 0, 9};
+  std::vector<float> out(items.size());
+  block(3, items, out);
+  for (size_t r = 0; r < items.size(); ++r) {
+    EXPECT_EQ(out[r], HashScore(3, items[r]));
+  }
+  block(3, std::span<const int64_t>(), std::span<float>());  // no-op
+}
+
+TEST(TopNTest, PartialSelectionMatchesFullSortWithTies) {
+  // Catalog wider than a block, scores drawn from a tiny value set so the
+  // nth_element pivot region is full of ties; the partial selection must
+  // still return exactly the full-sort prefix (score desc, lower id first).
+  const int64_t num_items = kScoreBlockSize + 123;
+  UserItemGraph train = UserItemGraph::Build(1, num_items, {{0, 3}});
+  auto score = [](int64_t, int64_t item) {
+    return static_cast<float>(item % 7);
+  };
+  auto recs = TopNRecommendations(ScoreFn(score), train, 0, 25);
+
+  std::vector<std::pair<float, int64_t>> expected;
+  for (int64_t i = 0; i < num_items; ++i) {
+    if (i == 3) continue;
+    expected.push_back({score(0, i), i});
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  ASSERT_EQ(recs.size(), 25u);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].item, expected[i].second) << "rank " << i;
+    EXPECT_EQ(recs[i].score, expected[i].first) << "rank " << i;
+  }
 }
 
 }  // namespace

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Runs the benchmark suites and records their results as JSON at the repo
-# root (BENCH_kernels.json, BENCH_parallel.json, BENCH_telemetry.json,
-# BENCH_trace.json) so kernel-layer, parallel-layer and observability
-# changes can be compared against committed numbers (tools/bench_diff).
+# root (BENCH_kernels.json, BENCH_parallel.json, BENCH_scoring.json,
+# BENCH_telemetry.json, BENCH_trace.json) so kernel-layer, parallel-layer,
+# scoring-path and observability changes can be compared against committed
+# numbers (tools/bench_diff).
 # BENCH_telemetry.json holds the telemetry-enabled vs -disabled epoch times
 # (BM_TrainEpochTelemetry/1 vs /0) and BENCH_trace.json the same pair for
 # span tracing (BM_TrainEpochTrace); the disabled-mode overhead budget for
-# both layers is <1%.
+# both layers is <1%. BENCH_scoring.json pairs the per-pair and block
+# scoring paths on full ranking and Top-N (docs/serving.md) — the
+# *PerPair/*Block ratio is the batching speedup.
 #
 # Usage: tools/bench.sh [benchmark_filter_regex]
-# A filter (e.g. 'MatVec|Gemm') restricts the first two suites; the JSON
+# A filter (e.g. 'MatVec|Gemm') restricts the first three suites; the JSON
 # files then contain only the filtered benchmarks, so commit full runs only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,7 +20,7 @@ cd "$(dirname "$0")/.."
 FILTER="${1:-.}"
 
 cmake -B build >/dev/null
-cmake --build build --target bench_kernels bench_parallel
+cmake --build build --target bench_kernels bench_parallel bench_scoring
 
 echo "==> bench_kernels -> BENCH_kernels.json"
 build/bench/bench_kernels \
@@ -28,6 +31,11 @@ echo "==> bench_parallel -> BENCH_parallel.json"
 build/bench/bench_parallel \
   --benchmark_filter="${FILTER}" \
   --benchmark_format=json >BENCH_parallel.json
+
+echo "==> bench_scoring -> BENCH_scoring.json"
+build/bench/bench_scoring \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json >BENCH_scoring.json
 
 echo "==> bench_parallel telemetry on/off -> BENCH_telemetry.json"
 build/bench/bench_parallel \

@@ -38,13 +38,16 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 echo "==> stage 2: ThreadSanitizer build"
 configure build-tsan -DSCENEREC_SANITIZE=thread
-cmake --build build-tsan --target parallel_test eval_test train_test telemetry_test trace_test
+cmake --build build-tsan --target parallel_test eval_test scoring_test train_test telemetry_test trace_test
 
 echo "==> stage 2: parallel tests under TSan"
 # halt_on_error makes a data race fail the script, not just print a report.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 build-tsan/tests/parallel_test
 build-tsan/tests/eval_test
+# Concurrent ScoreBlock sweeps over the prefilled eval caches — the block
+# path's version of the parallel-eval pure-read contract.
+build-tsan/tests/scoring_test
 build-tsan/tests/train_test
 # The telemetry merge path is the TSan-critical one: per-thread slab writers
 # racing with Snapshot() scrapers must be data-race-free (relaxed atomics).
@@ -56,7 +59,7 @@ build-tsan/tests/trace_test
 
 echo "==> stage 3: ASan+UBSan build"
 configure build-asan -DSCENEREC_SANITIZE=address,undefined
-cmake --build build-asan --target tensor_test ops_test telemetry_test train_test trace_test
+cmake --build build-asan --target tensor_test ops_test telemetry_test train_test trace_test scoring_test
 
 echo "==> stage 3: tensor/op tests under ASan+UBSan"
 build-asan/tests/tensor_test
@@ -68,6 +71,12 @@ echo "==> stage 3: telemetry + trainer divergence tests under ASan+UBSan"
 build-asan/tests/telemetry_test
 build-asan/tests/train_test --gtest_filter='TrainTest.NonFinite*:TrainTest.EarlyStop*'
 
+echo "==> stage 3: block-scoring equivalence under ASan+UBSan"
+# Span/subspan chunking arithmetic and the gather-into-matrix copies in
+# every model's ScoreBlock; UBSan additionally checks the partial-selection
+# comparator for strict-weak-ordering misuse symptoms (invalid indexing).
+build-asan/tests/scoring_test
+
 echo "==> stage 3: trace ring + export under ASan+UBSan"
 # Ring wraparound arithmetic, snprintf'd args buffers and the JSON exporter
 # are exactly the kind of off-by-one surface ASan exists for.
@@ -78,9 +87,10 @@ if [ "${SCENEREC_PERF:-0}" != "0" ]; then
   THRESHOLD="${SCENEREC_PERF_THRESHOLD:-20}"
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"' EXIT
-  cmake --build build --target bench_kernels bench_parallel
+  cmake --build build --target bench_kernels bench_parallel bench_scoring
   build/bench/bench_kernels --benchmark_format=json >"$tmp/kernels.json"
   build/bench/bench_parallel --benchmark_format=json >"$tmp/parallel.json"
+  build/bench/bench_scoring --benchmark_format=json >"$tmp/scoring.json"
   build/bench/bench_parallel \
     --benchmark_filter='BM_TrainEpochTelemetry' \
     --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
@@ -91,6 +101,7 @@ if [ "${SCENEREC_PERF:-0}" != "0" ]; then
     --benchmark_format=json >"$tmp/trace.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_kernels.json "$tmp/kernels.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_parallel.json "$tmp/parallel.json"
+  tools/bench_diff --check --threshold="$THRESHOLD" BENCH_scoring.json "$tmp/scoring.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_telemetry.json "$tmp/telemetry.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_trace.json "$tmp/trace.json"
 fi
