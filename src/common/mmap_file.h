@@ -1,0 +1,47 @@
+#ifndef SCENEREC_COMMON_MMAP_FILE_H_
+#define SCENEREC_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status_or.h"
+
+namespace scenerec {
+
+/// A whole file mapped read-only (PROT_READ, MAP_PRIVATE). Move-only RAII:
+/// the mapping lives exactly as long as the object, so anything that views
+/// the mapped bytes (borrowed FloatBuffers, snapshot tensors) must keep the
+/// owning object alive — see nn/snapshot.h, which shares a MappedFile
+/// through shared_ptr pins.
+///
+/// The pages are faulted in lazily by the kernel: opening a multi-gigabyte
+/// file costs one mmap call, and only the bytes actually scored against are
+/// ever read from disk.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Empty files map successfully with size() == 0.
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void Unmap();
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_COMMON_MMAP_FILE_H_

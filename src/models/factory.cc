@@ -1,5 +1,7 @@
 #include "models/factory.h"
 
+#include "nn/snapshot.h"
+
 #include "models/bpr_mf.h"
 #include "models/cmn.h"
 #include "models/gcmc.h"
@@ -92,6 +94,29 @@ StatusOr<std::unique_ptr<Recommender>> MakeRecommender(
         new SceneRec(graph, context.scene, model_config, rng));
   }
   return Status::InvalidArgument("unknown model: " + name);
+}
+
+StatusOr<std::unique_ptr<Recommender>> OpenRecommenderFromSnapshot(
+    const std::string& path, const ModelContext& context,
+    const ModelFactoryConfig& config) {
+  SCENEREC_ASSIGN_OR_RETURN(std::shared_ptr<const Snapshot> snapshot,
+                            Snapshot::Open(path));
+  std::unique_ptr<Recommender> model;
+  {
+    // Every parameter built inside this scope is about to be rebound to a
+    // mapped page, so the random factories skip their fill — construction
+    // cost stays independent of table sizes.
+    DeferredInitGuard defer;
+    SCENEREC_ASSIGN_OR_RETURN(
+        model, MakeRecommender(snapshot->tag(), context, config));
+  }
+  SCENEREC_RETURN_IF_ERROR(BindSnapshot(*model, snapshot));
+  // Derived state computed during construction (KGAT's attention
+  // coefficients) saw the deferred — zero — parameters; recompute it from
+  // the mapped values. The hook is deterministic for every factory model,
+  // which keeps snapshot-bound scores bitwise equal to the writer's.
+  model->OnEpochBegin();
+  return model;
 }
 
 std::vector<std::string> Table2ModelNames() {

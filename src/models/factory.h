@@ -34,6 +34,22 @@ StatusOr<std::unique_ptr<Recommender>> MakeRecommender(
     const std::string& name, const ModelContext& context,
     const ModelFactoryConfig& config);
 
+/// Opens an SRSNAP1 snapshot (nn/snapshot.h) zero-copy and reconstructs the
+/// model it was written from: the snapshot's tag selects the model name,
+/// the architecture comes from `context` + `config` (which must match the
+/// training-time values), and every parameter is bound in place to the
+/// mmap'd pages — no table is read, copied, or RNG-initialized, so opening
+/// a multi-gigabyte model costs one mmap plus manifest validation.
+///
+/// The returned model is inference-only: Score/ScoreBlock/Top-N work as
+/// usual (bitwise identical to the model the snapshot was written from),
+/// but requesting gradients on its parameters aborts. The snapshot mapping
+/// lives exactly as long as the model and is unmapped on destruction — the
+/// property ModelHandle's drain-based hot swap relies on.
+StatusOr<std::unique_ptr<Recommender>> OpenRecommenderFromSnapshot(
+    const std::string& path, const ModelContext& context,
+    const ModelFactoryConfig& config);
+
 /// All model names in the row order of Table 2.
 std::vector<std::string> Table2ModelNames();
 

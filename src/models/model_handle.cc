@@ -1,0 +1,45 @@
+#include "models/model_handle.h"
+
+#include <utility>
+
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace scenerec {
+
+namespace {
+const telemetry::Counter t_swaps =
+    telemetry::RegisterCounter("serve/model_swaps");
+const telemetry::Counter t_acquires =
+    telemetry::RegisterCounter("serve/model_acquires");
+}  // namespace
+
+std::shared_ptr<Recommender> ModelHandle::Acquire() const {
+  t_acquires.Add();
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::shared_ptr<Recommender> ModelHandle::Publish(
+    std::shared_ptr<Recommender> next) {
+  SCENEREC_TRACE_SPAN("serve/model_swap", "serve", trace::Floor::kNone);
+  std::shared_ptr<Recommender> previous;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    previous = std::move(current_);
+    current_ = std::move(next);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  t_swaps.Add();
+  return previous;
+}
+
+std::vector<Recommendation> TopNFromHandle(const ModelHandle& handle,
+                                           const UserItemGraph& train_graph,
+                                           int64_t user, int64_t n) {
+  const std::shared_ptr<Recommender> model = handle.Acquire();
+  if (model == nullptr) return {};
+  return TopNRecommendations(model->BlockScorer(), train_graph, user, n);
+}
+
+}  // namespace scenerec

@@ -1,0 +1,72 @@
+#ifndef SCENEREC_MODELS_MODEL_HANDLE_H_
+#define SCENEREC_MODELS_MODEL_HANDLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "eval/top_n.h"
+#include "graph/bipartite_graph.h"
+#include "models/recommender.h"
+
+namespace scenerec {
+
+/// The hot-swap primitive of the serving path (docs/serving.md): a slot
+/// holding the currently published model. Request threads Acquire() a
+/// shared_ptr and score against it for however long the request takes;
+/// Publish() swaps in a replacement without blocking them — in-flight
+/// requests finish on the model they acquired, the next Acquire() sees the
+/// new one. Neither side ever waits on a request.
+///
+/// Retirement is drain-based and automatic: the old model dies with its
+/// last outstanding shared_ptr, and for a snapshot-bound model
+/// (OpenRecommenderFromSnapshot) that destruction releases the parameter
+/// pins and unmaps the snapshot file. Publishing therefore also *bounds*
+/// resource use — at most the old and new mappings coexist, and only while
+/// old readers drain.
+class ModelHandle {
+ public:
+  ModelHandle() = default;
+  explicit ModelHandle(std::shared_ptr<Recommender> initial)
+      : current_(std::move(initial)) {}
+
+  ModelHandle(const ModelHandle&) = delete;
+  ModelHandle& operator=(const ModelHandle&) = delete;
+
+  /// The currently published model (null if nothing published yet). The
+  /// returned shared_ptr keeps that model — and its snapshot mapping —
+  /// alive for the caller's scoring run even across a concurrent Publish.
+  std::shared_ptr<Recommender> Acquire() const;
+
+  /// Publishes `next` (may be null to unpublish) and returns the model it
+  /// replaced. Never blocks on readers: the swap is one pointer exchange
+  /// under the slot mutex. Callers must finish read-side preparation
+  /// (OnEvalBegin / PrepareParallelScoring) BEFORE publishing, so the next
+  /// request can score immediately.
+  std::shared_ptr<Recommender> Publish(std::shared_ptr<Recommender> next);
+
+  /// Number of Publish() calls; a serving loop can cheaply poll this to
+  /// notice that a new version went live.
+  uint64_t swap_count() const {
+    return swaps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<Recommender> current_;
+  std::atomic<uint64_t> swaps_{0};
+};
+
+/// Top-N against whatever model `handle` currently serves. Acquires once,
+/// scores the whole catalog on that model (a swap mid-request cannot mix
+/// two versions' scores), releases on return. Empty result if the handle
+/// has no published model.
+std::vector<Recommendation> TopNFromHandle(const ModelHandle& handle,
+                                           const UserItemGraph& train_graph,
+                                           int64_t user, int64_t n);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_MODELS_MODEL_HANDLE_H_

@@ -2,28 +2,42 @@
 #define SCENEREC_NN_EMBEDDING_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "nn/module.h"
+#include "nn/param_table.h"
 #include "tensor/tensor.h"
 
 namespace scenerec {
 
-/// A trainable lookup table mapping ids in [0, vocab) to dense vectors of
-/// length `dim`. Gradients flow only into looked-up rows and the optimizer
+/// A lookup table mapping ids in [0, vocab) to dense vectors of length
+/// `dim`. The table lives behind a ParamTable backend: trainable in-RAM by
+/// default (gradients flow only into looked-up rows and the optimizer
 /// updates lazily via Tensor::touched_rows(), so tables with tens of
-/// thousands of rows stay cheap per step.
+/// thousands of rows stay cheap per step), or a read-only mmap'd snapshot
+/// page for zero-copy serving (nn/param_table.h).
 class Embedding : public Module {
  public:
-  /// Initializes rows i.i.d. N(0, stddev^2). The common recommender default
-  /// stddev 0.1 keeps initial scores small.
+  /// Trainable table with rows i.i.d. N(0, stddev^2). The common recommender
+  /// default stddev 0.1 keeps initial scores small.
   Embedding(int64_t vocab, int64_t dim, Rng& rng, float stddev = 0.1f);
+
+  /// Wraps an existing backend (e.g. a MappedParamTable over a snapshot
+  /// page). The backend is shared, not copied.
+  explicit Embedding(std::shared_ptr<ParamTable> table);
 
   Embedding(const Embedding&) = delete;
   Embedding& operator=(const Embedding&) = delete;
-  Embedding(Embedding&&) = default;
-  Embedding& operator=(Embedding&&) = default;
+
+  /// Moves SHARE the backend instead of stealing it: the moved-from
+  /// embedding stays fully usable and both instances expose the same table
+  /// tensor. This keeps an optimizer's collected handles — and their lazy
+  /// touched_rows() row updates — bound to the live storage when the owning
+  /// model is relocated (e.g. a vector of models reallocates).
+  Embedding(Embedding&& other) noexcept;
+  Embedding& operator=(Embedding&& other) noexcept;
 
   /// Embedding of one id -> rank-1 tensor [dim].
   Tensor Lookup(int64_t id) const;
@@ -35,12 +49,13 @@ class Embedding : public Module {
 
   int64_t vocab() const { return vocab_; }
   int64_t dim() const { return dim_; }
-  const Tensor& table() const { return table_; }
+  const Tensor& table() const { return table_->table(); }
+  const std::shared_ptr<ParamTable>& backend() const { return table_; }
 
  private:
   int64_t vocab_;
   int64_t dim_;
-  Tensor table_;
+  std::shared_ptr<ParamTable> table_;
 };
 
 }  // namespace scenerec

@@ -1,0 +1,19 @@
+#include "nn/param_table.h"
+
+#include <utility>
+
+namespace scenerec {
+
+DenseParamTable::DenseParamTable(int64_t vocab, int64_t dim, Rng& rng,
+                                 float stddev)
+    : table_(Tensor::RandomNormal(Shape({vocab, dim}), stddev, rng,
+                                  /*requires_grad=*/true)) {}
+
+MappedParamTable::MappedParamTable(Tensor view) : table_(std::move(view)) {
+  SCENEREC_CHECK(table_.defined());
+  SCENEREC_CHECK_EQ(table_.shape().rank(), 2);
+  SCENEREC_CHECK(table_.borrowed())
+      << "MappedParamTable needs a borrowed (snapshot-backed) tensor";
+}
+
+}  // namespace scenerec

@@ -1,0 +1,65 @@
+#ifndef SCENEREC_NN_PARAM_TABLE_H_
+#define SCENEREC_NN_PARAM_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace scenerec {
+
+/// Storage backend for an Embedding's [vocab, dim] table. Two backends
+/// exist: DenseParamTable owns a trainable in-RAM tensor (the training
+/// path), MappedParamTable wraps a read-only borrowed view of an mmap'd
+/// snapshot page (the zero-copy serving path, see nn/snapshot.h). Backends
+/// are shared between Embedding instances — a moved Embedding shares its
+/// source's backend — so the handle an optimizer collected stays bound to
+/// the storage being trained no matter how the owning model is relocated.
+class ParamTable {
+ public:
+  virtual ~ParamTable() = default;
+
+  /// The [vocab, dim] table tensor. The handle is stable for the backend's
+  /// lifetime (BindSnapshot may rebind its storage in place).
+  virtual const Tensor& table() const = 0;
+
+  /// False for read-only (file-backed) backends.
+  virtual bool trainable() const = 0;
+
+  int64_t vocab() const { return table().shape().dim(0); }
+  int64_t dim() const { return table().shape().dim(1); }
+};
+
+/// In-RAM trainable backend: rows initialized i.i.d. N(0, stddev^2),
+/// requires_grad set, sparse gradients via Tensor::touched_rows().
+class DenseParamTable : public ParamTable {
+ public:
+  DenseParamTable(int64_t vocab, int64_t dim, Rng& rng, float stddev);
+
+  const Tensor& table() const override { return table_; }
+  bool trainable() const override { return true; }
+
+ private:
+  Tensor table_;
+};
+
+/// Read-only file-backed backend over a borrowed [vocab, dim] tensor
+/// (typically Snapshot::View). The view pins its snapshot's mapping, so the
+/// backing file stays mapped for this backend's lifetime. Lookups are
+/// zero-copy reads of the mapped page; gradients are forbidden.
+class MappedParamTable : public ParamTable {
+ public:
+  /// `view` must be rank-2 and borrowed (view external read-only memory).
+  explicit MappedParamTable(Tensor view);
+
+  const Tensor& table() const override { return table_; }
+  bool trainable() const override { return false; }
+
+ private:
+  Tensor table_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_NN_PARAM_TABLE_H_

@@ -1,97 +1,57 @@
 #include "nn/serialization.h"
 
-#include <cstdint>
-#include <fstream>
+#include <cstring>
+#include <memory>
 
 #include "common/string_util.h"
+#include "nn/snapshot.h"
 
 namespace scenerec {
 
-namespace {
-constexpr char kMagic[] = "SRCKPT1\n";
-
-Status WriteInt64(std::ofstream& out, int64_t value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-  if (!out) return Status::IOError("write failed");
-  return Status::OK();
-}
-
-StatusOr<int64_t> ReadInt64(std::ifstream& in) {
-  int64_t value = 0;
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  if (!in) return Status::IOError("unexpected end of checkpoint");
-  return value;
-}
-}  // namespace
-
 Status SaveCheckpoint(const Module& module, const std::string& tag,
                       const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out.write(kMagic, sizeof(kMagic) - 1);
-  out << tag << '\n';
-  const std::vector<Tensor> params = module.Parameters();
-  SCENEREC_RETURN_IF_ERROR(
-      WriteInt64(out, static_cast<int64_t>(params.size())));
-  for (const Tensor& p : params) {
-    SCENEREC_RETURN_IF_ERROR(WriteInt64(out, p.shape().rank()));
-    for (int64_t d : p.shape().dims()) {
-      SCENEREC_RETURN_IF_ERROR(WriteInt64(out, d));
-    }
-    const auto& values = p.value();
-    out.write(reinterpret_cast<const char*>(values.data()),
-              static_cast<std::streamsize>(values.size() * sizeof(float)));
-    if (!out) return Status::IOError("write failed for " + path);
-  }
-  out.close();
-  if (!out) return Status::IOError("close failed for " + path);
-  return Status::OK();
+  return WriteSnapshot(module, tag, /*version=*/0, path);
 }
 
 Status LoadCheckpoint(Module& module, const std::string& tag,
                       const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  char magic[sizeof(kMagic) - 1];
-  in.read(magic, sizeof(magic));
-  if (!in || std::string_view(magic, sizeof(magic)) !=
-                 std::string_view(kMagic, sizeof(magic))) {
-    return Status::InvalidArgument(path + " is not a scenerec checkpoint");
-  }
-  std::string stored_tag;
-  if (!std::getline(in, stored_tag)) {
-    return Status::IOError("unexpected end of checkpoint");
-  }
-  if (stored_tag != tag) {
+  SCENEREC_ASSIGN_OR_RETURN(std::shared_ptr<const Snapshot> snapshot,
+                            Snapshot::Open(path));
+  if (snapshot->tag() != tag) {
     return Status::FailedPrecondition(
-        StrFormat("checkpoint tag mismatch: stored \"%s\", expected \"%s\"",
-                  stored_tag.c_str(), tag.c_str()));
+        StrFormat("checkpoint tag mismatch in %s: stored \"%s\", expected "
+                  "\"%s\"",
+                  path.c_str(), snapshot->tag().c_str(), tag.c_str()));
   }
-  SCENEREC_ASSIGN_OR_RETURN(int64_t count, ReadInt64(in));
   std::vector<Tensor> params = module.Parameters();
-  if (count != static_cast<int64_t>(params.size())) {
+  const auto& entries = snapshot->tensors();
+  if (entries.size() != params.size()) {
     return Status::FailedPrecondition(
-        StrFormat("checkpoint has %lld parameters, module has %zu",
-                  static_cast<long long>(count), params.size()));
+        StrFormat("checkpoint %s has %zu parameters, module has %zu",
+                  path.c_str(), entries.size(), params.size()));
   }
-  for (Tensor& p : params) {
-    SCENEREC_ASSIGN_OR_RETURN(int64_t rank, ReadInt64(in));
-    std::vector<int64_t> dims;
-    dims.reserve(static_cast<size_t>(rank));
-    for (int64_t d = 0; d < rank; ++d) {
-      SCENEREC_ASSIGN_OR_RETURN(int64_t dim, ReadInt64(in));
-      dims.push_back(dim);
+  // Validate everything before copying anything, so a mismatch never leaves
+  // the module half-restored.
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!(entries[i].shape == params[i].shape())) {
+      return Status::FailedPrecondition(StrFormat(
+          "tensor %zu shape mismatch in %s: checkpoint has %s, parameter "
+          "expects %s",
+          i, path.c_str(), entries[i].shape.ToString().c_str(),
+          params[i].shape().ToString().c_str()));
     }
-    const Shape stored_shape(std::move(dims));
-    if (stored_shape != p.shape()) {
-      return Status::FailedPrecondition(
-          "checkpoint shape " + stored_shape.ToString() +
-          " does not match parameter shape " + p.shape().ToString());
+    if (params[i].borrowed()) {
+      return Status::FailedPrecondition(StrFormat(
+          "tensor %zu of the module is a read-only mapped parameter; "
+          "LoadCheckpoint(%s) needs trainable storage (use "
+          "BindSnapshot/OpenRecommenderFromSnapshot for serving)",
+          i, path.c_str()));
     }
-    auto& values = p.mutable_value();
-    in.read(reinterpret_cast<char*>(values.data()),
-            static_cast<std::streamsize>(values.size() * sizeof(float)));
-    if (!in) return Status::IOError("unexpected end of checkpoint");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    FloatBuffer& values = params[i].mutable_value();
+    std::memcpy(values.data(), snapshot->data(i),
+                values.size() * sizeof(float));
   }
   return Status::OK();
 }

@@ -10,18 +10,25 @@
 
 namespace scenerec {
 
-/// Writes a module's parameters to a binary checkpoint file. The format is
-///   magic "SRCKPT1\n", tag line, parameter count,
-///   then per tensor: rank, dims..., raw float32 data (little-endian, the
-///   only layout this library targets).
-/// `tag` is typically the model name and is verified on load.
+/// Writes a module's parameters to a binary checkpoint file in the SRSNAP1
+/// snapshot format (nn/snapshot.h) with version id 0. The write is atomic —
+/// temp file + fsync + rename — so a partially written checkpoint is never
+/// observable under `path`. `tag` is typically the model name and is
+/// verified on load. Checkpoints written this way can also be opened
+/// zero-copy with Snapshot::Open / OpenRecommenderFromSnapshot.
+///
+/// (Checkpoints in the pre-snapshot SRCKPT1 format are no longer readable;
+/// retrain or re-save to migrate — see CHANGES.md.)
 Status SaveCheckpoint(const Module& module, const std::string& tag,
                       const std::string& path);
 
 /// Restores parameters saved by SaveCheckpoint into `module`, which must
 /// have been constructed with the same architecture: the checkpoint's tag,
 /// parameter count and every shape must match (parameters are matched by
-/// CollectParameters order). Optimizer state is not part of the checkpoint.
+/// CollectParameters order). This is the copying load — values land in the
+/// module's own trainable storage, so training can resume. Optimizer state
+/// is not part of the checkpoint. Errors name the offending tensor index
+/// and the checkpoint path.
 Status LoadCheckpoint(Module& module, const std::string& tag,
                       const std::string& path);
 

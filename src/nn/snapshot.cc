@@ -1,0 +1,426 @@
+#include "nn/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace scenerec {
+
+namespace {
+
+// Snapshot telemetry (docs/observability.md): one count + latency sample per
+// write/open, bytes as a counter so throughput falls out of a scrape delta.
+const telemetry::Counter t_writes =
+    telemetry::RegisterCounter("snapshot/writes");
+const telemetry::Counter t_write_bytes =
+    telemetry::RegisterCounter("snapshot/write_bytes");
+const telemetry::Counter t_opens = telemetry::RegisterCounter("snapshot/opens");
+const telemetry::Counter t_binds = telemetry::RegisterCounter("snapshot/binds");
+const telemetry::Histogram t_write_ns =
+    telemetry::RegisterHistogram("snapshot/write_ns", "ns");
+const telemetry::Histogram t_open_ns =
+    telemetry::RegisterHistogram("snapshot/open_ns", "ns");
+
+constexpr char kMagic[8] = {'S', 'R', 'S', 'N', 'A', 'P', '1', '\n'};
+
+int64_t AlignUp(int64_t n) {
+  return (n + kSnapshotAlignment - 1) / kSnapshotAlignment * kSnapshotAlignment;
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char bytes[sizeof(v)];
+  std::memcpy(bytes, &v, sizeof(v));
+  out->append(bytes, sizeof(bytes));
+}
+
+/// Incremental bounds-checked reader over the mapped manifest bytes.
+class ManifestReader {
+ public:
+  ManifestReader(const char* data, size_t size, const std::string& path)
+      : data_(data), size_(size), path_(path) {}
+
+  Status ReadI64(int64_t* out, const char* what) {
+    if (size_ - pos_ < sizeof(*out)) {
+      return Status::IOError(StrFormat(
+          "truncated snapshot %s: unexpected end of manifest reading %s",
+          path_.c_str(), what));
+    }
+    std::memcpy(out, data_ + pos_, sizeof(*out));
+    pos_ += sizeof(*out);
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out, int64_t max_len, const char* what) {
+    int64_t len = 0;
+    SCENEREC_RETURN_IF_ERROR(ReadI64(&len, what));
+    if (len < 0 || len > max_len ||
+        static_cast<size_t>(len) > size_ - pos_) {
+      return Status::IOError(
+          StrFormat("truncated snapshot %s: bad %s length %lld", path_.c_str(),
+                    what, static_cast<long long>(len)));
+    }
+    out->assign(data_ + pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return Status::OK();
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  const std::string& path_;
+};
+
+Status CloseAndCleanup(std::FILE* f, const std::string& tmp_path, Status why) {
+  std::fclose(f);
+  ::unlink(tmp_path.c_str());
+  return why;
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename that
+/// published a snapshot survives a crash. Failure is ignored: the data file
+/// itself is already durable and some filesystems reject directory fsync.
+void SyncParentDir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Status WriteSnapshot(const Module& module, const std::string& tag,
+                     uint64_t version, const std::string& path) {
+  SCENEREC_TRACE_SPAN_F("snapshot/write", "snapshot", trace::Floor::kNone,
+                        "tag=%s version=%llu", tag.c_str(),
+                        static_cast<unsigned long long>(version));
+  telemetry::ScopedTimer timer(t_write_ns);
+
+  const std::vector<Tensor> params = module.Parameters();
+
+  // Lay out the file: header + manifest first, then aligned data pages. The
+  // manifest size is known exactly up front because every integer is a fixed
+  // 8 bytes, so offsets can be assigned before any byte is written.
+  std::vector<std::string> names;
+  names.reserve(params.size());
+  int64_t manifest_bytes = sizeof(kMagic) + 8 /*version*/ + 8 /*tag len*/ +
+                           static_cast<int64_t>(tag.size()) + 8 /*count*/;
+  for (size_t i = 0; i < params.size(); ++i) {
+    names.push_back(StrFormat("param.%zu", i));
+    manifest_bytes += 8 + static_cast<int64_t>(names[i].size());  // name
+    manifest_bytes += 8 * (1 + params[i].shape().rank());         // rank, dims
+    manifest_bytes += 8 + 8;  // offset, float count
+  }
+
+  std::string header;
+  header.reserve(static_cast<size_t>(manifest_bytes));
+  header.append(kMagic, sizeof(kMagic));
+  AppendI64(&header, static_cast<int64_t>(version));
+  AppendI64(&header, static_cast<int64_t>(tag.size()));
+  header.append(tag);
+  AppendI64(&header, static_cast<int64_t>(params.size()));
+
+  int64_t offset = AlignUp(manifest_bytes);
+  std::vector<int64_t> offsets(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Shape& shape = params[i].shape();
+    AppendI64(&header, static_cast<int64_t>(names[i].size()));
+    header.append(names[i]);
+    AppendI64(&header, shape.rank());
+    for (int64_t d = 0; d < shape.rank(); ++d) AppendI64(&header, shape.dim(d));
+    offsets[i] = offset;
+    AppendI64(&header, offset);
+    AppendI64(&header, shape.num_elements());
+    offset = AlignUp(offset + shape.num_elements() *
+                                  static_cast<int64_t>(sizeof(float)));
+  }
+  header.resize(static_cast<size_t>(AlignUp(manifest_bytes)), '\0');
+
+  // Write to a temp file in the target directory (same filesystem, so the
+  // final rename is atomic) and publish only after the bytes are durable.
+  const std::string tmp_path =
+      StrFormat("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create " + tmp_path + ": " +
+                           std::strerror(errno));
+  }
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+    return CloseAndCleanup(
+        f, tmp_path, Status::IOError("short write to " + tmp_path));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    const FloatBuffer& values = params[i].value();
+    const long pos = std::ftell(f);
+    if (pos < 0 || pos > offsets[i] ||
+        (pos < offsets[i] &&
+         std::fseek(f, static_cast<long>(offsets[i]), SEEK_SET) != 0)) {
+      return CloseAndCleanup(
+          f, tmp_path,
+          Status::IOError(StrFormat("cannot seek to page of tensor %zu in %s",
+                                    i, tmp_path.c_str())));
+    }
+    if (std::fwrite(values.data(), sizeof(float), values.size(), f) !=
+        values.size()) {
+      return CloseAndCleanup(
+          f, tmp_path,
+          Status::IOError(StrFormat("short write of tensor %zu to %s", i,
+                                    tmp_path.c_str())));
+    }
+  }
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
+    return CloseAndCleanup(
+        f, tmp_path,
+        Status::IOError("cannot sync " + tmp_path + ": " +
+                        std::strerror(errno)));
+  }
+  std::fclose(f);
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp_path.c_str());
+    return Status::IOError("cannot rename " + tmp_path + " to " + path + ": " +
+                           std::strerror(err));
+  }
+  SyncParentDir(path);
+
+  t_writes.Add();
+  t_write_bytes.Add(static_cast<uint64_t>(offset));
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const Snapshot>> Snapshot::Open(
+    const std::string& path) {
+  SCENEREC_TRACE_SPAN_F("snapshot/open", "snapshot", trace::Floor::kNone,
+                        "path=%s", path.c_str());
+  telemetry::ScopedTimer timer(t_open_ns);
+
+  SCENEREC_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  if (file.size() < sizeof(kMagic) ||
+      std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        path + " is not a scenerec snapshot (bad magic; expected SRSNAP1)");
+  }
+
+  std::shared_ptr<Snapshot> snapshot(new Snapshot());
+  ManifestReader reader(file.data() + sizeof(kMagic),
+                        file.size() - sizeof(kMagic), path);
+  int64_t version = 0;
+  SCENEREC_RETURN_IF_ERROR(reader.ReadI64(&version, "version"));
+  snapshot->version_ = static_cast<uint64_t>(version);
+  SCENEREC_RETURN_IF_ERROR(
+      reader.ReadString(&snapshot->tag_, /*max_len=*/4096, "tag"));
+  int64_t count = 0;
+  SCENEREC_RETURN_IF_ERROR(reader.ReadI64(&count, "tensor count"));
+  if (count < 0 || count > (1 << 20)) {
+    return Status::IOError(StrFormat("corrupt snapshot %s: tensor count %lld",
+                                     path.c_str(),
+                                     static_cast<long long>(count)));
+  }
+
+  snapshot->entries_.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    SnapshotTensorEntry entry;
+    SCENEREC_RETURN_IF_ERROR(
+        reader.ReadString(&entry.name, /*max_len=*/4096, "tensor name"));
+    int64_t rank = 0;
+    SCENEREC_RETURN_IF_ERROR(reader.ReadI64(&rank, "tensor rank"));
+    if (rank < 0 || rank > 8) {
+      return Status::IOError(
+          StrFormat("corrupt snapshot %s: tensor %lld has rank %lld",
+                    path.c_str(), static_cast<long long>(i),
+                    static_cast<long long>(rank)));
+    }
+    std::vector<int64_t> dims(static_cast<size_t>(rank));
+    for (int64_t d = 0; d < rank; ++d) {
+      SCENEREC_RETURN_IF_ERROR(reader.ReadI64(&dims[d], "tensor dim"));
+      // Shape CHECK-fails on non-positive dims; a corrupt file must surface
+      // as a Status instead. The product bound keeps num_elements far from
+      // int64 overflow for any rank <= 8.
+      if (dims[d] <= 0 || dims[d] > (int64_t{1} << 40)) {
+        return Status::IOError(StrFormat(
+            "corrupt snapshot %s: tensor %lld has invalid dim %lld",
+            path.c_str(), static_cast<long long>(i),
+            static_cast<long long>(dims[d])));
+      }
+    }
+    entry.shape = Shape(dims);
+    SCENEREC_RETURN_IF_ERROR(reader.ReadI64(&entry.offset, "tensor offset"));
+    SCENEREC_RETURN_IF_ERROR(
+        reader.ReadI64(&entry.num_floats, "tensor float count"));
+    if (entry.num_floats != entry.shape.num_elements()) {
+      return Status::IOError(StrFormat(
+          "corrupt snapshot %s: tensor %lld (%s) float count %lld does not "
+          "match shape %s",
+          path.c_str(), static_cast<long long>(i), entry.name.c_str(),
+          static_cast<long long>(entry.num_floats),
+          entry.shape.ToString().c_str()));
+    }
+    const int64_t end =
+        entry.offset + entry.num_floats * static_cast<int64_t>(sizeof(float));
+    if (entry.offset < 0 || entry.offset % kSnapshotAlignment != 0 ||
+        end > static_cast<int64_t>(file.size())) {
+      return Status::IOError(StrFormat(
+          "truncated snapshot %s: page of tensor %lld (%s) at offset %lld "
+          "(%lld floats) exceeds file size %zu",
+          path.c_str(), static_cast<long long>(i), entry.name.c_str(),
+          static_cast<long long>(entry.offset),
+          static_cast<long long>(entry.num_floats), file.size()));
+    }
+    snapshot->entries_.push_back(std::move(entry));
+  }
+
+  snapshot->file_ = std::move(file);
+  t_opens.Add();
+  return std::shared_ptr<const Snapshot>(std::move(snapshot));
+}
+
+const float* Snapshot::data(size_t i) const {
+  SCENEREC_CHECK_LT(i, entries_.size());
+  if (entries_[i].num_floats == 0) return nullptr;
+  return reinterpret_cast<const float*>(file_.data() + entries_[i].offset);
+}
+
+Tensor Snapshot::View(size_t i) const {
+  SCENEREC_CHECK_LT(i, entries_.size());
+  const SnapshotTensorEntry& entry = entries_[i];
+  Tensor tensor = Tensor::Zeros(entry.shape);
+  tensor.BindExternal(FloatBuffer::Borrowed(
+      data(i), static_cast<size_t>(entry.num_floats), shared_from_this()));
+  return tensor;
+}
+
+Status BindSnapshot(Module& module,
+                    const std::shared_ptr<const Snapshot>& snapshot) {
+  SCENEREC_CHECK(snapshot != nullptr);
+  SCENEREC_TRACE_SPAN_F("snapshot/bind", "snapshot", trace::Floor::kNone,
+                        "tag=%s", snapshot->tag().c_str());
+  std::vector<Tensor> params = module.Parameters();
+  const std::vector<SnapshotTensorEntry>& entries = snapshot->tensors();
+  if (params.size() != entries.size()) {
+    return Status::FailedPrecondition(StrFormat(
+        "snapshot %s holds %zu tensors but the model has %zu parameters",
+        snapshot->path().c_str(), entries.size(), params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!(params[i].shape() == entries[i].shape)) {
+      return Status::FailedPrecondition(StrFormat(
+          "tensor %zu shape mismatch in %s: snapshot has %s, model expects %s",
+          i, snapshot->path().c_str(), entries[i].shape.ToString().c_str(),
+          params[i].shape().ToString().c_str()));
+    }
+  }
+  // All-or-nothing: validate every entry before rebinding the first one, so
+  // a mismatch never leaves the model half-bound.
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].BindExternal(FloatBuffer::Borrowed(
+        snapshot->data(i), static_cast<size_t>(entries[i].num_floats),
+        snapshot));
+  }
+  t_binds.Add();
+  return Status::OK();
+}
+
+SnapshotStore::SnapshotStore(std::string dir, int64_t retain)
+    : dir_(std::move(dir)), retain_(retain) {
+  SCENEREC_CHECK_GE(retain_, 1) << "SnapshotStore must retain at least one";
+}
+
+std::string SnapshotStore::PathFor(uint64_t version) const {
+  return StrFormat("%s/snap-%08llu.srsnap", dir_.c_str(),
+                   static_cast<unsigned long long>(version));
+}
+
+namespace {
+
+/// Parses "snap-<digits>.srsnap"; returns false for everything else.
+bool ParseSnapshotFileName(const std::string& name, uint64_t* version) {
+  constexpr char kPrefix[] = "snap-";
+  constexpr char kSuffix[] = ".srsnap";
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  const size_t suffix_len = sizeof(kSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *version = v;
+  return true;
+}
+
+/// All (version, path) pairs in `dir`, unsorted. Missing dir -> empty.
+std::vector<std::pair<uint64_t, std::string>> ListSnapshots(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    uint64_t version = 0;
+    if (ParseSnapshotFileName(entry.path().filename().string(), &version)) {
+      found.emplace_back(version, entry.path().string());
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+StatusOr<uint64_t> SnapshotStore::Write(const Module& module,
+                                        const std::string& tag) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create snapshot dir " + dir_ + ": " +
+                           ec.message());
+  }
+  if (next_version_ == 0) {
+    uint64_t max_version = 0;
+    for (const auto& [version, path] : ListSnapshots(dir_)) {
+      max_version = std::max(max_version, version);
+    }
+    next_version_ = max_version + 1;
+  }
+  const uint64_t version = next_version_;
+  SCENEREC_RETURN_IF_ERROR(
+      WriteSnapshot(module, tag, version, PathFor(version)));
+  ++next_version_;
+
+  // Prune beyond the retention window, newest first. Best effort: a file
+  // that refuses to delete only wastes disk, it cannot corrupt the store.
+  auto existing = ListSnapshots(dir_);
+  std::sort(existing.begin(), existing.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t i = static_cast<size_t>(retain_); i < existing.size(); ++i) {
+    std::filesystem::remove(existing[i].second, ec);
+  }
+  return version;
+}
+
+StatusOr<std::string> SnapshotStore::LatestPath() const {
+  const auto existing = ListSnapshots(dir_);
+  if (existing.empty()) {
+    return Status::NotFound("no snapshots in " + dir_);
+  }
+  const auto best = std::max_element(
+      existing.begin(), existing.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  return best->second;
+}
+
+}  // namespace scenerec

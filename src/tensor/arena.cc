@@ -152,18 +152,35 @@ FloatBuffer FloatBuffer::Uninitialized(size_t n) {
   return buffer;
 }
 
+FloatBuffer FloatBuffer::Borrowed(const float* data, size_t n,
+                                  std::shared_ptr<const void> owner) {
+  SCENEREC_CHECK(data != nullptr || n == 0);
+  FloatBuffer buffer;
+  // The const_cast is confined to the handle: every mutating member CHECKs
+  // borrowed_ first, and snapshot pages are mapped PROT_READ so a raw write
+  // through data() faults rather than corrupting the file.
+  buffer.data_ = const_cast<float*>(data);
+  buffer.size_ = n;
+  buffer.owner_ = std::move(owner);
+  buffer.borrowed_ = true;
+  return buffer;
+}
+
 FloatBuffer::FloatBuffer(std::vector<float> v)
     : size_(v.size()), owned_(std::move(v)) {
   data_ = owned_.data();
 }
 
 FloatBuffer::FloatBuffer(const FloatBuffer& other) {
+  // Copying a borrowed buffer yields an ordinary owned heap copy — the
+  // snapshot-to-trainable restore path.
   AllocateStorage(other.size_);
   std::memcpy(data_, other.data_, size_ * sizeof(float));
 }
 
 FloatBuffer& FloatBuffer::operator=(const FloatBuffer& other) {
   if (this == &other) return *this;
+  SCENEREC_CHECK(!borrowed_) << "write to borrowed (read-only) FloatBuffer";
   if (size_ != other.size_) {
     owned_.clear();
     owned_.shrink_to_fit();
@@ -174,22 +191,31 @@ FloatBuffer& FloatBuffer::operator=(const FloatBuffer& other) {
 }
 
 FloatBuffer::FloatBuffer(FloatBuffer&& other) noexcept
-    : data_(other.data_), size_(other.size_), owned_(std::move(other.owned_)) {
+    : data_(other.data_),
+      size_(other.size_),
+      owned_(std::move(other.owned_)),
+      owner_(std::move(other.owner_)),
+      borrowed_(other.borrowed_) {
   other.data_ = nullptr;
   other.size_ = 0;
+  other.borrowed_ = false;
 }
 
 FloatBuffer& FloatBuffer::operator=(FloatBuffer&& other) noexcept {
   if (this == &other) return *this;
   owned_ = std::move(other.owned_);
+  owner_ = std::move(other.owner_);
+  borrowed_ = other.borrowed_;
   data_ = other.data_;
   size_ = other.size_;
   other.data_ = nullptr;
   other.size_ = 0;
+  other.borrowed_ = false;
   return *this;
 }
 
 void FloatBuffer::assign(size_t n, float fill) {
+  SCENEREC_CHECK(!borrowed_) << "write to borrowed (read-only) FloatBuffer";
   if (size_ != n) {
     owned_.clear();
     owned_.shrink_to_fit();
@@ -199,6 +225,7 @@ void FloatBuffer::assign(size_t n, float fill) {
 }
 
 FloatBuffer& FloatBuffer::operator=(const std::vector<float>& v) {
+  SCENEREC_CHECK(!borrowed_) << "write to borrowed (read-only) FloatBuffer";
   if (size_ != v.size()) {
     owned_.clear();
     owned_.shrink_to_fit();

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace scenerec {
@@ -119,6 +120,13 @@ class ArenaPauseGuard {
 /// frees arena memory — destruction of an arena-backed buffer is a no-op,
 /// which makes dropping a step graph after its arena was reset safe.
 ///
+/// A third storage class is BORROWED memory (see Borrowed()): the buffer
+/// views external read-only bytes it does not own — typically the mmap'd
+/// pages of a model snapshot — and keeps the backing object alive through a
+/// type-erased owner handle. Borrowed buffers reject every mutating API
+/// with a CHECK; raw writes through data() are the caller's responsibility
+/// (snapshot pages are mapped PROT_READ, so they fault).
+///
 /// Interface mirrors the subset of std::vector<float> the codebase uses;
 /// conversion to/from std::vector<float> is provided for snapshot/restore
 /// paths that genuinely want heap copies.
@@ -133,6 +141,13 @@ class FloatBuffer {
   /// n floats with indeterminate contents; caller overwrites every element.
   static FloatBuffer Uninitialized(size_t n);
 
+  /// Zero-copy view of `n` external read-only floats. `owner` is retained
+  /// for the buffer's lifetime and keeps the backing storage (e.g. a
+  /// Snapshot's file mapping) mapped; copies of a borrowed buffer are
+  /// ordinary owned heap copies.
+  static FloatBuffer Borrowed(const float* data, size_t n,
+                              std::shared_ptr<const void> owner);
+
   /// Adopts a heap vector without copying (leaf factories).
   FloatBuffer(std::vector<float> v);  // NOLINT: implicit by design
 
@@ -141,6 +156,9 @@ class FloatBuffer {
   FloatBuffer(FloatBuffer&& other) noexcept;
   FloatBuffer& operator=(FloatBuffer&& other) noexcept;
   ~FloatBuffer() = default;
+
+  /// True if this buffer views external read-only memory.
+  bool borrowed() const { return borrowed_; }
 
   float* data() { return data_; }
   const float* data() const { return data_; }
@@ -173,6 +191,9 @@ class FloatBuffer {
   float* data_ = nullptr;
   size_t size_ = 0;
   std::vector<float> owned_;  // engaged only for heap-backed buffers
+  /// Keeps the external storage of a borrowed buffer alive; null otherwise.
+  std::shared_ptr<const void> owner_;
+  bool borrowed_ = false;
 };
 
 bool operator==(const FloatBuffer& a, const FloatBuffer& b);

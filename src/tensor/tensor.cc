@@ -29,6 +29,9 @@ std::unique_lock<std::mutex> LockGradIfSharedLeaf(TensorNode* node) {
 
 void TensorNode::EnsureGrad() {
   if (!grad.empty()) return;
+  SCENEREC_CHECK(!value.borrowed())
+      << "gradient requested for a read-only mapped parameter; "
+         "snapshot-bound models serve inference only";
   if (inputs.empty()) {
     // Leaf (parameter): its gradient outlives the step's arena — the
     // optimizer reads it after the trainer's ArenaScope ends and the buffer
@@ -50,6 +53,18 @@ Tensor MakeLeaf(const Shape& shape, FloatBuffer values, bool requires_grad) {
   node->value = std::move(values);
   node->requires_grad = requires_grad;
   return Tensor(std::move(node));
+}
+
+thread_local bool t_deferred_init = false;
+
+/// Under a DeferredInitGuard the random factories skip their RNG fill: the
+/// caller is about to rebind the tensor to snapshot storage, so only the
+/// shape and requires_grad flag matter.
+Tensor MaybeDeferredLeaf(const Shape& shape, bool requires_grad) {
+  return MakeLeaf(
+      shape,
+      FloatBuffer::Uninitialized(static_cast<size_t>(shape.num_elements())),
+      requires_grad);
 }
 
 }  // namespace
@@ -79,6 +94,7 @@ Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
 
 Tensor Tensor::RandomUniform(const Shape& shape, float lo, float hi, Rng& rng,
                              bool requires_grad) {
+  if (t_deferred_init) return MaybeDeferredLeaf(shape, requires_grad);
   std::vector<float> values(static_cast<size_t>(shape.num_elements()));
   for (float& v : values) v = rng.NextFloat(lo, hi);
   return MakeLeaf(shape, std::move(values), requires_grad);
@@ -86,6 +102,7 @@ Tensor Tensor::RandomUniform(const Shape& shape, float lo, float hi, Rng& rng,
 
 Tensor Tensor::RandomNormal(const Shape& shape, float stddev, Rng& rng,
                             bool requires_grad) {
+  if (t_deferred_init) return MaybeDeferredLeaf(shape, requires_grad);
   std::vector<float> values(static_cast<size_t>(shape.num_elements()));
   for (float& v : values) {
     v = static_cast<float>(rng.NextGaussian()) * stddev;
@@ -119,6 +136,17 @@ const FloatBuffer& Tensor::value() const {
 FloatBuffer& Tensor::mutable_value() {
   SCENEREC_CHECK(node_ != nullptr);
   return node_->value;
+}
+
+void Tensor::BindExternal(FloatBuffer buffer) {
+  SCENEREC_CHECK(node_ != nullptr);
+  SCENEREC_CHECK(node_->inputs.empty())
+      << "BindExternal on a non-leaf tensor (op result)";
+  SCENEREC_CHECK_EQ(static_cast<int64_t>(buffer.size()), num_elements());
+  node_->value = std::move(buffer);
+  node_->requires_grad = false;
+  node_->grad = FloatBuffer();
+  node_->touched_rows.clear();
 }
 
 const FloatBuffer& Tensor::grad() const {
@@ -194,6 +222,12 @@ thread_local bool t_no_grad = false;
 NoGradGuard::NoGradGuard() : previous_(t_no_grad) { t_no_grad = true; }
 NoGradGuard::~NoGradGuard() { t_no_grad = previous_; }
 bool NoGradGuard::enabled() { return t_no_grad; }
+
+DeferredInitGuard::DeferredInitGuard() : previous_(t_deferred_init) {
+  t_deferred_init = true;
+}
+DeferredInitGuard::~DeferredInitGuard() { t_deferred_init = previous_; }
+bool DeferredInitGuard::enabled() { return t_deferred_init; }
 
 void Backward(const Tensor& loss) {
   SCENEREC_CHECK(loss.defined());

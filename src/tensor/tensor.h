@@ -137,6 +137,18 @@ class Tensor {
   const FloatBuffer& value() const;
   FloatBuffer& mutable_value();
 
+  /// True if the value views external read-only memory (a bound snapshot
+  /// page). Borrowed tensors cannot be written or grown gradients.
+  bool borrowed() const { return value().borrowed(); }
+
+  /// Rebinds this LEAF tensor's storage to an external read-only buffer of
+  /// the same element count (typically a borrowed view of an mmap'd
+  /// snapshot page — see nn/snapshot.h). The tensor keeps its node
+  /// identity, so existing handles observe the new storage, but becomes a
+  /// pure inference-time view: requires_grad is dropped and any gradient
+  /// buffer / touched-row bookkeeping is discarded.
+  void BindExternal(FloatBuffer buffer);
+
   /// Gradient buffer; empty if never written. Valid after Backward().
   const FloatBuffer& grad() const;
 
@@ -193,6 +205,27 @@ class NoGradGuard {
   NoGradGuard& operator=(const NoGradGuard&) = delete;
 
   /// True while any NoGradGuard is alive on this thread.
+  static bool enabled();
+
+ private:
+  bool previous_;
+};
+
+/// RAII scope that makes the random parameter factories (RandomUniform,
+/// RandomNormal, XavierUniform) return uninitialized storage instead of
+/// drawing from the RNG. Used by construct-from-snapshot (models/factory.h):
+/// every parameter built inside the scope is immediately rebound to an
+/// mmap'd snapshot page, so filling it first would be pure waste — for
+/// large embedding tables, the dominant cost of opening a model. Nestable.
+class DeferredInitGuard {
+ public:
+  DeferredInitGuard();
+  ~DeferredInitGuard();
+
+  DeferredInitGuard(const DeferredInitGuard&) = delete;
+  DeferredInitGuard& operator=(const DeferredInitGuard&) = delete;
+
+  /// True while any DeferredInitGuard is alive on this thread.
   static bool enabled();
 
  private:

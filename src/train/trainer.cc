@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "common/logging.h"
@@ -14,6 +15,7 @@
 #include "common/trace.h"
 #include "nn/optimizer.h"
 #include "nn/serialization.h"
+#include "nn/snapshot.h"
 #include "tensor/arena.h"
 #include "tensor/ops.h"
 
@@ -40,6 +42,9 @@ Status TrainConfig::Validate() const {
   if (threads < 0) {
     return Status::InvalidArgument(
         "threads must be non-negative (0 = hardware concurrency)");
+  }
+  if (!snapshot_dir.empty() && snapshot_retain < 1) {
+    return Status::InvalidArgument("snapshot_retain must be at least 1");
   }
   return Status::OK();
 }
@@ -152,6 +157,13 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
   std::vector<std::vector<float>> best_snapshot;
   double best_ndcg = -1.0;
   int64_t epochs_since_best = 0;
+  // Versioned snapshot publication (one Write per validation improvement).
+  // The store lives across epochs so version ids stay monotonic within the
+  // run even after pruning.
+  std::optional<SnapshotStore> snapshot_store;
+  if (!config.snapshot_dir.empty()) {
+    snapshot_store.emplace(config.snapshot_dir, config.snapshot_retain);
+  }
   Stopwatch stopwatch;
 
   float current_lr = config.learning_rate;
@@ -374,6 +386,13 @@ StatusOr<TrainResult> TrainAndEvaluate(Recommender& model,
       if (!config.checkpoint_path.empty()) {
         SCENEREC_RETURN_IF_ERROR(
             SaveCheckpoint(model, model.name(), config.checkpoint_path));
+      }
+      if (snapshot_store.has_value()) {
+        SCENEREC_ASSIGN_OR_RETURN(
+            const uint64_t version,
+            snapshot_store->Write(model, model.name()));
+        result.last_snapshot_version = version;
+        result.last_snapshot_path = snapshot_store->PathFor(version);
       }
     } else {
       ++epochs_since_best;

@@ -56,6 +56,15 @@ struct TrainConfig {
   /// validation NDCG improves — a crash mid-run loses at most the epochs
   /// since the last improvement.
   std::string checkpoint_path;
+  /// When non-empty, every validation improvement also writes a VERSIONED
+  /// snapshot (nn/snapshot.h) into this directory through a SnapshotStore:
+  /// monotonic version ids, atomic publication, and only the newest
+  /// `snapshot_retain` files kept. A serving process can open the latest
+  /// version zero-copy (OpenRecommenderFromSnapshot) and hot-swap it in
+  /// while this run is still training — see docs/serving.md.
+  std::string snapshot_dir;
+  /// How many snapshot versions to keep in `snapshot_dir` (>= 1).
+  int64_t snapshot_retain = 3;
 
   Status Validate() const;
 };
@@ -72,6 +81,11 @@ struct TrainResult {
   int64_t best_epoch = -1;
   int64_t epochs_run = 0;
   double train_seconds = 0.0;
+  /// Path and version of the newest snapshot written via
+  /// TrainConfig::snapshot_dir; empty / 0 when snapshotting is off or no
+  /// epoch improved validation.
+  std::string last_snapshot_path;
+  uint64_t last_snapshot_version = 0;
 };
 
 /// Trains `model` on `split.train` (negatives drawn from `train_graph`) and

@@ -122,6 +122,45 @@ TEST(EmbeddingTest, GradientsAreSparse) {
   }
 }
 
+// Regression: moving an Embedding (e.g. the owning model is relocated when
+// a vector reallocates) must not detach the table an optimizer already
+// collected, and the moved-from instance must stay fully usable. Moves
+// share the ParamTable backend, so both instances expose the SAME tensor
+// and the lazy touched_rows() update path keeps seeing fresh gradients.
+TEST(EmbeddingTest, MoveSharesTableAndKeepsOptimizerHandlesLive) {
+  Rng rng(12);
+  Embedding original(20, 4, rng);
+  // An optimizer collects its handles before the move.
+  std::vector<Tensor> collected = original.Parameters();
+  ASSERT_EQ(collected.size(), 1u);
+
+  Embedding moved = std::move(original);
+  // Both instances expose the same underlying table node...
+  EXPECT_EQ(moved.table().node(), collected[0].node());
+  EXPECT_EQ(original.table().node(), collected[0].node());
+  EXPECT_EQ(original.vocab(), 20);
+
+  // ...and gradients produced through EITHER instance land in the handle
+  // the optimizer holds, touched rows included.
+  Backward(Sum(moved.LookupMany({3})));
+  Backward(Sum(original.LookupMany({9})));
+  ASSERT_EQ(collected[0].touched_rows().size(), 2u);
+  float sum3 = 0, sum9 = 0;
+  for (int64_t c = 0; c < 4; ++c) {
+    sum3 += std::fabs(collected[0].grad()[3 * 4 + c]);
+    sum9 += std::fabs(collected[0].grad()[9 * 4 + c]);
+  }
+  EXPECT_GT(sum3, 0.0f);
+  EXPECT_GT(sum9, 0.0f);
+
+  // Move-assignment shares the same way.
+  Rng rng2(13);
+  Embedding other(20, 4, rng2);
+  other = std::move(moved);
+  EXPECT_EQ(other.table().node(), collected[0].node());
+  EXPECT_EQ(moved.table().node(), collected[0].node());
+}
+
 // -- Optimizers -------------------------------------------------------------------
 
 /// Minimizes f(w) = sum((w - target)^2) and returns final w.

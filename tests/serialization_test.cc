@@ -102,6 +102,45 @@ TEST(SerializationTest, GarbageFileRejected) {
   ::remove(path.c_str());
 }
 
+// Error messages must identify WHICH tensor failed and in WHICH file, so a
+// bad checkpoint in a directory of dozens is diagnosable from the status
+// alone.
+TEST(SerializationTest, ShapeMismatchNamesTensorIndexAndPath) {
+  Rng rng(20);
+  Mlp saved({4, 8, 2}, Activation::kTanh, Activation::kNone, rng);
+  Mlp wider({4, 16, 2}, Activation::kTanh, Activation::kNone, rng);
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(saved, "mlp", path).ok());
+  Status s = LoadCheckpoint(wider, "mlp", path);
+  ASSERT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("tensor 0"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find(path), std::string::npos) << s.message();
+  ::remove(path.c_str());
+}
+
+TEST(SerializationTest, TagMismatchNamesPath) {
+  Rng rng(21);
+  Embedding module(10, 4, rng);
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveCheckpoint(module, "model-a", path).ok());
+  Status s = LoadCheckpoint(module, "model-b", path);
+  ASSERT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find(path), std::string::npos) << s.message();
+  ::remove(path.c_str());
+}
+
+// SaveCheckpoint publishes atomically: when the write cannot complete (the
+// target directory does not exist), nothing appears under the final name.
+TEST(SerializationTest, FailedSaveLeavesNoPartialFile) {
+  Rng rng(22);
+  Embedding module(10, 4, rng);
+  const std::string path = "/tmp/scenerec_no_such_dir/deep/ckpt";
+  ASSERT_FALSE(SaveCheckpoint(module, "emb", path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
 TEST(SerializationTest, MissingFileRejected) {
   Rng rng(8);
   Embedding module(5, 2, rng);

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Runs the benchmark suites and records their results as JSON at the repo
 # root (BENCH_kernels.json, BENCH_parallel.json, BENCH_scoring.json,
-# BENCH_telemetry.json, BENCH_trace.json) so kernel-layer, parallel-layer,
-# scoring-path and observability changes can be compared against committed
-# numbers (tools/bench_diff).
+# BENCH_snapshot.json, BENCH_telemetry.json, BENCH_trace.json) so
+# kernel-layer, parallel-layer, scoring-path, parameter-store and
+# observability changes can be compared against committed numbers
+# (tools/bench_diff).
 # BENCH_telemetry.json holds the telemetry-enabled vs -disabled epoch times
 # (BM_TrainEpochTelemetry/1 vs /0) and BENCH_trace.json the same pair for
 # span tracing (BM_TrainEpochTrace); the disabled-mode overhead budget for
 # both layers is <1%. BENCH_scoring.json pairs the per-pair and block
 # scoring paths on full ranking and Top-N (docs/serving.md) — the
-# *PerPair/*Block ratio is the batching speedup.
+# *PerPair/*Block ratio is the batching speedup. BENCH_snapshot.json pairs
+# the copying checkpoint load against the zero-copy mmap open
+# (BM_CheckpointLoadCopy vs BM_SnapshotMmapOpen) plus the crash-safe write
+# throughput of the snapshot store.
 #
 # Usage: tools/bench.sh [benchmark_filter_regex]
 # A filter (e.g. 'MatVec|Gemm') restricts the first three suites; the JSON
@@ -20,7 +24,7 @@ cd "$(dirname "$0")/.."
 FILTER="${1:-.}"
 
 cmake -B build >/dev/null
-cmake --build build --target bench_kernels bench_parallel bench_scoring
+cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot
 
 echo "==> bench_kernels -> BENCH_kernels.json"
 build/bench/bench_kernels \
@@ -36,6 +40,11 @@ echo "==> bench_scoring -> BENCH_scoring.json"
 build/bench/bench_scoring \
   --benchmark_filter="${FILTER}" \
   --benchmark_format=json >BENCH_scoring.json
+
+echo "==> bench_snapshot -> BENCH_snapshot.json"
+build/bench/bench_snapshot \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json >BENCH_snapshot.json
 
 echo "==> bench_parallel telemetry on/off -> BENCH_telemetry.json"
 build/bench/bench_parallel \

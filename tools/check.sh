@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Correctness gate for the parallel execution layer and the kernel layer:
-#   1. regular build + full test suite
+# Correctness gate for the parallel execution layer, the kernel layer and
+# the persistent parameter store:
+#   1. regular build + full test suite, then snapshot_inspect --selftest
+#      (train -> versioned snapshot write -> zero-copy open -> bitwise
+#      score check -> hot swap) against a freshly trained mini-model
 #   2. ThreadSanitizer build (-DSCENEREC_SANITIZE=thread) + the tests that
 #      exercise concurrency (ThreadPool, sharded training, parallel eval)
 #   3. ASan+UBSan build (-DSCENEREC_SANITIZE=address,undefined) + the tensor
@@ -36,9 +39,14 @@ configure build
 cmake --build build
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+echo "==> stage 1: snapshot store end-to-end selftest"
+# Full persistent-store chain against a freshly trained mini-model; exits
+# non-zero on any score drift, versioning bug, or swap hiccup.
+build/tools/snapshot_inspect --selftest
+
 echo "==> stage 2: ThreadSanitizer build"
 configure build-tsan -DSCENEREC_SANITIZE=thread
-cmake --build build-tsan --target parallel_test eval_test scoring_test train_test telemetry_test trace_test
+cmake --build build-tsan --target parallel_test eval_test scoring_test train_test telemetry_test trace_test snapshot_test
 
 echo "==> stage 2: parallel tests under TSan"
 # halt_on_error makes a data race fail the script, not just print a report.
@@ -56,10 +64,14 @@ build-tsan/tests/telemetry_test
 # proves the export-at-quiescence contract (pool join happens-before
 # Snapshot) actually holds across ParallelFor and a traced training run.
 build-tsan/tests/trace_test
+# The hot-swap primitive: ModelHandle::Publish racing concurrent
+# TopNFromHandle readers on the pool must be data-race-free and must never
+# serve a torn (two-version) result.
+build-tsan/tests/snapshot_test
 
 echo "==> stage 3: ASan+UBSan build"
 configure build-asan -DSCENEREC_SANITIZE=address,undefined
-cmake --build build-asan --target tensor_test ops_test telemetry_test train_test trace_test scoring_test
+cmake --build build-asan --target tensor_test ops_test telemetry_test train_test trace_test scoring_test snapshot_test
 
 echo "==> stage 3: tensor/op tests under ASan+UBSan"
 build-asan/tests/tensor_test
@@ -82,15 +94,22 @@ echo "==> stage 3: trace ring + export under ASan+UBSan"
 # are exactly the kind of off-by-one surface ASan exists for.
 build-asan/tests/trace_test
 
+echo "==> stage 3: snapshot mapping lifetime under ASan+UBSan"
+# Unmap-after-drain: reads through borrowed views and retired models after
+# snapshot handles drop are use-after-munmap bugs if any pin is missing —
+# ASan turns them into hard failures instead of lucky reads.
+build-asan/tests/snapshot_test
+
 if [ "${SCENEREC_PERF:-0}" != "0" ]; then
   echo "==> stage 4: benchmark regression gate (SCENEREC_PERF=1)"
   THRESHOLD="${SCENEREC_PERF_THRESHOLD:-20}"
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"' EXIT
-  cmake --build build --target bench_kernels bench_parallel bench_scoring
+  cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot
   build/bench/bench_kernels --benchmark_format=json >"$tmp/kernels.json"
   build/bench/bench_parallel --benchmark_format=json >"$tmp/parallel.json"
   build/bench/bench_scoring --benchmark_format=json >"$tmp/scoring.json"
+  build/bench/bench_snapshot --benchmark_format=json >"$tmp/snapshot.json"
   build/bench/bench_parallel \
     --benchmark_filter='BM_TrainEpochTelemetry' \
     --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
@@ -102,6 +121,7 @@ if [ "${SCENEREC_PERF:-0}" != "0" ]; then
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_kernels.json "$tmp/kernels.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_parallel.json "$tmp/parallel.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_scoring.json "$tmp/scoring.json"
+  tools/bench_diff --check --threshold="$THRESHOLD" BENCH_snapshot.json "$tmp/snapshot.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_telemetry.json "$tmp/telemetry.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_trace.json "$tmp/trace.json"
 fi
