@@ -43,7 +43,8 @@ float TunedLearningRate(const std::string& model_name) {
 StatusOr<CellResult> RunCell(const std::string& model_name,
                              const PreparedDataset& prepared,
                              const ModelFactoryConfig& factory_config,
-                             const TrainConfig& train_config) {
+                             const TrainConfig& train_config,
+                             std::unique_ptr<Recommender>* model_out) {
   ModelContext context{&prepared.train_graph, &prepared.scene_graph};
   SCENEREC_ASSIGN_OR_RETURN(
       std::unique_ptr<Recommender> model,
@@ -59,6 +60,7 @@ StatusOr<CellResult> RunCell(const std::string& model_name,
   cell.validation = result.best_validation;
   cell.train_seconds = result.train_seconds;
   cell.epochs_run = result.epochs_run;
+  if (model_out != nullptr) *model_out = std::move(model);
   return cell;
 }
 

@@ -2,6 +2,7 @@
 #define SCENEREC_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,11 +50,15 @@ struct CellResult {
 /// bench_grid_search). Unknown names get 1e-3.
 float TunedLearningRate(const std::string& model_name);
 
-/// Trains `model_name` on `prepared` and returns its test metrics.
+/// Trains `model_name` on `prepared` and returns its test metrics. When
+/// `model_out` is non-null it receives the trained model (which keeps
+/// pointers into `prepared`), so callers can serve or index it afterwards
+/// — e.g. model_comparison's --retrieval recall column.
 StatusOr<CellResult> RunCell(const std::string& model_name,
                              const PreparedDataset& prepared,
                              const ModelFactoryConfig& factory_config,
-                             const TrainConfig& train_config);
+                             const TrainConfig& train_config,
+                             std::unique_ptr<Recommender>* model_out = nullptr);
 
 /// Renders a Table 2-style grid: one row per model, NDCG@10 and HR@10
 /// columns per dataset, in the paper's layout.

@@ -6,8 +6,11 @@
 //       [--dataset=Electronics] [--scale=0.02] [--epochs=6] [--dim=32]
 //       [--lr=0] [--verbose]
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/flags.h"
@@ -16,6 +19,8 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "common/string_util.h"
+#include "retrieval/index_builder.h"
+#include "retrieval/two_stage.h"
 
 namespace {
 
@@ -33,6 +38,11 @@ int Run(int argc, char** argv) {
   flags.AddInt64("dim", 32, "embedding dimension");
   flags.AddDouble("lr", 0.0, "learning rate; 0 = per-model tuned default");
   flags.AddInt64("seed", 42, "RNG seed");
+  flags.AddString("retrieval", "",
+                  "also report two-stage retrieval recall@100 vs the exact "
+                  "backend: exact | exact_sq8 | ivf | ivf_sq8");
+  flags.AddInt64("nprobe", 8, "IVF lists probed per query");
+  flags.AddInt64("nlist", 0, "IVF list count; 0 = sqrt(num_items)");
   flags.AddBool("verbose", false, "per-epoch logging");
   flags.AddInt64("threads", 1,
                  "worker threads for training/evaluation; 0 = all hardware "
@@ -80,9 +90,11 @@ int Run(int argc, char** argv) {
   factory_config.embedding_dim = flags.GetInt64("dim");
   factory_config.seed = seed + 17;
 
-  std::printf("%-16s | %-9s %-9s | %-9s %-7s\n", "Model", "NDCG@10", "HR@10",
+  const std::string retrieval = flags.GetString("retrieval");
+  std::printf("%-16s | %-9s %-9s | %-9s %-7s", "Model", "NDCG@10", "HR@10",
               "train s", "epochs");
-  std::printf("%s\n", std::string(60, '-').c_str());
+  if (!retrieval.empty()) std::printf(" | %-10s", "recall@100");
+  std::printf("\n%s\n", std::string(retrieval.empty() ? 60 : 74, '-').c_str());
   for (const std::string& name : Split(flags.GetString("models"), ',')) {
     TrainConfig train_config;
     train_config.epochs = flags.GetInt64("epochs");
@@ -95,14 +107,52 @@ int Run(int argc, char** argv) {
         flags.GetDouble("lr") > 0.0
             ? static_cast<float>(flags.GetDouble("lr"))
             : bench::TunedLearningRate(name);
-    auto cell = bench::RunCell(name, prepared, factory_config, train_config);
+    std::unique_ptr<Recommender> model;
+    auto cell = bench::RunCell(name, prepared, factory_config, train_config,
+                               retrieval.empty() ? nullptr : &model);
     if (!cell.ok()) {
       std::cerr << name << ": " << cell.status().ToString() << "\n";
       continue;
     }
-    std::printf("%-16s | %-9.4f %-9.4f | %-9.1f %-7lld\n", name.c_str(),
+    std::printf("%-16s | %-9.4f %-9.4f | %-9.1f %-7lld", name.c_str(),
                 cell->test.ndcg, cell->test.hr, cell->train_seconds,
                 static_cast<long long>(cell->epochs_run));
+    if (!retrieval.empty()) {
+      // Retrieval quality of the TRAINED embeddings: recall@100 of the
+      // selected backend against the exact reference (docs/retrieval.md).
+      auto kind = ParseIndexKind(retrieval);
+      if (!kind.ok()) {
+        std::cerr << "\n" << kind.status().ToString() << "\n";
+        return 1;
+      }
+      if (model == nullptr || !model->SupportsRetrievalEmbeddings()) {
+        std::printf(" | %-10s", "n/a");
+      } else {
+        model->OnEvalBegin();
+        IndexBuildConfig config;
+        config.kind = kind.value();
+        config.nlist = flags.GetInt64("nlist");
+        config.nprobe = flags.GetInt64("nprobe");
+        auto index = IndexBuilder(config).Build(*model);
+        auto exact = IndexBuilder().Build(*model);
+        if (!index.ok() || !exact.ok()) {
+          std::cerr << "\n"
+                    << (index.ok() ? exact : index).status().ToString()
+                    << "\n";
+          return 1;
+        }
+        std::vector<int64_t> users(
+            static_cast<size_t>(prepared.dataset.num_users));
+        for (size_t u = 0; u < users.size(); ++u) {
+          users[u] = static_cast<int64_t>(u);
+        }
+        const int64_t k = std::min<int64_t>(100, prepared.dataset.num_items);
+        std::printf(" | %-10.4f",
+                    RetrievalRecallAtK(*model, *index.value(), *exact.value(),
+                                       k, users));
+      }
+    }
+    std::printf("\n");
     std::fflush(stdout);
   }
   if (!telemetry_sink.empty()) {

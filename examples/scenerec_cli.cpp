@@ -16,8 +16,11 @@
 //   ./scenerec_cli evaluate --model=SceneRec --ckpt=/tmp/sr.ckpt
 //   ./scenerec_cli recommend --model=SceneRec --ckpt=/tmp/sr.ckpt --user=11
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/flags.h"
@@ -30,6 +33,8 @@
 #include "models/factory.h"
 #include "models/scene_rec.h"
 #include "nn/serialization.h"
+#include "retrieval/index_builder.h"
+#include "retrieval/two_stage.h"
 #include "train/trainer.h"
 
 namespace {
@@ -43,6 +48,19 @@ struct CliContext {
   SceneGraph scene_graph;
   std::unique_ptr<Recommender> model;
 };
+
+/// Builds the ANN candidate index selected by --retrieval over the model's
+/// exported item embeddings (docs/retrieval.md).
+StatusOr<std::unique_ptr<ItemIndex>> BuildRetrievalIndex(
+    const FlagParser& flags, Recommender& model) {
+  SCENEREC_ASSIGN_OR_RETURN(IndexKind kind,
+                            ParseIndexKind(flags.GetString("retrieval")));
+  IndexBuildConfig config;
+  config.kind = kind;
+  config.nlist = flags.GetInt64("nlist");
+  config.nprobe = flags.GetInt64("nprobe");
+  return IndexBuilder(config).Build(model);
+}
 
 /// Fills `context` in place. In-place construction matters: the model holds
 /// pointers to context.train_graph / context.scene_graph, so the context
@@ -151,6 +169,32 @@ int Evaluate(const FlagParser& flags, CliContext& context) {
     std::printf("full-vocabulary protocol:   NDCG@10 %.4f HR@10 %.4f MRR %.4f\n",
                 full.ndcg, full.hr, full.mrr);
   }
+  // Retrieval quality protocol: recall@100 of the selected ANN backend
+  // against the exact reference index, over every user.
+  if (!flags.GetString("retrieval").empty()) {
+    auto index = BuildRetrievalIndex(flags, *context.model);
+    if (!index.ok()) {
+      std::cerr << index.status().ToString() << "\n";
+      return 1;
+    }
+    IndexBuildConfig exact_config;
+    auto exact = IndexBuilder(exact_config).Build(*context.model);
+    if (!exact.ok()) {
+      std::cerr << exact.status().ToString() << "\n";
+      return 1;
+    }
+    std::vector<int64_t> users(
+        static_cast<size_t>(context.dataset.num_users));
+    for (size_t u = 0; u < users.size(); ++u) {
+      users[u] = static_cast<int64_t>(u);
+    }
+    const int64_t k = std::min<int64_t>(100, context.dataset.num_items);
+    const double recall = RetrievalRecallAtK(*context.model, *index.value(),
+                                             *exact.value(), k, users);
+    std::printf("retrieval backend %-9s recall@%lld vs exact: %.4f\n",
+                index.value()->name().c_str(), static_cast<long long>(k),
+                recall);
+  }
   return 0;
 }
 
@@ -158,9 +202,30 @@ int Recommend(const FlagParser& flags, CliContext& context) {
   const int64_t user =
       flags.GetInt64("user") % context.dataset.num_users;
   context.model->OnEvalBegin();
-  auto recommendations =
-      TopNRecommendations(context.model->Scorer(), context.train_graph, user,
-                          flags.GetInt64("top_n"));
+  std::vector<Recommendation> recommendations;
+  if (!flags.GetString("retrieval").empty()) {
+    // Two-stage serving: ANN candidate generation, then exact rerank.
+    auto index = BuildRetrievalIndex(flags, *context.model);
+    if (!index.ok()) {
+      std::cerr << index.status().ToString() << "\n";
+      return 1;
+    }
+    SearchStats stats;
+    recommendations =
+        TwoStageTopN(*context.model, *index.value(), context.train_graph,
+                     user, flags.GetInt64("top_n"),
+                     flags.GetInt64("candidates"), &stats);
+    std::printf("two-stage retrieval (%s): %lld lists probed, %lld items "
+                "scanned, %lld candidates rescored\n",
+                index.value()->name().c_str(),
+                static_cast<long long>(stats.lists_probed),
+                static_cast<long long>(stats.items_scanned),
+                static_cast<long long>(stats.rescored));
+  } else {
+    recommendations =
+        TopNRecommendations(context.model->Scorer(), context.train_graph,
+                            user, flags.GetInt64("top_n"));
+  }
   std::printf("top-%zu recommendations for user %lld (%s):\n",
               recommendations.size(), static_cast<long long>(user),
               context.model->name().c_str());
@@ -197,6 +262,13 @@ int Run(int argc, char** argv) {
   flags.AddString("ckpt", "", "checkpoint path (written by train, read by others)");
   flags.AddInt64("user", 0, "user id (recommend)");
   flags.AddInt64("top_n", 10, "recommendations to print (recommend)");
+  flags.AddString("retrieval", "",
+                  "two-stage ANN backend: exact | exact_sq8 | ivf | ivf_sq8; "
+                  "empty = full-catalog scoring (recommend/evaluate)");
+  flags.AddInt64("candidates", 200,
+                 "candidates retrieved before exact rerank (recommend)");
+  flags.AddInt64("nprobe", 8, "IVF lists probed per query");
+  flags.AddInt64("nlist", 0, "IVF list count; 0 = sqrt(num_items)");
   flags.AddBool("full_ranking", false, "also run the all-items protocol (evaluate)");
   flags.AddBool("verbose", false, "per-epoch logging");
   flags.AddInt64("threads", 1,

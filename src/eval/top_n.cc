@@ -28,47 +28,35 @@ bool Better(const Recommendation& a, const Recommendation& b) {
 }  // namespace
 
 std::vector<Recommendation> TopNRecommendations(
-    const BlockScoreFn& score, const UserItemGraph& train_graph, int64_t user,
-    int64_t n) {
+    const BlockScoreFn& score, int64_t user,
+    std::span<const int64_t> candidates_in, int64_t n) {
   SCENEREC_CHECK_GT(n, 0);
-  SCENEREC_CHECK(user >= 0 && user < train_graph.num_users());
-  SCENEREC_TRACE_SPAN_F("serve/topn", "serve", trace::Floor::kNone,
-                        "user=%lld n=%lld", static_cast<long long>(user),
-                        static_cast<long long>(n));
   t_requests.Add(1);
-
-  // Candidate-list build step: everything the user has not interacted with.
-  std::vector<int64_t> ids;
-  ids.reserve(static_cast<size_t>(train_graph.num_items()));
-  for (int64_t item = 0; item < train_graph.num_items(); ++item) {
-    if (train_graph.HasInteraction(user, item)) continue;
-    ids.push_back(item);
-  }
-  t_candidates.Add(static_cast<uint64_t>(ids.size()));
-  if (ids.empty()) return {};
+  t_candidates.Add(static_cast<uint64_t>(candidates_in.size()));
+  if (candidates_in.empty()) return {};
 
   // Block-score the candidates in bounded chunks.
-  std::vector<float> scores(ids.size());
-  for (size_t offset = 0; offset < ids.size();
+  std::vector<float> scores(candidates_in.size());
+  for (size_t offset = 0; offset < candidates_in.size();
        offset += static_cast<size_t>(kScoreBlockSize)) {
-    const size_t len =
-        std::min(static_cast<size_t>(kScoreBlockSize), ids.size() - offset);
+    const size_t len = std::min(static_cast<size_t>(kScoreBlockSize),
+                                candidates_in.size() - offset);
     SCENEREC_TRACE_SPAN_F("serve/score_block", "serve", trace::Floor::kOp,
                           "user=%lld candidates=%zu",
                           static_cast<long long>(user), len);
-    score(user, std::span<const int64_t>(ids).subspan(offset, len),
+    score(user, candidates_in.subspan(offset, len),
           std::span<float>(scores).subspan(offset, len));
   }
 
   std::vector<Recommendation> candidates;
-  candidates.reserve(ids.size());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    candidates.push_back({ids[i], scores[i]});
+  candidates.reserve(candidates_in.size());
+  for (size_t i = 0; i < candidates_in.size(); ++i) {
+    candidates.push_back({candidates_in[i], scores[i]});
   }
 
-  // Partial selection: move the n winners to the front in O(catalog), then
-  // order just that prefix. Better() is a strict total order, so this is
-  // exactly the first n entries a full sort would produce.
+  // Partial selection: move the n winners to the front in O(candidates),
+  // then order just that prefix. Better() is a strict total order, so this
+  // is exactly the first n entries a full sort would produce.
   const size_t keep = std::min<size_t>(static_cast<size_t>(n),
                                        candidates.size());
   if (keep < candidates.size()) {
@@ -79,6 +67,25 @@ std::vector<Recommendation> TopNRecommendations(
   }
   std::sort(candidates.begin(), candidates.end(), Better);
   return candidates;
+}
+
+std::vector<Recommendation> TopNRecommendations(
+    const BlockScoreFn& score, const UserItemGraph& train_graph, int64_t user,
+    int64_t n) {
+  SCENEREC_CHECK_GT(n, 0);
+  SCENEREC_CHECK(user >= 0 && user < train_graph.num_users());
+  SCENEREC_TRACE_SPAN_F("serve/topn", "serve", trace::Floor::kNone,
+                        "user=%lld n=%lld", static_cast<long long>(user),
+                        static_cast<long long>(n));
+
+  // Candidate-list build step: everything the user has not interacted with.
+  std::vector<int64_t> ids;
+  ids.reserve(static_cast<size_t>(train_graph.num_items()));
+  for (int64_t item = 0; item < train_graph.num_items(); ++item) {
+    if (train_graph.HasInteraction(user, item)) continue;
+    ids.push_back(item);
+  }
+  return TopNRecommendations(score, user, ids, n);
 }
 
 std::vector<Recommendation> TopNRecommendations(

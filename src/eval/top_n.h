@@ -2,6 +2,7 @@
 #define SCENEREC_EVAL_TOP_N_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "eval/evaluator.h"
@@ -33,6 +34,16 @@ std::vector<Recommendation> TopNRecommendations(const BlockScoreFn& score,
 std::vector<Recommendation> TopNRecommendations(const ScoreFn& score,
                                                 const UserItemGraph& train_graph,
                                                 int64_t user, int64_t n);
+
+/// The shared selection routine behind the overloads above and the
+/// two-stage retrieval path (retrieval/two_stage.h): scores a PRE-BUILT
+/// candidate list for `user` (chunked kScoreBlockSize blocks) and returns
+/// its top `n` under the same score-desc/lower-id total order. Candidates
+/// are taken as given — no interaction masking happens here; duplicates
+/// would be scored and ranked twice, so pass a deduplicated list.
+std::vector<Recommendation> TopNRecommendations(
+    const BlockScoreFn& score, int64_t user,
+    std::span<const int64_t> candidates, int64_t n);
 
 }  // namespace scenerec
 

@@ -1,5 +1,7 @@
 #include "models/bpr_mf.h"
 
+#include <algorithm>
+
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 
@@ -44,6 +46,23 @@ void BprMf::ScoreBlock(int64_t user, std::span<const int64_t> items,
     out[r] = bias[static_cast<size_t>(item)] +
              kernels::Dot(prow, q.data() + item * d, d);
   }
+}
+
+RetrievalEmbeddings BprMf::ExportItemEmbeddings() {
+  RetrievalEmbeddings out;
+  out.num_items = item_embedding_.vocab();
+  out.dim = item_embedding_.dim();
+  out.fidelity = RetrievalFidelity::kExactScores;
+  out.AdoptItems(item_embedding_.table().value());
+  out.AdoptBias(item_bias_.value());  // [num_items, 1] is [num_items] flat
+  return out;
+}
+
+void BprMf::WriteRetrievalQuery(int64_t user, std::span<float> out) {
+  const int64_t d = user_embedding_.dim();
+  SCENEREC_CHECK_EQ(static_cast<int64_t>(out.size()), d);
+  const float* prow = user_embedding_.table().value().data() + user * d;
+  std::copy(prow, prow + d, out.begin());
 }
 
 void BprMf::CollectParameters(std::vector<Tensor>* out) const {

@@ -32,6 +32,14 @@ class BprMf : public Recommender {
   void ScoreBlock(int64_t user, std::span<const int64_t> items,
                   std::span<float> out) override;
 
+  /// Score IS p_u . q_i + b_i, so the export is the raw item table plus the
+  /// bias column (zero-copy when the tables are snapshot-mapped) and index
+  /// inner products are bitwise model scores.
+  bool SupportsRetrievalEmbeddings() const override { return true; }
+  int64_t RetrievalDim() const override { return user_embedding_.dim(); }
+  RetrievalEmbeddings ExportItemEmbeddings() override;
+  void WriteRetrievalQuery(int64_t user, std::span<float> out) override;
+
  private:
   Embedding user_embedding_;
   Embedding item_embedding_;

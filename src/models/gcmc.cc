@@ -1,5 +1,7 @@
 #include "models/gcmc.h"
 
+#include <algorithm>
+
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 
@@ -66,6 +68,28 @@ void Gcmc::ScoreBlock(int64_t user, std::span<const int64_t> items,
         kernels::Dot(urow, cached_.data() + prop_.ItemNode(items[r]) * dim_,
                      dim_);
   }
+}
+
+RetrievalEmbeddings Gcmc::ExportItemEmbeddings() {
+  if (cached_.empty()) OnEvalBegin();
+  RetrievalEmbeddings out;
+  out.num_items = prop_.num_items;
+  out.dim = dim_;
+  out.fidelity = RetrievalFidelity::kExactScores;
+  // Item nodes are rows [num_users, num_users + num_items) of Z — one
+  // contiguous block. Copied (not aliased): OnEvalBegin refreshes cached_
+  // in place and an index must not see half-updated rows.
+  const float* first = cached_.data() + prop_.ItemNode(0) * dim_;
+  out.owned_items.assign(first, first + prop_.num_items * dim_);
+  out.items = out.owned_items.data();
+  return out;
+}
+
+void Gcmc::WriteRetrievalQuery(int64_t user, std::span<float> out) {
+  if (cached_.empty()) OnEvalBegin();
+  SCENEREC_CHECK_EQ(static_cast<int64_t>(out.size()), dim_);
+  const float* urow = cached_.data() + prop_.UserNode(user) * dim_;
+  std::copy(urow, urow + dim_, out.begin());
 }
 
 void Gcmc::CollectParameters(std::vector<Tensor>* out) const {

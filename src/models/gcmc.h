@@ -42,6 +42,13 @@ class Gcmc : public Recommender {
   void ScoreBlock(int64_t user, std::span<const int64_t> items,
                   std::span<float> out) override;
 
+  /// Score is z_u . z_i over the cached propagation snapshot; item nodes
+  /// occupy a contiguous row block of Z, copied out as the index matrix.
+  bool SupportsRetrievalEmbeddings() const override { return true; }
+  int64_t RetrievalDim() const override { return dim_; }
+  RetrievalEmbeddings ExportItemEmbeddings() override;
+  void WriteRetrievalQuery(int64_t user, std::span<float> out) override;
+
  private:
   /// Full-graph forward: the dense representation matrix Z, [num_nodes, d].
   Tensor Propagate() const;

@@ -36,6 +36,26 @@ void ItemPop::ScoreBlock(int64_t user, std::span<const int64_t> items,
   }
 }
 
+RetrievalEmbeddings ItemPop::ExportItemEmbeddings() {
+  RetrievalEmbeddings out;
+  out.num_items = graph_->num_items();
+  out.dim = 1;
+  out.fidelity = RetrievalFidelity::kExactScores;
+  out.owned_items.resize(static_cast<size_t>(out.num_items));
+  for (int64_t i = 0; i < out.num_items; ++i) {
+    out.owned_items[static_cast<size_t>(i)] =
+        static_cast<float>(graph_->ItemDegree(i));
+  }
+  out.items = out.owned_items.data();
+  return out;
+}
+
+void ItemPop::WriteRetrievalQuery(int64_t user, std::span<float> out) {
+  (void)user;
+  SCENEREC_CHECK_EQ(out.size(), size_t{1});
+  out[0] = 1.0f;
+}
+
 void ItemPop::CollectParameters(std::vector<Tensor>* out) const {
   out->push_back(dummy_);
 }

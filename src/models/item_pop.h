@@ -33,6 +33,13 @@ class ItemPop : public Recommender {
   void ScoreBlock(int64_t user, std::span<const int64_t> items,
                   std::span<float> out) override;
 
+  /// Degenerate but exact 1-d export: item embedding = [degree], every
+  /// query = [1], so Dot reproduces Score bitwise (deg * 1.0f is exact).
+  bool SupportsRetrievalEmbeddings() const override { return true; }
+  int64_t RetrievalDim() const override { return 1; }
+  RetrievalEmbeddings ExportItemEmbeddings() override;
+  void WriteRetrievalQuery(int64_t user, std::span<float> out) override;
+
  private:
   const UserItemGraph* graph_;
   /// Dummy trainable scalar so the generic trainer (which requires a

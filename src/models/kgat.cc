@@ -250,6 +250,18 @@ void Kgat::ScoreBlock(int64_t user, std::span<const int64_t> items,
   }
 }
 
+RetrievalEmbeddings Kgat::ExportItemEmbeddings() {
+  if (cached_layers_.empty()) OnEvalBegin();
+  return ExportLayerConcat(cached_layers_, dim_, graph_.propagation.num_items,
+                           graph_.propagation.ItemNode(0));
+}
+
+void Kgat::WriteRetrievalQuery(int64_t user, std::span<float> out) {
+  if (cached_layers_.empty()) OnEvalBegin();
+  WriteLayerConcatQuery(cached_layers_, dim_, graph_.propagation.UserNode(user),
+                        out);
+}
+
 void Kgat::CollectParameters(std::vector<Tensor>* out) const {
   out->push_back(embedding_);
   out->push_back(relation_embedding_);

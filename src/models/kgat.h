@@ -49,6 +49,13 @@ class Kgat : public Recommender {
   void ScoreBlock(int64_t user, std::span<const int64_t> items,
                   std::span<float> out) override;
 
+  /// Layer-concat export (see ExportLayerConcat): the concatenated dot
+  /// equals the per-layer sum up to float regrouping — kFaithfulRanking.
+  bool SupportsRetrievalEmbeddings() const override { return true; }
+  int64_t RetrievalDim() const override { return (depth_ + 1) * dim_; }
+  RetrievalEmbeddings ExportItemEmbeddings() override;
+  void WriteRetrievalQuery(int64_t user, std::span<float> out) override;
+
  private:
   std::vector<Tensor> Propagate() const;
   /// Recomputes softmax-normalized attention coefficients per edge.

@@ -1,5 +1,7 @@
 #include "models/ngcf.h"
 
+#include <algorithm>
+
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 
@@ -116,6 +118,17 @@ void Ngcf::ScoreBlock(int64_t user, std::span<const int64_t> items,
     }
     out[r] = total;
   }
+}
+
+RetrievalEmbeddings Ngcf::ExportItemEmbeddings() {
+  if (cached_layers_.empty()) OnEvalBegin();
+  return ExportLayerConcat(cached_layers_, dim_, prop_.num_items,
+                           prop_.ItemNode(0));
+}
+
+void Ngcf::WriteRetrievalQuery(int64_t user, std::span<float> out) {
+  if (cached_layers_.empty()) OnEvalBegin();
+  WriteLayerConcatQuery(cached_layers_, dim_, prop_.UserNode(user), out);
 }
 
 void Ngcf::CollectParameters(std::vector<Tensor>* out) const {

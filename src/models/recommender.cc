@@ -1,5 +1,7 @@
 #include "models/recommender.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "tensor/ops.h"
 
@@ -31,6 +33,71 @@ Tensor Recommender::BatchLossShard(std::span<const BprTriple> shard,
     total = total.defined() ? Add(total, loss) : loss;
   }
   return total;
+}
+
+void RetrievalEmbeddings::AdoptItems(const FloatBuffer& buf) {
+  if (buf.borrowed() && buf.owner() != nullptr) {
+    items = buf.data();
+    pin = buf.owner();
+  } else {
+    owned_items.assign(buf.data(), buf.data() + buf.size());
+    items = owned_items.data();
+  }
+}
+
+void RetrievalEmbeddings::AdoptBias(const FloatBuffer& buf) {
+  // Borrow only when the bias shares the items' pin (one snapshot mapping);
+  // a second distinct owner would need a second pin slot.
+  if (buf.borrowed() && buf.owner() != nullptr &&
+      (pin == nullptr || pin == buf.owner())) {
+    bias = buf.data();
+    if (pin == nullptr) pin = buf.owner();
+  } else {
+    owned_bias.assign(buf.data(), buf.data() + buf.size());
+    bias = owned_bias.data();
+  }
+}
+
+RetrievalEmbeddings ExportLayerConcat(
+    const std::vector<std::vector<float>>& layers, int64_t dim,
+    int64_t num_items, int64_t item_node_base) {
+  SCENEREC_CHECK(!layers.empty());
+  const int64_t out_dim = static_cast<int64_t>(layers.size()) * dim;
+  RetrievalEmbeddings out;
+  out.num_items = num_items;
+  out.dim = out_dim;
+  out.fidelity = RetrievalFidelity::kFaithfulRanking;
+  out.owned_items.resize(static_cast<size_t>(num_items * out_dim));
+  for (int64_t i = 0; i < num_items; ++i) {
+    float* row = out.owned_items.data() + i * out_dim;
+    for (size_t l = 0; l < layers.size(); ++l) {
+      const float* src = layers[l].data() + (item_node_base + i) * dim;
+      std::copy(src, src + dim, row + static_cast<int64_t>(l) * dim);
+    }
+  }
+  out.items = out.owned_items.data();
+  return out;
+}
+
+void WriteLayerConcatQuery(const std::vector<std::vector<float>>& layers,
+                           int64_t dim, int64_t node, std::span<float> out) {
+  SCENEREC_CHECK_EQ(out.size(), layers.size() * static_cast<size_t>(dim));
+  for (size_t l = 0; l < layers.size(); ++l) {
+    const float* src = layers[l].data() + node * dim;
+    std::copy(src, src + dim,
+              out.begin() + static_cast<int64_t>(l) * dim);
+  }
+}
+
+RetrievalEmbeddings Recommender::ExportItemEmbeddings() {
+  SCENEREC_CHECK(false) << name() << " does not export retrieval embeddings";
+  return {};
+}
+
+void Recommender::WriteRetrievalQuery(int64_t user, std::span<float> out) {
+  (void)user;
+  (void)out;
+  SCENEREC_CHECK(false) << name() << " does not export retrieval embeddings";
 }
 
 float Recommender::Score(int64_t user, int64_t item) {

@@ -2,6 +2,7 @@
 #define SCENEREC_MODELS_RECOMMENDER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,6 +26,62 @@ struct ModelContext {
   const UserItemGraph* user_item = nullptr;
   const SceneGraph* scene = nullptr;
 };
+
+/// How faithfully `Dot(query(u), items[i]) + bias[i]` over a model's exported
+/// retrieval embeddings reproduces Score(u, i). Drives how the retrieval
+/// layer (retrieval/item_index.h) treats index scores: under kExactScores
+/// they ARE model scores; otherwise they only pick candidates and the final
+/// ranking always comes from exact ScoreBlock rescoring (docs/retrieval.md).
+enum class RetrievalFidelity {
+  /// The inner product is bitwise equal to Score (BPR-MF, GCMC, ItemPop).
+  kExactScores,
+  /// Equal as real arithmetic but float ops regroup (NGCF/KGAT sum per-layer
+  /// dots; the export concatenates layers into one longer dot).
+  kFaithfulRanking,
+  /// A proxy: the true score is a nonlinear head over the representations
+  /// (SceneRec's rating MLP), so index order is approximate by construction.
+  kProxy,
+};
+
+/// An item-embedding matrix exported for retrieval-index construction, plus
+/// the matching query-side embedding contract (WriteRetrievalQuery). `items`
+/// points either at `owned_items` or zero-copy at storage kept alive by
+/// `pin` (a snapshot's file mapping). `bias` is an optional per-item
+/// additive term folded into index scores.
+struct RetrievalEmbeddings {
+  int64_t num_items = 0;
+  int64_t dim = 0;
+  RetrievalFidelity fidelity = RetrievalFidelity::kProxy;
+  const float* items = nullptr;  // [num_items, dim] row-major
+  const float* bias = nullptr;   // [num_items] or null
+  std::vector<float> owned_items;
+  std::vector<float> owned_bias;
+  std::shared_ptr<const void> pin;
+
+  /// Points `items` at `buf` without copying when `buf` borrows externally
+  /// pinned storage (mmap'd snapshot pages — the pin keeps them mapped
+  /// independent of the tensor), otherwise materializes a copy: a live heap
+  /// table can be reallocated later (BindExternal), so aliasing it would
+  /// dangle.
+  void AdoptItems(const FloatBuffer& buf);
+  /// Same policy for the bias vector.
+  void AdoptBias(const FloatBuffer& buf);
+};
+
+/// Export helper for layer-propagation models (NGCF, KGAT) whose score sums
+/// per-layer dots: concatenates each item node's rows across `layers` into
+/// one [num_items, layers.size()*dim] matrix. Item nodes must be contiguous
+/// starting at `item_node_base` (PropagationGraph::ItemNode layout). The
+/// concatenated dot equals the per-layer sum as real arithmetic but regroups
+/// float additions — kFaithfulRanking, which the helper sets.
+RetrievalEmbeddings ExportLayerConcat(
+    const std::vector<std::vector<float>>& layers, int64_t dim,
+    int64_t num_items, int64_t item_node_base);
+
+/// Query-side counterpart: node `node`'s rows across `layers`, concatenated
+/// into `out` (size layers.size()*dim).
+void WriteLayerConcatQuery(const std::vector<std::vector<float>>& layers,
+                           int64_t dim, int64_t node, std::span<float> out);
 
 /// Base interface implemented by SceneRec and all baselines. A model is a
 /// Module (owns trainable parameters) plus a scoring function; the trainer
@@ -105,6 +162,33 @@ class Recommender : public Module {
   /// Score() — correct for every model, batched for none.
   virtual void ScoreBlock(int64_t user, std::span<const int64_t> items,
                           std::span<float> out);
+
+  // -- Retrieval-embedding export (two-stage serving) --------------------
+  //
+  // Models whose score is (or is approximated by) an inner product between
+  // a per-user query and a per-item embedding export the item side as one
+  // matrix for ANN index construction (retrieval/index_builder.h) and write
+  // the query side per request. Both use the same representations as
+  // Score(), so they require the same preparation (OnEvalBegin after
+  // parameter changes) and, like Score() itself, lazily self-ensure any
+  // eval caches. The declared fidelity tells callers how to interpret
+  // index scores.
+
+  /// True if ExportItemEmbeddings / WriteRetrievalQuery are implemented.
+  virtual bool SupportsRetrievalEmbeddings() const { return false; }
+
+  /// Width of the exported embeddings; 0 when unsupported.
+  virtual int64_t RetrievalDim() const { return 0; }
+
+  /// Exports the [num_items, RetrievalDim()] item matrix (plus optional
+  /// bias). Not safe concurrently with scoring if eval caches are cold.
+  /// CHECK-fails unless SupportsRetrievalEmbeddings().
+  virtual RetrievalEmbeddings ExportItemEmbeddings();
+
+  /// Writes the user's query embedding into `out` (size RetrievalDim()),
+  /// such that Dot(out, item_row) + bias approximates Score per the
+  /// exported fidelity. CHECK-fails unless SupportsRetrievalEmbeddings().
+  virtual void WriteRetrievalQuery(int64_t user, std::span<float> out);
 
   /// Makes Score() safe to call concurrently and returns true, or returns
   /// false if this model's scoring path cannot be parallelized. Called by

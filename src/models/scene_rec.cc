@@ -1,5 +1,6 @@
 #include "models/scene_rec.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "models/neighbor_util.h"
@@ -422,6 +423,32 @@ void SceneRec::ScoreBlock(int64_t user, std::span<const int64_t> items,
       Tensor::FromVector(Shape({rows, 2 * d}), std::move(xs)));
   const float* src = scores.value().data();
   for (int64_t r = 0; r < rows; ++r) out[static_cast<size_t>(r)] = src[r];
+}
+
+RetrievalEmbeddings SceneRec::ExportItemEmbeddings() {
+  NoGradGuard no_grad;
+  RetrievalEmbeddings out;
+  out.num_items = user_item_->num_items();
+  out.dim = config_.embedding_dim;
+  out.fidelity = RetrievalFidelity::kProxy;
+  out.owned_items.resize(static_cast<size_t>(out.num_items * out.dim));
+  // Same lazily-filled eval caches as Score()/ScoreBlock, so exporting
+  // doubles as a cache warm-up and never forks representations.
+  for (int64_t i = 0; i < out.num_items; ++i) {
+    Tensor repr = GeneralItemRepr(i, step_caches_, nullptr);
+    const float* src = repr.value().data();
+    std::copy(src, src + out.dim, out.owned_items.data() + i * out.dim);
+  }
+  out.items = out.owned_items.data();
+  return out;
+}
+
+void SceneRec::WriteRetrievalQuery(int64_t user, std::span<float> out) {
+  NoGradGuard no_grad;
+  SCENEREC_CHECK_EQ(static_cast<int64_t>(out.size()), config_.embedding_dim);
+  const Tensor repr = UserRepr(user, nullptr);
+  const float* src = repr.value().data();
+  std::copy(src, src + config_.embedding_dim, out.begin());
 }
 
 float SceneRec::AverageAttentionScore(int64_t user, int64_t item) const {

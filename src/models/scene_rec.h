@@ -86,6 +86,15 @@ class SceneRec : public Recommender {
   void ScoreBlock(int64_t user, std::span<const int64_t> items,
                   std::span<float> out) override;
 
+  /// Exports the memoized eval representations (eqs. 1 and 13). The true
+  /// score is the rating MLP over [user_repr, item_repr] — not an inner
+  /// product — so the export is kProxy: index order only picks candidates
+  /// and two-stage serving always reranks with exact ScoreBlock.
+  bool SupportsRetrievalEmbeddings() const override { return true; }
+  int64_t RetrievalDim() const override { return config_.embedding_dim; }
+  RetrievalEmbeddings ExportItemEmbeddings() override;
+  void WriteRetrievalQuery(int64_t user, std::span<float> out) override;
+
   const SceneRecConfig& config() const { return config_; }
 
   /// Average scene-based attention score between `item` and the items the

@@ -293,6 +293,13 @@ const float* Snapshot::data(size_t i) const {
   return reinterpret_cast<const float*>(file_.data() + entries_[i].offset);
 }
 
+int64_t Snapshot::FindTensor(const std::string& name) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
 Tensor Snapshot::View(size_t i) const {
   SCENEREC_CHECK_LT(i, entries_.size());
   const SnapshotTensorEntry& entry = entries_[i];

@@ -74,6 +74,12 @@ class Snapshot : public std::enable_shared_from_this<Snapshot> {
   /// The mapped page of tensor `i` (aligned, read-only).
   const float* data(size_t i) const;
 
+  /// Manifest index of the tensor named `name` (CollectParameters order
+  /// gives "param.<i>"), or -1 if absent. Used by raw-table consumers such
+  /// as `snapshot_inspect --export-index` that read known tensors without
+  /// rebuilding the model.
+  int64_t FindTensor(const std::string& name) const;
+
   /// Zero-copy read-only tensor over tensor `i`'s page. The tensor keeps
   /// this snapshot (and its mapping) alive for its own lifetime.
   Tensor View(size_t i) const;

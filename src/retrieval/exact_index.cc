@@ -1,0 +1,83 @@
+#include "retrieval/exact_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/trace.h"
+#include "tensor/kernels.h"
+
+namespace scenerec {
+
+namespace {
+// Rows scored per Gemv call: bounds the scratch buffer while keeping calls
+// long enough to amortize the virtual-dispatch and trace overhead.
+constexpr int64_t kScanTile = 4096;
+}  // namespace
+
+ExactIndex::ExactIndex(RetrievalEmbeddings embeddings, Options options)
+    : emb_(std::move(embeddings)), opt_(options) {
+  SCENEREC_CHECK(emb_.items != nullptr || emb_.num_items == 0);
+  SCENEREC_CHECK_GT(opt_.rescore_factor, 0);
+  if (opt_.quantize_int8) {
+    sq8_ = Sq8Matrix(emb_.items, emb_.num_items, emb_.dim);
+  }
+}
+
+void ExactIndex::Search(std::span<const float> query, int64_t k,
+                        std::vector<RetrievalCandidate>* out,
+                        SearchStats* stats) const {
+  SCENEREC_CHECK_EQ(static_cast<int64_t>(query.size()), emb_.dim);
+  SCENEREC_CHECK_GT(k, 0);
+  SCENEREC_TRACE_SPAN_F("retrieval/search", "retrieval", trace::Floor::kNone,
+                        "backend=%s k=%lld", name().c_str(),
+                        static_cast<long long>(k));
+  out->clear();
+  if (stats != nullptr) *stats = SearchStats{};
+  if (emb_.num_items == 0) return;
+  if (stats != nullptr) {
+    stats->lists_probed = 1;
+    stats->items_scanned = emb_.num_items;
+  }
+
+  out->reserve(static_cast<size_t>(emb_.num_items));
+  std::vector<float> scores(static_cast<size_t>(
+      std::min(kScanTile, emb_.num_items)));
+  const bool int8_scan = opt_.quantize_int8;
+  Sq8Matrix::EncodedQuery eq;
+  if (int8_scan) eq = sq8_.EncodeQuery(query);
+  for (int64_t r0 = 0; r0 < emb_.num_items; r0 += kScanTile) {
+    const int64_t rows = std::min(kScanTile, emb_.num_items - r0);
+    if (int8_scan) {
+      sq8_.ScoreRows(eq, r0, rows, scores.data());
+    } else {
+      kernels::Gemv(emb_.items + r0 * emb_.dim, rows, emb_.dim, query.data(),
+                    scores.data());
+    }
+    for (int64_t r = 0; r < rows; ++r) {
+      float s = scores[static_cast<size_t>(r)];
+      if (emb_.bias != nullptr) s += emb_.bias[r0 + r];
+      out->push_back({r0 + r, s});
+    }
+  }
+
+  if (!int8_scan) {
+    SelectTopK(out, k);
+    return;
+  }
+
+  // Int8 path: keep a survivor margin, then restore exact (float) scores by
+  // rescoring just the survivors — kernels::Dot per row, the same kernel the
+  // float scan's Gemv uses, so rescored scores are bitwise float-scan scores.
+  SelectTopK(out, k * opt_.rescore_factor);
+  for (RetrievalCandidate& c : *out) {
+    float s = kernels::Dot(query.data(), emb_.items + c.item * emb_.dim,
+                           emb_.dim);
+    if (emb_.bias != nullptr) s += emb_.bias[c.item];
+    c.score = s;
+  }
+  if (stats != nullptr) stats->rescored = static_cast<int64_t>(out->size());
+  SelectTopK(out, k);
+}
+
+}  // namespace scenerec

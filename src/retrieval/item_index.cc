@@ -1,0 +1,23 @@
+#include "retrieval/item_index.h"
+
+#include <algorithm>
+
+namespace scenerec {
+
+bool BetterCandidate(const RetrievalCandidate& a, const RetrievalCandidate& b) {
+  return a.score != b.score ? a.score > b.score : a.item < b.item;
+}
+
+void SelectTopK(std::vector<RetrievalCandidate>* candidates, int64_t k) {
+  const size_t keep =
+      std::min(static_cast<size_t>(std::max<int64_t>(k, 0)), candidates->size());
+  if (keep < candidates->size()) {
+    std::nth_element(candidates->begin(),
+                     candidates->begin() + static_cast<ptrdiff_t>(keep),
+                     candidates->end(), BetterCandidate);
+    candidates->resize(keep);
+  }
+  std::sort(candidates->begin(), candidates->end(), BetterCandidate);
+}
+
+}  // namespace scenerec

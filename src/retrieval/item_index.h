@@ -1,0 +1,69 @@
+#ifndef SCENEREC_RETRIEVAL_ITEM_INDEX_H_
+#define SCENEREC_RETRIEVAL_ITEM_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "models/recommender.h"
+
+namespace scenerec {
+
+// The candidate-generation half of two-stage serving (docs/retrieval.md):
+// an ItemIndex answers "which ~K items maximize query . item (+ bias)" over
+// a model's exported item-embedding matrix, without the O(catalog) exact
+// scan of TopNRecommendations. Index scores are MODEL scores only under
+// RetrievalFidelity::kExactScores; otherwise they merely rank candidates
+// and callers rerank the survivors with exact ScoreBlock
+// (retrieval/two_stage.h).
+
+/// One retrieved candidate. `score` is the index's inner-product score
+/// (after int8 survivors are rescored in float, where applicable) — NOT
+/// necessarily the model score; see the fidelity note above.
+struct RetrievalCandidate {
+  int64_t item = 0;
+  float score = 0.0f;
+};
+
+/// Per-query work accounting, for tests/benches and the CLI summaries.
+struct SearchStats {
+  int64_t lists_probed = 0;   // coarse lists visited (1 scan for flat indexes)
+  int64_t items_scanned = 0;  // embeddings scored (approximately or exactly)
+  int64_t rescored = 0;       // int8 survivors rescored in float
+};
+
+/// Read-only ANN index over an exported item-embedding matrix. Search is
+/// const and allocation-local, so one index serves concurrent queries
+/// (tests/retrieval_test.cc runs it under TSan).
+class ItemIndex {
+ public:
+  virtual ~ItemIndex() = default;
+
+  /// Backend name: "exact", "exact_sq8", "ivf" or "ivf_sq8".
+  virtual std::string name() const = 0;
+  virtual int64_t num_items() const = 0;
+  virtual int64_t dim() const = 0;
+  /// Fidelity declared by the exporting model.
+  virtual RetrievalFidelity fidelity() const = 0;
+
+  /// Writes the (up to) `k` best candidates into `out`, ordered score-desc
+  /// with lower-id tie break (the PR 5 serving order). `query` must have
+  /// dim() elements. `stats`, when non-null, is overwritten.
+  virtual void Search(std::span<const float> query, int64_t k,
+                      std::vector<RetrievalCandidate>* out,
+                      SearchStats* stats = nullptr) const = 0;
+};
+
+/// The strict total order every backend returns results in: score desc,
+/// lower item id first — mirrors eval/top_n.cc so the exact backend's list
+/// is bitwise comparable against TopNRecommendations.
+bool BetterCandidate(const RetrievalCandidate& a, const RetrievalCandidate& b);
+
+/// In-place partial selection of the top `k` under BetterCandidate:
+/// truncates `candidates` to min(k, size) entries, sorted.
+void SelectTopK(std::vector<RetrievalCandidate>* candidates, int64_t k);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_RETRIEVAL_ITEM_INDEX_H_

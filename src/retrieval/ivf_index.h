@@ -1,0 +1,86 @@
+#ifndef SCENEREC_RETRIEVAL_IVF_INDEX_H_
+#define SCENEREC_RETRIEVAL_IVF_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "retrieval/item_index.h"
+#include "retrieval/quantize.h"
+
+namespace scenerec {
+
+/// IVF (inverted-file) index: a k-means coarse quantizer partitions the
+/// items into `nlist` lists; a query scores only the members of its
+/// `nprobe` closest lists instead of the whole catalog — the recall/latency
+/// knob of two-stage serving (docs/retrieval.md). Construction is fully
+/// deterministic (seeded initialization, fixed Lloyd iteration count,
+/// ascending-id list order), so building from a live model and from an
+/// mmap'd snapshot of the same parameters yields bit-identical structures
+/// (tests/retrieval_test.cc compares them field by field).
+///
+/// List selection ranks centroids by query . centroid — the maximum-inner-
+/// product surrogate for the L2 assignment used at build time. With
+/// Options::quantize_int8 the member scans run over uint8 codes (shared
+/// Sq8Matrix quantization with the exact_sq8 backend) and survivors are
+/// rescored in float.
+class IvfIndex : public ItemIndex {
+ public:
+  struct Options {
+    int64_t nlist = 0;   // 0 = clamp(sqrt(num_items), 1, num_items)
+    int64_t nprobe = 8;  // lists scanned per query
+    int64_t kmeans_iterations = 8;
+    bool quantize_int8 = false;
+    int64_t rescore_factor = 4;
+    uint64_t seed = 42;  // coarse-quantizer initialization
+  };
+
+  IvfIndex(RetrievalEmbeddings embeddings, Options options);
+  explicit IvfIndex(RetrievalEmbeddings embeddings)
+      : IvfIndex(std::move(embeddings), Options{}) {}
+
+  std::string name() const override {
+    return opt_.quantize_int8 ? "ivf_sq8" : "ivf";
+  }
+  int64_t num_items() const override { return emb_.num_items; }
+  int64_t dim() const override { return emb_.dim; }
+  RetrievalFidelity fidelity() const override { return emb_.fidelity; }
+
+  void Search(std::span<const float> query, int64_t k,
+              std::vector<RetrievalCandidate>* out,
+              SearchStats* stats = nullptr) const override;
+
+  int64_t nlist() const { return nlist_; }
+  int64_t nprobe() const { return opt_.nprobe; }
+  /// Post-build recall/latency tuning; clamped to [1, nlist].
+  void set_nprobe(int64_t nprobe);
+
+  // -- Structure introspection (tests, snapshot_inspect) -----------------
+  /// [nlist, dim] row-major k-means centroids.
+  std::span<const float> centroids() const { return centroids_; }
+  /// Items of list l are list_items()[list_offsets()[l] ..
+  /// list_offsets()[l+1]), ascending ids. offsets has nlist+1 entries.
+  std::span<const int64_t> list_offsets() const { return list_offsets_; }
+  std::span<const int64_t> list_items() const { return list_items_; }
+  /// Null when quantize_int8 is off.
+  const Sq8Matrix* quantizer() const {
+    return opt_.quantize_int8 ? &sq8_ : nullptr;
+  }
+
+ private:
+  void BuildCoarseQuantizer();
+
+  RetrievalEmbeddings emb_;
+  Options opt_;
+  int64_t nlist_ = 0;
+  std::vector<float> centroids_;      // [nlist, dim]
+  std::vector<int64_t> list_offsets_; // [nlist + 1]
+  std::vector<int64_t> list_items_;   // [num_items]
+  Sq8Matrix sq8_;                     // engaged only under quantize_int8
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_RETRIEVAL_IVF_INDEX_H_

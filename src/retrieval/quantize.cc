@@ -1,0 +1,104 @@
+#include "retrieval/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/kernels.h"
+
+namespace scenerec {
+
+Sq8Matrix::Sq8Matrix(const float* rows, int64_t num_rows, int64_t dim)
+    : num_rows_(num_rows), dim_(dim) {
+  SCENEREC_CHECK_GE(num_rows, 0);
+  SCENEREC_CHECK_GT(dim, 0);
+  // DotQ8's no-overflow argument needs Σ |q_d c_d| ≤ 2^16 * 127 * 255.
+  SCENEREC_CHECK_LE(dim, int64_t{1} << 16);
+  scales_.resize(static_cast<size_t>(dim));
+  zeros_.resize(static_cast<size_t>(dim));
+  codes_.resize(static_cast<size_t>(num_rows * dim));
+  if (num_rows == 0) return;
+
+  for (int64_t d = 0; d < dim; ++d) {
+    float lo = rows[d];
+    float hi = rows[d];
+    for (int64_t r = 1; r < num_rows; ++r) {
+      lo = std::min(lo, rows[r * dim + d]);
+      hi = std::max(hi, rows[r * dim + d]);
+    }
+    // A constant dimension still gets a nonzero scale so z_d stays finite;
+    // every code is then round(-z_d + v/s) = the same value, error 0.
+    float s = (hi - lo) / 255.0f;
+    if (s <= 0.0f) s = 1.0f;
+    scales_[static_cast<size_t>(d)] = s;
+    zeros_[static_cast<size_t>(d)] = -lo / s;
+  }
+  for (int64_t r = 0; r < num_rows; ++r) {
+    for (int64_t d = 0; d < dim; ++d) {
+      const float s = scales_[static_cast<size_t>(d)];
+      const float z = zeros_[static_cast<size_t>(d)];
+      const float c = std::round(rows[r * dim + d] / s + z);
+      codes_[static_cast<size_t>(r * dim + d)] =
+          static_cast<uint8_t>(std::clamp(c, 0.0f, 255.0f));
+    }
+  }
+}
+
+float Sq8Matrix::Dequantized(int64_t row, int64_t d) const {
+  const float s = scales_[static_cast<size_t>(d)];
+  const float z = zeros_[static_cast<size_t>(d)];
+  return s * (static_cast<float>(codes_[static_cast<size_t>(row * dim_ + d)]) -
+              z);
+}
+
+Sq8Matrix::EncodedQuery Sq8Matrix::EncodeQuery(
+    std::span<const float> query) const {
+  SCENEREC_CHECK_EQ(static_cast<int64_t>(query.size()), dim_);
+  EncodedQuery out;
+  out.codes.resize(static_cast<size_t>(dim_));
+  // Fold the per-dim item scales into the query and take the offset in
+  // double: it is a per-query constant shared by every row, so its rounding
+  // should not dominate the row-to-row error.
+  std::vector<float> folded(static_cast<size_t>(dim_));
+  double offset = 0.0;
+  float max_abs = 0.0f;
+  for (int64_t d = 0; d < dim_; ++d) {
+    const float f = query[static_cast<size_t>(d)] *
+                    scales_[static_cast<size_t>(d)];
+    folded[static_cast<size_t>(d)] = f;
+    offset += static_cast<double>(f) *
+              static_cast<double>(zeros_[static_cast<size_t>(d)]);
+    max_abs = std::max(max_abs, std::fabs(f));
+  }
+  out.offset = static_cast<float>(offset);
+  if (max_abs == 0.0f) return out;  // zero query: all codes 0, scale 0
+  out.scale = max_abs / 127.0f;
+  for (int64_t d = 0; d < dim_; ++d) {
+    const float c = std::round(folded[static_cast<size_t>(d)] / out.scale);
+    out.codes[static_cast<size_t>(d)] =
+        static_cast<int8_t>(std::clamp(c, -127.0f, 127.0f));
+  }
+  return out;
+}
+
+float Sq8Matrix::Score(const EncodedQuery& q, int64_t row) const {
+  const int32_t acc = kernels::DotQ8(q.codes.data(),
+                                     codes_.data() + row * dim_, dim_);
+  return q.scale * static_cast<float>(acc) - q.offset;
+}
+
+void Sq8Matrix::ScoreRows(const EncodedQuery& q, int64_t row_begin,
+                          int64_t count, float* out) const {
+  SCENEREC_CHECK(row_begin >= 0 && row_begin + count <= num_rows_);
+  // Batched int32 scan, then one fused scale-and-shift pass. Integer
+  // accumulation is order-free, so this is exactly `count` Score() calls.
+  std::vector<int32_t> accs(static_cast<size_t>(count));
+  kernels::GemvQ8(codes_.data() + row_begin * dim_, count, dim_,
+                  q.codes.data(), accs.data());
+  for (int64_t r = 0; r < count; ++r) {
+    out[r] = q.scale * static_cast<float>(accs[static_cast<size_t>(r)]) -
+             q.offset;
+  }
+}
+
+}  // namespace scenerec

@@ -1,0 +1,105 @@
+#include "retrieval/two_stage.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace scenerec {
+
+namespace {
+// Retrieval telemetry (docs/observability.md): probe volume, candidate
+// throughput and exact-rescore volume of the two-stage path.
+const telemetry::Counter t_queries =
+    telemetry::RegisterCounter("retrieval/queries");
+const telemetry::Counter t_probes =
+    telemetry::RegisterCounter("retrieval/probes");
+const telemetry::Counter t_candidates =
+    telemetry::RegisterCounter("retrieval/candidates");
+const telemetry::Counter t_rescored =
+    telemetry::RegisterCounter("retrieval/rescored");
+}  // namespace
+
+std::vector<Recommendation> TwoStageTopN(Recommender& model,
+                                         const ItemIndex& index,
+                                         const UserItemGraph& train_graph,
+                                         int64_t user, int64_t n,
+                                         int64_t num_candidates,
+                                         SearchStats* stats) {
+  SCENEREC_CHECK_GT(n, 0);
+  SCENEREC_CHECK_GT(num_candidates, 0);
+  SCENEREC_CHECK(user >= 0 && user < train_graph.num_users());
+  SCENEREC_TRACE_SPAN_F("retrieval/two_stage", "retrieval",
+                        trace::Floor::kNone,
+                        "user=%lld n=%lld candidates=%lld",
+                        static_cast<long long>(user),
+                        static_cast<long long>(n),
+                        static_cast<long long>(num_candidates));
+  t_queries.Add(1);
+
+  // Stage 1: approximate retrieval, over-fetched by the user's training
+  // degree so that masking interacted items below cannot eat into the
+  // candidate budget.
+  std::vector<float> query(static_cast<size_t>(index.dim()));
+  model.WriteRetrievalQuery(user, query);
+  const int64_t fetch =
+      std::min(num_candidates + train_graph.UserDegree(user),
+               index.num_items());
+  SearchStats local_stats;
+  std::vector<RetrievalCandidate> retrieved;
+  index.Search(query, fetch, &retrieved, &local_stats);
+  t_probes.Add(static_cast<uint64_t>(local_stats.lists_probed));
+
+  // Interaction filter + budget truncation (retrieved is already in the
+  // serving order, so truncation keeps the best survivors).
+  std::vector<int64_t> ids;
+  ids.reserve(static_cast<size_t>(num_candidates));
+  for (const RetrievalCandidate& c : retrieved) {
+    if (static_cast<int64_t>(ids.size()) >= num_candidates) break;
+    if (train_graph.HasInteraction(user, c.item)) continue;
+    ids.push_back(c.item);
+  }
+  t_candidates.Add(static_cast<uint64_t>(ids.size()));
+  t_rescored.Add(static_cast<uint64_t>(ids.size()));
+  if (stats != nullptr) {
+    *stats = local_stats;
+    stats->rescored = static_cast<int64_t>(ids.size());
+  }
+  if (ids.empty()) return {};
+
+  // Stage 2: exact rerank through the shared selection routine.
+  return TopNRecommendations(model.BlockScorer(), user, ids, n);
+}
+
+double RetrievalRecallAtK(Recommender& model, const ItemIndex& index,
+                          const ItemIndex& exact, int64_t k,
+                          std::span<const int64_t> users) {
+  SCENEREC_CHECK_GT(k, 0);
+  SCENEREC_CHECK(!users.empty());
+  SCENEREC_CHECK_EQ(index.dim(), exact.dim());
+  double total = 0.0;
+  int64_t counted = 0;
+  std::vector<float> query(static_cast<size_t>(index.dim()));
+  std::vector<RetrievalCandidate> truth;
+  std::vector<RetrievalCandidate> got;
+  for (const int64_t user : users) {
+    model.WriteRetrievalQuery(user, query);
+    exact.Search(query, k, &truth);
+    if (truth.empty()) continue;
+    index.Search(query, k, &got);
+    std::unordered_set<int64_t> got_set;
+    got_set.reserve(got.size() * 2);
+    for (const RetrievalCandidate& c : got) got_set.insert(c.item);
+    int64_t hits = 0;
+    for (const RetrievalCandidate& c : truth) {
+      hits += got_set.count(c.item) != 0 ? 1 : 0;
+    }
+    total += static_cast<double>(hits) / static_cast<double>(truth.size());
+    counted += 1;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace scenerec

@@ -1,0 +1,46 @@
+#ifndef SCENEREC_RETRIEVAL_TWO_STAGE_H_
+#define SCENEREC_RETRIEVAL_TWO_STAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eval/top_n.h"
+#include "graph/bipartite_graph.h"
+#include "models/recommender.h"
+#include "retrieval/item_index.h"
+
+namespace scenerec {
+
+/// Two-stage Top-N (docs/retrieval.md): retrieve `num_candidates`
+/// approximate candidates from `index`, drop the user's training
+/// interactions, then rerank the survivors with the EXACT model
+/// (ScoreBlock via the candidate-span TopNRecommendations overload — the
+/// same selection routine and tie order as full-catalog serving). The
+/// retrieval stage over-fetches by the user's training degree so the
+/// interaction filter cannot starve the candidate budget.
+///
+/// Returned scores are exact model scores. Under kExactScores fidelity
+/// with num_candidates >= catalog the result is identical to
+/// TopNRecommendations; with a real candidate budget the only possible
+/// difference is recall (a true top-n item the index failed to surface).
+/// `stats`, when non-null, receives the index's per-query accounting with
+/// `rescored` set to the reranked candidate count.
+std::vector<Recommendation> TwoStageTopN(Recommender& model,
+                                         const ItemIndex& index,
+                                         const UserItemGraph& train_graph,
+                                         int64_t user, int64_t n,
+                                         int64_t num_candidates,
+                                         SearchStats* stats = nullptr);
+
+/// Recall@k of `index` against `exact` over `users`: the mean fraction of
+/// each user's exact top-k (by index scores, unmasked) that the candidate
+/// index also returns in its top-k. The quality protocol behind the
+/// recall@100 acceptance gate (tests/retrieval_test.cc, bench_retrieval).
+double RetrievalRecallAtK(Recommender& model, const ItemIndex& index,
+                          const ItemIndex& exact, int64_t k,
+                          std::span<const int64_t> users);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_RETRIEVAL_TWO_STAGE_H_

@@ -160,6 +160,12 @@ class FloatBuffer {
   /// True if this buffer views external read-only memory.
   bool borrowed() const { return borrowed_; }
 
+  /// The handle keeping a borrowed buffer's external storage alive (e.g. a
+  /// snapshot's file mapping); null for owned buffers. Callers that want a
+  /// zero-copy view outliving this buffer (retrieval index export) retain
+  /// it alongside data().
+  const std::shared_ptr<const void>& owner() const { return owner_; }
+
   float* data() { return data_; }
   const float* data() const { return data_; }
   size_t size() const { return size_; }

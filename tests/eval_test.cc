@@ -396,5 +396,72 @@ TEST(TopNTest, PartialSelectionMatchesFullSortWithTies) {
   }
 }
 
+// -- Candidate-span overload (the shared two-stage selection routine) ----------
+
+TEST(TopNTest, CandidateSpanOverloadMatchesGraphPath) {
+  // Unmasked full catalog through the span overload equals the graph
+  // overload for a user with no training interactions to mask.
+  UserItemGraph train = UserItemGraph::Build(2, 40, {{1, 0}});
+  BlockScoreFn block = BlockScorerFromPairs(ScoreFn(HashScore));
+  std::vector<int64_t> all(40);
+  for (int64_t i = 0; i < 40; ++i) all[i] = i;
+  const auto want = TopNRecommendations(block, train, 0, 7);
+  const auto got = TopNRecommendations(block, 0, all, 7);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].item, want[i].item) << "rank " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << "rank " << i;
+  }
+}
+
+TEST(TopNTest, CandidateSpanOverloadSelectsOnlyFromCandidates) {
+  BlockScoreFn block = BlockScorerFromPairs(
+      ScoreFn([](int64_t, int64_t item) { return static_cast<float>(item); }));
+  const std::vector<int64_t> candidates = {9, 2, 14, 5};
+  const auto recs = TopNRecommendations(block, 0, candidates, 3);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].item, 14);
+  EXPECT_EQ(recs[1].item, 9);
+  EXPECT_EQ(recs[2].item, 5);
+}
+
+TEST(TopNTest, CandidateSpanOverloadEdgeCases) {
+  BlockScoreFn block = BlockScorerFromPairs(
+      ScoreFn([](int64_t, int64_t) { return 1.0f; }));
+  // Empty candidate span -> empty result.
+  EXPECT_TRUE(
+      TopNRecommendations(block, 0, std::span<const int64_t>(), 5).empty());
+  // Fewer candidates than n -> all of them, ties by lower id.
+  const std::vector<int64_t> two = {8, 4};
+  const auto recs = TopNRecommendations(block, 0, two, 5);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].item, 4);
+  EXPECT_EQ(recs[1].item, 8);
+}
+
+// Candidate spans wider than one scoring block are chunked exactly like
+// the full-catalog path.
+TEST(TopNTest, CandidateSpanOverloadChunksAtScoreBlockSize) {
+  const int64_t num_candidates = kScoreBlockSize + 77;
+  std::vector<int64_t> candidates(static_cast<size_t>(num_candidates));
+  for (int64_t i = 0; i < num_candidates; ++i) candidates[i] = i;
+  size_t max_block = 0;
+  BlockScoreFn block = [&](int64_t user, std::span<const int64_t> items,
+                           std::span<float> out) {
+    max_block = std::max(max_block, items.size());
+    for (size_t r = 0; r < items.size(); ++r) {
+      out[r] = HashScore(user, items[r]);
+    }
+  };
+  const auto recs = TopNRecommendations(block, 1, candidates, 20);
+  EXPECT_LE(max_block, static_cast<size_t>(kScoreBlockSize));
+  ASSERT_EQ(recs.size(), 20u);
+  for (size_t i = 1; i < recs.size(); ++i) {
+    ASSERT_TRUE(recs[i - 1].score > recs[i].score ||
+                (recs[i - 1].score == recs[i].score &&
+                 recs[i - 1].item < recs[i].item));
+  }
+}
+
 }  // namespace
 }  // namespace scenerec

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Runs the benchmark suites and records their results as JSON at the repo
 # root (BENCH_kernels.json, BENCH_parallel.json, BENCH_scoring.json,
-# BENCH_snapshot.json, BENCH_telemetry.json, BENCH_trace.json) so
-# kernel-layer, parallel-layer, scoring-path, parameter-store and
-# observability changes can be compared against committed numbers
-# (tools/bench_diff).
+# BENCH_snapshot.json, BENCH_retrieval.json, BENCH_telemetry.json,
+# BENCH_trace.json) so kernel-layer, parallel-layer, scoring-path,
+# parameter-store, retrieval and observability changes can be compared
+# against committed numbers (tools/bench_diff).
 # BENCH_telemetry.json holds the telemetry-enabled vs -disabled epoch times
 # (BM_TrainEpochTelemetry/1 vs /0) and BENCH_trace.json the same pair for
 # span tracing (BM_TrainEpochTrace); the disabled-mode overhead budget for
@@ -13,7 +13,11 @@
 # *PerPair/*Block ratio is the batching speedup. BENCH_snapshot.json pairs
 # the copying checkpoint load against the zero-copy mmap open
 # (BM_CheckpointLoadCopy vs BM_SnapshotMmapOpen) plus the crash-safe write
-# throughput of the snapshot store.
+# throughput of the snapshot store. BENCH_retrieval.json pairs two-stage
+# Top-N serving (BM_TopNTwoStage{Exact,Ivf,IvfSq8}, docs/retrieval.md)
+# against the full-catalog block sweep (BM_TopNFullCatalogBlock) on a 50k
+# catalog — the IVF rows carry a recall_at_100 counter vs the exact backend
+# — plus one-time index-build costs (BM_IndexBuild*).
 #
 # Usage: tools/bench.sh [benchmark_filter_regex]
 # A filter (e.g. 'MatVec|Gemm') restricts the first three suites; the JSON
@@ -24,7 +28,7 @@ cd "$(dirname "$0")/.."
 FILTER="${1:-.}"
 
 cmake -B build >/dev/null
-cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot
+cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot bench_retrieval
 
 echo "==> bench_kernels -> BENCH_kernels.json"
 build/bench/bench_kernels \
@@ -45,6 +49,11 @@ echo "==> bench_snapshot -> BENCH_snapshot.json"
 build/bench/bench_snapshot \
   --benchmark_filter="${FILTER}" \
   --benchmark_format=json >BENCH_snapshot.json
+
+echo "==> bench_retrieval -> BENCH_retrieval.json"
+build/bench/bench_retrieval \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json >BENCH_retrieval.json
 
 echo "==> bench_parallel telemetry on/off -> BENCH_telemetry.json"
 build/bench/bench_parallel \

@@ -46,7 +46,7 @@ build/tools/snapshot_inspect --selftest
 
 echo "==> stage 2: ThreadSanitizer build"
 configure build-tsan -DSCENEREC_SANITIZE=thread
-cmake --build build-tsan --target parallel_test eval_test scoring_test train_test telemetry_test trace_test snapshot_test
+cmake --build build-tsan --target parallel_test eval_test scoring_test train_test telemetry_test trace_test snapshot_test retrieval_test
 
 echo "==> stage 2: parallel tests under TSan"
 # halt_on_error makes a data race fail the script, not just print a report.
@@ -68,10 +68,13 @@ build-tsan/tests/trace_test
 # TopNFromHandle readers on the pool must be data-race-free and must never
 # serve a torn (two-version) result.
 build-tsan/tests/snapshot_test
+# One shared ItemIndex serving concurrent Search calls on pool threads:
+# const reads of centroids/lists/codes with all scratch query-local.
+build-tsan/tests/retrieval_test
 
 echo "==> stage 3: ASan+UBSan build"
 configure build-asan -DSCENEREC_SANITIZE=address,undefined
-cmake --build build-asan --target tensor_test ops_test telemetry_test train_test trace_test scoring_test snapshot_test
+cmake --build build-asan --target tensor_test ops_test telemetry_test train_test trace_test scoring_test snapshot_test retrieval_test
 
 echo "==> stage 3: tensor/op tests under ASan+UBSan"
 build-asan/tests/tensor_test
@@ -100,16 +103,23 @@ echo "==> stage 3: snapshot mapping lifetime under ASan+UBSan"
 # ASan turns them into hard failures instead of lucky reads.
 build-asan/tests/snapshot_test
 
+echo "==> stage 3: retrieval index paths under ASan+UBSan"
+# int8 code/scale buffer arithmetic, CSR inverted-list walks, k-means
+# scratch, and index-over-mmap'd-snapshot reads (a missing mapping pin on
+# a borrowed item table is a use-after-munmap here).
+build-asan/tests/retrieval_test
+
 if [ "${SCENEREC_PERF:-0}" != "0" ]; then
   echo "==> stage 4: benchmark regression gate (SCENEREC_PERF=1)"
   THRESHOLD="${SCENEREC_PERF_THRESHOLD:-20}"
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"' EXIT
-  cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot
+  cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot bench_retrieval
   build/bench/bench_kernels --benchmark_format=json >"$tmp/kernels.json"
   build/bench/bench_parallel --benchmark_format=json >"$tmp/parallel.json"
   build/bench/bench_scoring --benchmark_format=json >"$tmp/scoring.json"
   build/bench/bench_snapshot --benchmark_format=json >"$tmp/snapshot.json"
+  build/bench/bench_retrieval --benchmark_format=json >"$tmp/retrieval.json"
   build/bench/bench_parallel \
     --benchmark_filter='BM_TrainEpochTelemetry' \
     --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
@@ -122,6 +132,7 @@ if [ "${SCENEREC_PERF:-0}" != "0" ]; then
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_parallel.json "$tmp/parallel.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_scoring.json "$tmp/scoring.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_snapshot.json "$tmp/snapshot.json"
+  tools/bench_diff --check --threshold="$THRESHOLD" BENCH_retrieval.json "$tmp/retrieval.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_telemetry.json "$tmp/telemetry.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_trace.json "$tmp/trace.json"
 fi
