@@ -1,0 +1,291 @@
+// Closed-loop load generation against the serving daemon
+// (src/serve/server.h, docs/serving.md#daemon): kClients client threads
+// drive blocking Top-N requests as fast as the daemon answers them, once
+// with coalescing disabled (max_batch=1, the per-request baseline) and once
+// with dynamic batching (max_batch=kClients — in a closed loop a larger
+// window would wait for requests that cannot arrive while every client is
+// blocked on its future).
+//
+//   BM_ServeDirectRetrieval    TwoStageTopN called in-process (no daemon) —
+//                              the queueless lower bound
+//   BM_ServeDirectFullCatalog  TopNRecommendations in-process
+//   BM_ServePerRequest*        daemon, max_batch=1: every request pays its
+//                              own wakeup round-trip and its own MLP call
+//   BM_ServeBatched*           daemon, coalescing on: concurrent requests
+//                              share admission wakeups and ScoreRows GEMMs
+//
+// Every row reports items_per_second (= QPS: one item == one request) and
+// p50_us / p99_us request latency scraped from the daemon's
+// serve/request_ns telemetry histogram. The acceptance gate pairs
+// BM_ServeBatchedRetrieval >= 2x BM_ServePerRequestRetrieval QPS with
+// bitwise-identical results — equality against the library paths is
+// CHECKed for every user during setup and for every driven request.
+// tools/bench.sh records the suite in BENCH_serve.json for bench_diff.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/top_n.h"
+#include "graph/bipartite_graph.h"
+#include "models/factory.h"
+#include "retrieval/index_builder.h"
+#include "retrieval/two_stage.h"
+#include "serve/server.h"
+
+namespace scenerec {
+namespace {
+
+constexpr int64_t kNumUsers = 512;
+constexpr int64_t kNumItems = 32768;
+constexpr int64_t kDim = 64;
+constexpr int64_t kTopN = 10;
+constexpr int64_t kCandidates = 32;
+constexpr int kClients = 8;
+constexpr int64_t kRetrievalRequests = 512;
+// Full-catalog serving scores every one of the 32k items per request, so
+// those rows drive a smaller user subset with fewer requests to keep setup
+// (ground truth + warm-up) and per-iteration time sane.
+constexpr int64_t kFullCatalogUsers = 64;
+constexpr int64_t kFullCatalogRequests = 32;
+
+struct BenchData {
+  Dataset dataset;
+  LeaveOneOutSplit split;
+  UserItemGraph graph;
+  SceneGraph scene_graph;
+  std::shared_ptr<Recommender> model;
+  std::shared_ptr<const ItemIndex> index;
+  std::vector<std::vector<Recommendation>> expected_full;
+  std::vector<std::vector<Recommendation>> expected_retrieval;
+  std::unique_ptr<serve::Server> full_per_request;
+  std::unique_ptr<serve::Server> full_batched;
+  std::unique_ptr<serve::Server> retrieval_per_request;
+  std::unique_ptr<serve::Server> retrieval_batched;
+
+  void StopAll() {
+    full_per_request->Stop();
+    full_batched->Stop();
+    retrieval_per_request->Stop();
+    retrieval_batched->Stop();
+  }
+};
+
+serve::ServerConfig MakeConfig(int64_t max_batch, int64_t num_candidates) {
+  serve::ServerConfig config;
+  config.top_n = kTopN;
+  config.max_batch = max_batch;
+  config.max_delay_us = 200;
+  config.queue_capacity = 64;
+  config.num_candidates = num_candidates;
+  return config;
+}
+
+/// Drives `total` closed-loop requests from kClients threads. When
+/// `expected` is non-null every result is CHECKed bitwise against it — the
+/// daemon must agree with the library paths regardless of batching.
+void Drive(serve::Server& server, int64_t total,
+           const std::vector<std::vector<Recommendation>>* expected,
+           int64_t user_modulus = kNumUsers) {
+  std::atomic<int64_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      std::vector<Recommendation> got;
+      for (;;) {
+        const int64_t seq = next.fetch_add(1, std::memory_order_relaxed);
+        if (seq >= total) break;
+        const int64_t user = seq % user_modulus;
+        SCENEREC_CHECK(server.TopN(user, &got));
+        if (expected != nullptr) {
+          const std::vector<Recommendation>& want =
+              (*expected)[static_cast<size_t>(user)];
+          SCENEREC_CHECK_EQ(got.size(), want.size());
+          for (size_t i = 0; i < got.size(); ++i) {
+            SCENEREC_CHECK(got[i].item == want[i].item &&
+                           got[i].score == want[i].score)
+                << "daemon diverged from library serving for user " << user;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+BenchData& Data() {
+  static BenchData* data = [] {
+    telemetry::Telemetry::SetEnabled(true);
+    auto* d = new BenchData();
+    SyntheticConfig config;
+    config.name = "serve-bench";
+    config.num_users = kNumUsers;
+    config.num_items = kNumItems;
+    config.num_categories = 32;
+    config.num_scenes = 48;
+    config.sessions_per_user = 6;
+    config.session_length = 6;
+    d->dataset = GenerateSyntheticDataset(config, 29).value();
+    Rng rng(5);
+    d->split = MakeLeaveOneOutSplit(d->dataset, /*num_negatives=*/20,
+                                    rng).value();
+    d->graph = UserItemGraph::Build(d->dataset.num_users,
+                                    d->dataset.num_items, d->split.train);
+    d->scene_graph = d->dataset.BuildSceneGraph();
+
+    ModelContext context;
+    context.user_item = &d->graph;
+    context.scene = &d->scene_graph;
+    ModelFactoryConfig factory_config;
+    factory_config.embedding_dim = kDim;
+    // Random-init parameters: serving cost does not depend on training, and
+    // bitwise identity is about paths, not quality.
+    d->model = MakeRecommender("SceneRec", context, factory_config).value();
+    SCENEREC_CHECK(d->model->SupportsCrossUserScoring());
+    d->model->OnEvalBegin();
+    // Exact backend: the one whose MultiSearch shares the item-matrix sweep
+    // across a coalesced batch — the amortization these rows measure.
+    d->index = IndexBuilder().Build(*d->model).value();
+
+    // Library-path ground truth, both serving modes.
+    d->expected_full.resize(static_cast<size_t>(kFullCatalogUsers));
+    d->expected_retrieval.resize(static_cast<size_t>(kNumUsers));
+    for (int64_t u = 0; u < kFullCatalogUsers; ++u) {
+      d->expected_full[static_cast<size_t>(u)] = TopNRecommendations(
+          d->model->BlockScorer(), d->graph, u, kTopN);
+    }
+    for (int64_t u = 0; u < kNumUsers; ++u) {
+      d->expected_retrieval[static_cast<size_t>(u)] = TwoStageTopN(
+          *d->model, *d->index, d->graph, u, kTopN, kCandidates);
+    }
+
+    auto start = [&](int64_t max_batch, int64_t candidates) {
+      auto server = std::make_unique<serve::Server>(
+          MakeConfig(max_batch, candidates), d->graph);
+      server->Publish(d->model, candidates > 0 ? d->index : nullptr);
+      server->Start();
+      return server;
+    };
+    d->full_per_request = start(1, 0);
+    d->full_batched = start(kClients, 0);
+    d->retrieval_per_request = start(1, kCandidates);
+    d->retrieval_batched = start(kClients, kCandidates);
+
+    // One verified warm-up sweep per server: every user it will be driven
+    // with, concurrent clients, results bitwise against the library paths.
+    Drive(*d->full_per_request, kFullCatalogUsers, &d->expected_full,
+          kFullCatalogUsers);
+    Drive(*d->full_batched, kFullCatalogUsers, &d->expected_full,
+          kFullCatalogUsers);
+    Drive(*d->retrieval_per_request, kNumUsers, &d->expected_retrieval);
+    Drive(*d->retrieval_batched, kNumUsers, &d->expected_retrieval);
+    return d;
+  }();
+  return *data;
+}
+
+/// Attaches p50/p99 request latency (µs) from the daemon's telemetry
+/// histogram to the row. Call after the timing loop; the histogram holds
+/// the last iteration's samples (Reset runs at each iteration start).
+void ReportLatency(benchmark::State& state) {
+  const telemetry::TelemetrySnapshot snapshot =
+      telemetry::Telemetry::Snapshot();
+  if (const auto* hist = snapshot.FindHistogram("serve/request_ns")) {
+    state.counters["p50_us"] = hist->data.Percentile(0.5) / 1000.0;
+    state.counters["p99_us"] = hist->data.Percentile(0.99) / 1000.0;
+  }
+}
+
+void RunServer(benchmark::State& state, serve::Server& server, int64_t total,
+               const std::vector<std::vector<Recommendation>>& expected,
+               int64_t user_modulus = kNumUsers) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    telemetry::Telemetry::Reset();
+    state.ResumeTiming();
+    Drive(server, total, &expected, user_modulus);
+  }
+  state.SetItemsProcessed(state.iterations() * total);
+  ReportLatency(state);
+  const serve::Server::Stats stats = server.stats();
+  state.counters["max_batch_observed"] =
+      static_cast<double>(stats.max_batch);
+}
+
+// -- In-process library baselines (no daemon, no queue) ------------------------
+
+void BM_ServeDirectFullCatalog(benchmark::State& state) {
+  BenchData& d = Data();
+  int64_t user = 0;
+  for (auto _ : state) {
+    auto recs =
+        TopNRecommendations(d.model->BlockScorer(), d.graph, user, kTopN);
+    benchmark::DoNotOptimize(recs.data());
+    user = (user + 1) % kFullCatalogUsers;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeDirectFullCatalog)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeDirectRetrieval(benchmark::State& state) {
+  BenchData& d = Data();
+  int64_t user = 0;
+  for (auto _ : state) {
+    auto recs =
+        TwoStageTopN(*d.model, *d.index, d.graph, user, kTopN, kCandidates);
+    benchmark::DoNotOptimize(recs.data());
+    user = (user + 1) % kNumUsers;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeDirectRetrieval)->Unit(benchmark::kMicrosecond);
+
+// -- Daemon, per-request vs batched --------------------------------------------
+
+void BM_ServePerRequestFullCatalog(benchmark::State& state) {
+  BenchData& d = Data();
+  RunServer(state, *d.full_per_request, kFullCatalogRequests,
+            d.expected_full, kFullCatalogUsers);
+}
+BENCHMARK(BM_ServePerRequestFullCatalog)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ServeBatchedFullCatalog(benchmark::State& state) {
+  BenchData& d = Data();
+  RunServer(state, *d.full_batched, kFullCatalogRequests, d.expected_full,
+            kFullCatalogUsers);
+}
+BENCHMARK(BM_ServeBatchedFullCatalog)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ServePerRequestRetrieval(benchmark::State& state) {
+  BenchData& d = Data();
+  RunServer(state, *d.retrieval_per_request, kRetrievalRequests,
+            d.expected_retrieval);
+}
+BENCHMARK(BM_ServePerRequestRetrieval)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ServeBatchedRetrieval(benchmark::State& state) {
+  BenchData& d = Data();
+  RunServer(state, *d.retrieval_batched, kRetrievalRequests,
+            d.expected_retrieval);
+}
+BENCHMARK(BM_ServeBatchedRetrieval)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace scenerec
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  scenerec::Data().StopAll();
+  return 0;
+}

@@ -125,6 +125,15 @@ Status FlagParser::Parse(int argc, char** argv) {
       return Status::InvalidArgument("unknown flag --" + name + "\n" + Help());
     }
     Flag& flag = it->second;
+    if (has_value && value.empty() && flag.type == Type::kImplicitString) {
+      // `--telemetry=` is almost always a typo'd `--telemetry` (which takes
+      // the implicit value); silently storing "" used to disable the
+      // feature the user asked for. Reject it, naming the flag.
+      return Status::InvalidArgument(
+          "--" + name + "= has an empty value; use --" + name +
+          " for the implicit default (\"" + flag.implicit_value +
+          "\") or --" + name + "=<value>");
+    }
     if (!has_value) {
       if (flag.type == Type::kBool) {
         // `--verbose` with no value means true.

@@ -1,0 +1,118 @@
+#ifndef SCENEREC_COMMON_MPMC_QUEUE_H_
+#define SCENEREC_COMMON_MPMC_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+
+namespace scenerec {
+
+/// Bounded multi-producer/multi-consumer queue — the request-admission
+/// primitive of the serving daemon (src/serve/server.h, docs/serving.md).
+///
+/// Semantics:
+///   - Push blocks while the queue is full and returns false once the queue
+///     is closed (the item is NOT enqueued in that case).
+///   - Pop blocks while the queue is empty and returns false only when the
+///     queue is closed AND drained — every item accepted by Push is handed
+///     to exactly one consumer, so closing never drops accepted work.
+///   - TryPop / PopUntil are the non-blocking / deadline-bounded variants
+///     the admission window is built from: collect whatever is already
+///     waiting, then wait at most until the coalescing deadline.
+///
+/// Plain mutex + two condition variables: the serving hot path amortizes one
+/// lock per *batch* of requests (the admission loop drains bursts via
+/// TryPop), so a lock-free ring would buy nothing measurable here.
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity) : capacity_(capacity) {
+    SCENEREC_CHECK_GT(capacity, 0u);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks until there is room (or the queue closes). True iff enqueued.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the queue closes and drains).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return PopLocked(lock, out);
+  }
+
+  /// Immediately returns an item if one is waiting; never blocks.
+  bool TryPop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return PopLocked(lock, out);
+  }
+
+  /// Waits until `deadline` for an item. False on timeout or closed+empty.
+  bool PopUntil(T* out, std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_until(lock, deadline,
+                          [this] { return closed_ || !items_.empty(); });
+    return PopLocked(lock, out);
+  }
+
+  /// Closes the queue: subsequent Push calls fail, consumers drain what was
+  /// accepted and then see false. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  /// Takes the front item if any; wakes one blocked producer on success.
+  bool PopLocked(std::unique_lock<std::mutex>& lock, T* out) {
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_COMMON_MPMC_QUEUE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <span>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/telemetry.h"
@@ -18,74 +19,105 @@ const telemetry::Counter t_requests =
 const telemetry::Counter t_candidates =
     telemetry::RegisterCounter("serve/topn_candidates");
 
-/// Score-descending, lower-item-id-first: a strict total order (no two
-/// candidates compare equal), so any correct selection algorithm yields the
-/// identical top-n list.
-bool Better(const Recommendation& a, const Recommendation& b) {
-  return a.score != b.score ? a.score > b.score : a.item < b.item;
+/// Scores `candidates` in bounded chunks and selects the top n. Candidates
+/// must already be unique: both public callers guarantee that (the
+/// full-catalog overload by construction, the span overload by deduping).
+std::vector<Recommendation> ScoreAndSelect(const BlockScoreFn& score,
+                                           int64_t user,
+                                           std::span<const int64_t> candidates,
+                                           int64_t n) {
+  t_requests.Add(1);
+  t_candidates.Add(static_cast<uint64_t>(candidates.size()));
+  if (candidates.empty() || n <= 0) return {};
+
+  std::vector<float> scores(candidates.size());
+  for (size_t offset = 0; offset < candidates.size();
+       offset += static_cast<size_t>(kScoreBlockSize)) {
+    const size_t len = std::min(static_cast<size_t>(kScoreBlockSize),
+                                candidates.size() - offset);
+    SCENEREC_TRACE_SPAN_F("serve/score_block", "serve", trace::Floor::kOp,
+                          "user=%lld candidates=%zu",
+                          static_cast<long long>(user), len);
+    score(user, candidates.subspan(offset, len),
+          std::span<float>(scores).subspan(offset, len));
+  }
+
+  std::vector<Recommendation> scored;
+  scored.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scored.push_back({candidates[i], scores[i]});
+  }
+  return SelectTopN(std::move(scored), n);
 }
 
 }  // namespace
 
-std::vector<Recommendation> TopNRecommendations(
-    const BlockScoreFn& score, int64_t user,
-    std::span<const int64_t> candidates_in, int64_t n) {
-  SCENEREC_CHECK_GT(n, 0);
-  t_requests.Add(1);
-  t_candidates.Add(static_cast<uint64_t>(candidates_in.size()));
-  if (candidates_in.empty()) return {};
-
-  // Block-score the candidates in bounded chunks.
-  std::vector<float> scores(candidates_in.size());
-  for (size_t offset = 0; offset < candidates_in.size();
-       offset += static_cast<size_t>(kScoreBlockSize)) {
-    const size_t len = std::min(static_cast<size_t>(kScoreBlockSize),
-                                candidates_in.size() - offset);
-    SCENEREC_TRACE_SPAN_F("serve/score_block", "serve", trace::Floor::kOp,
-                          "user=%lld candidates=%zu",
-                          static_cast<long long>(user), len);
-    score(user, candidates_in.subspan(offset, len),
-          std::span<float>(scores).subspan(offset, len));
-  }
-
-  std::vector<Recommendation> candidates;
-  candidates.reserve(candidates_in.size());
-  for (size_t i = 0; i < candidates_in.size(); ++i) {
-    candidates.push_back({candidates_in[i], scores[i]});
-  }
-
-  // Partial selection: move the n winners to the front in O(candidates),
-  // then order just that prefix. Better() is a strict total order, so this
-  // is exactly the first n entries a full sort would produce.
-  const size_t keep = std::min<size_t>(static_cast<size_t>(n),
-                                       candidates.size());
-  if (keep < candidates.size()) {
-    std::nth_element(candidates.begin(),
-                     candidates.begin() + static_cast<ptrdiff_t>(keep),
-                     candidates.end(), Better);
-    candidates.resize(keep);
-  }
-  std::sort(candidates.begin(), candidates.end(), Better);
-  return candidates;
+bool BetterRecommendation(const Recommendation& a, const Recommendation& b) {
+  return a.score != b.score ? a.score > b.score : a.item < b.item;
 }
 
-std::vector<Recommendation> TopNRecommendations(
-    const BlockScoreFn& score, const UserItemGraph& train_graph, int64_t user,
-    int64_t n) {
-  SCENEREC_CHECK_GT(n, 0);
-  SCENEREC_CHECK(user >= 0 && user < train_graph.num_users());
-  SCENEREC_TRACE_SPAN_F("serve/topn", "serve", trace::Floor::kNone,
-                        "user=%lld n=%lld", static_cast<long long>(user),
-                        static_cast<long long>(n));
+std::vector<Recommendation> SelectTopN(std::vector<Recommendation> scored,
+                                       int64_t n) {
+  if (n <= 0) return {};
+  // Partial selection: move the n winners to the front in O(candidates),
+  // then order just that prefix. BetterRecommendation is a strict total
+  // order, so this is exactly the first n entries a full sort would produce.
+  const size_t keep = std::min<size_t>(static_cast<size_t>(n), scored.size());
+  if (keep < scored.size()) {
+    std::nth_element(scored.begin(),
+                     scored.begin() + static_cast<ptrdiff_t>(keep),
+                     scored.end(), BetterRecommendation);
+    scored.resize(keep);
+  }
+  std::sort(scored.begin(), scored.end(), BetterRecommendation);
+  return scored;
+}
 
-  // Candidate-list build step: everything the user has not interacted with.
+std::vector<int64_t> UninteractedItems(const UserItemGraph& train_graph,
+                                       int64_t user) {
+  SCENEREC_CHECK(user >= 0 && user < train_graph.num_users());
   std::vector<int64_t> ids;
   ids.reserve(static_cast<size_t>(train_graph.num_items()));
   for (int64_t item = 0; item < train_graph.num_items(); ++item) {
     if (train_graph.HasInteraction(user, item)) continue;
     ids.push_back(item);
   }
-  return TopNRecommendations(score, user, ids, n);
+  return ids;
+}
+
+std::vector<Recommendation> TopNRecommendations(
+    const BlockScoreFn& score, int64_t user,
+    std::span<const int64_t> candidates_in, int64_t n) {
+  // Dedupe, first occurrence wins: a duplicated candidate must not be
+  // scored twice nor hold two ranks. The common case (no duplicates) pays
+  // one hash-set pass over the span and no copy of the id list.
+  std::unordered_set<int64_t> seen;
+  seen.reserve(candidates_in.size() * 2);
+  bool unique = true;
+  for (const int64_t id : candidates_in) {
+    if (!seen.insert(id).second) {
+      unique = false;
+      break;
+    }
+  }
+  if (unique) return ScoreAndSelect(score, user, candidates_in, n);
+  std::vector<int64_t> deduped;
+  deduped.reserve(seen.size());
+  seen.clear();
+  for (const int64_t id : candidates_in) {
+    if (seen.insert(id).second) deduped.push_back(id);
+  }
+  return ScoreAndSelect(score, user, deduped, n);
+}
+
+std::vector<Recommendation> TopNRecommendations(
+    const BlockScoreFn& score, const UserItemGraph& train_graph, int64_t user,
+    int64_t n) {
+  SCENEREC_TRACE_SPAN_F("serve/topn", "serve", trace::Floor::kNone,
+                        "user=%lld n=%lld", static_cast<long long>(user),
+                        static_cast<long long>(n));
+  // Candidate ids are unique by construction — no dedupe pass needed.
+  return ScoreAndSelect(score, user, UninteractedItems(train_graph, user), n);
 }
 
 std::vector<Recommendation> TopNRecommendations(

@@ -113,4 +113,22 @@ void Recommender::ScoreBlock(int64_t user, std::span<const int64_t> items,
   for (size_t r = 0; r < items.size(); ++r) out[r] = Score(user, items[r]);
 }
 
+void Recommender::ScoreRows(std::span<const int64_t> users,
+                            std::span<const int64_t> items,
+                            std::span<float> out) {
+  // Run-splitting fallback: one ScoreBlock per maximal same-user run, so a
+  // daemon batch degrades to per-request block scoring (still bitwise equal
+  // to Score row by row). Cross-user batching models override.
+  SCENEREC_CHECK_EQ(users.size(), items.size());
+  SCENEREC_CHECK_EQ(users.size(), out.size());
+  size_t start = 0;
+  while (start < users.size()) {
+    size_t end = start + 1;
+    while (end < users.size() && users[end] == users[start]) ++end;
+    ScoreBlock(users[start], items.subspan(start, end - start),
+               out.subspan(start, end - start));
+    start = end;
+  }
+}
+
 }  // namespace scenerec

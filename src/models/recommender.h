@@ -163,6 +163,30 @@ class Recommender : public Module {
   virtual void ScoreBlock(int64_t user, std::span<const int64_t> items,
                           std::span<float> out);
 
+  // -- Cross-request row scoring (the serving daemon's batch shape) ------
+  //
+  // The admission loop of scenerec_serve (src/serve/server.h) coalesces
+  // concurrent users' candidate blocks into ONE flattened row list, so that
+  // requests arriving together share GEMM batches the same way ForwardRows
+  // shares them across items. ScoreRows is that entry point: row r scores
+  // the pair (users[r], items[r]). The contract extends ScoreBlock's:
+  // out[r] must be bitwise equal to Score(users[r], items[r]) for every r,
+  // independent of which rows happen to share a call — so the daemon's
+  // batched results are bitwise identical to per-request serving, and rows
+  // may be re-chunked freely (docs/serving.md).
+
+  /// True if ScoreRows batches across users (one shared GEMM per call)
+  /// rather than splitting into per-user ScoreBlock runs. Informational,
+  /// like SupportsBlockScoring.
+  virtual bool SupportsCrossUserScoring() const { return false; }
+
+  /// Scores row pairs (users[r], items[r]) into out[r]. All three spans
+  /// have the same length. The default splits the rows into maximal runs of
+  /// equal user and dispatches ScoreBlock per run — correct for every
+  /// model; cross-user batching models override.
+  virtual void ScoreRows(std::span<const int64_t> users,
+                         std::span<const int64_t> items, std::span<float> out);
+
   // -- Retrieval-embedding export (two-stage serving) --------------------
   //
   // Models whose score is (or is approximated by) an inner product between

@@ -425,6 +425,37 @@ void SceneRec::ScoreBlock(int64_t user, std::span<const int64_t> items,
   for (int64_t r = 0; r < rows; ++r) out[static_cast<size_t>(r)] = src[r];
 }
 
+void SceneRec::ScoreRows(std::span<const int64_t> users,
+                         std::span<const int64_t> items,
+                         std::span<float> out) {
+  SCENEREC_CHECK_EQ(users.size(), items.size());
+  SCENEREC_CHECK_EQ(users.size(), out.size());
+  if (users.empty()) return;
+  NoGradGuard no_grad;
+  // Same memoized eval representations as Score()/ScoreBlock — consecutive
+  // rows of one request hit the user memo, and under PrepareParallelScoring
+  // every lookup is a pure read — gathered across ALL coalesced requests
+  // into one [N, 2d] matrix.
+  const int64_t d = config_.embedding_dim;
+  const int64_t rows = static_cast<int64_t>(users.size());
+  std::vector<float> xs(static_cast<size_t>(rows * 2 * d));
+  for (int64_t r = 0; r < rows; ++r) {
+    const Tensor user_repr = UserRepr(users[static_cast<size_t>(r)], nullptr);
+    const Tensor item_repr =
+        GeneralItemRepr(items[static_cast<size_t>(r)], step_caches_, nullptr);
+    float* dst = xs.data() + r * 2 * d;
+    const float* urow = user_repr.value().data();
+    const float* irow = item_repr.value().data();
+    for (int64_t c = 0; c < d; ++c) dst[c] = urow[c];
+    for (int64_t c = 0; c < d; ++c) dst[d + c] = irow[c];
+  }
+  // Eq. (14) once per coalesced batch: [N, 2d] -> [N, 1].
+  Tensor scores = rating_mlp_.ForwardRows(
+      Tensor::FromVector(Shape({rows, 2 * d}), std::move(xs)));
+  const float* src = scores.value().data();
+  for (int64_t r = 0; r < rows; ++r) out[static_cast<size_t>(r)] = src[r];
+}
+
 RetrievalEmbeddings SceneRec::ExportItemEmbeddings() {
   NoGradGuard no_grad;
   RetrievalEmbeddings out;

@@ -86,6 +86,17 @@ class SceneRec : public Recommender {
   void ScoreBlock(int64_t user, std::span<const int64_t> items,
                   std::span<float> out) override;
 
+  /// Cross-request batching for the serving daemon: gathers the memoized
+  /// representations of EVERY (users[r], items[r]) pair into one [N, 2d]
+  /// matrix and runs eq. (14) once for the whole coalesced batch — users
+  /// arriving together share the rating-MLP GEMM. Bitwise equal to
+  /// per-request ScoreBlock for the same reason ScoreBlock is bitwise equal
+  /// to Score: ForwardRows row r equals Forward(row r) bitwise and the
+  /// gather is a pure copy.
+  bool SupportsCrossUserScoring() const override { return true; }
+  void ScoreRows(std::span<const int64_t> users,
+                 std::span<const int64_t> items, std::span<float> out) override;
+
   /// Exports the memoized eval representations (eqs. 1 and 13). The true
   /// score is the rating MLP over [user_repr, item_repr] — not an inner
   /// product — so the export is kProxy: index order only picks candidates

@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -26,6 +27,8 @@ const telemetry::Counter t_write_bytes =
     telemetry::RegisterCounter("snapshot/write_bytes");
 const telemetry::Counter t_opens = telemetry::RegisterCounter("snapshot/opens");
 const telemetry::Counter t_binds = telemetry::RegisterCounter("snapshot/binds");
+const telemetry::Counter t_prune_failures =
+    telemetry::RegisterCounter("snapshot/prune_failures");
 const telemetry::Histogram t_write_ns =
     telemetry::RegisterHistogram("snapshot/write_ns", "ns");
 const telemetry::Histogram t_open_ns =
@@ -409,12 +412,19 @@ StatusOr<uint64_t> SnapshotStore::Write(const Module& module,
   ++next_version_;
 
   // Prune beyond the retention window, newest first. Best effort: a file
-  // that refuses to delete only wastes disk, it cannot corrupt the store.
+  // that refuses to delete only wastes disk, it cannot corrupt the store —
+  // but each failure is counted and logged so an always-on daemon whose
+  // disk is quietly filling shows it in telemetry, not just in `df`.
   auto existing = ListSnapshots(dir_);
   std::sort(existing.begin(), existing.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   for (size_t i = static_cast<size_t>(retain_); i < existing.size(); ++i) {
     std::filesystem::remove(existing[i].second, ec);
+    if (ec) {
+      t_prune_failures.Add(1);
+      SCENEREC_LOG(WARNING) << "snapshot prune failed for "
+                            << existing[i].second << ": " << ec.message();
+    }
   }
   return version;
 }

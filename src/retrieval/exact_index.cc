@@ -7,12 +7,96 @@
 #include "common/trace.h"
 #include "tensor/kernels.h"
 
+#if defined(__x86_64__) || defined(_M_X64)
+#define SCENEREC_EXACT_INDEX_SSE2 1
+#include <emmintrin.h>
+#endif
+
 namespace scenerec {
 
 namespace {
 // Rows scored per Gemv call: bounds the scratch buffer while keeping calls
 // long enough to amortize the virtual-dispatch and trace overhead.
 constexpr int64_t kScanTile = 4096;
+
+/// Bounded top-k selection: offered candidates flow through a worst-on-top
+/// heap of at most k entries, and Take() returns exactly what SelectTopK
+/// over the fully materialized candidate list would. BetterCandidate is a
+/// strict TOTAL order (score desc, lower id wins ties), so the sorted
+/// top-k is unique — any selection algorithm must produce it. The win is
+/// cost: a steady-state Offer is one compare against the current worst
+/// instead of a push_back, and the O(num_items) buffer plus nth_element
+/// pass disappear, leaving the scan itself as the dominant term.
+class BoundedTopK {
+ public:
+  explicit BoundedTopK(int64_t k) : k_(static_cast<size_t>(k)) {
+    heap_.reserve(k_);
+  }
+
+  void Offer(int64_t item, float score) {
+    if (heap_.size() < k_) {
+      heap_.push_back({item, score});
+      std::push_heap(heap_.begin(), heap_.end(), BetterCandidate);
+      return;
+    }
+    // front() is the worst kept candidate; anything not strictly better
+    // cannot be in the top k.
+    if (!BetterCandidate({item, score}, heap_.front())) return;
+    std::pop_heap(heap_.begin(), heap_.end(), BetterCandidate);
+    heap_.back() = {item, score};
+    std::push_heap(heap_.begin(), heap_.end(), BetterCandidate);
+  }
+
+  /// Moves out the kept candidates, best first (SelectTopK's order).
+  void Take(std::vector<RetrievalCandidate>* out) {
+    std::sort_heap(heap_.begin(), heap_.end(), BetterCandidate);
+    *out = std::move(heap_);
+  }
+
+  bool full() const { return heap_.size() >= k_; }
+  float worst_score() const { return heap_.front().score; }
+
+ private:
+  size_t k_;
+  std::vector<RetrievalCandidate> heap_;
+};
+
+/// Feeds a tile of scan scores (item `base + r` scores `scores[r]`, plus
+/// `bias` when the index has one) into `top`. Semantically this is Offer
+/// per row; the fast path only skips rows a full heap would reject anyway
+/// (score strictly below the current worst — such a row loses the
+/// BetterCandidate comparison no matter its id), so the kept set is
+/// identical to offering every row. On x86-64 the threshold test runs four
+/// rows at a time: one SSE2 compare+movemask discards the typical block
+/// without touching the heap, which matters because this loop runs
+/// num_items times per query and is NOT amortized by batching.
+void OfferRows(const float* SCENEREC_RESTRICT scores,
+               const float* SCENEREC_RESTRICT bias, int64_t base,
+               int64_t rows, BoundedTopK* top) {
+  int64_t r = 0;
+#if defined(SCENEREC_EXACT_INDEX_SSE2)
+  if (top->full()) {
+    for (; r + 4 <= rows; r += 4) {
+      __m128 v = _mm_loadu_ps(scores + r);
+      // Per-lane IEEE add — bitwise the scalar `score + bias` below.
+      if (bias != nullptr) v = _mm_add_ps(v, _mm_loadu_ps(bias + base + r));
+      const __m128 t = _mm_set1_ps(top->worst_score());
+      // cmpge is false for NaN lanes, matching Offer (BetterCandidate
+      // never ranks a NaN score above the worst kept candidate).
+      if (_mm_movemask_ps(_mm_cmpge_ps(v, t)) == 0) continue;
+      alignas(16) float s4[4];
+      _mm_store_ps(s4, v);
+      for (int64_t j = 0; j < 4; ++j) top->Offer(base + r + j, s4[j]);
+    }
+  }
+#endif
+  for (; r < rows; ++r) {
+    float s = scores[r];
+    if (bias != nullptr) s += bias[base + r];
+    top->Offer(base + r, s);
+  }
+}
+
 }  // namespace
 
 ExactIndex::ExactIndex(RetrievalEmbeddings embeddings, Options options)
@@ -40,10 +124,14 @@ void ExactIndex::Search(std::span<const float> query, int64_t k,
     stats->items_scanned = emb_.num_items;
   }
 
-  out->reserve(static_cast<size_t>(emb_.num_items));
   std::vector<float> scores(static_cast<size_t>(
       std::min(kScanTile, emb_.num_items)));
   const bool int8_scan = opt_.quantize_int8;
+  // Int8 keeps a k * rescore_factor survivor margin for the float rescore
+  // below; either way at most num_items candidates exist.
+  const int64_t keep = std::min(
+      int8_scan ? k * opt_.rescore_factor : k, emb_.num_items);
+  BoundedTopK top(keep);
   Sq8Matrix::EncodedQuery eq;
   if (int8_scan) eq = sq8_.EncodeQuery(query);
   for (int64_t r0 = 0; r0 < emb_.num_items; r0 += kScanTile) {
@@ -54,22 +142,14 @@ void ExactIndex::Search(std::span<const float> query, int64_t k,
       kernels::Gemv(emb_.items + r0 * emb_.dim, rows, emb_.dim, query.data(),
                     scores.data());
     }
-    for (int64_t r = 0; r < rows; ++r) {
-      float s = scores[static_cast<size_t>(r)];
-      if (emb_.bias != nullptr) s += emb_.bias[r0 + r];
-      out->push_back({r0 + r, s});
-    }
+    OfferRows(scores.data(), emb_.bias, r0, rows, &top);
   }
+  top.Take(out);
+  if (!int8_scan) return;
 
-  if (!int8_scan) {
-    SelectTopK(out, k);
-    return;
-  }
-
-  // Int8 path: keep a survivor margin, then restore exact (float) scores by
-  // rescoring just the survivors — kernels::Dot per row, the same kernel the
-  // float scan's Gemv uses, so rescored scores are bitwise float-scan scores.
-  SelectTopK(out, k * opt_.rescore_factor);
+  // Int8 path: restore exact (float) scores by rescoring just the
+  // survivors — kernels::Dot per row, the same kernel the float scan's
+  // Gemv uses, so rescored scores are bitwise float-scan scores.
   for (RetrievalCandidate& c : *out) {
     float s = kernels::Dot(query.data(), emb_.items + c.item * emb_.dim,
                            emb_.dim);
@@ -78,6 +158,87 @@ void ExactIndex::Search(std::span<const float> query, int64_t k,
   }
   if (stats != nullptr) stats->rescored = static_cast<int64_t>(out->size());
   SelectTopK(out, k);
+}
+
+void ExactIndex::MultiSearch(std::span<const float> queries,
+                             std::span<const int64_t> ks,
+                             std::vector<std::vector<RetrievalCandidate>>* outs,
+                             std::vector<SearchStats>* stats) const {
+  const int64_t nq = static_cast<int64_t>(ks.size());
+  SCENEREC_CHECK_EQ(static_cast<int64_t>(queries.size()), nq * emb_.dim);
+  SCENEREC_TRACE_SPAN_F("retrieval/multi_search", "retrieval",
+                        trace::Floor::kNone, "backend=%s nq=%lld",
+                        name().c_str(), static_cast<long long>(nq));
+  outs->resize(static_cast<size_t>(nq));
+  if (stats != nullptr) stats->assign(static_cast<size_t>(nq), SearchStats{});
+  for (int64_t q = 0; q < nq; ++q) {
+    SCENEREC_CHECK_GT(ks[q], 0);
+    (*outs)[static_cast<size_t>(q)].clear();
+  }
+  if (emb_.num_items == 0 || nq == 0) return;
+  const bool int8_scan = opt_.quantize_int8;
+  std::vector<BoundedTopK> tops;
+  tops.reserve(static_cast<size_t>(nq));
+  for (int64_t q = 0; q < nq; ++q) {
+    if (stats != nullptr) {
+      (*stats)[static_cast<size_t>(q)].lists_probed = 1;
+      (*stats)[static_cast<size_t>(q)].items_scanned = emb_.num_items;
+    }
+    tops.emplace_back(std::min(
+        int8_scan ? ks[q] * opt_.rescore_factor : ks[q], emb_.num_items));
+  }
+
+  std::vector<Sq8Matrix::EncodedQuery> eqs;
+  if (int8_scan) {
+    eqs.reserve(static_cast<size_t>(nq));
+    for (int64_t q = 0; q < nq; ++q) {
+      eqs.push_back(sq8_.EncodeQuery(
+          queries.subspan(static_cast<size_t>(q * emb_.dim),
+                          static_cast<size_t>(emb_.dim))));
+    }
+  }
+
+  // The shared sweep: each item tile is scored for EVERY query before the
+  // scan moves on, so the matrix streams through cache once per batch
+  // rather than once per query. Scores per (row, query) are bitwise the
+  // single-query scan's (GemvMulti rows are fixed-order Dot; the int8
+  // kernels are integer and order-free), and everything per query below is
+  // verbatim Search.
+  const int64_t tile = std::min(kScanTile, emb_.num_items);
+  std::vector<float> scores(static_cast<size_t>(nq * tile));
+  for (int64_t r0 = 0; r0 < emb_.num_items; r0 += kScanTile) {
+    const int64_t rows = std::min(kScanTile, emb_.num_items - r0);
+    if (int8_scan) {
+      for (int64_t q = 0; q < nq; ++q) {
+        sq8_.ScoreRows(eqs[static_cast<size_t>(q)], r0, rows,
+                       scores.data() + q * rows);
+      }
+    } else {
+      kernels::GemvMulti(emb_.items + r0 * emb_.dim, rows, emb_.dim,
+                         queries.data(), nq, scores.data());
+    }
+    for (int64_t q = 0; q < nq; ++q) {
+      OfferRows(scores.data() + q * rows, emb_.bias, r0, rows,
+                &tops[static_cast<size_t>(q)]);
+    }
+  }
+
+  for (int64_t q = 0; q < nq; ++q) {
+    std::vector<RetrievalCandidate>& out = (*outs)[static_cast<size_t>(q)];
+    tops[static_cast<size_t>(q)].Take(&out);
+    if (!int8_scan) continue;
+    const float* query = queries.data() + q * emb_.dim;
+    for (RetrievalCandidate& c : out) {
+      float s = kernels::Dot(query, emb_.items + c.item * emb_.dim, emb_.dim);
+      if (emb_.bias != nullptr) s += emb_.bias[c.item];
+      c.score = s;
+    }
+    if (stats != nullptr) {
+      (*stats)[static_cast<size_t>(q)].rescored =
+          static_cast<int64_t>(out.size());
+    }
+    SelectTopK(&out, ks[q]);
+  }
 }
 
 }  // namespace scenerec

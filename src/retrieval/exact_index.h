@@ -46,6 +46,15 @@ class ExactIndex : public ItemIndex {
               std::vector<RetrievalCandidate>* out,
               SearchStats* stats = nullptr) const override;
 
+  /// The shared sweep behind batched serving (serve/server.cc): ONE tiled
+  /// pass over the item matrix scores every query while each tile is hot in
+  /// cache (kernels::GemvMulti), instead of re-streaming the matrix per
+  /// query. Per query the scores, ordering and selection are the exact
+  /// Search path, so (*outs)[q] is bitwise Search(queries[q], ks[q]).
+  void MultiSearch(std::span<const float> queries, std::span<const int64_t> ks,
+                   std::vector<std::vector<RetrievalCandidate>>* outs,
+                   std::vector<SearchStats>* stats = nullptr) const override;
+
   /// Introspection for tests; null when quantize_int8 is off.
   const Sq8Matrix* quantizer() const {
     return opt_.quantize_int8 ? &sq8_ : nullptr;

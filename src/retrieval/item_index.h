@@ -53,6 +53,20 @@ class ItemIndex {
   virtual void Search(std::span<const float> query, int64_t k,
                       std::vector<RetrievalCandidate>* out,
                       SearchStats* stats = nullptr) const = 0;
+
+  /// Batched Search: `queries` holds nq = ks.size() query vectors of dim()
+  /// elements back to back; (*outs)[q] receives exactly what
+  /// Search(queries[q], ks[q]) would — the serving daemon's shared
+  /// retrieval sweep depends on that bitwise equivalence
+  /// (tests/retrieval_test.cc asserts it per backend). The base
+  /// implementation is a per-query Search loop; backends override it when
+  /// one pass over the index can serve every query (ExactIndex scores all
+  /// queries per item tile via kernels::GemvMulti while the tile is hot in
+  /// cache). `stats`, when non-null, is resized to nq and overwritten.
+  virtual void MultiSearch(std::span<const float> queries,
+                           std::span<const int64_t> ks,
+                           std::vector<std::vector<RetrievalCandidate>>* outs,
+                           std::vector<SearchStats>* stats = nullptr) const;
 };
 
 /// The strict total order every backend returns results in: score desc,

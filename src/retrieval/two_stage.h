@@ -33,6 +33,30 @@ std::vector<Recommendation> TwoStageTopN(Recommender& model,
                                          int64_t num_candidates,
                                          SearchStats* stats = nullptr);
 
+/// Stage 1 of TwoStageTopN on its own: the over-fetched approximate sweep,
+/// interaction filter and budget truncation, returning at most
+/// `num_candidates` unique unseen item ids in the index's serving order.
+/// Sharing this function (or its batched twin below) is what keeps serving
+/// daemon results bitwise identical to TwoStageTopN.
+std::vector<int64_t> RetrieveCandidates(Recommender& model,
+                                        const ItemIndex& index,
+                                        const UserItemGraph& train_graph,
+                                        int64_t user, int64_t num_candidates,
+                                        SearchStats* stats = nullptr);
+
+/// Stage 1 for a whole batch of users through ONE index sweep
+/// (ItemIndex::MultiSearch): result [i] is bitwise
+/// RetrieveCandidates(users[i]) — same queries, same per-user over-fetch,
+/// same filter — but the exact backend streams the item matrix through
+/// cache once per batch instead of once per user. This is the shared
+/// retrieval sweep of the serving daemon's coalesced batches
+/// (src/serve/server.cc ServeBatch); duplicate users are simply scored
+/// twice.
+std::vector<std::vector<int64_t>> RetrieveCandidatesBatch(
+    Recommender& model, const ItemIndex& index,
+    const UserItemGraph& train_graph, std::span<const int64_t> users,
+    int64_t num_candidates);
+
 /// Recall@k of `index` against `exact` over `users`: the mean fraction of
 /// each user's exact top-k (by index scores, unmasked) that the candidate
 /// index also returns in its top-k. The quality protocol behind the

@@ -1,0 +1,229 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+#include "retrieval/two_stage.h"
+
+namespace scenerec {
+namespace serve {
+
+namespace {
+
+// Daemon telemetry (docs/observability.md): request throughput/latency and
+// how well the admission loop coalesces. `serve/request_ns` is the
+// end-to-end latency histogram bench_serve derives p50/p99 from.
+const telemetry::Counter t_requests =
+    telemetry::RegisterCounter("serve/daemon_requests");
+const telemetry::Counter t_rejected =
+    telemetry::RegisterCounter("serve/daemon_rejected");
+const telemetry::Counter t_batches =
+    telemetry::RegisterCounter("serve/daemon_batches");
+const telemetry::Counter t_rows =
+    telemetry::RegisterCounter("serve/daemon_rows");
+const telemetry::Histogram h_request_ns =
+    telemetry::RegisterHistogram("serve/request_ns", "ns");
+const telemetry::Histogram h_batch_size =
+    telemetry::RegisterHistogram("serve/batch_size", "requests");
+
+void AtomicMax(std::atomic<uint64_t>& cell, uint64_t v) {
+  uint64_t cur = cell.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Server::Server(const ServerConfig& config, const UserItemGraph& train_graph)
+    : config_(config),
+      train_graph_(train_graph),
+      queue_(static_cast<size_t>(config.queue_capacity)) {
+  SCENEREC_CHECK_GE(config_.top_n, 0);
+  SCENEREC_CHECK_GE(config_.max_batch, 1);
+  SCENEREC_CHECK_GE(config_.max_delay_us, 0);
+  SCENEREC_CHECK_GE(config_.num_candidates, 0);
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Publish(std::shared_ptr<Recommender> model,
+                     std::shared_ptr<const ItemIndex> index) {
+  if (model != nullptr) {
+    if (config_.num_candidates > 0) {
+      SCENEREC_CHECK(index != nullptr);
+    }
+    // Read-side preparation happens BEFORE the swap (the ModelHandle
+    // contract), outside the state mutex: in-flight batches keep scoring
+    // the old version while the new one warms its eval caches.
+    model->OnEvalBegin();
+    model->PrepareParallelScoring(prep_pool_);
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  handle_.Publish(std::move(model));
+  index_ = std::move(index);
+}
+
+void Server::Start() {
+  SCENEREC_CHECK(!started_);
+  started_ = true;
+  worker_ = std::thread([this] { Loop(); });
+}
+
+void Server::Stop() {
+  queue_.Close();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool Server::TopN(int64_t user, std::vector<Recommendation>* out) {
+  SCENEREC_CHECK(out != nullptr);
+  telemetry::ScopedTimer timer(h_request_ns);
+  Request request;
+  request.user = user;
+  std::future<std::vector<Recommendation>> result =
+      request.result.get_future();
+  if (!queue_.Push(std::move(request))) {
+    t_rejected.Add(1);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  *out = result.get();
+  t_requests.Add(1);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.rows_scored = rows_scored_.load(std::memory_order_relaxed);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.publishes = handle_.swap_count();
+  return s;
+}
+
+void Server::Loop() {
+  std::vector<Request> batch;
+  Request first;
+  // Pop returns false only once the queue is closed AND drained, so every
+  // accepted request is served before the loop exits (clean shutdown).
+  while (queue_.Pop(&first)) {
+    batch.clear();
+    batch.push_back(std::move(first));
+    if (config_.max_batch > 1) {
+      // Admission window: drain whatever is already waiting, then wait at
+      // most max_delay_us (measured from the first admitted request) for
+      // stragglers to coalesce with.
+      const std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(config_.max_delay_us);
+      Request next;
+      while (static_cast<int64_t>(batch.size()) < config_.max_batch) {
+        if (queue_.TryPop(&next)) {
+          batch.push_back(std::move(next));
+          continue;
+        }
+        if (config_.max_delay_us <= 0 || !queue_.PopUntil(&next, deadline)) {
+          break;
+        }
+        batch.push_back(std::move(next));
+      }
+    }
+    ServeBatch(batch);
+  }
+}
+
+void Server::ServeBatch(std::vector<Request>& batch) {
+  SCENEREC_TRACE_SPAN_F("serve/batch", "serve", trace::Floor::kNone,
+                        "requests=%zu", batch.size());
+  t_batches.Add(1);
+  h_batch_size.Record(batch.size());
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  AtomicMax(max_batch_, batch.size());
+
+  // One state acquisition per batch: every request in the batch scores the
+  // same model version against that version's index, and a concurrent
+  // Publish takes effect at the next batch boundary.
+  std::shared_ptr<Recommender> model;
+  std::shared_ptr<const ItemIndex> index;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    model = handle_.Acquire();
+    index = index_;
+  }
+  if (model == nullptr) {
+    for (Request& r : batch) r.result.set_value({});
+    return;
+  }
+
+  // Stage 1, ONE retrieval sweep for the whole batch:
+  // RetrieveCandidatesBatch pushes every request's query through a single
+  // ItemIndex::MultiSearch, so the exact backend streams the item matrix
+  // through cache once per batch instead of once per request — the main
+  // amortization batched admission buys on the retrieval path. Per request
+  // the candidate list is bitwise RetrieveCandidates', so results stay
+  // identical to per-request serving.
+  std::vector<std::vector<int64_t>> candidates;
+  if (config_.num_candidates > 0) {
+    std::vector<int64_t> batch_users;
+    batch_users.reserve(batch.size());
+    for (const Request& r : batch) batch_users.push_back(r.user);
+    candidates = RetrieveCandidatesBatch(*model, *index, train_graph_,
+                                         batch_users, config_.num_candidates);
+  } else {
+    candidates.resize(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      candidates[i] = UninteractedItems(train_graph_, batch[i].user);
+    }
+  }
+
+  // Stage 2, shared: flatten every request's candidate rows into one
+  // (user, item) row list and score it in bounded chunks. ScoreRows is
+  // per-row bitwise equal to Score regardless of co-batched rows, so the
+  // flattening and re-chunking cannot change any request's scores — it
+  // only lets concurrent requests share GEMM batches.
+  size_t total = 0;
+  for (const std::vector<int64_t>& c : candidates) total += c.size();
+  std::vector<int64_t> users;
+  std::vector<int64_t> items;
+  users.reserve(total);
+  items.reserve(total);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    users.insert(users.end(), candidates[i].size(), batch[i].user);
+    items.insert(items.end(), candidates[i].begin(), candidates[i].end());
+  }
+  std::vector<float> scores(total);
+  for (size_t offset = 0; offset < total;
+       offset += static_cast<size_t>(kScoreBlockSize)) {
+    const size_t len =
+        std::min(static_cast<size_t>(kScoreBlockSize), total - offset);
+    SCENEREC_TRACE_SPAN_F("serve/score_rows", "serve", trace::Floor::kOp,
+                          "rows=%zu", len);
+    model->ScoreRows(std::span<const int64_t>(users).subspan(offset, len),
+                     std::span<const int64_t>(items).subspan(offset, len),
+                     std::span<float>(scores).subspan(offset, len));
+  }
+  t_rows.Add(total);
+  rows_scored_.fetch_add(total, std::memory_order_relaxed);
+
+  // Per-request selection through the shared SelectTopN — the same strict
+  // total order as every other serving surface.
+  size_t pos = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::vector<Recommendation> scored;
+    scored.reserve(candidates[i].size());
+    for (const int64_t item : candidates[i]) {
+      scored.push_back({item, scores[pos++]});
+    }
+    batch[i].result.set_value(SelectTopN(std::move(scored), config_.top_n));
+  }
+}
+
+}  // namespace serve
+}  // namespace scenerec

@@ -1,0 +1,143 @@
+#ifndef SCENEREC_SERVE_SERVER_H_
+#define SCENEREC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+#include "common/thread_pool.h"
+#include "eval/top_n.h"
+#include "graph/bipartite_graph.h"
+#include "models/model_handle.h"
+#include "models/recommender.h"
+#include "retrieval/item_index.h"
+
+namespace scenerec {
+namespace serve {
+
+/// Tuning knobs of the serving daemon (docs/serving.md#daemon).
+struct ServerConfig {
+  /// Recommendations returned per request.
+  int64_t top_n = 10;
+  /// Most requests coalesced into one admission batch. 1 disables
+  /// coalescing entirely — the per-request baseline bench_serve compares
+  /// against.
+  int64_t max_batch = 32;
+  /// How long the admission loop waits for more requests after the first
+  /// one arrives, before serving a partial batch. 0 means "whatever is
+  /// already queued, never wait".
+  int64_t max_delay_us = 200;
+  /// Bound of the request queue; Push blocks (backpressure) when full.
+  int64_t queue_capacity = 256;
+  /// 0 serves the full catalog (TopNRecommendations semantics); > 0 runs
+  /// two-stage retrieval with this candidate budget (TwoStageTopN
+  /// semantics) and requires an ItemIndex at Publish time.
+  int64_t num_candidates = 0;
+};
+
+/// The always-on serving daemon: owns the published model (a ModelHandle)
+/// plus its matching retrieval index, accepts Top-N requests from any
+/// number of client threads through a bounded MPMC queue, and serves them
+/// from ONE admission loop that coalesces concurrently-waiting requests
+/// into shared batched work — one candidate sweep per batch, all requests'
+/// candidate rows flattened into shared ScoreRows calls so concurrent
+/// users share rating-MLP GEMM batches (docs/serving.md#daemon).
+///
+/// Results are bitwise identical to per-request serving: candidate lists
+/// come from the same UninteractedItems / RetrieveCandidates helpers the
+/// library paths use, ScoreRows is per-row bitwise equal to Score, and
+/// selection goes through the same SelectTopN — so TopN() returns exactly
+/// what TopNRecommendations / TwoStageTopN would, regardless of which
+/// requests happened to share a batch.
+///
+/// Hot swap: Publish() prepares the read side of the incoming model
+/// (OnEvalBegin + PrepareParallelScoring), then swaps model and index as
+/// one unit under the state mutex. Each batch acquires the state once, so
+/// a batch never mixes two versions and never pairs a model with another
+/// version's index; old snapshots unmap when their last batch drains
+/// (ModelHandle's drain-based retirement).
+class Server {
+ public:
+  /// `train_graph` is the interaction-masking graph; it must outlive the
+  /// server. Scoring happens on the admission thread only.
+  Server(const ServerConfig& config, const UserItemGraph& train_graph);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Publishes a model version (and, in retrieval mode, the index built
+  /// from THAT model's embeddings — required when num_candidates > 0).
+  /// Does the read-side preparation before the swap, so the first request
+  /// on the new version pays no lazy-init cost. Safe under live traffic.
+  void Publish(std::shared_ptr<Recommender> model,
+               std::shared_ptr<const ItemIndex> index = nullptr);
+
+  /// Starts the admission loop. Call once, after the first Publish.
+  void Start();
+
+  /// Closes the queue, serves every already-accepted request, and joins
+  /// the admission loop. Requests arriving after Stop are rejected.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Blocking Top-N for `user`: enqueues, waits for the admission loop,
+  /// returns true with the recommendations in `*out`. Returns false (and
+  /// leaves `*out` untouched) only when the server has been stopped.
+  /// Callable from any number of threads concurrently.
+  bool TopN(int64_t user, std::vector<Recommendation>* out);
+
+  /// Point-in-time serving statistics (relaxed counters — exact once the
+  /// server is stopped).
+  struct Stats {
+    uint64_t requests = 0;      ///< accepted and served
+    uint64_t rejected = 0;      ///< refused because the server was stopped
+    uint64_t batches = 0;       ///< admission batches served
+    uint64_t rows_scored = 0;   ///< flattened (user, item) rows scored
+    uint64_t max_batch = 0;     ///< largest batch actually coalesced
+    uint64_t publishes = 0;     ///< Publish() calls (ModelHandle swaps)
+  };
+  Stats stats() const;
+
+ private:
+  struct Request {
+    int64_t user = 0;
+    std::promise<std::vector<Recommendation>> result;
+  };
+
+  void Loop();
+  void ServeBatch(std::vector<Request>& batch);
+
+  const ServerConfig config_;
+  const UserItemGraph& train_graph_;
+
+  /// Read-side preparation pool for Publish (PrepareParallelScoring).
+  ThreadPool prep_pool_{1};
+
+  /// Model and index swap as one unit under state_mu_ so a reader can
+  /// never pair a model with another version's index. The ModelHandle
+  /// inside still provides drain-based retirement and the swap counter.
+  mutable std::mutex state_mu_;
+  ModelHandle handle_;
+  std::shared_ptr<const ItemIndex> index_;
+
+  MpmcQueue<Request> queue_;
+  std::thread worker_;
+  bool started_ = false;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> rows_scored_{0};
+  std::atomic<uint64_t> max_batch_{0};
+};
+
+}  // namespace serve
+}  // namespace scenerec
+
+#endif  // SCENEREC_SERVE_SERVER_H_

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#define SCENEREC_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
 #include "common/telemetry.h"
 #include "common/trace.h"
 
@@ -30,6 +35,8 @@ const telemetry::Counter t_gemv_calls =
     telemetry::RegisterCounter("kernels/gemv_calls");
 const telemetry::Counter t_gemv_rows_calls =
     telemetry::RegisterCounter("kernels/gemv_rows_calls");
+const telemetry::Counter t_gemv_multi_calls =
+    telemetry::RegisterCounter("kernels/gemv_multi_calls");
 const telemetry::Counter t_accum_calls =
     telemetry::RegisterCounter("kernels/backward_accum_calls");
 const telemetry::Counter t_flops = telemetry::RegisterCounter("kernels/flops");
@@ -125,6 +132,225 @@ void GemvRows(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
   // per-row calls and FLOPs.)
   for (int64_t r = 0; r < rows; ++r) {
     Gemv(w, m, n, xs + r * n, ys + r * m);
+  }
+}
+
+namespace {
+
+#if defined(SCENEREC_KERNELS_X86)
+
+/// Dot's horizontal reduction, verbatim: lanes [l0..l7] collapse as
+/// ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)). Spelled out on stored lanes so
+/// the tree shape cannot depend on the vector width used to accumulate.
+inline float ReduceLanes(const float* SCENEREC_RESTRICT l) {
+  return ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+}
+
+/// Four queries against one pass over W, SSE2. Each query keeps its own
+/// 8-lane bank (two xmm); mul/add are per-lane IEEE ops, so every
+/// (row, query) result is bitwise the standalone Dot.
+void GemvMulti4Sse2(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
+                    const float* SCENEREC_RESTRICT x0,
+                    const float* SCENEREC_RESTRICT x1,
+                    const float* SCENEREC_RESTRICT x2,
+                    const float* SCENEREC_RESTRICT x3,
+                    float* SCENEREC_RESTRICT y0, float* SCENEREC_RESTRICT y1,
+                    float* SCENEREC_RESTRICT y2, float* SCENEREC_RESTRICT y3) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* SCENEREC_RESTRICT a = w + i * n;
+    __m128 a0lo = _mm_setzero_ps(), a0hi = _mm_setzero_ps();
+    __m128 a1lo = _mm_setzero_ps(), a1hi = _mm_setzero_ps();
+    __m128 a2lo = _mm_setzero_ps(), a2hi = _mm_setzero_ps();
+    __m128 a3lo = _mm_setzero_ps(), a3hi = _mm_setzero_ps();
+    int64_t k = 0;
+    for (; k + kLanes <= n; k += kLanes) {
+      const __m128 rlo = _mm_loadu_ps(a + k);
+      const __m128 rhi = _mm_loadu_ps(a + k + 4);
+      a0lo = _mm_add_ps(a0lo, _mm_mul_ps(rlo, _mm_loadu_ps(x0 + k)));
+      a0hi = _mm_add_ps(a0hi, _mm_mul_ps(rhi, _mm_loadu_ps(x0 + k + 4)));
+      a1lo = _mm_add_ps(a1lo, _mm_mul_ps(rlo, _mm_loadu_ps(x1 + k)));
+      a1hi = _mm_add_ps(a1hi, _mm_mul_ps(rhi, _mm_loadu_ps(x1 + k + 4)));
+      a2lo = _mm_add_ps(a2lo, _mm_mul_ps(rlo, _mm_loadu_ps(x2 + k)));
+      a2hi = _mm_add_ps(a2hi, _mm_mul_ps(rhi, _mm_loadu_ps(x2 + k + 4)));
+      a3lo = _mm_add_ps(a3lo, _mm_mul_ps(rlo, _mm_loadu_ps(x3 + k)));
+      a3hi = _mm_add_ps(a3hi, _mm_mul_ps(rhi, _mm_loadu_ps(x3 + k + 4)));
+    }
+    alignas(16) float lanes[kLanes];
+    _mm_store_ps(lanes, a0lo);
+    _mm_store_ps(lanes + 4, a0hi);
+    float t0 = ReduceLanes(lanes);
+    _mm_store_ps(lanes, a1lo);
+    _mm_store_ps(lanes + 4, a1hi);
+    float t1 = ReduceLanes(lanes);
+    _mm_store_ps(lanes, a2lo);
+    _mm_store_ps(lanes + 4, a2hi);
+    float t2 = ReduceLanes(lanes);
+    _mm_store_ps(lanes, a3lo);
+    _mm_store_ps(lanes + 4, a3hi);
+    float t3 = ReduceLanes(lanes);
+    for (; k < n; ++k) {
+      t0 += a[k] * x0[k];
+      t1 += a[k] * x1[k];
+      t2 += a[k] * x2[k];
+      t3 += a[k] * x3[k];
+    }
+    y0[i] = t0;
+    y1[i] = t1;
+    y2[i] = t2;
+    y3[i] = t3;
+  }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SCENEREC_KERNELS_AVX2_DISPATCH 1
+
+/// Reduces one ymm accumulator bank through EXACTLY the Dot tree
+/// ((l0+l1)+(l2+l3))+((l4+l5)+(l6+l7)): every hadd lane is a single IEEE
+/// add of adjacent elements, so the rounding sequence is identical to
+/// ReduceLanes on the stored bank — just without the store/reload.
+__attribute__((target("avx2"))) inline float ReduceYmm(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);    // l0..l3
+  const __m128 hi = _mm256_extractf128_ps(v, 1);  // l4..l7
+  const __m128 h1 = _mm_hadd_ps(lo, hi);  // l0+l1, l2+l3, l4+l5, l6+l7
+  const __m128 h2 = _mm_hadd_ps(h1, h1);  // (l0+l1)+(l2+l3), (l4+l5)+(l6+l7)
+  return _mm_cvtss_f32(_mm_add_ss(h2, _mm_shuffle_ps(h2, h2, 1)));
+}
+
+/// AVX2 twin of GemvMulti4Sse2: one ymm bank per query. vmulps/vaddps round
+/// per lane exactly like mulps/addps (and like the scalar formula), and the
+/// reduction runs the same tree, so results stay bitwise equal to Dot.
+/// Deliberately no FMA — "avx2" alone never emits contractions.
+__attribute__((target("avx2"))) void GemvMulti4Avx2(
+    const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
+    const float* SCENEREC_RESTRICT x0, const float* SCENEREC_RESTRICT x1,
+    const float* SCENEREC_RESTRICT x2, const float* SCENEREC_RESTRICT x3,
+    float* SCENEREC_RESTRICT y0, float* SCENEREC_RESTRICT y1,
+    float* SCENEREC_RESTRICT y2, float* SCENEREC_RESTRICT y3) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* SCENEREC_RESTRICT a = w + i * n;
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+    int64_t k = 0;
+    for (; k + kLanes <= n; k += kLanes) {
+      const __m256 r = _mm256_loadu_ps(a + k);
+      a0 = _mm256_add_ps(a0, _mm256_mul_ps(r, _mm256_loadu_ps(x0 + k)));
+      a1 = _mm256_add_ps(a1, _mm256_mul_ps(r, _mm256_loadu_ps(x1 + k)));
+      a2 = _mm256_add_ps(a2, _mm256_mul_ps(r, _mm256_loadu_ps(x2 + k)));
+      a3 = _mm256_add_ps(a3, _mm256_mul_ps(r, _mm256_loadu_ps(x3 + k)));
+    }
+    float t0 = ReduceYmm(a0);
+    float t1 = ReduceYmm(a1);
+    float t2 = ReduceYmm(a2);
+    float t3 = ReduceYmm(a3);
+    for (; k < n; ++k) {
+      t0 += a[k] * x0[k];
+      t1 += a[k] * x1[k];
+      t2 += a[k] * x2[k];
+      t3 += a[k] * x3[k];
+    }
+    y0[i] = t0;
+    y1[i] = t1;
+    y2[i] = t2;
+    y3[i] = t3;
+  }
+}
+
+/// Eight queries per pass over W: eight ymm banks plus the row vector still
+/// fit the sixteen-register AVX2 file, so each row load is amortized over
+/// twice as many queries as the 4-wide kernel. `xs` packs the queries
+/// contiguously (query q at xs + q*n), `ys` the results (ys[q*m + i]).
+/// Same per-lane ops and reduction tree as above: bitwise Dot.
+__attribute__((target("avx2"))) void GemvMulti8Avx2(
+    const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
+    const float* SCENEREC_RESTRICT xs, float* SCENEREC_RESTRICT ys) {
+  const float* SCENEREC_RESTRICT x0 = xs;
+  const float* SCENEREC_RESTRICT x1 = xs + n;
+  const float* SCENEREC_RESTRICT x2 = xs + 2 * n;
+  const float* SCENEREC_RESTRICT x3 = xs + 3 * n;
+  const float* SCENEREC_RESTRICT x4 = xs + 4 * n;
+  const float* SCENEREC_RESTRICT x5 = xs + 5 * n;
+  const float* SCENEREC_RESTRICT x6 = xs + 6 * n;
+  const float* SCENEREC_RESTRICT x7 = xs + 7 * n;
+  for (int64_t i = 0; i < m; ++i) {
+    const float* SCENEREC_RESTRICT a = w + i * n;
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+    __m256 a4 = _mm256_setzero_ps(), a5 = _mm256_setzero_ps();
+    __m256 a6 = _mm256_setzero_ps(), a7 = _mm256_setzero_ps();
+    int64_t k = 0;
+    for (; k + kLanes <= n; k += kLanes) {
+      const __m256 r = _mm256_loadu_ps(a + k);
+      a0 = _mm256_add_ps(a0, _mm256_mul_ps(r, _mm256_loadu_ps(x0 + k)));
+      a1 = _mm256_add_ps(a1, _mm256_mul_ps(r, _mm256_loadu_ps(x1 + k)));
+      a2 = _mm256_add_ps(a2, _mm256_mul_ps(r, _mm256_loadu_ps(x2 + k)));
+      a3 = _mm256_add_ps(a3, _mm256_mul_ps(r, _mm256_loadu_ps(x3 + k)));
+      a4 = _mm256_add_ps(a4, _mm256_mul_ps(r, _mm256_loadu_ps(x4 + k)));
+      a5 = _mm256_add_ps(a5, _mm256_mul_ps(r, _mm256_loadu_ps(x5 + k)));
+      a6 = _mm256_add_ps(a6, _mm256_mul_ps(r, _mm256_loadu_ps(x6 + k)));
+      a7 = _mm256_add_ps(a7, _mm256_mul_ps(r, _mm256_loadu_ps(x7 + k)));
+    }
+    float t[8] = {ReduceYmm(a0), ReduceYmm(a1), ReduceYmm(a2),
+                  ReduceYmm(a3), ReduceYmm(a4), ReduceYmm(a5),
+                  ReduceYmm(a6), ReduceYmm(a7)};
+    for (; k < n; ++k) {
+      const float av = a[k];
+      t[0] += av * x0[k];
+      t[1] += av * x1[k];
+      t[2] += av * x2[k];
+      t[3] += av * x3[k];
+      t[4] += av * x4[k];
+      t[5] += av * x5[k];
+      t[6] += av * x6[k];
+      t[7] += av * x7[k];
+    }
+    for (int64_t q = 0; q < 8; ++q) ys[q * m + i] = t[q];
+  }
+}
+#endif  // __GNUC__ || __clang__
+
+#endif  // SCENEREC_KERNELS_X86
+
+}  // namespace
+
+void GemvMulti(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
+               const float* SCENEREC_RESTRICT xs, int64_t nq,
+               float* SCENEREC_RESTRICT ys) {
+  TRACE_KERNEL("GemvMulti", m * nq, n);
+  t_gemv_multi_calls.Add(1);
+  t_flops.Add(static_cast<uint64_t>(2 * m * n * nq));
+  int64_t q = 0;
+#if defined(SCENEREC_KERNELS_X86)
+#if defined(SCENEREC_KERNELS_AVX2_DISPATCH)
+  const bool have_avx2 = __builtin_cpu_supports("avx2");
+#else
+  const bool have_avx2 = false;
+#endif
+#if defined(SCENEREC_KERNELS_AVX2_DISPATCH)
+  if (have_avx2) {
+    for (; q + 8 <= nq; q += 8) {
+      GemvMulti8Avx2(w, m, n, xs + q * n, ys + q * m);
+    }
+  }
+#endif
+  for (; q + 4 <= nq; q += 4) {
+    const float* x0 = xs + q * n;
+#if defined(SCENEREC_KERNELS_AVX2_DISPATCH)
+    if (have_avx2) {
+      GemvMulti4Avx2(w, m, n, x0, x0 + n, x0 + 2 * n, x0 + 3 * n, ys + q * m,
+                     ys + (q + 1) * m, ys + (q + 2) * m, ys + (q + 3) * m);
+      continue;
+    }
+#endif
+    GemvMulti4Sse2(w, m, n, x0, x0 + n, x0 + 2 * n, x0 + 3 * n, ys + q * m,
+                   ys + (q + 1) * m, ys + (q + 2) * m, ys + (q + 3) * m);
+  }
+#endif  // SCENEREC_KERNELS_X86
+  // Remainder queries (and every query on non-x86 targets): the standalone
+  // Gemv path — the definition the interleaved kernels are bitwise against.
+  for (; q < nq; ++q) {
+    const float* x = xs + q * n;
+    float* y = ys + q * m;
+    for (int64_t i = 0; i < m; ++i) y[i] = Dot(w + i * n, x, n);
   }
 }
 
@@ -277,6 +503,11 @@ void AxpyRef(float alpha, const float* x, float* y, int64_t n) {
 
 void GemvRef(const float* w, int64_t m, int64_t n, const float* x, float* y) {
   for (int64_t i = 0; i < m; ++i) y[i] = DotRef(w + i * n, x, n);
+}
+
+void GemvMultiRef(const float* w, int64_t m, int64_t n, const float* xs,
+                  int64_t nq, float* ys) {
+  for (int64_t q = 0; q < nq; ++q) GemvRef(w, m, n, xs + q * n, ys + q * m);
 }
 
 void GemvTAccumRef(const float* w, int64_t m, int64_t n, const float* g,

@@ -65,6 +65,22 @@ void GemvRows(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
               const float* SCENEREC_RESTRICT xs, int64_t rows,
               float* SCENEREC_RESTRICT ys);
 
+/// ys[q*m + i] = Dot(W_i, xs_q) for queries xs [nq,n] against row-major
+/// W [m,n] — a multi-query Gemv that makes ONE pass over W, scoring every
+/// query while each row is hot in cache. Per (row, query) the accumulation
+/// is the identical fixed-order Dot (8 partial lanes, fixed-shape
+/// reduction, ascending scalar tail), so the output is bitwise equal to nq
+/// standalone Gemv calls regardless of nq or tiling. x86-64 builds process
+/// queries four at a time with SSE2 mul/add intrinsics (per-lane IEEE ops —
+/// the same rounding as the scalar lane formula) and dispatch at runtime to
+/// AVX2 variants that take queries eight (then four) at a time; FMA is
+/// never emitted, since contraction would change rounding and break the
+/// bitwise contract. The batched exact retrieval
+/// sweep (retrieval/exact_index.cc MultiSearch) is built on this.
+void GemvMulti(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
+               const float* SCENEREC_RESTRICT xs, int64_t nq,
+               float* SCENEREC_RESTRICT ys);
+
 /// dx[0..n) += Wᵀ g for W [m,n], g [m]. Accumulates rows of W in ascending
 /// i via axpy, so the per-element order is fixed.
 void GemvTAccum(const float* SCENEREC_RESTRICT w, int64_t m, int64_t n,
@@ -115,6 +131,8 @@ void GemvQ8(const uint8_t* SCENEREC_RESTRICT codes, int64_t rows, int64_t n,
 float DotRef(const float* a, const float* b, int64_t n);
 void AxpyRef(float alpha, const float* x, float* y, int64_t n);
 void GemvRef(const float* w, int64_t m, int64_t n, const float* x, float* y);
+void GemvMultiRef(const float* w, int64_t m, int64_t n, const float* xs,
+                  int64_t nq, float* ys);
 void GemvTAccumRef(const float* w, int64_t m, int64_t n, const float* g,
                    float* dx);
 void GerAccumRef(const float* g, const float* x, int64_t m, int64_t n,

@@ -359,6 +359,45 @@ TEST(FlagParserTest, BadValueRejected) {
   EXPECT_FALSE(flags.Parse(2, argv).ok());
 }
 
+TEST(FlagParserTest, ImplicitStringBareAndExplicitForms) {
+  FlagParser flags;
+  flags.AddImplicitString("telemetry", "", "all", "telemetry selector");
+  {
+    char a0[] = "prog", a1[] = "--telemetry";
+    char* argv[] = {a0, a1};
+    ASSERT_TRUE(flags.Parse(2, argv).ok());
+    EXPECT_EQ(flags.GetString("telemetry"), "all");
+  }
+  FlagParser explicit_flags;
+  explicit_flags.AddImplicitString("telemetry", "", "all", "telemetry selector");
+  char a0[] = "prog", a1[] = "--telemetry=counters";
+  char* argv[] = {a0, a1};
+  ASSERT_TRUE(explicit_flags.Parse(2, argv).ok());
+  EXPECT_EQ(explicit_flags.GetString("telemetry"), "counters");
+}
+
+// Regression: "--telemetry=" used to silently set the empty string, which
+// disabled the feature the caller was trying to switch on. It is now an
+// error that names the flag and both valid spellings.
+TEST(FlagParserTest, ImplicitStringRejectsEmptyValueAfterEquals) {
+  FlagParser flags;
+  flags.AddImplicitString("telemetry", "", "all", "telemetry selector");
+  char a0[] = "prog", a1[] = "--telemetry=";
+  char* argv[] = {a0, a1};
+  Status status = flags.Parse(2, argv);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--telemetry"), std::string::npos)
+      << status.ToString();
+  // Plain string flags still accept an explicitly empty value.
+  FlagParser plain;
+  plain.AddString("name", "default", "");
+  char b0[] = "prog", b1[] = "--name=";
+  char* argv2[] = {b0, b1};
+  ASSERT_TRUE(plain.Parse(2, argv2).ok());
+  EXPECT_EQ(plain.GetString("name"), "");
+}
+
 TEST(FlagParserTest, PositionalCollected) {
   FlagParser flags;
   flags.AddInt64("seed", 0, "");

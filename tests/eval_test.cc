@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <span>
 #include <utility>
 
@@ -461,6 +462,58 @@ TEST(TopNTest, CandidateSpanOverloadChunksAtScoreBlockSize) {
                 (recs[i - 1].score == recs[i].score &&
                  recs[i - 1].item < recs[i].item));
   }
+}
+
+// Regression: retrieval backends can hand back the same item from several
+// probe lists. A duplicated candidate must be scored once and occupy at
+// most one rank -- previously the duplicate crowded a distinct item out of
+// the Top-N.
+TEST(TopNTest, CandidateSpanOverloadDedupesRepeatedCandidates) {
+  std::map<int64_t, int> times_scored;
+  BlockScoreFn block = [&](int64_t, std::span<const int64_t> items,
+                           std::span<float> out) {
+    for (size_t r = 0; r < items.size(); ++r) {
+      ++times_scored[items[r]];
+      out[r] = static_cast<float>(items[r]);
+    }
+  };
+  // 14 (the top item) and 9 appear multiple times; 2 and 5 once each.
+  const std::vector<int64_t> with_dups = {14, 9, 2, 14, 9, 5, 14};
+  const auto got = TopNRecommendations(block, 0, with_dups, 3);
+  for (const auto& [item, count] : times_scored) {
+    EXPECT_EQ(count, 1) << "item " << item << " scored more than once";
+  }
+  // The duplicate of 14 must not shadow rank 2's distinct item.
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].item, 14);
+  EXPECT_EQ(got[1].item, 9);
+  EXPECT_EQ(got[2].item, 5);
+  // And the result is identical to passing the deduplicated span directly.
+  const std::vector<int64_t> unique = {14, 9, 2, 5};
+  const auto want = TopNRecommendations(block, 0, unique, 3);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].item, want[i].item) << "rank " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << "rank " << i;
+  }
+}
+
+// All-duplicate span collapses to a single recommendation, and n <= 0
+// yields an empty list without invoking the scorer.
+TEST(TopNTest, CandidateSpanOverloadDegenerateDupAndZeroN) {
+  int calls = 0;
+  BlockScoreFn block = [&](int64_t, std::span<const int64_t> items,
+                           std::span<float> out) {
+    ++calls;
+    for (size_t r = 0; r < items.size(); ++r) out[r] = 1.0f;
+  };
+  const std::vector<int64_t> same = {7, 7, 7, 7};
+  const auto recs = TopNRecommendations(block, 0, same, 3);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].item, 7);
+  calls = 0;
+  EXPECT_TRUE(TopNRecommendations(block, 0, same, 0).empty());
+  EXPECT_EQ(calls, 0);
 }
 
 }  // namespace

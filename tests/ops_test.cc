@@ -543,6 +543,57 @@ TEST(KernelEquivalenceTest, GemvRowsBitwiseEqualsGemv) {
   }
 }
 
+TEST(KernelEquivalenceTest, GemvMultiMatchesRef) {
+  Rng rng(50);
+  for (int64_t m : kKernelSizes) {
+    for (int64_t n : kKernelSizes) {
+      const int64_t nq = 5;
+      std::vector<float> w = RandomVec(m * n, rng);
+      std::vector<float> xs = RandomVec(nq * n, rng);
+      std::vector<float> want(static_cast<size_t>(nq * m));
+      std::vector<float> got(static_cast<size_t>(nq * m));
+      kernels::GemvMultiRef(w.data(), m, n, xs.data(), nq, want.data());
+      kernels::GemvMulti(w.data(), m, n, xs.data(), nq, got.data());
+      ExpectNearRel(got, want);
+    }
+  }
+}
+
+// nq = 1..9 covers every dispatch shape: the scalar remainder alone, the
+// 4-query SSE2/AVX2 group plus remainders, and the 8-query AVX2 group
+// plus a trailing query. Bitwise — GemvMulti's contract is that batching
+// queries cannot change a single bit of any result.
+TEST(KernelEquivalenceTest, GemvMultiBitwiseEqualsGemv) {
+  Rng rng(51);
+  for (int64_t nq = 1; nq <= 9; ++nq) {
+    for (int64_t n : {17LL, 64LL}) {
+      const int64_t m = 37;
+      std::vector<float> w = RandomVec(m * n, rng);
+      std::vector<float> xs = RandomVec(nq * n, rng);
+      std::vector<float> batched(static_cast<size_t>(nq * m));
+      kernels::GemvMulti(w.data(), m, n, xs.data(), nq, batched.data());
+      for (int64_t q = 0; q < nq; ++q) {
+        std::vector<float> single(static_cast<size_t>(m));
+        kernels::Gemv(w.data(), m, n, xs.data() + q * n, single.data());
+        for (int64_t i = 0; i < m; ++i) {
+          EXPECT_EQ(batched[static_cast<size_t>(q * m + i)],
+                    single[static_cast<size_t>(i)])
+              << "nq=" << nq << " n=" << n << " q=" << q << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, GemvMultiEmptyMatrix) {
+  Rng rng(52);
+  const int64_t n = 8, nq = 6;
+  std::vector<float> xs = RandomVec(nq * n, rng);
+  std::vector<float> ys(1, 123.0f);  // must stay untouched for m = 0
+  kernels::GemvMulti(nullptr, 0, n, xs.data(), nq, ys.data());
+  EXPECT_EQ(ys[0], 123.0f);
+}
+
 TEST(KernelEquivalenceTest, DotQ8MatchesRefExactly) {
   Rng rng(48);
   for (int64_t n : kKernelSizes) {

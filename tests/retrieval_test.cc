@@ -598,5 +598,104 @@ TEST_F(RetrievalTest, TwoStageStatsAccounting) {
   EXPECT_LE(stats.rescored, 64);
 }
 
+// -- MultiSearch: the batched sweep must be invisible in results ---------------
+
+void ExpectSameCandidates(const std::vector<RetrievalCandidate>& got,
+                          const std::vector<RetrievalCandidate>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].item, want[i].item) << "rank " << i;
+    // EXPECT_EQ, not NEAR: batching queries must not change a bit.
+    ASSERT_EQ(got[i].score, want[i].score) << "rank " << i;
+  }
+}
+
+// Every backend: (*outs)[q] must be bitwise Search(queries[q], ks[q]) —
+// the exact backends through their shared-sweep override (GemvMulti tiles
+// plus bounded selection), IVF through the base-class per-query loop.
+// BPR-MF exports an item bias, so the biased offer path is covered too;
+// mixed ks cover the bounded heap at k=1, mid-size and k > catalog.
+TEST_F(RetrievalTest, MultiSearchBitwiseEqualsSearchForAllBackends) {
+  std::unique_ptr<Recommender> model = Make("BPR-MF");
+  ASSERT_NE(model, nullptr);
+  model->OnEvalBegin();
+  const std::vector<int64_t> users = {0, 7, 13, 21, 34, 42, 55, 58, 59};
+  const std::vector<int64_t> ks = {1, 5, 50, 299, 300, 100000, 17, 2, 64};
+  for (IndexKind kind : {IndexKind::kExact, IndexKind::kExactSq8,
+                         IndexKind::kIvf, IndexKind::kIvfSq8}) {
+    SCOPED_TRACE(IndexKindName(kind));
+    std::unique_ptr<ItemIndex> index = BuildIndex(*model, kind);
+    ASSERT_NE(index, nullptr);
+    const int64_t dim = index->dim();
+    std::vector<float> queries(users.size() * static_cast<size_t>(dim));
+    for (size_t q = 0; q < users.size(); ++q) {
+      model->WriteRetrievalQuery(
+          users[q], std::span<float>(queries.data() + q * dim,
+                                     static_cast<size_t>(dim)));
+    }
+    std::vector<std::vector<RetrievalCandidate>> outs;
+    std::vector<SearchStats> stats;
+    index->MultiSearch(queries, ks, &outs, &stats);
+    ASSERT_EQ(outs.size(), users.size());
+    ASSERT_EQ(stats.size(), users.size());
+    std::vector<RetrievalCandidate> want;
+    SearchStats want_stats;
+    for (size_t q = 0; q < users.size(); ++q) {
+      SCOPED_TRACE("query " + std::to_string(q));
+      index->Search(std::span<const float>(queries.data() + q * dim,
+                                           static_cast<size_t>(dim)),
+                    ks[q], &want, &want_stats);
+      ExpectSameCandidates(outs[q], want);
+      EXPECT_EQ(stats[q].lists_probed, want_stats.lists_probed);
+      EXPECT_EQ(stats[q].items_scanned, want_stats.items_scanned);
+      EXPECT_EQ(stats[q].rescored, want_stats.rescored);
+    }
+  }
+}
+
+TEST_F(RetrievalTest, MultiSearchEmptyBatchAndReusedOutputs) {
+  std::unique_ptr<Recommender> model = Make("BPR-MF");
+  ASSERT_NE(model, nullptr);
+  std::unique_ptr<ItemIndex> index = BuildIndex(*model, IndexKind::kExact);
+  ASSERT_NE(index, nullptr);
+  // Stale outputs must be cleared/resized, not appended to.
+  std::vector<std::vector<RetrievalCandidate>> outs(3);
+  outs[0] = {{1, 2.0f}};
+  index->MultiSearch({}, {}, &outs);
+  EXPECT_TRUE(outs.empty());
+  std::vector<float> query(static_cast<size_t>(index->dim()));
+  model->WriteRetrievalQuery(0, query);
+  outs.assign(2, {{9, 9.0f}});
+  const int64_t ks[] = {4};
+  index->MultiSearch(query, ks, &outs);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].size(), 4u);
+}
+
+// Stage 1 of the serving daemon's coalesced batches: each user's candidate
+// list from the one-sweep batch must be exactly the per-user list —
+// including duplicate users within one batch.
+TEST_F(RetrievalTest, RetrieveCandidatesBatchMatchesPerUser) {
+  std::unique_ptr<Recommender> model = Make("BPR-MF");
+  ASSERT_NE(model, nullptr);
+  model->OnEvalBegin();
+  for (IndexKind kind : {IndexKind::kExact, IndexKind::kIvf}) {
+    SCOPED_TRACE(IndexKindName(kind));
+    std::unique_ptr<ItemIndex> index = BuildIndex(*model, kind);
+    ASSERT_NE(index, nullptr);
+    std::vector<int64_t> users = AllUsers();
+    users.push_back(0);   // duplicates are scored independently
+    users.push_back(42);
+    const auto batch = RetrieveCandidatesBatch(*model, *index, train_graph_,
+                                               users, /*num_candidates=*/32);
+    ASSERT_EQ(batch.size(), users.size());
+    for (size_t i = 0; i < users.size(); ++i) {
+      const auto want = RetrieveCandidates(*model, *index, train_graph_,
+                                           users[i], 32);
+      EXPECT_EQ(batch[i], want) << "user " << users[i];
+    }
+  }
+}
+
 }  // namespace
 }  // namespace scenerec

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <system_error>
@@ -19,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "data/split.h"
 #include "data/synthetic.h"
@@ -350,6 +352,45 @@ TEST_F(SnapshotTest, StoreWritesMonotonicVersionsAndPrunes) {
   auto latest = store.LatestPath();
   ASSERT_TRUE(latest.ok());
   EXPECT_EQ(latest.value(), store.PathFor(4));
+}
+
+// A prune that cannot delete an old snapshot must not fail the write; it
+// bumps snapshot/prune_failures and leaves the obstruction in place. The
+// obstruction here is a non-empty directory wearing a snapshot filename,
+// which std::filesystem::remove refuses to delete.
+TEST_F(SnapshotTest, StorePruneFailureCountsAndKeepsWriting) {
+  Rng rng(16);
+  Embedding emb(10, 4, rng);
+  SnapshotStore store(dir_ + "/prunefail", /*retain=*/1);
+  auto v1 = store.Write(emb, "emb");
+  ASSERT_TRUE(v1.ok());
+  const std::string victim = store.PathFor(v1.value());
+  telemetry::Telemetry::SetEnabled(true);
+  std::error_code ec;
+  std::filesystem::remove(victim, ec);
+  ASSERT_FALSE(ec);
+  ASSERT_TRUE(std::filesystem::create_directory(victim, ec));
+  { std::ofstream blocker(victim + "/blocker"); blocker << "x"; }
+
+  const uint64_t before =
+      telemetry::Telemetry::Snapshot().CounterValue("snapshot/prune_failures");
+  auto v2 = store.Write(emb, "emb");
+  ASSERT_TRUE(v2.ok());  // the new snapshot still lands
+  EXPECT_TRUE(std::filesystem::exists(store.PathFor(v2.value())));
+  EXPECT_TRUE(std::filesystem::exists(victim));  // obstruction survives
+  const uint64_t after =
+      telemetry::Telemetry::Snapshot().CounterValue("snapshot/prune_failures");
+  EXPECT_EQ(after, before + 1);
+
+  // Clearing the obstruction lets the next write prune it normally.
+  std::filesystem::remove_all(victim, ec);
+  auto v3 = store.Write(emb, "emb");
+  ASSERT_TRUE(v3.ok());
+  EXPECT_FALSE(std::filesystem::exists(store.PathFor(v2.value())));
+  EXPECT_EQ(
+      telemetry::Telemetry::Snapshot().CounterValue("snapshot/prune_failures"),
+      after);
+  telemetry::Telemetry::SetEnabled(false);
 }
 
 // Version ids survive process restarts: a new store over the same directory

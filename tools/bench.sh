@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Runs the benchmark suites and records their results as JSON at the repo
 # root (BENCH_kernels.json, BENCH_parallel.json, BENCH_scoring.json,
-# BENCH_snapshot.json, BENCH_retrieval.json, BENCH_telemetry.json,
-# BENCH_trace.json) so kernel-layer, parallel-layer, scoring-path,
-# parameter-store, retrieval and observability changes can be compared
-# against committed numbers (tools/bench_diff).
+# BENCH_snapshot.json, BENCH_retrieval.json, BENCH_serve.json,
+# BENCH_telemetry.json, BENCH_trace.json) so kernel-layer, parallel-layer,
+# scoring-path, parameter-store, retrieval, serving-daemon and observability
+# changes can be compared against committed numbers (tools/bench_diff).
 # BENCH_telemetry.json holds the telemetry-enabled vs -disabled epoch times
 # (BM_TrainEpochTelemetry/1 vs /0) and BENCH_trace.json the same pair for
 # span tracing (BM_TrainEpochTrace); the disabled-mode overhead budget for
@@ -17,7 +17,11 @@
 # Top-N serving (BM_TopNTwoStage{Exact,Ivf,IvfSq8}, docs/retrieval.md)
 # against the full-catalog block sweep (BM_TopNFullCatalogBlock) on a 50k
 # catalog — the IVF rows carry a recall_at_100 counter vs the exact backend
-# — plus one-time index-build costs (BM_IndexBuild*).
+# — plus one-time index-build costs (BM_IndexBuild*). BENCH_serve.json is
+# the closed-loop serving-daemon load test (docs/serving.md): per-request
+# serving vs batched admission at identical results, with request-latency
+# p50/p99 reported as counters on the daemon rows — the acceptance gate is
+# BatchedRetrieval QPS >= 2x PerRequestRetrieval QPS.
 #
 # Usage: tools/bench.sh [benchmark_filter_regex]
 # A filter (e.g. 'MatVec|Gemm') restricts the first three suites; the JSON
@@ -28,7 +32,7 @@ cd "$(dirname "$0")/.."
 FILTER="${1:-.}"
 
 cmake -B build >/dev/null
-cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot bench_retrieval
+cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot bench_retrieval bench_serve
 
 echo "==> bench_kernels -> BENCH_kernels.json"
 build/bench/bench_kernels \
@@ -54,6 +58,11 @@ echo "==> bench_retrieval -> BENCH_retrieval.json"
 build/bench/bench_retrieval \
   --benchmark_filter="${FILTER}" \
   --benchmark_format=json >BENCH_retrieval.json
+
+echo "==> bench_serve -> BENCH_serve.json"
+build/bench/bench_serve \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json >BENCH_serve.json
 
 echo "==> bench_parallel telemetry on/off -> BENCH_telemetry.json"
 build/bench/bench_parallel \

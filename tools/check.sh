@@ -3,9 +3,13 @@
 # the persistent parameter store:
 #   1. regular build + full test suite, then snapshot_inspect --selftest
 #      (train -> versioned snapshot write -> zero-copy open -> bitwise
-#      score check -> hot swap) against a freshly trained mini-model
+#      score check -> hot swap) and scenerec_serve --selftest (concurrent
+#      clients through the batched admission loop, bitwise-checked against
+#      per-request serving, with a hot swap under live traffic), both
+#      against freshly trained mini-models
 #   2. ThreadSanitizer build (-DSCENEREC_SANITIZE=thread) + the tests that
-#      exercise concurrency (ThreadPool, sharded training, parallel eval)
+#      exercise concurrency (ThreadPool, sharded training, parallel eval,
+#      the serving daemon)
 #   3. ASan+UBSan build (-DSCENEREC_SANITIZE=address,undefined) + the tensor
 #      and op tests, which cover the arena allocator (manual ASan poisoning
 #      marks reset and never-allocated arena bytes as redzones) and every
@@ -44,9 +48,16 @@ echo "==> stage 1: snapshot store end-to-end selftest"
 # non-zero on any score drift, versioning bug, or swap hiccup.
 build/tools/snapshot_inspect --selftest
 
+echo "==> stage 1: serving daemon end-to-end selftest"
+# Trains a mini-model, then drives the batched admission loop from
+# concurrent clients (full-catalog and two-stage retrieval modes, plus one
+# hot swap under live traffic) and bitwise-compares every response against
+# the per-request library path.
+build/tools/scenerec_serve --selftest
+
 echo "==> stage 2: ThreadSanitizer build"
 configure build-tsan -DSCENEREC_SANITIZE=thread
-cmake --build build-tsan --target parallel_test eval_test scoring_test train_test telemetry_test trace_test snapshot_test retrieval_test
+cmake --build build-tsan --target parallel_test eval_test scoring_test train_test telemetry_test trace_test snapshot_test retrieval_test serve_test scenerec_serve
 
 echo "==> stage 2: parallel tests under TSan"
 # halt_on_error makes a data race fail the script, not just print a report.
@@ -71,10 +82,15 @@ build-tsan/tests/snapshot_test
 # One shared ItemIndex serving concurrent Search calls on pool threads:
 # const reads of centroids/lists/codes with all scratch query-local.
 build-tsan/tests/retrieval_test
+# The serving daemon's MPMC queue, batched admission loop and hot swap under
+# live client threads — the cross-request batching contract is only real if
+# TSan can't find a race between clients, the admission thread and Publish.
+build-tsan/tests/serve_test
+build-tsan/tools/scenerec_serve --selftest
 
 echo "==> stage 3: ASan+UBSan build"
 configure build-asan -DSCENEREC_SANITIZE=address,undefined
-cmake --build build-asan --target tensor_test ops_test telemetry_test train_test trace_test scoring_test snapshot_test retrieval_test
+cmake --build build-asan --target tensor_test ops_test telemetry_test train_test trace_test scoring_test snapshot_test retrieval_test serve_test scenerec_serve
 
 echo "==> stage 3: tensor/op tests under ASan+UBSan"
 build-asan/tests/tensor_test
@@ -109,17 +125,25 @@ echo "==> stage 3: retrieval index paths under ASan+UBSan"
 # a borrowed item table is a use-after-munmap here).
 build-asan/tests/retrieval_test
 
+echo "==> stage 3: serving daemon under ASan+UBSan"
+# Request/result lifetime across the queue handoff (caller-owned output
+# vectors written by the admission thread), Stop-time drain, and the model
+# retirement path while responses are still being copied out.
+build-asan/tests/serve_test
+build-asan/tools/scenerec_serve --selftest
+
 if [ "${SCENEREC_PERF:-0}" != "0" ]; then
   echo "==> stage 4: benchmark regression gate (SCENEREC_PERF=1)"
   THRESHOLD="${SCENEREC_PERF_THRESHOLD:-20}"
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"' EXIT
-  cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot bench_retrieval
+  cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot bench_retrieval bench_serve
   build/bench/bench_kernels --benchmark_format=json >"$tmp/kernels.json"
   build/bench/bench_parallel --benchmark_format=json >"$tmp/parallel.json"
   build/bench/bench_scoring --benchmark_format=json >"$tmp/scoring.json"
   build/bench/bench_snapshot --benchmark_format=json >"$tmp/snapshot.json"
   build/bench/bench_retrieval --benchmark_format=json >"$tmp/retrieval.json"
+  build/bench/bench_serve --benchmark_format=json >"$tmp/serve.json"
   build/bench/bench_parallel \
     --benchmark_filter='BM_TrainEpochTelemetry' \
     --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
@@ -133,6 +157,7 @@ if [ "${SCENEREC_PERF:-0}" != "0" ]; then
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_scoring.json "$tmp/scoring.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_snapshot.json "$tmp/snapshot.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_retrieval.json "$tmp/retrieval.json"
+  tools/bench_diff --check --threshold="$THRESHOLD" BENCH_serve.json "$tmp/serve.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_telemetry.json "$tmp/telemetry.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_trace.json "$tmp/trace.json"
 fi
