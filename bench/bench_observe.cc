@@ -1,0 +1,270 @@
+// Cost of the live observability plane (src/serve/observe.h,
+// docs/observability.md#live-serving-observability): what a stats-socket
+// scrape costs by itself, and what a realistic scraper steals from daemon
+// throughput while closed-loop clients drive it.
+//
+//   BM_ObserveHandleStats      StatsEndpoint::Handle("stats") in-process —
+//                              snapshot + window merge + JSON render
+//   BM_ObserveScrapeSocket/*   one verb round-trip over the real unix
+//                              socket (connect, frame, render, read)
+//   BM_ObserveDaemonNoScrape   closed-loop retrieval QPS with the stats
+//                              socket listening but never scraped
+//   BM_ObserveDaemonScraped    the same drive with a background scraper
+//                              cycling stats/metrics/vars/healthz at
+//                              5 Hz; its scrape_overhead_pct counter is
+//                              the QPS lost to scraping vs the NoScrape
+//                              row, and the budget is <1%
+//
+// Every driven request is CHECKed bitwise against the library two-stage
+// path, so the committed numbers double as proof that answers are
+// identical with the socket active. tools/bench.sh records the suite in
+// BENCH_observe.json for bench_diff (gated behind SCENEREC_PERF=1 in
+// tools/check.sh).
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/socket_server.h"
+#include "common/telemetry.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "graph/bipartite_graph.h"
+#include "models/factory.h"
+#include "retrieval/index_builder.h"
+#include "retrieval/two_stage.h"
+#include "serve/observe.h"
+#include "serve/server.h"
+
+namespace scenerec {
+namespace {
+
+constexpr int64_t kNumUsers = 256;
+constexpr int64_t kNumItems = 8192;
+constexpr int64_t kDim = 32;
+constexpr int64_t kTopN = 10;
+constexpr int64_t kCandidates = 32;
+constexpr int kClients = 4;
+constexpr int64_t kRequestsPerIter = 512;
+constexpr int kScrapeIntervalMs = 200;  // 5 Hz — generous vs Prometheus-style 15 s
+
+struct BenchData {
+  Dataset dataset;
+  LeaveOneOutSplit split;
+  UserItemGraph graph;
+  SceneGraph scene_graph;
+  std::shared_ptr<Recommender> model;
+  std::shared_ptr<const ItemIndex> index;
+  std::vector<std::vector<Recommendation>> expected;
+  std::unique_ptr<serve::Server> server;
+  std::string socket_path;
+};
+
+/// Drives `total` closed-loop requests from kClients threads, every result
+/// CHECKed bitwise against the library two-stage path.
+void Drive(serve::Server& server, int64_t total,
+           const std::vector<std::vector<Recommendation>>& expected) {
+  std::atomic<int64_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      std::vector<Recommendation> got;
+      for (;;) {
+        const int64_t seq = next.fetch_add(1, std::memory_order_relaxed);
+        if (seq >= total) break;
+        const int64_t user = seq % kNumUsers;
+        SCENEREC_CHECK(server.TopN(user, &got));
+        const std::vector<Recommendation>& want =
+            expected[static_cast<size_t>(user)];
+        SCENEREC_CHECK_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          SCENEREC_CHECK(got[i].item == want[i].item &&
+                         got[i].score == want[i].score)
+              << "daemon diverged with the stats socket active, user "
+              << user;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+BenchData& Data() {
+  static BenchData* data = [] {
+    telemetry::Telemetry::SetEnabled(true);
+    auto* d = new BenchData();
+    SyntheticConfig config;
+    config.name = "observe-bench";
+    config.num_users = kNumUsers;
+    config.num_items = kNumItems;
+    config.num_categories = 24;
+    config.num_scenes = 32;
+    config.sessions_per_user = 6;
+    config.session_length = 6;
+    d->dataset = GenerateSyntheticDataset(config, 31).value();
+    Rng rng(7);
+    d->split =
+        MakeLeaveOneOutSplit(d->dataset, /*num_negatives=*/20, rng).value();
+    d->graph = UserItemGraph::Build(d->dataset.num_users,
+                                    d->dataset.num_items, d->split.train);
+    d->scene_graph = d->dataset.BuildSceneGraph();
+
+    ModelContext context;
+    context.user_item = &d->graph;
+    context.scene = &d->scene_graph;
+    ModelFactoryConfig factory_config;
+    factory_config.embedding_dim = kDim;
+    d->model = MakeRecommender("SceneRec", context, factory_config).value();
+    d->model->OnEvalBegin();
+    d->index = IndexBuilder().Build(*d->model).value();
+
+    d->expected.resize(static_cast<size_t>(kNumUsers));
+    for (int64_t u = 0; u < kNumUsers; ++u) {
+      d->expected[static_cast<size_t>(u)] =
+          TwoStageTopN(*d->model, *d->index, d->graph, u, kTopN, kCandidates);
+    }
+
+    d->socket_path = "/tmp/scenerec_bench_observe_" +
+                     std::to_string(getpid()) + ".sock";
+    serve::ServerConfig server_config;
+    server_config.top_n = kTopN;
+    server_config.max_batch = kClients;
+    server_config.max_delay_us = 200;
+    server_config.queue_capacity = 64;
+    server_config.num_candidates = kCandidates;
+    server_config.stats_socket = d->socket_path;
+    server_config.stats_window_ms = 100;
+    d->server = std::make_unique<serve::Server>(server_config, d->graph);
+    d->server->Publish(d->model, d->index);
+    d->server->Start();
+    SCENEREC_CHECK(d->server->stats_endpoint() != nullptr)
+        << "stats endpoint failed to start on " << d->socket_path;
+
+    // Verified warm-up sweep: every user once, concurrent clients.
+    Drive(*d->server, kNumUsers, d->expected);
+    return d;
+  }();
+  return *data;
+}
+
+// QPS of the unscraped drive, stashed by BM_ObserveDaemonNoScrape (benches
+// register in definition order) so BM_ObserveDaemonScraped can report the
+// throughput it gives up as a counter.
+double g_noscrape_qps = 0.0;
+
+// -- Scrape cost in isolation --------------------------------------------------
+
+void BM_ObserveHandleStats(benchmark::State& state) {
+  BenchData& d = Data();
+  for (auto _ : state) {
+    auto reply = d.server->stats_endpoint()->Handle("stats");
+    SCENEREC_CHECK(reply.ok()) << reply.status().ToString();
+    benchmark::DoNotOptimize(reply.value().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObserveHandleStats)->Unit(benchmark::kMicrosecond);
+
+void ScrapeSocket(benchmark::State& state, const std::string& verb) {
+  BenchData& d = Data();
+  for (auto _ : state) {
+    auto reply = UnixSocketRequest(d.socket_path, verb);
+    SCENEREC_CHECK(reply.ok()) << reply.status().ToString();
+    benchmark::DoNotOptimize(reply.value().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ObserveScrapeSocketStats(benchmark::State& state) {
+  ScrapeSocket(state, "stats");
+}
+BENCHMARK(BM_ObserveScrapeSocketStats)->Unit(benchmark::kMicrosecond);
+
+void BM_ObserveScrapeSocketMetrics(benchmark::State& state) {
+  ScrapeSocket(state, "metrics");
+}
+BENCHMARK(BM_ObserveScrapeSocketMetrics)->Unit(benchmark::kMicrosecond);
+
+void BM_ObserveScrapeSocketVars(benchmark::State& state) {
+  ScrapeSocket(state, "vars");
+}
+BENCHMARK(BM_ObserveScrapeSocketVars)->Unit(benchmark::kMicrosecond);
+
+// -- Scrape overhead under load ------------------------------------------------
+
+void BM_ObserveDaemonNoScrape(benchmark::State& state) {
+  BenchData& d = Data();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    Drive(*d.server, kRequestsPerIter, d.expected);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  state.SetItemsProcessed(state.iterations() * kRequestsPerIter);
+  g_noscrape_qps =
+      static_cast<double>(state.iterations() * kRequestsPerIter) / secs;
+  state.counters["qps"] = g_noscrape_qps;
+}
+BENCHMARK(BM_ObserveDaemonNoScrape)->Unit(benchmark::kMillisecond)->UseRealTime()->MinTime(2.0);
+
+void BM_ObserveDaemonScraped(benchmark::State& state) {
+  BenchData& d = Data();
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> scrapes{0};
+  std::thread scraper([&] {
+    const char* kVerbs[] = {"stats", "metrics", "vars", "healthz"};
+    size_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto reply = UnixSocketRequest(d.socket_path, kVerbs[v % 4]);
+      SCENEREC_CHECK(reply.ok()) << reply.status().ToString();
+      ++v;
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(kScrapeIntervalMs));
+    }
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    Drive(*d.server, kRequestsPerIter, d.expected);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  stop.store(true);
+  scraper.join();
+  state.SetItemsProcessed(state.iterations() * kRequestsPerIter);
+  const double qps =
+      static_cast<double>(state.iterations() * kRequestsPerIter) / secs;
+  state.counters["qps"] = qps;
+  state.counters["scrapes"] = static_cast<double>(scrapes.load());
+  // Throughput given up to the scraper, as a percent of the unscraped QPS
+  // (clamped at 0: on a noisy box the scraped run can measure faster).
+  state.counters["scrape_overhead_pct"] =
+      g_noscrape_qps > 0.0
+          ? std::max(0.0, (g_noscrape_qps - qps) / g_noscrape_qps * 100.0)
+          : 0.0;
+}
+BENCHMARK(BM_ObserveDaemonScraped)->Unit(benchmark::kMillisecond)->UseRealTime()->MinTime(2.0);
+
+}  // namespace
+}  // namespace scenerec
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  scenerec::Data().server->Stop();
+  return 0;
+}

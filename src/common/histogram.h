@@ -1,6 +1,7 @@
 #ifndef SCENEREC_COMMON_HISTOGRAM_H_
 #define SCENEREC_COMMON_HISTOGRAM_H_
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdint>
@@ -80,6 +81,32 @@ struct HistogramData {
     return static_cast<double>(max);
   }
 };
+
+/// Per-interval delta between two cumulative views of the same histogram,
+/// `cur` scraped after `prev` — the building block of the rolling-window
+/// view (common/windowed_histogram.h). count/sum/buckets subtract exactly
+/// (they are monotone); the interval's true max is not recoverable from
+/// cumulative state, so the delta carries the tightest available bound: the
+/// high edge of its highest non-empty bucket, clamped to the cumulative
+/// max. If `cur` is not ahead of `prev` (the registry was Reset between
+/// scrapes), the delta restarts from `cur` alone.
+inline HistogramData HistogramDelta(const HistogramData& cur,
+                                    const HistogramData& prev) {
+  if (cur.count < prev.count) return cur;
+  HistogramData d;
+  d.count = cur.count - prev.count;
+  d.sum = cur.sum - prev.sum;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    d.buckets[b] = cur.buckets[b] - prev.buckets[b];
+  }
+  for (int b = kHistogramBuckets - 1; b >= 0; --b) {
+    if (d.buckets[b] > 0) {
+      d.max = std::min(HistogramBucketHigh(b), cur.max);
+      break;
+    }
+  }
+  return d;
+}
 
 }  // namespace scenerec
 

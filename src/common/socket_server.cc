@@ -1,0 +1,235 @@
+#include "common/socket_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace scenerec {
+
+namespace {
+
+/// Hard cap on a request line; a verb is a handful of characters, anything
+/// longer is a confused client.
+constexpr size_t kMaxRequestLine = 1024;
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+void SetIoTimeout(int fd, int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Writes all of `data` (MSG_NOSIGNAL: a vanished client must not SIGPIPE
+/// the daemon). False on any error or timeout.
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one LF-terminated line (LF stripped, trailing CR tolerated).
+bool ReadLine(int fd, std::string* line) {
+  line->clear();
+  char c;
+  while (line->size() < kMaxRequestLine) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    if (c == '\n') {
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    line->push_back(c);
+  }
+  return false;
+}
+
+bool ReadExact(int fd, size_t bytes, std::string* out) {
+  out->clear();
+  out->reserve(bytes);
+  char buf[4096];
+  while (out->size() < bytes) {
+    const size_t want = std::min(sizeof(buf), bytes - out->size());
+    const ssize_t n = ::recv(fd, buf, want, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    out->append(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+/// One-line-safe rendering of an error message for the ERR frame.
+std::string Flatten(const std::string& message) {
+  std::string out = message;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+UnixSocketServer::~UnixSocketServer() { Stop(); }
+
+Status UnixSocketServer::Start(const std::string& path,
+                               SocketHandler handler) {
+  if (running()) return Status::FailedPrecondition("socket server running");
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad unix socket path: \"" + path +
+                                   "\" (max " +
+                                   std::to_string(sizeof(addr.sun_path) - 1) +
+                                   " chars)");
+  }
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket(" + path + ")");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  // A stale socket file from a dead daemon would make bind fail; the new
+  // daemon owns the path.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status s = Errno("bind(" + path + ")");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) < 0) {
+    const Status s = Errno("listen(" + path + ")");
+    ::close(fd);
+    ::unlink(path.c_str());
+    return s;
+  }
+  if (::pipe(stop_pipe_) < 0) {
+    const Status s = Errno("pipe");
+    ::close(fd);
+    ::unlink(path.c_str());
+    return s;
+  }
+
+  path_ = path;
+  handler_ = std::move(handler);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void UnixSocketServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Wake the poll in AcceptLoop; the loop notices running_ == false.
+  const char byte = 'x';
+  [[maybe_unused]] ssize_t ignored = ::write(stop_pipe_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+  ::unlink(path_.c_str());
+}
+
+void UnixSocketServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, /*timeout=*/-1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Stop() signalled
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void UnixSocketServer::HandleConnection(int fd) {
+  SetIoTimeout(fd, /*timeout_ms=*/5000);
+  std::string verb;
+  if (!ReadLine(fd, &verb)) return;
+  StatusOr<std::string> reply = handler_(verb);
+  if (reply.ok()) {
+    const std::string& payload = reply.value();
+    SendAll(fd, "OK " + std::to_string(payload.size()) + "\n" + payload);
+  } else {
+    SendAll(fd, "ERR " + Flatten(reply.status().ToString()) + "\n");
+  }
+}
+
+StatusOr<std::string> UnixSocketRequest(const std::string& path,
+                                        const std::string& verb,
+                                        int timeout_ms) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad unix socket path: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  SetIoTimeout(fd, timeout_ms);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status s = Errno("connect(" + path + ")");
+    ::close(fd);
+    return s;
+  }
+  std::string header;
+  std::string payload;
+  const bool ok = SendAll(fd, verb + "\n") && ReadLine(fd, &header);
+  if (!ok) {
+    ::close(fd);
+    return Errno("request \"" + verb + "\" on " + path);
+  }
+  if (header.rfind("ERR ", 0) == 0) {
+    ::close(fd);
+    return Status::Internal("stats socket: " + header.substr(4));
+  }
+  if (header.rfind("OK ", 0) != 0) {
+    ::close(fd);
+    return Status::Internal("stats socket: malformed header \"" + header +
+                            "\"");
+  }
+  size_t bytes = 0;
+  try {
+    bytes = static_cast<size_t>(std::stoull(header.substr(3)));
+  } catch (...) {
+    ::close(fd);
+    return Status::Internal("stats socket: bad length in \"" + header +
+                            "\"");
+  }
+  if (!ReadExact(fd, bytes, &payload)) {
+    ::close(fd);
+    return Errno("short read on " + path);
+  }
+  ::close(fd);
+  return payload;
+}
+
+}  // namespace scenerec

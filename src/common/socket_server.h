@@ -1,0 +1,74 @@
+#ifndef SCENEREC_COMMON_SOCKET_SERVER_H_
+#define SCENEREC_COMMON_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/status_or.h"
+
+namespace scenerec {
+
+// Unix-domain-socket request/response server — the shared listener/framing
+// substrate of the serving daemon's stats socket (docs/observability.md,
+// "Live serving observability") and the seed of the future network front
+// end (ROADMAP item 1).
+//
+// Protocol (one request per connection, text framed):
+//   request:  one LF-terminated verb line, e.g. "stats\n"
+//   response: "OK <payload-bytes>\n<payload>"   on success
+//             "ERR <message>\n"                 on failure
+// The byte count frames the payload exactly, so clients never depend on
+// EOF timing; `nc -U <path>` still works for eyeballing because the server
+// closes the connection after the response.
+
+/// Maps a verb to a response payload (or a Status rendered as ERR).
+/// Called on the accept thread; must be thread-safe against the rest of
+/// the process but never reentered concurrently by the server itself.
+using SocketHandler = std::function<StatusOr<std::string>(const std::string& verb)>;
+
+class UnixSocketServer {
+ public:
+  UnixSocketServer() = default;
+  ~UnixSocketServer();
+
+  UnixSocketServer(const UnixSocketServer&) = delete;
+  UnixSocketServer& operator=(const UnixSocketServer&) = delete;
+
+  /// Binds `path` (unlinking any stale socket file first), starts the
+  /// accept thread. Connections are served one at a time — this is an
+  /// introspection socket, not a data plane.
+  Status Start(const std::string& path, SocketHandler handler);
+
+  /// Stops the accept thread, closes the listener and unlinks the socket
+  /// file. Idempotent; the destructor calls it.
+  void Stop();
+
+  const std::string& path() const { return path_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  std::string path_;
+  SocketHandler handler_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+/// Client side of the protocol: connects to `path`, sends `verb`, returns
+/// the OK payload. ERR responses surface as Status::Internal with the
+/// server's message; connect/IO failures as IOError. `timeout_ms` bounds
+/// each blocking read/write.
+StatusOr<std::string> UnixSocketRequest(const std::string& path,
+                                        const std::string& verb,
+                                        int timeout_ms = 5000);
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_COMMON_SOCKET_SERVER_H_

@@ -1,6 +1,9 @@
 #include "common/telemetry.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -172,6 +175,43 @@ std::string FormatDouble(double v) {
   return os.str();
 }
 
+/// Steady-clock epoch for uptime / mono_ns, captured at static-init time —
+/// early enough that "uptime" means process lifetime for any realistic use.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+/// Resident set size from /proc/self/statm (second field, in pages).
+/// Returns 0 where procfs is unavailable.
+uint64_t ReadRssBytes() {
+  std::ifstream statm("/proc/self/statm");
+  uint64_t vm_pages = 0;
+  uint64_t rss_pages = 0;
+  if (!(statm >> vm_pages >> rss_pages)) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<uint64_t>(page > 0 ? page : 4096);
+}
+
+ProcessSample SampleProcess() {
+  ProcessSample p;
+  const auto elapsed = std::chrono::steady_clock::now() - g_process_start;
+  p.mono_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  p.uptime_seconds = static_cast<double>(p.mono_ns) * 1e-9;
+  p.rss_bytes = ReadRssBytes();
+  return p;
+}
+
+/// `serve/request_ns` -> `scenerec_serve_request_ns`.
+std::string PromName(const std::string& name) {
+  std::string out = "scenerec_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
 }  // namespace
 
 Counter RegisterCounter(const std::string& name) {
@@ -229,7 +269,11 @@ const HistogramSample* TelemetrySnapshot::FindHistogram(
 }
 
 std::string TelemetrySnapshot::ToJson() const {
-  std::string out = "{\n  \"counters\": {";
+  std::string out = "{\n  \"process\": {";
+  out += "\"uptime_seconds\": " + FormatDouble(process.uptime_seconds);
+  out += ", \"rss_bytes\": " + std::to_string(process.rss_bytes);
+  out += ", \"mono_ns\": " + std::to_string(process.mono_ns);
+  out += "},\n  \"counters\": {";
   for (size_t i = 0; i < counters.size(); ++i) {
     out += i == 0 ? "\n    " : ",\n    ";
     AppendJsonString(out, counters[i].name);
@@ -271,10 +315,48 @@ std::string TelemetrySnapshot::ToJson() const {
   return out;
 }
 
+std::string TelemetrySnapshot::ToPrometheus() const {
+  std::string out;
+  out += "# TYPE scenerec_process_uptime_seconds gauge\n";
+  out += "scenerec_process_uptime_seconds " +
+         FormatDouble(process.uptime_seconds) + "\n";
+  out += "# TYPE scenerec_process_resident_memory_bytes gauge\n";
+  out += "scenerec_process_resident_memory_bytes " +
+         std::to_string(process.rss_bytes) + "\n";
+  for (const CounterSample& c : counters) {
+    const std::string name = PromName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSample& g : gauges) {
+    const std::string name = PromName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const HistogramSample& h : histograms) {
+    const std::string name = PromName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (h.data.buckets[b] == 0) continue;
+      cumulative += h.data.buckets[b];
+      out += name + "_bucket{le=\"" +
+             std::to_string(HistogramBucketHigh(b)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.data.count) +
+           "\n";
+    out += name + "_sum " + std::to_string(h.data.sum) + "\n";
+    out += name + "_count " + std::to_string(h.data.count) + "\n";
+  }
+  return out;
+}
+
 TelemetrySnapshot Telemetry::Snapshot() {
   internal::Registry& reg = internal::GetRegistry();
   std::lock_guard<std::mutex> lock(reg.mu);
   TelemetrySnapshot snapshot;
+  snapshot.process = SampleProcess();
 
   snapshot.counters.resize(reg.counter_names.size());
   for (size_t i = 0; i < reg.counter_names.size(); ++i) {
@@ -327,6 +409,8 @@ void Telemetry::Reset() {
 }
 
 std::string Telemetry::ToJson() { return Snapshot().ToJson(); }
+
+std::string Telemetry::ToPrometheus() { return Snapshot().ToPrometheus(); }
 
 Status Telemetry::WriteJsonFile(const std::string& path) {
   std::ofstream out(path, std::ios::trunc);

@@ -207,9 +207,19 @@ struct HistogramSample {
   HistogramData data;
 };
 
+/// Process-level stats sampled at scrape time (not per-thread slabs): wall
+/// uptime, resident set size, and a monotonic timestamp two scrapes can be
+/// diffed over so clients compute rates (QPS = Δcounter / Δmono_ns).
+struct ProcessSample {
+  double uptime_seconds = 0.0;
+  uint64_t rss_bytes = 0;  ///< 0 when /proc/self/statm is unavailable
+  uint64_t mono_ns = 0;    ///< steady-clock ns since process start
+};
+
 /// A consistent-enough point-in-time view: metrics registered at scrape time
 /// with their values merged across all threads that ever recorded.
 struct TelemetrySnapshot {
+  ProcessSample process;
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
@@ -226,13 +236,24 @@ struct TelemetrySnapshot {
       delete;
 
   /// Serializes the snapshot as a stable JSON document:
-  ///   {"counters": {name: value, ...},
+  ///   {"process": {"uptime_seconds": u, "rss_bytes": r, "mono_ns": m},
+  ///    "counters": {name: value, ...},
   ///    "gauges": {name: value, ...},
   ///    "histograms": {name: {"unit": u, "count": c, "sum": s, "max": m,
   ///                          "mean": x, "p50": a, "p90": b, "p99": d,
   ///                          "buckets": [[low, high, count], ...]}, ...}}
   /// Bucket triples list only non-empty buckets.
   std::string ToJson() const;
+
+  /// Prometheus text exposition (version 0.0.4) of the same data. Metric
+  /// names are prefixed `scenerec_` with every non-[a-zA-Z0-9_] character
+  /// mapped to '_' (`serve/request_ns` -> `scenerec_serve_request_ns`).
+  /// Histograms render as the standard cumulative `_bucket{le="..."}` series
+  /// over the log2 bucket edges (non-empty buckets only, plus `+Inf`), with
+  /// `_sum` and `_count`. Process stats appear as
+  /// `scenerec_process_uptime_seconds` and
+  /// `scenerec_process_resident_memory_bytes`.
+  std::string ToPrometheus() const;
 };
 
 /// Static facade over the process-wide registry.
@@ -255,6 +276,9 @@ class Telemetry {
 
   /// Snapshot().ToJson() convenience.
   static std::string ToJson();
+
+  /// Snapshot().ToPrometheus() convenience.
+  static std::string ToPrometheus();
 
   /// Writes ToJson() to `path` (truncating). IOError on failure.
   static Status WriteJsonFile(const std::string& path);

@@ -1,0 +1,97 @@
+#include "common/windowed_histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scenerec {
+namespace telemetry {
+
+WindowedHistograms::WindowedHistograms(
+    const WindowedHistogramOptions& options)
+    : options_(options) {
+  SCENEREC_CHECK_GT(options_.interval_ns, 0u);
+  SCENEREC_CHECK_GE(options_.num_intervals, 2);
+}
+
+void WindowedHistograms::AdvanceLocked(int64_t slot) {
+  // Zero every slot the ring rolls past; a gap longer than the whole ring
+  // clears it outright instead of looping per skipped interval.
+  const int64_t steps =
+      std::min<int64_t>(slot - current_slot_, options_.num_intervals);
+  for (auto& [name, track] : tracks_) {
+    for (int64_t s = 1; s <= steps; ++s) {
+      track.slots[static_cast<size_t>((current_slot_ + s) %
+                                      options_.num_intervals)] =
+          HistogramData{};
+    }
+  }
+  current_slot_ = slot;
+}
+
+void WindowedHistograms::Tick(const TelemetrySnapshot& snapshot,
+                              uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t slot = static_cast<int64_t>(now_ns / options_.interval_ns);
+  if (!started_) {
+    started_ = true;
+    first_tick_ns_ = now_ns;
+    current_slot_ = slot;
+  } else if (slot > current_slot_) {
+    AdvanceLocked(slot);
+  }
+  last_tick_ns_ = now_ns;
+
+  for (const HistogramSample& sample : snapshot.histograms) {
+    auto [it, inserted] = tracks_.try_emplace(sample.name);
+    Track& track = it->second;
+    if (inserted) {
+      // A histogram seen for the first time baselines like the first tick:
+      // its pre-existing cumulative total stays out of the window.
+      track.unit = sample.unit;
+      track.prev = sample.data;
+      track.slots.assign(static_cast<size_t>(options_.num_intervals),
+                         HistogramData{});
+      continue;
+    }
+    const HistogramData delta = HistogramDelta(sample.data, track.prev);
+    track.prev = sample.data;
+    if (delta.count > 0) {
+      track.slots[static_cast<size_t>(current_slot_ %
+                                      options_.num_intervals)]
+          .Merge(delta);
+    }
+  }
+}
+
+WindowedHistograms::View WindowedHistograms::Window(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  View view;
+  const auto it = tracks_.find(name);
+  if (it == tracks_.end()) return view;
+  view.found = true;
+  view.unit = it->second.unit;
+  for (const HistogramData& slot : it->second.slots) {
+    view.data.Merge(slot);
+  }
+  view.window_ns = std::min<uint64_t>(
+      options_.interval_ns * static_cast<uint64_t>(options_.num_intervals),
+      last_tick_ns_ - first_tick_ns_);
+  return view;
+}
+
+std::vector<std::string> WindowedHistograms::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tracks_.size());
+  for (const auto& [name, track] : tracks_) names.push_back(name);
+  return names;
+}
+
+uint64_t WindowedHistograms::MaxWindowNs() const {
+  return options_.interval_ns * static_cast<uint64_t>(options_.num_intervals);
+}
+
+}  // namespace telemetry
+}  // namespace scenerec

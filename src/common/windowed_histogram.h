@@ -1,0 +1,89 @@
+#ifndef SCENEREC_COMMON_WINDOWED_HISTOGRAM_H_
+#define SCENEREC_COMMON_WINDOWED_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/telemetry.h"
+
+namespace scenerec {
+namespace telemetry {
+
+// Rolling-window view over the cumulative telemetry histograms — the thing
+// an SLO needs ("p99 over the last 30 seconds") that a process-lifetime
+// histogram cannot answer (docs/observability.md, "Live serving
+// observability").
+//
+// Design: the hot path is untouched — instrumented code keeps recording
+// into the cumulative per-thread slabs with owner-only writes and the
+// disabled-mode one-load-and-branch cost. The windowing happens entirely at
+// scrape time: a ticker periodically takes a cumulative Telemetry snapshot,
+// diffs it against the previous one (HistogramDelta), and files the delta
+// into a ring of per-interval histograms. A window query merges the ring —
+// up to `num_intervals * interval_ns` of recent history — into one
+// HistogramData whose count/mean/percentiles cover only that window.
+// Intervals that pass without a tick are zeroed when the ring advances, so
+// an idle daemon's window correctly drains to empty.
+
+struct WindowedHistogramOptions {
+  /// Ring resolution: one slot per interval.
+  uint64_t interval_ns = 1'000'000'000;
+  /// Slots in the ring; the window spans at most num_intervals * interval.
+  int num_intervals = 30;
+};
+
+class WindowedHistograms {
+ public:
+  explicit WindowedHistograms(const WindowedHistogramOptions& options);
+
+  /// Folds `snapshot` into the ring at time `now_ns` (any monotonic
+  /// nanosecond clock; callers must use the same clock for every tick).
+  /// The first tick baselines — it records where the cumulative histograms
+  /// stand without attributing boot-to-now history into the window. Call at
+  /// interval cadence (a missed tick widens attribution granularity, never
+  /// corrupts totals) and/or immediately before querying. Thread-safe.
+  void Tick(const TelemetrySnapshot& snapshot, uint64_t now_ns);
+
+  struct View {
+    bool found = false;       ///< histogram name ever seen by a tick
+    std::string unit;
+    HistogramData data;       ///< merged over the covered window
+    uint64_t window_ns = 0;   ///< time the merge actually covers
+  };
+
+  /// The last-window view of one histogram. `found == false` names an
+  /// unknown histogram; a known-but-quiet one returns count == 0.
+  View Window(const std::string& name) const;
+
+  /// Every histogram name seen so far, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Upper bound of the covered window (num_intervals * interval_ns).
+  uint64_t MaxWindowNs() const;
+
+ private:
+  struct Track {
+    std::string unit;
+    HistogramData prev;                ///< cumulative state at last tick
+    std::vector<HistogramData> slots;  ///< ring, indexed by interval % n
+  };
+
+  void AdvanceLocked(int64_t slot);
+
+  const WindowedHistogramOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Track> tracks_;
+  bool started_ = false;
+  int64_t current_slot_ = 0;   ///< absolute interval index of the head slot
+  uint64_t first_tick_ns_ = 0;
+  uint64_t last_tick_ns_ = 0;
+};
+
+}  // namespace telemetry
+}  // namespace scenerec
+
+#endif  // SCENEREC_COMMON_WINDOWED_HISTOGRAM_H_

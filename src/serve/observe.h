@@ -1,0 +1,125 @@
+#ifndef SCENEREC_SERVE_OBSERVE_H_
+#define SCENEREC_SERVE_OBSERVE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket_server.h"
+#include "common/status.h"
+#include "common/windowed_histogram.h"
+#include "serve/server.h"
+
+namespace scenerec {
+namespace serve {
+
+// Live observability plane of the serving daemon (docs/observability.md,
+// "Live serving observability"): the request-scoped trace ring the `trace`
+// verb drains, and the stats endpoint that serves every verb over the
+// daemon's unix-domain socket.
+
+/// One finished span at request/batch granularity, tagged with the request
+/// id a client got back in its RequestTicket.
+struct LiveSpan {
+  const char* name = "";  ///< static string ("serve/exec", ...)
+  uint64_t start_ns = 0;  ///< trace::internal::NowNs() clock
+  uint64_t dur_ns = 0;
+  uint64_t request_id = 0;  ///< 0 for batch-level spans
+  int64_t user = 0;
+  uint64_t batch_seq = 0;
+  uint64_t batch_size = 0;
+};
+
+/// Bounded drop-oldest ring of recent LiveSpans, drainable while the
+/// daemon serves traffic. This deliberately is NOT the offline trace layer:
+/// trace::Trace uses plain-store per-thread rings whose export contract is
+/// quiescence-only, so a live `trace` verb cannot drain it without a data
+/// race. This ring trades a mutex for liveness — affordable because it is
+/// written at request granularity by the admission thread (a handful of
+/// lock acquisitions per batch), not per kernel.
+class LiveTraceRing {
+ public:
+  explicit LiveTraceRing(size_t capacity);
+
+  void Record(const LiveSpan& span);
+
+  /// Removes and returns every buffered span, oldest first.
+  std::vector<LiveSpan> Drain();
+
+  /// Drain() rendered as a Chrome trace-event JSON array (the same
+  /// chrome://tracing / Perfetto format the offline exporter writes);
+  /// request id, user, and batch fields ride in "args".
+  std::string DrainChromeJson();
+
+  /// Spans overwritten before any drain saw them.
+  uint64_t dropped() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LiveSpan> ring_;
+  size_t next_ = 0;   ///< total spans ever recorded; slot = next_ % size
+  size_t size_ = 0;   ///< live spans currently buffered
+  uint64_t dropped_ = 0;
+};
+
+/// The introspection server: owns the rolling-window histograms, the unix
+/// socket, and the ticker thread that rotates the window during idle.
+///
+/// Protocol (shared framing in common/socket_server.h): one LF-terminated
+/// verb per connection, response `OK <bytes>\n<payload>` or
+/// `ERR <message>\n`. Verbs:
+///   stats    full telemetry snapshot JSON + windows + server + slo
+///   metrics  Prometheus text exposition (cumulative + windowed summaries)
+///   healthz  readiness JSON: model published, queue accepting, SLO state
+///   vars     flat `key value` lines (what scenerec_stat's table parses)
+///   trace    drain the live trace ring as Chrome trace JSON
+class StatsEndpoint {
+ public:
+  StatsEndpoint(Server& server, std::string socket_path);
+  ~StatsEndpoint();
+
+  StatsEndpoint(const StatsEndpoint&) = delete;
+  StatsEndpoint& operator=(const StatsEndpoint&) = delete;
+
+  /// Binds the socket and starts the ticker. Fails (daemon keeps serving)
+  /// on bad paths / bind errors.
+  Status Start();
+  void Stop();
+
+  /// Serves one verb — the socket handler, and the direct entry point for
+  /// tests that don't want a real socket. Stats-bearing verbs tick the
+  /// window first, so a scrape is never staler than its own arrival.
+  StatusOr<std::string> Handle(const std::string& verb);
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  /// Folds a fresh cumulative snapshot into the window ring and pushes the
+  /// windowed request p99 into the SLO tracker.
+  void Tick();
+  void TickerLoop();
+
+  std::string StatsJson();
+  std::string Metrics();
+  std::string Healthz();
+  std::string Vars();
+
+  Server& server_;
+  const std::string socket_path_;
+  telemetry::WindowedHistograms windows_;
+  UnixSocketServer socket_;
+
+  std::thread ticker_;
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  bool ticker_stop_ = false;
+  bool started_ = false;
+};
+
+}  // namespace serve
+}  // namespace scenerec
+
+#endif  // SCENEREC_SERVE_OBSERVE_H_

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "retrieval/two_stage.h"
+#include "serve/observe.h"
 
 namespace scenerec {
 namespace serve {
@@ -29,6 +32,12 @@ const telemetry::Histogram h_request_ns =
     telemetry::RegisterHistogram("serve/request_ns", "ns");
 const telemetry::Histogram h_batch_size =
     telemetry::RegisterHistogram("serve/batch_size", "requests");
+// Latency breakdown: request_ns = queue_wait_ns (enqueue -> admission) +
+// exec_ns (admission -> result ready) + promise-delivery noise.
+const telemetry::Histogram h_queue_wait_ns =
+    telemetry::RegisterHistogram("serve/queue_wait_ns", "ns");
+const telemetry::Histogram h_exec_ns =
+    telemetry::RegisterHistogram("serve/exec_ns", "ns");
 
 void AtomicMax(std::atomic<uint64_t>& cell, uint64_t v) {
   uint64_t cur = cell.load(std::memory_order_relaxed);
@@ -42,11 +51,22 @@ void AtomicMax(std::atomic<uint64_t>& cell, uint64_t v) {
 Server::Server(const ServerConfig& config, const UserItemGraph& train_graph)
     : config_(config),
       train_graph_(train_graph),
-      queue_(static_cast<size_t>(config.queue_capacity)) {
+      queue_(static_cast<size_t>(config.queue_capacity)),
+      slo_(SloConfig{
+          static_cast<uint64_t>(config.slo_target_p99_us) * 1000,
+          config.slo_error_budget}) {
   SCENEREC_CHECK_GE(config_.top_n, 0);
   SCENEREC_CHECK_GE(config_.max_batch, 1);
   SCENEREC_CHECK_GE(config_.max_delay_us, 0);
   SCENEREC_CHECK_GE(config_.num_candidates, 0);
+  SCENEREC_CHECK_GE(config_.slo_target_p99_us, 0);
+  if (!config_.stats_socket.empty()) {
+    SCENEREC_CHECK_GE(config_.stats_window_ms, 1);
+    SCENEREC_CHECK_GE(config_.stats_window_intervals, 2);
+    SCENEREC_CHECK_GE(config_.live_trace_capacity, 1);
+    live_trace_ = std::make_unique<LiveTraceRing>(
+        static_cast<size_t>(config_.live_trace_capacity));
+  }
 }
 
 Server::~Server() { Stop(); }
@@ -72,28 +92,70 @@ void Server::Start() {
   SCENEREC_CHECK(!started_);
   started_ = true;
   worker_ = std::thread([this] { Loop(); });
+  if (!config_.stats_socket.empty()) {
+    stats_ = std::make_unique<StatsEndpoint>(*this, config_.stats_socket);
+    const Status status = stats_->Start();
+    if (!status.ok()) {
+      // The stats plane is strictly observational: a bad socket path must
+      // not take serving down with it.
+      SCENEREC_LOG(WARNING) << "stats endpoint disabled: "
+                            << status.ToString();
+      stats_.reset();
+    }
+  }
 }
 
 void Server::Stop() {
+  // The endpoint goes first so no scrape observes the queue mid-teardown.
+  if (stats_ != nullptr) {
+    stats_->Stop();
+    stats_.reset();
+  }
   queue_.Close();
   if (worker_.joinable()) worker_.join();
 }
 
-bool Server::TopN(int64_t user, std::vector<Recommendation>* out) {
+bool Server::model_published() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return handle_.Acquire() != nullptr;
+}
+
+bool Server::TopN(int64_t user, std::vector<Recommendation>* out,
+                  RequestTicket* ticket) {
   SCENEREC_CHECK(out != nullptr);
-  telemetry::ScopedTimer timer(h_request_ns);
+  // The clock is read up front but serve/request_ns is recorded only once
+  // the request has been accepted AND served: a rejected submission (queue
+  // closed) returns in nanoseconds and must not pollute the latency
+  // distribution the SLO is held against.
+  const bool timed =
+      telemetry::Enabled() || live_trace_ != nullptr || slo_.enabled();
+  const uint64_t start_ns = timed ? trace::internal::NowNs() : 0;
   Request request;
   request.user = user;
-  std::future<std::vector<Recommendation>> result =
-      request.result.get_future();
+  request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  request.enqueue_ns = start_ns;
+  const uint64_t id = request.id;
+  std::future<Reply> result = request.result.get_future();
   if (!queue_.Push(std::move(request))) {
     t_rejected.Add(1);
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  *out = result.get();
+  Reply reply = result.get();
+  if (timed) {
+    const uint64_t latency_ns = trace::internal::NowNs() - start_ns;
+    h_request_ns.Record(latency_ns);
+    slo_.Observe(latency_ns);
+  }
   t_requests.Add(1);
   requests_.fetch_add(1, std::memory_order_relaxed);
+  *out = std::move(reply.recommendations);
+  if (ticket != nullptr) {
+    ticket->id = id;
+    ticket->queue_wait_ns = reply.queue_wait_ns;
+    ticket->exec_ns = reply.exec_ns;
+    ticket->batch_seq = reply.batch_seq;
+  }
   return true;
 }
 
@@ -144,8 +206,26 @@ void Server::ServeBatch(std::vector<Request>& batch) {
                         "requests=%zu", batch.size());
   t_batches.Add(1);
   h_batch_size.Record(batch.size());
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t batch_seq =
+      batches_.fetch_add(1, std::memory_order_relaxed) + 1;
   AtomicMax(max_batch_, batch.size());
+
+  // Latency breakdown: a request's enqueue_ns (stamped by TopN) to here is
+  // queue wait; here to result-ready is exec. Timing is off (enqueue_ns 0)
+  // when nothing consumes it.
+  const bool timed = batch[0].enqueue_ns != 0;
+  const uint64_t admit_ns = timed ? trace::internal::NowNs() : 0;
+  if (timed) {
+    for (const Request& r : batch) {
+      const uint64_t wait =
+          admit_ns > r.enqueue_ns ? admit_ns - r.enqueue_ns : 0;
+      h_queue_wait_ns.Record(wait);
+      if (live_trace_ != nullptr) {
+        live_trace_->Record({"serve/queue_wait", r.enqueue_ns, wait, r.id,
+                             r.user, batch_seq, batch.size()});
+      }
+    }
+  }
 
   // One state acquisition per batch: every request in the batch scores the
   // same model version against that version's index, and a concurrent
@@ -212,6 +292,36 @@ void Server::ServeBatch(std::vector<Request>& batch) {
   t_rows.Add(total);
   rows_scored_.fetch_add(total, std::memory_order_relaxed);
 
+  const uint64_t end_ns = timed ? trace::internal::NowNs() : 0;
+  const uint64_t exec_ns = end_ns > admit_ns ? end_ns - admit_ns : 0;
+  if (timed) {
+    for (const Request& r : batch) {
+      h_exec_ns.Record(exec_ns);
+      if (live_trace_ != nullptr) {
+        live_trace_->Record({"serve/exec", admit_ns, exec_ns, r.id, r.user,
+                             batch_seq, batch.size()});
+      }
+    }
+    // Request-scoped spans in the OFFLINE trace too: synthetic children of
+    // the enclosing serve/batch span, so a post-run Chrome trace shows per
+    // request who waited and who rode which batch.
+    if (trace::Enabled()) {
+      const uint64_t parent = trace::CurrentContext().span_id;
+      trace::internal::ThreadBuffer& buf = trace::internal::Buffer();
+      for (const Request& r : batch) {
+        const uint64_t span_id =
+            (static_cast<uint64_t>(buf.thread_index + 1) << 40) |
+            ++buf.next_seq;
+        char args[trace::internal::kMaxArgsChars];
+        std::snprintf(args, sizeof(args), "req=%llu user=%lld",
+                      static_cast<unsigned long long>(r.id),
+                      static_cast<long long>(r.user));
+        trace::internal::Record("serve/request", "serve", r.enqueue_ns,
+                                end_ns - r.enqueue_ns, span_id, parent, args);
+      }
+    }
+  }
+
   // Per-request selection through the shared SelectTopN — the same strict
   // total order as every other serving surface.
   size_t pos = 0;
@@ -221,7 +331,15 @@ void Server::ServeBatch(std::vector<Request>& batch) {
     for (const int64_t item : candidates[i]) {
       scored.push_back({item, scores[pos++]});
     }
-    batch[i].result.set_value(SelectTopN(std::move(scored), config_.top_n));
+    Reply reply;
+    reply.recommendations = SelectTopN(std::move(scored), config_.top_n);
+    reply.queue_wait_ns =
+        timed && admit_ns > batch[i].enqueue_ns
+            ? admit_ns - batch[i].enqueue_ns
+            : 0;
+    reply.exec_ns = exec_ns;
+    reply.batch_seq = batch_seq;
+    batch[i].result.set_value(std::move(reply));
   }
 }
 

@@ -6,6 +6,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,9 +17,13 @@
 #include "models/model_handle.h"
 #include "models/recommender.h"
 #include "retrieval/item_index.h"
+#include "serve/slo.h"
 
 namespace scenerec {
 namespace serve {
+
+class LiveTraceRing;
+class StatsEndpoint;
 
 /// Tuning knobs of the serving daemon (docs/serving.md#daemon).
 struct ServerConfig {
@@ -38,6 +43,24 @@ struct ServerConfig {
   /// two-stage retrieval with this candidate budget (TwoStageTopN
   /// semantics) and requires an ItemIndex at Publish time.
   int64_t num_candidates = 0;
+
+  // -- Observability plane (docs/observability.md) ---------------------------
+
+  /// Unix-domain socket path of the stats endpoint. Empty (the default)
+  /// disables the endpoint entirely; serving itself is unaffected either
+  /// way (responses stay bitwise identical with the socket active).
+  std::string stats_socket;
+  /// Rolling-window resolution: one histogram ring slot per this many ms.
+  int64_t stats_window_ms = 1000;
+  /// Ring slots — the window spans stats_window_ms * stats_window_intervals.
+  int64_t stats_window_intervals = 30;
+  /// SLO target for end-to-end request p99, in microseconds. 0 disables
+  /// SLO tracking (healthz then ignores latency).
+  int64_t slo_target_p99_us = 0;
+  /// Fraction of requests allowed over target (see SloConfig).
+  double slo_error_budget = 0.001;
+  /// Spans retained by the live trace ring the `trace` verb drains.
+  int64_t live_trace_capacity = 4096;
 };
 
 /// The always-on serving daemon: owns the published model (a ModelHandle)
@@ -86,11 +109,24 @@ class Server {
   /// Idempotent; the destructor calls it.
   void Stop();
 
+  /// Per-request metadata returned alongside the recommendations: the
+  /// request id that also tags this request's spans in the live trace, and
+  /// the latency breakdown the admission loop measured for it. Timing
+  /// fields are 0 when neither telemetry nor the stats endpoint is active.
+  struct RequestTicket {
+    uint64_t id = 0;
+    uint64_t queue_wait_ns = 0;  ///< enqueue -> batch admission
+    uint64_t exec_ns = 0;        ///< batch admission -> result ready
+    uint64_t batch_seq = 0;      ///< admission batch this request rode in
+  };
+
   /// Blocking Top-N for `user`: enqueues, waits for the admission loop,
   /// returns true with the recommendations in `*out`. Returns false (and
   /// leaves `*out` untouched) only when the server has been stopped.
-  /// Callable from any number of threads concurrently.
-  bool TopN(int64_t user, std::vector<Recommendation>* out);
+  /// Callable from any number of threads concurrently. `ticket`, if given,
+  /// receives the request id and latency breakdown on success.
+  bool TopN(int64_t user, std::vector<Recommendation>* out,
+            RequestTicket* ticket = nullptr);
 
   /// Point-in-time serving statistics (relaxed counters — exact once the
   /// server is stopped).
@@ -104,10 +140,34 @@ class Server {
   };
   Stats stats() const;
 
+  // -- Observability plane (read by StatsEndpoint and tests) -----------------
+
+  const ServerConfig& config() const { return config_; }
+  /// Whether a model version has been published (healthz readiness).
+  bool model_published() const;
+  /// Whether the queue still accepts requests (false after Stop).
+  bool accepting() const { return !queue_.closed(); }
+  SloTracker& slo() { return slo_; }
+  const SloTracker& slo() const { return slo_; }
+  /// The live trace ring; nullptr when no stats socket is configured.
+  LiveTraceRing* live_trace() { return live_trace_.get(); }
+  /// The stats endpoint; nullptr when no stats socket is configured or
+  /// Start() hasn't run. Exposed so tests can call Handle() directly.
+  StatsEndpoint* stats_endpoint() { return stats_.get(); }
+
  private:
+  struct Reply {
+    std::vector<Recommendation> recommendations;
+    uint64_t queue_wait_ns = 0;
+    uint64_t exec_ns = 0;
+    uint64_t batch_seq = 0;
+  };
+
   struct Request {
     int64_t user = 0;
-    std::promise<std::vector<Recommendation>> result;
+    uint64_t id = 0;
+    uint64_t enqueue_ns = 0;  ///< 0 when timing is off
+    std::promise<Reply> result;
   };
 
   void Loop();
@@ -135,6 +195,11 @@ class Server {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> rows_scored_{0};
   std::atomic<uint64_t> max_batch_{0};
+  std::atomic<uint64_t> next_request_id_{0};
+
+  SloTracker slo_;
+  std::unique_ptr<LiveTraceRing> live_trace_;
+  std::unique_ptr<StatsEndpoint> stats_;
 };
 
 }  // namespace serve

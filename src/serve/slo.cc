@@ -1,0 +1,52 @@
+#include "serve/slo.h"
+
+#include "common/telemetry.h"
+
+namespace scenerec {
+namespace serve {
+
+namespace {
+
+const telemetry::Counter t_violations =
+    telemetry::RegisterCounter("slo/violations");
+
+}  // namespace
+
+SloTracker::SloTracker(const SloConfig& config) : config_(config) {}
+
+void SloTracker::Observe(uint64_t latency_ns) {
+  if (!enabled()) return;
+  total_.fetch_add(1, std::memory_order_relaxed);
+  if (latency_ns > config_.target_p99_ns) {
+    over_.fetch_add(1, std::memory_order_relaxed);
+    t_violations.Add(1);
+  }
+}
+
+void SloTracker::SetWindowedP99(uint64_t p99_ns) {
+  windowed_p99_.store(p99_ns, std::memory_order_relaxed);
+}
+
+SloTracker::State SloTracker::state() const {
+  State s;
+  s.enabled = enabled();
+  s.target_p99_ns = config_.target_p99_ns;
+  s.error_budget = config_.error_budget;
+  if (!s.enabled) return s;
+  s.total = total_.load(std::memory_order_relaxed);
+  s.over_target = over_.load(std::memory_order_relaxed);
+  s.windowed_p99_ns = windowed_p99_.load(std::memory_order_relaxed);
+  if (s.total > 0) {
+    s.over_fraction =
+        static_cast<double>(s.over_target) / static_cast<double>(s.total);
+  }
+  s.budget_burn = config_.error_budget > 0.0
+                      ? s.over_fraction / config_.error_budget
+                      : (s.over_target > 0 ? 1e9 : 0.0);
+  s.window_breach = s.windowed_p99_ns > config_.target_p99_ns;
+  s.ok = s.budget_burn <= 1.0 && !s.window_breach;
+  return s;
+}
+
+}  // namespace serve
+}  // namespace scenerec

@@ -1,0 +1,75 @@
+#ifndef SCENEREC_SERVE_SLO_H_
+#define SCENEREC_SERVE_SLO_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace scenerec {
+namespace serve {
+
+/// Latency objective for the serving daemon (docs/observability.md, "SLO
+/// tracker"). target_p99_ns == 0 disables tracking entirely: Observe
+/// reduces to one relaxed load + branch and state().ok is always true.
+struct SloConfig {
+  /// Per-request latency target the p99 is held against, in nanoseconds.
+  uint64_t target_p99_ns = 0;
+  /// Fraction of requests allowed over target before the budget is burned
+  /// (0.001 = 99.9% of requests must meet the target).
+  double error_budget = 0.001;
+};
+
+/// Tracks how serving latency stands against its objective, two ways at
+/// once:
+///  - cumulative error-budget burn: every served request is Observed, the
+///    over-target fraction is held against `error_budget` (burn 1.0 =
+///    budget exactly spent);
+///  - windowed p99 breach: the stats plane pushes the rolling-window p99
+///    (SetWindowedP99) so healthz degrades on *recent* latency even when
+///    the lifetime budget still looks fine.
+/// `slo/violations` counts over-target requests in telemetry. healthz
+/// reports state().ok; this is also the hook point a future load-shedding
+/// policy reads (ROADMAP item 1).
+///
+/// All methods are thread-safe: callers are the request threads (Observe),
+/// the stats plane (SetWindowedP99), and scrapers (state).
+class SloTracker {
+ public:
+  explicit SloTracker(const SloConfig& config);
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  /// Folds one served request's end-to-end latency into the budget.
+  void Observe(uint64_t latency_ns);
+
+  /// Publishes the rolling-window p99 (from the stats plane's windowed
+  /// `serve/request_ns`; 0 = no window data yet).
+  void SetWindowedP99(uint64_t p99_ns);
+
+  struct State {
+    bool enabled = false;
+    uint64_t target_p99_ns = 0;
+    double error_budget = 0.0;
+    uint64_t total = 0;            ///< requests observed
+    uint64_t over_target = 0;      ///< requests over target
+    double over_fraction = 0.0;    ///< over_target / total
+    double budget_burn = 0.0;      ///< over_fraction / error_budget
+    uint64_t windowed_p99_ns = 0;  ///< last pushed window p99
+    bool window_breach = false;    ///< windowed p99 over target
+    bool ok = true;  ///< burn <= 1 and no window breach (or disabled)
+  };
+  State state() const;
+
+  bool enabled() const { return config_.target_p99_ns > 0; }
+
+ private:
+  const SloConfig config_;
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> over_{0};
+  std::atomic<uint64_t> windowed_p99_{0};
+};
+
+}  // namespace serve
+}  // namespace scenerec
+
+#endif  // SCENEREC_SERVE_SLO_H_

@@ -1,11 +1,18 @@
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/flags.h"
 #include "common/rng.h"
+#include "common/socket_server.h"
 #include "common/status.h"
 #include "common/status_or.h"
 #include "common/string_util.h"
@@ -407,6 +414,126 @@ TEST(FlagParserTest, PositionalCollected) {
   ASSERT_EQ(flags.positional().size(), 2u);
   EXPECT_EQ(flags.positional()[0], "input.tsv");
   EXPECT_EQ(flags.positional()[1], "out");
+}
+
+// -- UnixSocketServer ---------------------------------------------------------
+
+std::string TestSocketPath(const char* name) {
+  return ::testing::TempDir() + "/scenerec_" + name + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(UnixSocketServerTest, RequestResponseRoundTrip) {
+  const std::string path = TestSocketPath("roundtrip");
+  UnixSocketServer server;
+  ASSERT_TRUE(server
+                  .Start(path,
+                         [](const std::string& verb) {
+                           return StatusOr<std::string>("got:" + verb);
+                         })
+                  .ok());
+  EXPECT_TRUE(server.running());
+  auto reply = UnixSocketRequest(path, "stats");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value(), "got:stats");
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(UnixSocketServerTest, BinaryPayloadSurvivesFraming) {
+  // The OK frame is length-prefixed, so payloads with newlines and NULs
+  // must round-trip byte-exactly.
+  std::string payload = "line1\nline2\n";
+  payload += '\0';
+  payload += "tail";
+  const std::string path = TestSocketPath("binary");
+  UnixSocketServer server;
+  ASSERT_TRUE(server
+                  .Start(path,
+                         [payload](const std::string&) {
+                           return StatusOr<std::string>(payload);
+                         })
+                  .ok());
+  auto reply = UnixSocketRequest(path, "x");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().size(), payload.size());
+  EXPECT_EQ(reply.value(), payload);
+}
+
+TEST(UnixSocketServerTest, HandlerErrorBecomesErrFrame) {
+  const std::string path = TestSocketPath("err");
+  UnixSocketServer server;
+  ASSERT_TRUE(server
+                  .Start(path,
+                         [](const std::string& verb) -> StatusOr<std::string> {
+                           return Status::NotFound("no verb " + verb);
+                         })
+                  .ok());
+  auto reply = UnixSocketRequest(path, "bogus");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_NE(reply.status().ToString().find("no verb bogus"),
+            std::string::npos);
+}
+
+TEST(UnixSocketServerTest, ConnectToMissingSocketFails) {
+  EXPECT_FALSE(UnixSocketRequest(TestSocketPath("nobody"), "stats",
+                                 /*timeout_ms=*/200)
+                   .ok());
+}
+
+TEST(UnixSocketServerTest, RejectsOverlongPath) {
+  UnixSocketServer server;
+  const Status status = server.Start(
+      std::string(300, 'x'),
+      [](const std::string&) { return StatusOr<std::string>(""); });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UnixSocketServerTest, ConcurrentClientsEachGetTheirReply) {
+  const std::string path = TestSocketPath("concurrent");
+  UnixSocketServer server;
+  ASSERT_TRUE(server
+                  .Start(path,
+                         [](const std::string& verb) {
+                           return StatusOr<std::string>("echo:" + verb);
+                         })
+                  .ok());
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::string verb =
+            "v" + std::to_string(c) + "_" + std::to_string(i);
+        auto reply = UnixSocketRequest(path, verb);
+        if (!reply.ok() || reply.value() != "echo:" + verb) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(UnixSocketServerTest, StopUnlinksPathAndAllowsRestart) {
+  const std::string path = TestSocketPath("restart");
+  UnixSocketServer server;
+  auto handler = [](const std::string&) {
+    return StatusOr<std::string>("pong");
+  };
+  ASSERT_TRUE(server.Start(path, handler).ok());
+  ASSERT_TRUE(UnixSocketRequest(path, "ping").ok());
+  server.Stop();
+  EXPECT_FALSE(UnixSocketRequest(path, "ping", /*timeout_ms=*/200).ok());
+  // The same object restarts on the same (now unlinked) path.
+  ASSERT_TRUE(server.Start(path, handler).ok());
+  auto reply = UnixSocketRequest(path, "ping");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value(), "pong");
+  server.Stop();
 }
 
 }  // namespace

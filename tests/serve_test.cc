@@ -6,8 +6,12 @@
 // retrieval mode, where model and index must swap as one unit), and clean
 // stop semantics. tools/check.sh runs this binary under TSan and ASan.
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdint>
+#include <set>
+#include <string>
 #include <memory>
 #include <numeric>
 #include <thread>
@@ -17,6 +21,8 @@
 
 #include "common/mpmc_queue.h"
 #include "common/rng.h"
+#include "common/socket_server.h"
+#include "common/telemetry.h"
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "eval/top_n.h"
@@ -24,6 +30,7 @@
 #include "models/factory.h"
 #include "retrieval/index_builder.h"
 #include "retrieval/two_stage.h"
+#include "serve/observe.h"
 #include "serve/server.h"
 
 namespace scenerec {
@@ -476,6 +483,155 @@ TEST_F(ServeTest, ServesEmptyListsBeforeFirstPublishAndForTopNZero) {
     EXPECT_TRUE(got.empty());
     server.Stop();
   }
+}
+
+// -- Observability plane -------------------------------------------------------
+
+namespace {
+uint64_t RequestHistCount() {
+  telemetry::TelemetrySnapshot snapshot = telemetry::Telemetry::Snapshot();
+  const telemetry::HistogramSample* hist = snapshot.FindHistogram("serve/request_ns");
+  return hist == nullptr ? 0 : hist->data.count;
+}
+}  // namespace
+
+// Regression test for the rejected-request accounting fix: a submission
+// rejected at admission (queue closed) must not record into
+// `serve/request_ns` — only requests that actually got an answer count
+// toward latency percentiles and the SLO.
+TEST_F(ServeTest, RejectedRequestsDoNotRecordLatency) {
+  telemetry::Telemetry::Reset();
+  telemetry::Telemetry::SetEnabled(true);
+  std::shared_ptr<Recommender> model = MakeModel("BPR-MF", 61);
+  ASSERT_NE(model, nullptr);
+  serve::Server server(Config(/*max_batch=*/4, 0), graph_);
+  server.Publish(model);
+  server.Start();
+  std::vector<Recommendation> got;
+  for (int64_t u = 0; u < 5; ++u) ASSERT_TRUE(server.TopN(u, &got));
+  const uint64_t accepted = RequestHistCount();
+  EXPECT_EQ(accepted, 5u);
+  server.Stop();
+  EXPECT_FALSE(server.TopN(0, &got));
+  EXPECT_FALSE(server.TopN(1, &got));
+  EXPECT_EQ(server.stats().rejected, 2u);
+  EXPECT_EQ(RequestHistCount(), accepted);
+  telemetry::Telemetry::SetEnabled(false);
+  telemetry::Telemetry::Reset();
+}
+
+// Queue-wait / exec breakdown: both histograms record once per request and
+// the ticket carries a consistent view (id unique, wait + exec <= total
+// round trip implied by both being populated).
+TEST_F(ServeTest, RequestTicketsCarryBreakdownAndUniqueIds) {
+  telemetry::Telemetry::Reset();
+  telemetry::Telemetry::SetEnabled(true);
+  std::shared_ptr<Recommender> model = MakeModel("BPR-MF", 62);
+  ASSERT_NE(model, nullptr);
+  serve::Server server(Config(/*max_batch=*/4, 0), graph_);
+  server.Publish(model);
+  server.Start();
+  std::vector<Recommendation> got;
+  std::set<uint64_t> ids;
+  for (int64_t u = 0; u < 8; ++u) {
+    serve::Server::RequestTicket ticket;
+    ASSERT_TRUE(server.TopN(u, &got, &ticket));
+    EXPECT_GT(ticket.id, 0u);
+    EXPECT_GT(ticket.batch_seq, 0u);
+    EXPECT_GT(ticket.exec_ns, 0u);
+    ids.insert(ticket.id);
+  }
+  EXPECT_EQ(ids.size(), 8u);
+  telemetry::TelemetrySnapshot snapshot = telemetry::Telemetry::Snapshot();
+  const telemetry::HistogramSample* wait = snapshot.FindHistogram("serve/queue_wait_ns");
+  const telemetry::HistogramSample* exec = snapshot.FindHistogram("serve/exec_ns");
+  ASSERT_NE(wait, nullptr);
+  ASSERT_NE(exec, nullptr);
+  EXPECT_EQ(wait->data.count, 8u);
+  EXPECT_EQ(exec->data.count, 8u);
+  server.Stop();
+  telemetry::Telemetry::SetEnabled(false);
+  telemetry::Telemetry::Reset();
+}
+
+// The stats endpoint answers every verb — in process and over the real
+// socket — while results stay bitwise identical to the library path.
+TEST_F(ServeTest, StatsEndpointServesVerbsWithBitwiseIdenticalResults) {
+  telemetry::Telemetry::Reset();
+  telemetry::Telemetry::SetEnabled(true);
+  std::shared_ptr<Recommender> model = MakeModel("BPR-MF", 63);
+  ASSERT_NE(model, nullptr);
+  const auto expected = FullCatalogExpected(*model);
+  serve::ServerConfig config = Config(/*max_batch=*/4, 0);
+  config.stats_socket = ::testing::TempDir() + "serve_test_stats_" +
+                        std::to_string(getpid()) + ".sock";
+  config.stats_window_ms = 50;
+  serve::Server server(config, graph_);
+  server.Publish(model);
+  server.Start();
+  ASSERT_NE(server.stats_endpoint(), nullptr);
+  Drive(server, /*threads=*/4, /*rounds=*/2, expected);
+
+  auto stats = server.stats_endpoint()->Handle("stats");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats.value().find("\"windows\""), std::string::npos);
+  EXPECT_NE(stats.value().find("\"slo\""), std::string::npos);
+  auto healthz = server.stats_endpoint()->Handle("healthz");
+  ASSERT_TRUE(healthz.ok());
+  EXPECT_NE(healthz.value().find("\"ok\": true"), std::string::npos);
+  auto metrics = server.stats_endpoint()->Handle("metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().find("scenerec_serve_daemon_requests"),
+            std::string::npos);
+  EXPECT_FALSE(server.stats_endpoint()->Handle("bogus").ok());
+
+  auto vars = UnixSocketRequest(config.stats_socket, "vars");
+  ASSERT_TRUE(vars.ok()) << vars.status().ToString();
+  EXPECT_NE(vars.value().find("server requests "), std::string::npos);
+  auto trace = UnixSocketRequest(config.stats_socket, "trace");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NE(trace.value().find("serve/exec"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(UnixSocketRequest(config.stats_socket, "vars").ok());
+  telemetry::Telemetry::SetEnabled(false);
+  telemetry::Telemetry::Reset();
+}
+
+// An unreachable SLO target degrades health without affecting answers; a
+// zero target leaves the tracker disabled and healthz green.
+TEST_F(ServeTest, SloTargetBlownDegradesHealthzButNotResults) {
+  std::shared_ptr<Recommender> model = MakeModel("BPR-MF", 64);
+  ASSERT_NE(model, nullptr);
+  const auto expected = FullCatalogExpected(*model);
+  serve::ServerConfig config = Config(/*max_batch=*/4, 0);
+  config.stats_socket = ::testing::TempDir() + "serve_test_slo_" +
+                        std::to_string(getpid()) + ".sock";
+  config.slo_target_p99_us = 1;  // 1us: every real request breaches
+  serve::Server server(config, graph_);
+  server.Publish(model);
+  server.Start();
+  Drive(server, /*threads=*/2, /*rounds=*/1, expected);
+  serve::SloTracker::State state = server.slo().state();
+  EXPECT_TRUE(state.enabled);
+  EXPECT_GT(state.total, 0u);
+  EXPECT_GT(state.over_target, 0u);
+  EXPECT_GT(state.budget_burn, 1.0);
+  EXPECT_FALSE(state.ok);
+  auto healthz = server.stats_endpoint()->Handle("healthz");
+  ASSERT_TRUE(healthz.ok());
+  EXPECT_NE(healthz.value().find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(healthz.value().find("degraded"), std::string::npos);
+  server.Stop();
+
+  serve::Server plain(Config(/*max_batch=*/4, 0), graph_);
+  plain.Publish(model);
+  plain.Start();
+  std::vector<Recommendation> got;
+  ASSERT_TRUE(plain.TopN(0, &got));
+  EXPECT_FALSE(plain.slo().state().enabled);
+  EXPECT_TRUE(plain.slo().state().ok);
+  plain.Stop();
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -13,6 +14,7 @@
 
 #include "common/histogram.h"
 #include "common/thread_pool.h"
+#include "common/windowed_histogram.h"
 
 namespace scenerec {
 namespace telemetry {
@@ -297,7 +299,14 @@ TEST_F(TelemetryTest, WriteJsonFileRoundTrip) {
   ASSERT_TRUE(in.good());
   std::string contents((std::istreambuf_iterator<char>(in)),
                        std::istreambuf_iterator<char>());
-  EXPECT_EQ(contents, Telemetry::ToJson());
+  // The "process" line carries live uptime/RSS and differs between any two
+  // scrapes; compare everything after it.
+  auto metrics_part = [](const std::string& json) {
+    const size_t at = json.find("\"counters\"");
+    return at == std::string::npos ? json : json.substr(at);
+  };
+  EXPECT_EQ(metrics_part(contents), metrics_part(Telemetry::ToJson()));
+  EXPECT_NE(contents.find("\"process\""), std::string::npos);
   EXPECT_EQ(JsonScalarAfterKey(contents, "test/file_counter"), "3");
   std::remove(path.c_str());
 }
@@ -305,6 +314,220 @@ TEST_F(TelemetryTest, WriteJsonFileRoundTrip) {
 TEST_F(TelemetryTest, WriteJsonFileFailsOnBadPath) {
   EXPECT_FALSE(
       Telemetry::WriteJsonFile("/nonexistent-dir/telemetry.json").ok());
+}
+
+// -- Process sample -----------------------------------------------------------
+
+TEST_F(TelemetryTest, SnapshotCarriesProcessSample) {
+  const TelemetrySnapshot a = Telemetry::Snapshot();
+  EXPECT_GT(a.process.mono_ns, 0u);
+  EXPECT_GT(a.process.uptime_seconds, 0.0);
+  EXPECT_GT(a.process.rss_bytes, 0u);  // /proc/self/statm exists on Linux
+  const TelemetrySnapshot b = Telemetry::Snapshot();
+  // The monotonic timestamp is what rate computations diff over.
+  EXPECT_GT(b.process.mono_ns, a.process.mono_ns);
+  const std::string json = a.ToJson();
+  EXPECT_NE(json.find("\"process\""), std::string::npos);
+  EXPECT_NE(json.find("\"rss_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"mono_ns\""), std::string::npos);
+}
+
+// -- Prometheus exposition ----------------------------------------------------
+
+TEST_F(TelemetryTest, ToPrometheusRendersAllKindsWithSanitizedNames) {
+  Counter c = RegisterCounter("prom/test_counter");
+  Gauge g = RegisterGauge("prom/test_gauge", GaugeAgg::kSum);
+  Histogram h = RegisterHistogram("prom/test_hist", "ns");
+  c.Add(7);
+  g.Set(42);
+  h.Record(3);    // bucket [2, 3]
+  h.Record(100);  // bucket [64, 127]
+  const std::string text = Telemetry::ToPrometheus();
+  // '/' sanitizes to '_' and everything gets the scenerec_ prefix.
+  EXPECT_NE(text.find("# TYPE scenerec_prom_test_counter counter\n"
+                      "scenerec_prom_test_counter 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("scenerec_prom_test_gauge 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE scenerec_prom_test_hist histogram"),
+            std::string::npos);
+  // Cumulative le buckets: the [2,3] bucket holds 1, by [64,127] both.
+  EXPECT_NE(text.find("scenerec_prom_test_hist_bucket{le=\"3\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("scenerec_prom_test_hist_bucket{le=\"127\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("scenerec_prom_test_hist_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("scenerec_prom_test_hist_sum 103\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("scenerec_prom_test_hist_count 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("scenerec_process_uptime_seconds "),
+            std::string::npos);
+}
+
+// -- HistogramDelta -----------------------------------------------------------
+
+TEST(HistogramDeltaTest, SubtractsMonotoneFieldsExactly) {
+  HistogramData prev;
+  prev.Record(10);
+  prev.Record(1000);
+  HistogramData cur = prev;
+  cur.Record(20);
+  cur.Record(500);
+  const HistogramData d = HistogramDelta(cur, prev);
+  EXPECT_EQ(d.count, 2u);
+  EXPECT_EQ(d.sum, 520u);
+  EXPECT_EQ(d.buckets[HistogramBucket(20)], 1u);
+  EXPECT_EQ(d.buckets[HistogramBucket(500)], 1u);
+  // Interval max is bounded by the highest non-empty delta bucket's edge,
+  // clamped to the cumulative max (1000 here, from prev).
+  EXPECT_GE(d.max, 500u);
+  EXPECT_LE(d.max, 1000u);
+}
+
+TEST(HistogramDeltaTest, RestartsFromCurrentAfterReset) {
+  HistogramData prev;
+  prev.Record(10);
+  prev.Record(10);
+  HistogramData cur;  // registry was Reset: counts went backwards
+  cur.Record(7);
+  const HistogramData d = HistogramDelta(cur, prev);
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_EQ(d.sum, 7u);
+}
+
+TEST(HistogramDeltaTest, IdenticalSnapshotsYieldEmptyDelta) {
+  HistogramData cur;
+  cur.Record(64);
+  const HistogramData d = HistogramDelta(cur, cur);
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.sum, 0u);
+  EXPECT_EQ(d.max, 0u);
+}
+
+// -- WindowedHistograms -------------------------------------------------------
+
+/// Builds a snapshot holding exactly one histogram, for deterministic
+/// window tests that don't touch the process registry.
+TelemetrySnapshot OneHistSnapshot(const std::string& name,
+                                  const HistogramData& data) {
+  TelemetrySnapshot snap;
+  snap.histograms.push_back({name, "ns", data});
+  return snap;
+}
+
+TEST(WindowedHistogramsTest, FirstTickBaselinesBootHistory) {
+  WindowedHistograms windows({/*interval_ns=*/100, /*num_intervals=*/4});
+  HistogramData cumulative;
+  for (int i = 0; i < 50; ++i) cumulative.Record(8);  // pre-endpoint boot
+  windows.Tick(OneHistSnapshot("h", cumulative), /*now_ns=*/1000);
+  const auto view = windows.Window("h");
+  ASSERT_TRUE(view.found);
+  EXPECT_EQ(view.data.count, 0u);  // boot history stays out of the window
+  EXPECT_FALSE(windows.Window("unknown").found);
+}
+
+TEST(WindowedHistogramsTest, WindowMergeMatchesSerialReference) {
+  WindowedHistograms windows({/*interval_ns=*/100, /*num_intervals=*/10});
+  HistogramData cumulative;
+  windows.Tick(OneHistSnapshot("h", cumulative), 0);
+  HistogramData reference;  // everything recorded after the baseline
+  uint64_t now = 0;
+  for (int tick = 1; tick <= 8; ++tick) {
+    now += 100;
+    for (int i = 0; i < tick; ++i) {
+      const uint64_t v = static_cast<uint64_t>(tick) * 10;
+      cumulative.Record(v);
+      reference.Record(v);
+    }
+    windows.Tick(OneHistSnapshot("h", cumulative), now);
+  }
+  const auto view = windows.Window("h");
+  ASSERT_TRUE(view.found);
+  EXPECT_EQ(view.data.count, reference.count);
+  EXPECT_EQ(view.data.sum, reference.sum);
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    EXPECT_EQ(view.data.buckets[b], reference.buckets[b]) << "bucket " << b;
+  }
+  EXPECT_EQ(view.data.Percentile(0.5), reference.Percentile(0.5));
+  EXPECT_EQ(view.window_ns, 800u);
+}
+
+TEST(WindowedHistogramsTest, RotationEvictsSlotsPastTheWindow) {
+  WindowedHistograms windows({/*interval_ns=*/100, /*num_intervals=*/3});
+  HistogramData cumulative;
+  windows.Tick(OneHistSnapshot("h", cumulative), 0);
+  cumulative.Record(11);
+  windows.Tick(OneHistSnapshot("h", cumulative), 100);  // slot 1: 1 sample
+  EXPECT_EQ(windows.Window("h").data.count, 1u);
+  cumulative.Record(22);
+  cumulative.Record(22);
+  windows.Tick(OneHistSnapshot("h", cumulative), 200);  // slot 2: 2 samples
+  EXPECT_EQ(windows.Window("h").data.count, 3u);
+  // Advancing to slot 4 rolls past slot 1 (ring of 3): its sample leaves.
+  windows.Tick(OneHistSnapshot("h", cumulative), 400);
+  EXPECT_EQ(windows.Window("h").data.count, 2u);
+  // A gap longer than the whole ring drains the window to empty.
+  windows.Tick(OneHistSnapshot("h", cumulative), 5000);
+  EXPECT_EQ(windows.Window("h").data.count, 0u);
+  EXPECT_EQ(windows.MaxWindowNs(), 300u);
+}
+
+TEST(WindowedHistogramsTest, LateRegisteredHistogramBaselinesAtFirstSight) {
+  WindowedHistograms windows({/*interval_ns=*/100, /*num_intervals=*/4});
+  HistogramData first;
+  windows.Tick(OneHistSnapshot("a", first), 0);
+  // "b" appears at tick 2 with pre-existing history: that history must
+  // baseline out, exactly like the first tick does for "a".
+  HistogramData late;
+  for (int i = 0; i < 30; ++i) late.Record(5);
+  TelemetrySnapshot snap = OneHistSnapshot("a", first);
+  snap.histograms.push_back({"b", "ns", late});
+  windows.Tick(snap, 100);
+  EXPECT_EQ(windows.Window("b").data.count, 0u);
+  late.Record(9);
+  snap = OneHistSnapshot("a", first);
+  snap.histograms.push_back({"b", "ns", late});
+  windows.Tick(snap, 200);
+  EXPECT_EQ(windows.Window("b").data.count, 1u);
+  const std::vector<std::string> names = windows.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST_F(TelemetryTest, WindowedConcurrentRecordWhileScraping) {
+  // Hot-path threads hammer a real registry histogram while another thread
+  // ticks and queries the window — the TSan gate (tools/check.sh) runs
+  // this binary, so any unsynchronized access here is a CI failure.
+  Histogram h = RegisterHistogram("windowed/concurrent_ns", "ns");
+  WindowedHistograms windows({/*interval_ns=*/100'000, /*num_intervals=*/8});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop] {
+      uint64_t v = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.Record(v = (v * 2862933555777941757ULL + 3037000493ULL) % 4096);
+      }
+    });
+  }
+  uint64_t now = 0;
+  uint64_t peak_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += 50'000;
+    windows.Tick(Telemetry::Snapshot(), now);
+    const auto view = windows.Window("windowed/concurrent_ns");
+    EXPECT_TRUE(view.found);
+    peak_count = std::max(peak_count, view.data.count);
+    // Yield between scrapes so the writers make progress even on a
+    // single-core machine; otherwise this loop can starve them and every
+    // post-baseline delta is legitimately empty.
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  EXPECT_GT(peak_count, 0u);
 }
 
 }  // namespace

@@ -2,9 +2,10 @@
 # Runs the benchmark suites and records their results as JSON at the repo
 # root (BENCH_kernels.json, BENCH_parallel.json, BENCH_scoring.json,
 # BENCH_snapshot.json, BENCH_retrieval.json, BENCH_serve.json,
-# BENCH_telemetry.json, BENCH_trace.json) so kernel-layer, parallel-layer,
-# scoring-path, parameter-store, retrieval, serving-daemon and observability
-# changes can be compared against committed numbers (tools/bench_diff).
+# BENCH_telemetry.json, BENCH_trace.json, BENCH_observe.json) so
+# kernel-layer, parallel-layer, scoring-path, parameter-store, retrieval,
+# serving-daemon and observability changes can be compared against
+# committed numbers (tools/bench_diff).
 # BENCH_telemetry.json holds the telemetry-enabled vs -disabled epoch times
 # (BM_TrainEpochTelemetry/1 vs /0) and BENCH_trace.json the same pair for
 # span tracing (BM_TrainEpochTrace); the disabled-mode overhead budget for
@@ -21,7 +22,11 @@
 # the closed-loop serving-daemon load test (docs/serving.md): per-request
 # serving vs batched admission at identical results, with request-latency
 # p50/p99 reported as counters on the daemon rows — the acceptance gate is
-# BatchedRetrieval QPS >= 2x PerRequestRetrieval QPS.
+# BatchedRetrieval QPS >= 2x PerRequestRetrieval QPS. BENCH_observe.json is
+# the stats-socket scrape cost (docs/observability.md): per-verb scrape
+# latency plus closed-loop daemon QPS with and without a 5 Hz background
+# scraper — the BM_ObserveDaemonScraped row's scrape_overhead_pct counter
+# is the QPS given up to scraping, budget <1%.
 #
 # Usage: tools/bench.sh [benchmark_filter_regex]
 # A filter (e.g. 'MatVec|Gemm') restricts the first three suites; the JSON
@@ -32,7 +37,7 @@ cd "$(dirname "$0")/.."
 FILTER="${1:-.}"
 
 cmake -B build >/dev/null
-cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot bench_retrieval bench_serve
+cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot bench_retrieval bench_serve bench_observe
 
 echo "==> bench_kernels -> BENCH_kernels.json"
 build/bench/bench_kernels \
@@ -63,6 +68,11 @@ echo "==> bench_serve -> BENCH_serve.json"
 build/bench/bench_serve \
   --benchmark_filter="${FILTER}" \
   --benchmark_format=json >BENCH_serve.json
+
+echo "==> bench_observe -> BENCH_observe.json"
+build/bench/bench_observe \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json >BENCH_observe.json
 
 echo "==> bench_parallel telemetry on/off -> BENCH_telemetry.json"
 build/bench/bench_parallel \

@@ -5,8 +5,11 @@
 #      (train -> versioned snapshot write -> zero-copy open -> bitwise
 #      score check -> hot swap) and scenerec_serve --selftest (concurrent
 #      clients through the batched admission loop, bitwise-checked against
-#      per-request serving, with a hot swap under live traffic), both
-#      against freshly trained mini-models
+#      per-request serving, with a hot swap under live traffic, plus a
+#      live scrape of its own stats socket mid-traffic) and
+#      scenerec_stat --selftest (a daemon with the observability plane on:
+#      windowed percentiles that move with load, healthz/SLO transitions,
+#      every socket verb), all against freshly trained mini-models
 #   2. ThreadSanitizer build (-DSCENEREC_SANITIZE=thread) + the tests that
 #      exercise concurrency (ThreadPool, sharded training, parallel eval,
 #      the serving daemon)
@@ -55,9 +58,14 @@ echo "==> stage 1: serving daemon end-to-end selftest"
 # the per-request library path.
 build/tools/scenerec_serve --selftest
 
+echo "==> stage 1: stats CLI end-to-end selftest"
+# Spins up a daemon with the stats socket enabled, drives traffic, and
+# checks every scrape verb plus the CLI's parser and table renderer.
+build/tools/scenerec_stat --selftest
+
 echo "==> stage 2: ThreadSanitizer build"
 configure build-tsan -DSCENEREC_SANITIZE=thread
-cmake --build build-tsan --target parallel_test eval_test scoring_test train_test telemetry_test trace_test snapshot_test retrieval_test serve_test scenerec_serve
+cmake --build build-tsan --target parallel_test eval_test scoring_test train_test telemetry_test trace_test snapshot_test retrieval_test serve_test common_test scenerec_serve scenerec_stat
 
 echo "==> stage 2: parallel tests under TSan"
 # halt_on_error makes a data race fail the script, not just print a report.
@@ -86,11 +94,16 @@ build-tsan/tests/retrieval_test
 # live client threads — the cross-request batching contract is only real if
 # TSan can't find a race between clients, the admission thread and Publish.
 build-tsan/tests/serve_test
+# The observability plane under load: socket server accept loop, windowed
+# histogram ticker, live trace ring and SLO tracker all run on their own
+# threads against hot-path writers.
+build-tsan/tests/common_test
 build-tsan/tools/scenerec_serve --selftest
+build-tsan/tools/scenerec_stat --selftest
 
 echo "==> stage 3: ASan+UBSan build"
 configure build-asan -DSCENEREC_SANITIZE=address,undefined
-cmake --build build-asan --target tensor_test ops_test telemetry_test train_test trace_test scoring_test snapshot_test retrieval_test serve_test scenerec_serve
+cmake --build build-asan --target tensor_test ops_test telemetry_test train_test trace_test scoring_test snapshot_test retrieval_test serve_test common_test scenerec_serve scenerec_stat
 
 echo "==> stage 3: tensor/op tests under ASan+UBSan"
 build-asan/tests/tensor_test
@@ -132,18 +145,25 @@ echo "==> stage 3: serving daemon under ASan+UBSan"
 build-asan/tests/serve_test
 build-asan/tools/scenerec_serve --selftest
 
+echo "==> stage 3: observability plane under ASan+UBSan"
+# Socket framing (length-prefixed reads into resized strings), the JSON /
+# Prometheus renderers' snprintf buffers, and CLI parsing of scraped text.
+build-asan/tests/common_test
+build-asan/tools/scenerec_stat --selftest
+
 if [ "${SCENEREC_PERF:-0}" != "0" ]; then
   echo "==> stage 4: benchmark regression gate (SCENEREC_PERF=1)"
   THRESHOLD="${SCENEREC_PERF_THRESHOLD:-20}"
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"' EXIT
-  cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot bench_retrieval bench_serve
+  cmake --build build --target bench_kernels bench_parallel bench_scoring bench_snapshot bench_retrieval bench_serve bench_observe
   build/bench/bench_kernels --benchmark_format=json >"$tmp/kernels.json"
   build/bench/bench_parallel --benchmark_format=json >"$tmp/parallel.json"
   build/bench/bench_scoring --benchmark_format=json >"$tmp/scoring.json"
   build/bench/bench_snapshot --benchmark_format=json >"$tmp/snapshot.json"
   build/bench/bench_retrieval --benchmark_format=json >"$tmp/retrieval.json"
   build/bench/bench_serve --benchmark_format=json >"$tmp/serve.json"
+  build/bench/bench_observe --benchmark_format=json >"$tmp/observe.json"
   build/bench/bench_parallel \
     --benchmark_filter='BM_TrainEpochTelemetry' \
     --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
@@ -158,6 +178,7 @@ if [ "${SCENEREC_PERF:-0}" != "0" ]; then
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_snapshot.json "$tmp/snapshot.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_retrieval.json "$tmp/retrieval.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_serve.json "$tmp/serve.json"
+  tools/bench_diff --check --threshold="$THRESHOLD" BENCH_observe.json "$tmp/observe.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_telemetry.json "$tmp/telemetry.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_trace.json "$tmp/trace.json"
 fi

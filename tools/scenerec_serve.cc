@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "common/flags.h"
 #include "common/malloc_tuning.h"
 #include "common/rng.h"
+#include "common/socket_server.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "data/split.h"
@@ -57,6 +59,18 @@ bool SameRecommendations(const std::vector<Recommendation>& a,
     if (a[i].item != b[i].item || a[i].score != b[i].score) return false;
   }
   return true;
+}
+
+/// Count column of one `window <name> ...` line in a `vars` payload.
+uint64_t VarsWindowCount(const std::string& vars, const std::string& name) {
+  const std::string key = "window " + name + " ";
+  const size_t at = vars.find(key);
+  if (at == std::string::npos) return 0;
+  std::istringstream row(vars.substr(at + key.size()));
+  std::string unit;
+  uint64_t count = 0;
+  row >> unit >> count;
+  return count;
 }
 
 // ---------------------------------------------------------------------------
@@ -386,6 +400,175 @@ int SelfTest(std::string dir) {
         static_cast<unsigned long long>(stats.max_batch));
   }
 
+  // Phase 4: live observability plane (docs/observability.md). A daemon
+  // with its stats socket active is scraped mid-traffic: healthz must be
+  // ready, the windowed request histogram must carry recent load (and drain
+  // once traffic stops — windowed, not since-boot), the trace verb must
+  // yield request-scoped spans, and results must stay bitwise identical to
+  // the library path with the socket active.
+  {
+    const std::string socket_path = dir + "/stats.sock";
+    serve::ServerConfig config;
+    config.top_n = kTopN;
+    config.max_batch = 8;
+    config.max_delay_us = 200;
+    config.queue_capacity = 32;
+    config.stats_socket = socket_path;
+    config.stats_window_ms = 50;  // 50ms x 10 = 500ms window: decay is
+    config.stats_window_intervals = 10;  // observable within the selftest
+    config.slo_target_p99_us = 1'000'000;  // generous: must stay healthy
+    serve::Server server(config, world.train_graph);
+    server.Publish(model_b);
+    server.Start();
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> served{0};
+    std::atomic<bool> ok{true};
+    std::vector<std::thread> drivers;
+    for (int c = 0; c < kClients; ++c) {
+      drivers.emplace_back([&, c] {
+        std::vector<Recommendation> got;
+        serve::Server::RequestTicket ticket;
+        int64_t user = c;
+        while (!stop.load(std::memory_order_relaxed)) {
+          user = (user + kClients) % num_users;
+          if (!server.TopN(user, &got, &ticket) || ticket.id == 0 ||
+              !SameRecommendations(got,
+                                   expected_b[static_cast<size_t>(user)])) {
+            ok.store(false, std::memory_order_relaxed);
+            return;
+          }
+          served.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    auto scrape = [&](const std::string& verb) {
+      return UnixSocketRequest(socket_path, verb, /*timeout_ms=*/5000);
+    };
+    auto check = [&](bool cond, const char* what) {
+      if (!cond) {
+        std::fprintf(stderr, "FAIL observability: %s\n", what);
+        return false;
+      }
+      return true;
+    };
+
+    // Let the window see real traffic before the first scrape.
+    while (served.load(std::memory_order_relaxed) < 200 &&
+           ok.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    auto health = scrape("healthz");
+    auto metrics = scrape("metrics");
+    auto stats_json = scrape("stats");
+    auto vars1 = scrape("vars");
+    const uint64_t served1 = served.load(std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    auto vars2 = scrape("vars");
+    auto trace_json = scrape("trace");
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : drivers) t.join();
+
+    if (!check(ok.load(), "a request failed or went non-bitwise while the "
+                          "stats socket was being scraped")) {
+      return 1;
+    }
+    if (!check(health.ok() &&
+                   health.value().find("\"ok\": true") != std::string::npos,
+               "healthz not ready under live traffic") ||
+        !check(metrics.ok() &&
+                   metrics.value().find("scenerec_serve_daemon_requests") !=
+                       std::string::npos &&
+                   metrics.value().find("scenerec_window_serve_request_ns") !=
+                       std::string::npos,
+               "prometheus exposition missing daemon metrics") ||
+        !check(stats_json.ok() &&
+                   stats_json.value().find("\"windows\"") !=
+                       std::string::npos &&
+                   stats_json.value().find("\"slo\"") != std::string::npos,
+               "stats JSON missing windows/slo sections") ||
+        !check(vars1.ok() && vars2.ok(),
+               "vars scrape failed under live traffic")) {
+      return 1;
+    }
+    const uint64_t window1 = VarsWindowCount(vars1.value(),
+                                             "serve/request_ns");
+    const uint64_t window2 = VarsWindowCount(vars2.value(),
+                                             "serve/request_ns");
+    if (!check(window1 > 0 && window2 > 0,
+               "windowed serve/request_ns empty under live traffic") ||
+        !check(served.load() > served1 && window2 != 0,
+               "windowed percentiles did not move with injected load") ||
+        !check(trace_json.ok() &&
+                   trace_json.value().find("serve/exec") !=
+                       std::string::npos &&
+                   trace_json.value().find("request_id") != std::string::npos,
+               "live trace drain missing request-scoped spans")) {
+      return 1;
+    }
+
+    // Idle drain: after > the full window span with no traffic, the
+    // windowed view must decay to empty while cumulative totals persist.
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+    auto vars_idle = scrape("vars");
+    if (!check(vars_idle.ok() &&
+                   VarsWindowCount(vars_idle.value(), "serve/request_ns") ==
+                       0,
+               "windowed histogram did not drain after idle") ||
+        !check(vars_idle.value().find("server requests ") !=
+                   std::string::npos,
+               "cumulative counters missing after idle")) {
+      return 1;
+    }
+
+    server.Stop();
+    if (!check(!UnixSocketRequest(socket_path, "vars", 500).ok(),
+               "stats socket still answering after Stop")) {
+      return 1;
+    }
+    std::printf(
+        "observability: healthz/metrics/stats/vars/trace scraped live "
+        "(window %llu -> %llu samples, drained to 0 after idle)\n",
+        static_cast<unsigned long long>(window1),
+        static_cast<unsigned long long>(window2));
+  }
+
+  // Phase 5: the SLO degrade path — an absurd 1us p99 target must burn the
+  // error budget and flip healthz to degraded without affecting results.
+  {
+    const std::string socket_path = dir + "/stats_slo.sock";
+    serve::ServerConfig config;
+    config.top_n = kTopN;
+    config.max_batch = 8;
+    config.max_delay_us = 0;
+    config.queue_capacity = 32;
+    config.stats_socket = socket_path;
+    config.stats_window_ms = 50;
+    config.stats_window_intervals = 10;
+    config.slo_target_p99_us = 1;
+    serve::Server server(config, world.train_graph);
+    server.Publish(model_b);
+    server.Start();
+    std::vector<Recommendation> got;
+    for (int64_t u = 0; u < num_users; ++u) {
+      if (!server.TopN(u, &got) ||
+          !SameRecommendations(got, expected_b[static_cast<size_t>(u)])) {
+        std::fprintf(stderr, "FAIL slo-mode serving went wrong\n");
+        return 1;
+      }
+    }
+    auto health = UnixSocketRequest(socket_path, "healthz", 5000);
+    if (!health.ok() ||
+        health.value().find("\"ok\": false") == std::string::npos ||
+        health.value().find("degraded") == std::string::npos) {
+      std::fprintf(stderr, "FAIL healthz did not degrade on a blown SLO\n");
+      return 1;
+    }
+    server.Stop();
+    std::printf("slo: blown 1us target degrades healthz, serving unaffected\n");
+  }
+
   std::printf("PASS\n");
   return 0;
 }
@@ -460,6 +643,13 @@ int Serve(const FlagParser& flags) {
   config.max_delay_us = flags.GetInt64("max_delay_us");
   config.queue_capacity = flags.GetInt64("queue_capacity");
   config.num_candidates = flags.GetInt64("candidates");
+  config.stats_socket = flags.GetString("stats_socket");
+  config.stats_window_ms = flags.GetInt64("stats_window_ms");
+  config.slo_target_p99_us = flags.GetInt64("slo_p99_us");
+  if (!config.stats_socket.empty()) {
+    std::printf("stats socket: %s (scrape with scenerec_stat --socket=%s)\n",
+                config.stats_socket.c_str(), config.stats_socket.c_str());
+  }
 
   std::shared_ptr<const ItemIndex> index;
   if (config.num_candidates > 0) {
@@ -554,6 +744,15 @@ int Run(int argc, char** argv) {
                   "ivf_sq8");
   flags.AddInt64("requests", 2000, "requests the load driver issues");
   flags.AddInt64("clients", 4, "closed-loop client threads");
+  flags.AddImplicitString("stats_socket", "", "/tmp/scenerec.sock",
+                          "serve the live stats endpoint on this unix "
+                          "socket; bare flag uses the default path "
+                          "(scrape with scenerec_stat)");
+  flags.AddInt64("stats_window_ms", 1000,
+                 "rolling-window resolution of the stats endpoint");
+  flags.AddInt64("slo_p99_us", 0,
+                 "request p99 SLO target in microseconds (0 = no SLO); "
+                 "healthz degrades when breached");
   flags.AddImplicitString("snapshot_dir", "", "/tmp/scenerec_serve_snapshots",
                           "write training snapshots here and serve the "
                           "newest one zero-copy; bare flag uses the default "
