@@ -25,7 +25,9 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -122,9 +124,16 @@ void Drive(serve::Server& server, int64_t total,
   for (std::thread& t : threads) t.join();
 }
 
+// Each suite's world is built lazily on first use; the flags let main()
+// stop only the daemons that actually started (a --benchmark_filter'd run
+// must not pay the other suite's setup just to shut it down).
+bool g_serve_data_live = false;
+bool g_cache_data_live = false;
+
 BenchData& Data() {
   static BenchData* data = [] {
     telemetry::Telemetry::SetEnabled(true);
+    g_serve_data_live = true;
     auto* d = new BenchData();
     SyntheticConfig config;
     config.name = "serve-bench";
@@ -279,13 +288,253 @@ void BM_ServeBatchedRetrieval(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeBatchedRetrieval)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// -- Demand-paged user cache (docs/serving.md#warmup) --------------------------
+//
+// A world shaped like production: users OUTNUMBER items 8:1, so full
+// warm-up's O(users) sweep dominates every publish while per-request
+// scoring stays cheap (two-stage retrieval). The BM_Cache rows measure the
+// two claims the lazy mode makes:
+//
+//   BM_CacheSwapToFirstResponse{Full,Lazy}  Publish + one request: how long
+//                                           a swap blocks the first answer
+//   BM_CacheSteadyState{Full,LazyZipf}      closed-loop Zipf QPS: residency
+//                                           (hit_rate_pct) must make lazy
+//                                           compete with precompute-everything
+//
+// tools/bench.sh records these rows in BENCH_cache.json; the acceptance
+// gate wants >= 5x swap-to-first-response reduction and steady-state QPS
+// within a few percent at a cache of ~10% of the user base.
+
+constexpr int64_t kCacheUsers = 32768;
+constexpr int64_t kCacheItems = 1024;
+constexpr int64_t kCacheDim = 32;
+constexpr int64_t kCacheEntries = kCacheUsers / 10;
+constexpr int64_t kCacheCandidates = 32;
+constexpr int64_t kCacheRequests = 2048;
+
+/// Zipf exponent of the cache rows' traffic; override by passing
+/// --skew=zipf:<s> after the --benchmark_* flags.
+double g_cache_zipf_s = 1.1;
+
+struct CacheBenchData {
+  Dataset dataset;
+  LeaveOneOutSplit split;
+  UserItemGraph graph;
+  SceneGraph scene_graph;
+  // One model instance PER server: attaching the demand-paged cache is a
+  // model-level capability, so sharing one instance would silently turn the
+  // full-warm-up server lazy after the lazy server's first publish. Same
+  // factory seed -> identical parameters, so cross-server results stay
+  // bitwise comparable.
+  std::shared_ptr<Recommender> model_full;
+  std::shared_ptr<Recommender> model_lazy;
+  std::shared_ptr<const ItemIndex> index;
+  std::vector<int64_t> zipf_seq;
+  std::unique_ptr<serve::Server> full;
+  std::unique_ptr<serve::Server> lazy;
+
+  void StopAll() {
+    if (full != nullptr) full->Stop();
+    if (lazy != nullptr) lazy->Stop();
+  }
+};
+
+CacheBenchData& CacheData() {
+  static CacheBenchData* data = [] {
+    telemetry::Telemetry::SetEnabled(true);
+    g_cache_data_live = true;
+    auto* d = new CacheBenchData();
+    SyntheticConfig config;
+    config.name = "serve-cache-bench";
+    config.num_users = kCacheUsers;
+    config.num_items = kCacheItems;
+    config.num_categories = 32;
+    config.num_scenes = 48;
+    config.sessions_per_user = 4;
+    config.session_length = 5;
+    d->dataset = GenerateSyntheticDataset(config, 31).value();
+    Rng rng(7);
+    d->split = MakeLeaveOneOutSplit(d->dataset, /*num_negatives=*/5,
+                                    rng).value();
+    d->graph = UserItemGraph::Build(d->dataset.num_users,
+                                    d->dataset.num_items, d->split.train);
+    d->scene_graph = d->dataset.BuildSceneGraph();
+
+    ModelContext context;
+    context.user_item = &d->graph;
+    context.scene = &d->scene_graph;
+    ModelFactoryConfig factory_config;
+    factory_config.embedding_dim = kCacheDim;
+    d->model_full = MakeRecommender("SceneRec", context,
+                                    factory_config).value();
+    d->model_lazy = MakeRecommender("SceneRec", context,
+                                    factory_config).value();
+    SCENEREC_CHECK(d->model_lazy->SupportsUserReprCache());
+    d->model_full->OnEvalBegin();
+    d->model_lazy->OnEvalBegin();
+    d->index = IndexBuilder().Build(*d->model_full).value();
+
+    ZipfSampler zipf(static_cast<uint64_t>(kCacheUsers), g_cache_zipf_s);
+    Rng zipf_rng(13);
+    d->zipf_seq.resize(static_cast<size_t>(kCacheRequests));
+    for (int64_t& u : d->zipf_seq) {
+      u = static_cast<int64_t>(zipf.Sample(zipf_rng));
+    }
+
+    auto start = [&](serve::ServerConfig::Warmup warmup,
+                     const std::shared_ptr<Recommender>& model) {
+      serve::ServerConfig config = MakeConfig(kClients, kCacheCandidates);
+      config.warmup = warmup;
+      config.user_cache_entries = kCacheEntries;
+      auto server = std::make_unique<serve::Server>(config, d->graph);
+      server->Publish(model, d->index);
+      server->Start();
+      return server;
+    };
+    d->full = start(serve::ServerConfig::Warmup::kFull, d->model_full);
+    d->lazy = start(serve::ServerConfig::Warmup::kLazy, d->model_lazy);
+
+    // Lazy must be bitwise-invisible: both daemons answer a user sample
+    // identically (the test suite proves the full property; this CHECK
+    // keeps the benchmark honest about what it compares).
+    std::vector<Recommendation> via_full;
+    std::vector<Recommendation> via_lazy;
+    for (int64_t u = 0; u < kCacheUsers; u += kCacheUsers / 64) {
+      SCENEREC_CHECK(d->full->TopN(u, &via_full));
+      SCENEREC_CHECK(d->lazy->TopN(u, &via_lazy));
+      SCENEREC_CHECK_EQ(via_full.size(), via_lazy.size());
+      for (size_t i = 0; i < via_full.size(); ++i) {
+        SCENEREC_CHECK(via_full[i].item == via_lazy[i].item &&
+                       via_full[i].score == via_lazy[i].score)
+            << "lazy warm-up diverged from full warm-up for user " << u;
+      }
+    }
+    return d;
+  }();
+  return *data;
+}
+
+/// Drives the pre-sampled Zipf sequence closed-loop from kClients threads.
+void DriveZipf(serve::Server& server, const std::vector<int64_t>& seq) {
+  std::atomic<int64_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  const int64_t total = static_cast<int64_t>(seq.size());
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      std::vector<Recommendation> got;
+      for (;;) {
+        const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) break;
+        SCENEREC_CHECK(server.TopN(seq[static_cast<size_t>(i)], &got));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+/// Publish (same model — re-publishing bumps the cache version exactly like
+/// a real snapshot swap) and time until the first request answers.
+void RunSwapToFirstResponse(benchmark::State& state, serve::Server& server,
+                            const std::shared_ptr<Recommender>& model) {
+  CacheBenchData& d = CacheData();
+  std::vector<Recommendation> got;
+  for (auto _ : state) {
+    server.Publish(model, d.index);
+    SCENEREC_CHECK(server.TopN(d.zipf_seq[0], &got));
+    benchmark::DoNotOptimize(got.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CacheSwapToFirstResponseFull(benchmark::State& state) {
+  CacheBenchData& d = CacheData();
+  RunSwapToFirstResponse(state, *d.full, d.model_full);
+}
+BENCHMARK(BM_CacheSwapToFirstResponseFull)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_CacheSwapToFirstResponseLazy(benchmark::State& state) {
+  CacheBenchData& d = CacheData();
+  RunSwapToFirstResponse(state, *d.lazy, d.model_lazy);
+}
+BENCHMARK(BM_CacheSwapToFirstResponseLazy)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_CacheSteadyStateFull(benchmark::State& state) {
+  CacheBenchData& d = CacheData();
+  for (auto _ : state) DriveZipf(*d.full, d.zipf_seq);
+  state.SetItemsProcessed(state.iterations() * kCacheRequests);
+}
+// MinTime + repetitions keep the steady-state pair stable enough for the
+// <=5% delta acceptance — at the default budget one closed-loop pass per
+// iteration is too few samples and the rows wobble past the gate on a
+// noisy container. bench_diff compares the mean aggregate.
+BENCHMARK(BM_CacheSteadyStateFull)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(1.0)
+    ->Repetitions(3)
+    ->ReportAggregatesOnly(true);
+
+void BM_CacheSteadyStateLazyZipf(benchmark::State& state) {
+  CacheBenchData& d = CacheData();
+  // One unmeasured warm pass so the hot set is resident before timing —
+  // steady state is the claim, not the cold start (the swap rows own that).
+  DriveZipf(*d.lazy, d.zipf_seq);
+  telemetry::Telemetry::Reset();
+  for (auto _ : state) DriveZipf(*d.lazy, d.zipf_seq);
+  state.SetItemsProcessed(state.iterations() * kCacheRequests);
+
+  const ReprCache::Stats cache = d.lazy->user_cache_stats();
+  const uint64_t lookups = cache.hits + cache.misses;
+  state.counters["hit_rate_pct"] =
+      lookups == 0 ? 0.0
+                   : 100.0 * static_cast<double>(cache.hits) /
+                         static_cast<double>(lookups);
+  state.counters["resident_mb"] =
+      static_cast<double>(cache.bytes) / (1024.0 * 1024.0);
+  // Scratch reuse (the per-batch allocation-recycling satellite): fraction
+  // of batches served entirely from retained buffers.
+  const telemetry::TelemetrySnapshot snapshot =
+      telemetry::Telemetry::Snapshot();
+  double reuses = 0.0;
+  for (const auto& c : snapshot.counters) {
+    if (c.name == "serve/scratch_reuse_batches") {
+      reuses = static_cast<double>(c.value);
+    }
+  }
+  const serve::Server::Stats stats = d.lazy->stats();
+  state.counters["scratch_reuse_pct"] =
+      stats.batches == 0 ? 0.0
+                         : 100.0 * reuses /
+                               static_cast<double>(stats.batches);
+}
+BENCHMARK(BM_CacheSteadyStateLazyZipf)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(1.0)
+    ->Repetitions(3)
+    ->ReportAggregatesOnly(true);
+
 }  // namespace
 }  // namespace scenerec
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  // Leftover (non-benchmark) args: --skew=zipf:<s> retargets the cache
+  // rows' traffic skew.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--skew=zipf:";
+    if (arg.compare(0, prefix.size(), prefix) == 0) {
+      scenerec::g_cache_zipf_s = std::strtod(arg.c_str() + prefix.size(),
+                                             nullptr);
+      SCENEREC_CHECK(scenerec::g_cache_zipf_s > 0.0)
+          << "bad --skew value: " << arg;
+    }
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  scenerec::Data().StopAll();
+  if (scenerec::g_serve_data_live) scenerec::Data().StopAll();
+  if (scenerec::g_cache_data_live) scenerec::CacheData().StopAll();
   return 0;
 }

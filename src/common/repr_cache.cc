@@ -1,0 +1,160 @@
+#include "common/repr_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/telemetry.h"
+
+namespace scenerec {
+
+namespace {
+
+// Serving telemetry (docs/observability.md): demand-paged representation
+// cache behavior. Hit rate = hits / (hits + misses); `repr_cache_bytes` is
+// the resident payload, which only grows until the cache reaches capacity
+// (eviction reuses slots), so the kMax gauge merge reports the latest value
+// no matter which thread inserted last.
+const telemetry::Counter t_hits =
+    telemetry::RegisterCounter("serve/repr_cache_hits");
+const telemetry::Counter t_misses =
+    telemetry::RegisterCounter("serve/repr_cache_misses");
+const telemetry::Counter t_evictions =
+    telemetry::RegisterCounter("serve/repr_cache_evictions");
+const telemetry::Gauge g_bytes = telemetry::RegisterGauge(
+    "serve/repr_cache_bytes", telemetry::GaugeAgg::kMax);
+
+/// SplitMix64 finalizer: decorrelates shard choice from low key bits so
+/// sequential user ids spread across shards.
+uint64_t MixKey(int64_t key) {
+  uint64_t z = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int64_t FloorPow2(int64_t v) {
+  int64_t p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+ReprCache::ReprCache(const Options& options)
+    : dim_(options.dim), capacity_(options.capacity) {
+  SCENEREC_CHECK_GE(options.capacity, 1);
+  SCENEREC_CHECK_GE(options.dim, 1);
+  SCENEREC_CHECK_GE(options.num_shards, 1);
+  const int64_t num_shards =
+      FloorPow2(std::min(options.num_shards, options.capacity));
+  shard_mask_ = static_cast<uint64_t>(num_shards - 1);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int64_t s = 0; s < num_shards; ++s) {
+    // Exact split: the first (capacity % num_shards) shards take one extra
+    // slot, so total slots == capacity.
+    const int64_t slots =
+        capacity_ / num_shards + (s < capacity_ % num_shards ? 1 : 0);
+    auto shard = std::make_unique<Shard>();
+    shard->keys.assign(static_cast<size_t>(slots), 0);
+    shard->versions.assign(static_cast<size_t>(slots), 0);
+    shard->ref.assign(static_cast<size_t>(slots), 0);
+    shard->rows.assign(static_cast<size_t>(slots * dim_), 0.0f);
+    shard->index.reserve(static_cast<size_t>(slots * 2));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ReprCache::Shard& ReprCache::ShardFor(int64_t key) {
+  return *shards_[MixKey(key) & shard_mask_];
+}
+
+bool ReprCache::Lookup(int64_t key, uint64_t version, std::span<float> out) {
+  SCENEREC_CHECK_EQ(static_cast<int64_t>(out.size()), dim_);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end() || shard.versions[it->second] != version) {
+    ++shard.misses;
+    t_misses.Add(1);
+    return false;
+  }
+  const int64_t slot = it->second;
+  std::memcpy(out.data(), shard.rows.data() + slot * dim_,
+              static_cast<size_t>(dim_) * sizeof(float));
+  shard.ref[static_cast<size_t>(slot)] = 1;
+  ++shard.hits;
+  t_hits.Add(1);
+  return true;
+}
+
+void ReprCache::Insert(int64_t key, uint64_t version,
+                       std::span<const float> row) {
+  SCENEREC_CHECK_EQ(static_cast<int64_t>(row.size()), dim_);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const int64_t slots = static_cast<int64_t>(shard.keys.size());
+  int64_t slot;
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Same key re-inserted (typically the new publish version): refresh the
+    // existing slot in place.
+    slot = it->second;
+  } else if (shard.used < slots) {
+    slot = shard.used++;
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    shard.index.emplace(key, slot);
+  } else {
+    // Clock / second-chance sweep: entries hit since the hand last passed
+    // get one reprieve (ref cleared), the first cold entry is evicted.
+    while (shard.ref[static_cast<size_t>(shard.hand)] != 0) {
+      shard.ref[static_cast<size_t>(shard.hand)] = 0;
+      shard.hand = (shard.hand + 1) % slots;
+    }
+    slot = shard.hand;
+    shard.hand = (shard.hand + 1) % slots;
+    shard.index.erase(shard.keys[static_cast<size_t>(slot)]);
+    shard.index.emplace(key, slot);
+    ++shard.evictions;
+    t_evictions.Add(1);
+  }
+  shard.keys[static_cast<size_t>(slot)] = key;
+  shard.versions[static_cast<size_t>(slot)] = version;
+  shard.ref[static_cast<size_t>(slot)] = 1;
+  std::memcpy(shard.rows.data() + slot * dim_, row.data(),
+              static_cast<size_t>(dim_) * sizeof(float));
+  ++shard.insertions;
+  g_bytes.Set(static_cast<uint64_t>(
+      entries_.load(std::memory_order_relaxed) * dim_ *
+      static_cast<int64_t>(sizeof(float))));
+}
+
+void ReprCache::Clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->index.clear();
+    entries_.fetch_sub(shard->used, std::memory_order_relaxed);
+    shard->used = 0;
+    shard->hand = 0;
+    std::fill(shard->ref.begin(), shard->ref.end(), 0);
+  }
+}
+
+ReprCache::Stats ReprCache::stats() const {
+  Stats s;
+  s.capacity_bytes = capacity_ * dim_ * static_cast<int64_t>(sizeof(float));
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    // Relaxed totals: each field has one writer critical section, and a
+    // point-in-time sum over shards is all observability needs.
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.insertions += shard->insertions;
+    s.evictions += shard->evictions;
+    s.entries += shard->used;
+  }
+  s.bytes = s.entries * dim_ * static_cast<int64_t>(sizeof(float));
+  return s;
+}
+
+}  // namespace scenerec

@@ -1,0 +1,112 @@
+#ifndef SCENEREC_COMMON_REPR_CACHE_H_
+#define SCENEREC_COMMON_REPR_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace scenerec {
+
+/// Fixed-capacity, sharded, demand-paged cache of fixed-width float rows
+/// (docs/serving.md#warmup). Built for the serving path's lazy user
+/// representations: the catalog's hot set stays resident, cold keys are
+/// recomputed on miss, and total memory is bounded by `capacity * dim`
+/// floats regardless of how many distinct keys traffic touches.
+///
+/// Concurrency: keys hash to one of `num_shards` independent shards, each
+/// guarded by its own mutex, so concurrent lookups of distinct users rarely
+/// contend and a lookup never blocks behind an insert on another shard. All
+/// methods are safe to call from any number of threads.
+///
+/// Eviction is clock / second-chance per shard: every hit sets the entry's
+/// reference bit; when a shard is full the clock hand sweeps, clearing set
+/// bits and evicting the first entry found cold. Recently-hit (hot) entries
+/// therefore survive streams of one-shot cold keys.
+///
+/// Entries are version-tagged: Lookup(key, version) only returns data
+/// inserted under the SAME version, so a publisher invalidates the whole
+/// cache lazily by bumping the version it tags — no stop-the-world flush,
+/// stale entries are overwritten in place as their keys recur (the serving
+/// daemon keys versions by publish sequence; see serve::Server::Publish).
+class ReprCache {
+ public:
+  struct Options {
+    /// Total resident entries across all shards. Must be >= 1.
+    int64_t capacity = 0;
+    /// Floats per entry. Must be >= 1.
+    int64_t dim = 0;
+    /// Requested shard count; rounded down to a power of two and clamped so
+    /// every shard owns at least one slot.
+    int64_t num_shards = 16;
+  };
+
+  explicit ReprCache(const Options& options);
+
+  ReprCache(const ReprCache&) = delete;
+  ReprCache& operator=(const ReprCache&) = delete;
+
+  int64_t dim() const { return dim_; }
+  int64_t capacity() const { return capacity_; }
+  int64_t num_shards() const { return static_cast<int64_t>(shards_.size()); }
+
+  /// True and fills `out` (size dim()) when `key` is resident with a
+  /// matching version. A resident entry under a DIFFERENT version is a miss
+  /// (stale: its slot is reclaimed by the next Insert of the same key).
+  bool Lookup(int64_t key, uint64_t version, std::span<float> out);
+
+  /// Makes (key, version) resident with a copy of `row` (size dim()),
+  /// overwriting any prior version of the same key in place and evicting a
+  /// cold entry (clock sweep) when the shard is full.
+  void Insert(int64_t key, uint64_t version, std::span<const float> row);
+
+  /// Drops every entry. Not used on the serving path (swaps invalidate by
+  /// version instead); tests and tools use it for a cold restart.
+  void Clear();
+
+  /// Point-in-time totals over all shards (relaxed per-shard counters —
+  /// exact when no insert is concurrent).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;        ///< absent key OR version mismatch
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;     ///< occupied slots reclaimed by the clock
+    int64_t entries = 0;        ///< resident entries (any version)
+    int64_t bytes = 0;          ///< resident payload: entries * dim * 4
+    int64_t capacity_bytes = 0; ///< fixed backing storage: capacity * dim * 4
+  };
+  Stats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Slot-parallel arrays; `rows` is one contiguous [slots, dim] block
+    // allocated up front, so a full cache never fragments or reallocates.
+    std::vector<int64_t> keys;
+    std::vector<uint64_t> versions;
+    std::vector<uint8_t> ref;     // clock reference bits
+    std::vector<float> rows;
+    std::unordered_map<int64_t, int64_t> index;  // key -> slot
+    int64_t used = 0;  // slots handed out so far (fill before evicting)
+    int64_t hand = 0;  // clock position
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(int64_t key);
+
+  int64_t dim_ = 0;
+  int64_t capacity_ = 0;
+  uint64_t shard_mask_ = 0;
+  std::atomic<int64_t> entries_{0};  // sum of per-shard `used`
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace scenerec
+
+#endif  // SCENEREC_COMMON_REPR_CACHE_H_

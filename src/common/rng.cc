@@ -1,5 +1,6 @@
 #include "common/rng.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace scenerec {
@@ -115,6 +116,27 @@ std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
 }
 
 Rng Rng::Split() { return Rng(Next64()); }
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) {
+  SCENEREC_CHECK_GT(n, 0u);
+  SCENEREC_CHECK_GT(s, 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[k - 1] = acc;
+  }
+  const double norm = acc;
+  for (double& c : cdf_) c /= norm;
+  cdf_[n - 1] = 1.0;  // immune to rounding at the tail
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  // First rank whose cumulative mass covers u.
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
 
 AliasSampler::AliasSampler(const std::vector<double>& weights) {
   const size_t n = weights.size();

@@ -70,6 +70,26 @@ class Rng {
   uint64_t state_[4];
 };
 
+/// Precomputed Zipf(n, s) inverse-CDF table for repeated hot-key sampling
+/// (serving traffic mixes, docs/serving.md#warmup): build once in O(n),
+/// draw in O(log n) via binary search. Rank 0 is the most probable; the
+/// distribution matches Rng::NextZipf bit-for-bit in probability mass
+/// (same normalized weights) but scales to million-entry catalogs where
+/// NextZipf's linear scan does not.
+class ZipfSampler {
+ public:
+  /// `n` ranks, exponent `s` > 0.
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws one rank in [0, n), consuming one NextDouble from `rng`.
+  uint64_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative normalized weights, cdf_[n-1] == 1
+};
+
 /// Precomputed alias table for O(1) sampling from an arbitrary discrete
 /// distribution. Build once, sample many times (e.g. popularity-weighted
 /// negative sampling over 50k items).

@@ -30,7 +30,12 @@ std::vector<Recommendation> ScoreAndSelect(const BlockScoreFn& score,
   t_candidates.Add(static_cast<uint64_t>(candidates.size()));
   if (candidates.empty() || n <= 0) return {};
 
-  std::vector<float> scores(candidates.size());
+  // Per-worker scratch: parallel evaluation calls this from many pool
+  // threads, and the score buffer is catalog-sized — retaining it per
+  // thread removes the one large allocation of every Top-N request.
+  thread_local std::vector<float> scores_scratch;
+  std::vector<float>& scores = scores_scratch;
+  scores.resize(candidates.size());
   for (size_t offset = 0; offset < candidates.size();
        offset += static_cast<size_t>(kScoreBlockSize)) {
     const size_t len = std::min(static_cast<size_t>(kScoreBlockSize),
@@ -56,32 +61,47 @@ bool BetterRecommendation(const Recommendation& a, const Recommendation& b) {
   return a.score != b.score ? a.score > b.score : a.item < b.item;
 }
 
-std::vector<Recommendation> SelectTopN(std::vector<Recommendation> scored,
-                                       int64_t n) {
-  if (n <= 0) return {};
+void SelectTopNInPlace(std::vector<Recommendation>* scored, int64_t n) {
+  SCENEREC_CHECK(scored != nullptr);
+  if (n <= 0) {
+    scored->clear();
+    return;
+  }
   // Partial selection: move the n winners to the front in O(candidates),
   // then order just that prefix. BetterRecommendation is a strict total
   // order, so this is exactly the first n entries a full sort would produce.
-  const size_t keep = std::min<size_t>(static_cast<size_t>(n), scored.size());
-  if (keep < scored.size()) {
-    std::nth_element(scored.begin(),
-                     scored.begin() + static_cast<ptrdiff_t>(keep),
-                     scored.end(), BetterRecommendation);
-    scored.resize(keep);
+  const size_t keep = std::min<size_t>(static_cast<size_t>(n), scored->size());
+  if (keep < scored->size()) {
+    std::nth_element(scored->begin(),
+                     scored->begin() + static_cast<ptrdiff_t>(keep),
+                     scored->end(), BetterRecommendation);
+    scored->resize(keep);
   }
-  std::sort(scored.begin(), scored.end(), BetterRecommendation);
+  std::sort(scored->begin(), scored->end(), BetterRecommendation);
+}
+
+std::vector<Recommendation> SelectTopN(std::vector<Recommendation> scored,
+                                       int64_t n) {
+  SelectTopNInPlace(&scored, n);
   return scored;
+}
+
+void UninteractedItems(const UserItemGraph& train_graph, int64_t user,
+                       std::vector<int64_t>* out) {
+  SCENEREC_CHECK(user >= 0 && user < train_graph.num_users());
+  SCENEREC_CHECK(out != nullptr);
+  out->clear();
+  out->reserve(static_cast<size_t>(train_graph.num_items()));
+  for (int64_t item = 0; item < train_graph.num_items(); ++item) {
+    if (train_graph.HasInteraction(user, item)) continue;
+    out->push_back(item);
+  }
 }
 
 std::vector<int64_t> UninteractedItems(const UserItemGraph& train_graph,
                                        int64_t user) {
-  SCENEREC_CHECK(user >= 0 && user < train_graph.num_users());
   std::vector<int64_t> ids;
-  ids.reserve(static_cast<size_t>(train_graph.num_items()));
-  for (int64_t item = 0; item < train_graph.num_items(); ++item) {
-    if (train_graph.HasInteraction(user, item)) continue;
-    ids.push_back(item);
-  }
+  UninteractedItems(train_graph, user, &ids);
   return ids;
 }
 

@@ -30,11 +30,21 @@ bool BetterRecommendation(const Recommendation& a, const Recommendation& b);
 std::vector<Recommendation> SelectTopN(std::vector<Recommendation> scored,
                                        int64_t n);
 
+/// SelectTopN on the caller's buffer: identical contents and order, but
+/// `*scored` shrinks in place to the winners, keeping its capacity — the
+/// serving daemon's per-batch scratch path (no per-request allocation).
+void SelectTopNInPlace(std::vector<Recommendation>* scored, int64_t n);
+
 /// The full-catalog candidate-list build step: every item `user` has NOT
 /// interacted with in `train_graph`, in ascending id order. Duplicate-free
 /// by construction. Empty when the user interacted with the whole catalog.
 std::vector<int64_t> UninteractedItems(const UserItemGraph& train_graph,
                                        int64_t user);
+
+/// Out-param overload: replaces `*out` with the same list, reusing its
+/// capacity (serving scratch reuse).
+void UninteractedItems(const UserItemGraph& train_graph, int64_t user,
+                       std::vector<int64_t>* out);
 
 /// The serving-path helper: scores every item the user has NOT interacted
 /// with in `train_graph` and returns the `n` highest, ordered by descending

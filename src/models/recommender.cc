@@ -100,6 +100,13 @@ void Recommender::WriteRetrievalQuery(int64_t user, std::span<float> out) {
   SCENEREC_CHECK(false) << name() << " does not export retrieval embeddings";
 }
 
+void Recommender::AttachUserReprCache(std::shared_ptr<ReprCache> cache,
+                                      uint64_t version) {
+  (void)cache;
+  (void)version;
+  SCENEREC_CHECK(false) << name() << " does not support a user-repr cache";
+}
+
 float Recommender::Score(int64_t user, int64_t item) {
   NoGradGuard no_grad;
   return ScoreForTraining(user, item).scalar();

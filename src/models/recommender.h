@@ -18,6 +18,8 @@
 
 namespace scenerec {
 
+class ReprCache;
+
 /// Non-owning view of the graphs a model may consume. `user_item` is the
 /// TRAINING interaction graph (evaluation positives removed); `scene` may be
 /// null for pure collaborative-filtering baselines. Both must outlive the
@@ -213,6 +215,33 @@ class Recommender : public Module {
   /// such that Dot(out, item_row) + bias approximates Score per the
   /// exported fidelity. CHECK-fails unless SupportsRetrievalEmbeddings().
   virtual void WriteRetrievalQuery(int64_t user, std::span<float> out);
+
+  // -- Demand-paged user representations (lazy serving warm-up) ----------
+  //
+  // Models whose eval-mode user representation is deterministic between
+  // parameter updates (SceneRec: eq. 1 under NoGradGuard) can serve it from
+  // a bounded common/ReprCache instead of precomputing every user at
+  // publish time: PrepareParallelScoring then skips the O(users) sweep and
+  // a missing user is computed on first touch — bitwise identical to the
+  // precomputed row, so every scoring contract (Score == ScoreBlock ==
+  // ScoreRows) extends unchanged. Entries are tagged with the publisher's
+  // version; attaching with a new version lazily invalidates the previous
+  // publish's entries with no flush (docs/serving.md#warmup).
+
+  /// True if AttachUserReprCache is implemented.
+  virtual bool SupportsUserReprCache() const { return false; }
+
+  /// Width of one cached user representation; 0 when unsupported. The
+  /// attached cache's dim() must equal this.
+  virtual int64_t UserReprDim() const { return 0; }
+
+  /// Attaches `cache` as the model's user-representation store for eval-
+  /// mode scoring, tagging every row it writes with `version`. Call before
+  /// OnEvalBegin/PrepareParallelScoring, never concurrently with scoring.
+  /// nullptr detaches (full precompute resumes). CHECK-fails unless
+  /// SupportsUserReprCache().
+  virtual void AttachUserReprCache(std::shared_ptr<ReprCache> cache,
+                                   uint64_t version);
 
   /// Makes Score() safe to call concurrently and returns true, or returns
   /// false if this model's scoring path cannot be parallelized. Called by

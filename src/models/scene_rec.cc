@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "common/repr_cache.h"
+#include "common/trace.h"
 #include "models/neighbor_util.h"
 #include "tensor/ops.h"
 
@@ -175,8 +178,38 @@ Tensor SceneRec::UserAggSum(int64_t user, Rng* rng) {
                        : SumRows(item_embedding_.LookupMany(items));
 }
 
+void SceneRec::AttachUserReprCache(std::shared_ptr<ReprCache> cache,
+                                   uint64_t version) {
+  if (cache != nullptr) {
+    SCENEREC_CHECK_EQ(cache->dim(), config_.embedding_dim);
+    // The per-user memo vector and the cache must not fork representations:
+    // drop the memos so every eval-mode user repr flows through the cache.
+    eval_user_cache_.clear();
+  }
+  user_repr_cache_ = std::move(cache);
+  user_repr_version_ = version;
+}
+
 Tensor SceneRec::UserRepr(int64_t user, Rng* rng) {
   const bool eval_mode = NoGradGuard::enabled();
+  if (eval_mode && user_repr_cache_ != nullptr) {
+    const int64_t d = config_.embedding_dim;
+    std::vector<float> row(static_cast<size_t>(d));
+    if (user_repr_cache_->Lookup(user, user_repr_version_, row)) {
+      return Tensor::FromVector(Shape({d}), std::move(row));
+    }
+    // Miss: eq. (1) on demand — the identical code path the serial lazy
+    // fill below takes, so the inserted row is bitwise equal to a
+    // precomputed one (ForwardRows row r == Forward(row r), docs/kernels.md)
+    // and cached scores never drift from full warm-up.
+    SCENEREC_TRACE_SPAN_F("serve/repr_miss_fill", "serve", trace::Floor::kOp,
+                          "user=%lld", static_cast<long long>(user));
+    Tensor repr = user_agg_.Forward(UserAggSum(user, rng));
+    user_repr_cache_->Insert(
+        user, user_repr_version_,
+        std::span<const float>(repr.value().data(), static_cast<size_t>(d)));
+    return repr;
+  }
   if (eval_mode) {
     if (eval_user_cache_.empty()) {
       eval_user_cache_.resize(static_cast<size_t>(user_item_->num_users()));
@@ -376,23 +409,29 @@ bool SceneRec::PrepareParallelScoring(ThreadPool& pool) {
           eval_item_cache_[static_cast<size_t>(i)] = Row(rows, i - begin);
         }
       });
-  const int64_t num_users = user_item_->num_users();
-  if (eval_user_cache_.empty()) {
-    eval_user_cache_.resize(static_cast<size_t>(num_users));
+  // With a demand-paged cache attached the O(users) sweep is skipped
+  // entirely — hot swap warm-up is O(items) and user reprs materialize on
+  // first touch (docs/serving.md#warmup). Without one, precompute every
+  // user so concurrent Score() calls are pure reads.
+  if (user_repr_cache_ == nullptr) {
+    const int64_t num_users = user_item_->num_users();
+    if (eval_user_cache_.empty()) {
+      eval_user_cache_.resize(static_cast<size_t>(num_users));
+    }
+    pool.ParallelFor(
+        num_users, /*grain=*/32, [this](int64_t begin, int64_t end) {
+          NoGradGuard no_grad;
+          std::vector<Tensor> sums;
+          sums.reserve(static_cast<size_t>(end - begin));
+          for (int64_t u = begin; u < end; ++u) {
+            sums.push_back(UserAggSum(u, nullptr));
+          }
+          Tensor rows = user_agg_.ForwardRows(StackRows(sums));
+          for (int64_t u = begin; u < end; ++u) {
+            eval_user_cache_[static_cast<size_t>(u)] = Row(rows, u - begin);
+          }
+        });
   }
-  pool.ParallelFor(
-      num_users, /*grain=*/32, [this](int64_t begin, int64_t end) {
-        NoGradGuard no_grad;
-        std::vector<Tensor> sums;
-        sums.reserve(static_cast<size_t>(end - begin));
-        for (int64_t u = begin; u < end; ++u) {
-          sums.push_back(UserAggSum(u, nullptr));
-        }
-        Tensor rows = user_agg_.ForwardRows(StackRows(sums));
-        for (int64_t u = begin; u < end; ++u) {
-          eval_user_cache_[static_cast<size_t>(u)] = Row(rows, u - begin);
-        }
-      });
   return true;
 }
 
@@ -439,8 +478,16 @@ void SceneRec::ScoreRows(std::span<const int64_t> users,
   const int64_t d = config_.embedding_dim;
   const int64_t rows = static_cast<int64_t>(users.size());
   std::vector<float> xs(static_cast<size_t>(rows * 2 * d));
+  // Rows arrive grouped per request (runs of equal user), so resolve the
+  // user repr once per run — with a demand-paged cache attached this is
+  // what keeps lookups O(requests), not O(rows).
+  int64_t run_user = -1;
+  Tensor user_repr;
   for (int64_t r = 0; r < rows; ++r) {
-    const Tensor user_repr = UserRepr(users[static_cast<size_t>(r)], nullptr);
+    if (users[static_cast<size_t>(r)] != run_user) {
+      run_user = users[static_cast<size_t>(r)];
+      user_repr = UserRepr(run_user, nullptr);
+    }
     const Tensor item_repr =
         GeneralItemRepr(items[static_cast<size_t>(r)], step_caches_, nullptr);
     float* dst = xs.data() + r * 2 * d;

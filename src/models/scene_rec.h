@@ -2,6 +2,7 @@
 #define SCENEREC_MODELS_SCENE_REC_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -96,6 +97,22 @@ class SceneRec : public Recommender {
   bool SupportsCrossUserScoring() const override { return true; }
   void ScoreRows(std::span<const int64_t> users,
                  std::span<const int64_t> items, std::span<float> out) override;
+
+  // -- Demand-paged user representations -----------------------------------
+  // With a cache attached, eval-mode UserRepr bypasses the per-user memo
+  // vector entirely: hits copy the cached row, misses compute eq. (1) under
+  // NoGradGuard (user_agg_.Forward over UserAggSum — the identical code
+  // path the serial lazy fill takes, so the row is bitwise equal to the
+  // ForwardRows-precomputed one; docs/kernels.md) and insert it. Prepare-
+  // ParallelScoring then skips the O(users) sweep: hot swap warm-up becomes
+  // O(items) and user-side memory O(cache capacity). The cache's sharded
+  // locks plus the pure-read item/scene memos keep concurrent
+  // ScoreBlock/ScoreRows safe after PrepareParallelScoring, exactly as in
+  // full warm-up mode.
+  bool SupportsUserReprCache() const override { return true; }
+  int64_t UserReprDim() const override { return config_.embedding_dim; }
+  void AttachUserReprCache(std::shared_ptr<ReprCache> cache,
+                           uint64_t version) override;
 
   /// Exports the memoized eval representations (eqs. 1 and 13). The true
   /// score is the rating MLP over [user_repr, item_repr] — not an inner
@@ -228,6 +245,12 @@ class SceneRec : public Recommender {
   // up-front by PrepareParallelScoring and then only read.
   std::vector<Tensor> eval_user_cache_;
   std::vector<Tensor> eval_item_cache_;
+
+  // Demand-paged user-representation store (see AttachUserReprCache).
+  // While attached, eval_user_cache_ stays empty and every eval-mode
+  // UserRepr goes through the cache under `user_repr_version_`'s tag.
+  std::shared_ptr<ReprCache> user_repr_cache_;
+  uint64_t user_repr_version_ = 0;
 };
 
 }  // namespace scenerec

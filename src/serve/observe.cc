@@ -237,6 +237,16 @@ std::string StatsEndpoint::StatsJson() {
   out += ", \"max_batch\": " + std::to_string(stats.max_batch);
   out += ", \"publishes\": " + std::to_string(stats.publishes) + "},";
 
+  // Demand-paged user-representation cache (all zero in full warm-up mode).
+  const ReprCache::Stats cache = server_.user_cache_stats();
+  out += "\n  \"repr_cache\": {\"entries\": " + std::to_string(cache.entries);
+  out += ", \"bytes\": " + std::to_string(cache.bytes);
+  out += ", \"capacity_bytes\": " + std::to_string(cache.capacity_bytes);
+  out += ", \"hits\": " + std::to_string(cache.hits);
+  out += ", \"misses\": " + std::to_string(cache.misses);
+  out += ", \"insertions\": " + std::to_string(cache.insertions);
+  out += ", \"evictions\": " + std::to_string(cache.evictions) + "},";
+
   out += "\n  \"slo\": ";
   AppendSloJson(out, server_.slo().state());
   out += "\n}\n";
@@ -311,6 +321,17 @@ std::string StatsEndpoint::Vars() {
   out += "server rows_scored " + std::to_string(stats.rows_scored) + "\n";
   out += "server max_batch " + std::to_string(stats.max_batch) + "\n";
   out += "server publishes " + std::to_string(stats.publishes) + "\n";
+
+  // `cache` prefix: the demand-paged user-representation cache, the lines
+  // scenerec_stat's cache section derives hit rate and residency from.
+  const ReprCache::Stats cache = server_.user_cache_stats();
+  out += "cache entries " + std::to_string(cache.entries) + "\n";
+  out += "cache bytes " + std::to_string(cache.bytes) + "\n";
+  out += "cache capacity_bytes " + std::to_string(cache.capacity_bytes) + "\n";
+  out += "cache hits " + std::to_string(cache.hits) + "\n";
+  out += "cache misses " + std::to_string(cache.misses) + "\n";
+  out += "cache insertions " + std::to_string(cache.insertions) + "\n";
+  out += "cache evictions " + std::to_string(cache.evictions) + "\n";
 
   const SloTracker::State slo = server_.slo().state();
   out += "slo enabled " + std::to_string(slo.enabled ? 1 : 0) + "\n";

@@ -38,6 +38,12 @@ const telemetry::Histogram h_queue_wait_ns =
     telemetry::RegisterHistogram("serve/queue_wait_ns", "ns");
 const telemetry::Histogram h_exec_ns =
     telemetry::RegisterHistogram("serve/exec_ns", "ns");
+// Batches whose flatten buffers (users/items/scores) were served entirely
+// from retained scratch capacity — no catalog-sized allocation. Rises to
+// ~100% of serve/daemon_batches once the scratch is warm (bench_serve
+// reports the ratio as scratch_reuse_pct).
+const telemetry::Counter t_scratch_reuses =
+    telemetry::RegisterCounter("serve/scratch_reuse_batches");
 
 void AtomicMax(std::atomic<uint64_t>& cell, uint64_t v) {
   uint64_t cur = cell.load(std::memory_order_relaxed);
@@ -60,6 +66,9 @@ Server::Server(const ServerConfig& config, const UserItemGraph& train_graph)
   SCENEREC_CHECK_GE(config_.max_delay_us, 0);
   SCENEREC_CHECK_GE(config_.num_candidates, 0);
   SCENEREC_CHECK_GE(config_.slo_target_p99_us, 0);
+  if (config_.warmup == ServerConfig::Warmup::kLazy) {
+    SCENEREC_CHECK_GE(config_.user_cache_entries, 1);
+  }
   if (!config_.stats_socket.empty()) {
     SCENEREC_CHECK_GE(config_.stats_window_ms, 1);
     SCENEREC_CHECK_GE(config_.stats_window_intervals, 2);
@@ -77,9 +86,37 @@ void Server::Publish(std::shared_ptr<Recommender> model,
     if (config_.num_candidates > 0) {
       SCENEREC_CHECK(index != nullptr);
     }
+    const uint64_t version =
+        publish_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const bool lazy = config_.warmup == ServerConfig::Warmup::kLazy &&
+                      model->SupportsUserReprCache();
+    if (lazy) {
+      // One cache shared across publishes (the hot set survives swaps);
+      // entries are tagged with this publish's sequence number, so the
+      // previous version's rows turn into misses the moment the swap lands
+      // — lazy invalidation, no stop-the-world flush.
+      std::shared_ptr<ReprCache> cache;
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        if (user_cache_ == nullptr ||
+            user_cache_->dim() != model->UserReprDim()) {
+          ReprCache::Options options;
+          options.capacity = config_.user_cache_entries;
+          options.dim = model->UserReprDim();
+          user_cache_ = std::make_shared<ReprCache>(options);
+        }
+        cache = user_cache_;
+      }
+      model->AttachUserReprCache(std::move(cache), version);
+    }
     // Read-side preparation happens BEFORE the swap (the ModelHandle
     // contract), outside the state mutex: in-flight batches keep scoring
-    // the old version while the new one warms its eval caches.
+    // the old version while the new one warms its eval caches — the full
+    // catalog in full warm-up mode, only the item side in lazy mode.
+    SCENEREC_TRACE_SPAN_F("serve/publish_warmup", "serve", trace::Floor::kNone,
+                          "version=%llu lazy=%d",
+                          static_cast<unsigned long long>(version),
+                          lazy ? 1 : 0);
     model->OnEvalBegin();
     model->PrepareParallelScoring(prep_pool_);
   }
@@ -170,6 +207,15 @@ Server::Stats Server::stats() const {
   return s;
 }
 
+ReprCache::Stats Server::user_cache_stats() const {
+  std::shared_ptr<ReprCache> cache;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    cache = user_cache_;
+  }
+  return cache == nullptr ? ReprCache::Stats{} : cache->stats();
+}
+
 void Server::Loop() {
   std::vector<Request> batch;
   Request first;
@@ -249,9 +295,10 @@ void Server::ServeBatch(std::vector<Request>& batch) {
   // amortization batched admission buys on the retrieval path. Per request
   // the candidate list is bitwise RetrieveCandidates', so results stay
   // identical to per-request serving.
-  std::vector<std::vector<int64_t>> candidates;
+  std::vector<std::vector<int64_t>>& candidates = scratch_.candidates;
   if (config_.num_candidates > 0) {
-    std::vector<int64_t> batch_users;
+    std::vector<int64_t>& batch_users = scratch_.batch_users;
+    batch_users.clear();
     batch_users.reserve(batch.size());
     for (const Request& r : batch) batch_users.push_back(r.user);
     candidates = RetrieveCandidatesBatch(*model, *index, train_graph_,
@@ -259,7 +306,9 @@ void Server::ServeBatch(std::vector<Request>& batch) {
   } else {
     candidates.resize(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
-      candidates[i] = UninteractedItems(train_graph_, batch[i].user);
+      // Out-param overload: the per-request candidate vector keeps its
+      // catalog-sized capacity from earlier batches.
+      UninteractedItems(train_graph_, batch[i].user, &candidates[i]);
     }
   }
 
@@ -267,18 +316,26 @@ void Server::ServeBatch(std::vector<Request>& batch) {
   // (user, item) row list and score it in bounded chunks. ScoreRows is
   // per-row bitwise equal to Score regardless of co-batched rows, so the
   // flattening and re-chunking cannot change any request's scores — it
-  // only lets concurrent requests share GEMM batches.
+  // only lets concurrent requests share GEMM batches. The flatten buffers
+  // are admission-thread scratch: once warm, no allocation happens here.
   size_t total = 0;
   for (const std::vector<int64_t>& c : candidates) total += c.size();
-  std::vector<int64_t> users;
-  std::vector<int64_t> items;
+  std::vector<int64_t>& users = scratch_.users;
+  std::vector<int64_t>& items = scratch_.items;
+  std::vector<float>& scores = scratch_.scores;
+  if (users.capacity() >= total && items.capacity() >= total &&
+      scores.capacity() >= total) {
+    t_scratch_reuses.Add(1);
+  }
+  users.clear();
+  items.clear();
   users.reserve(total);
   items.reserve(total);
   for (size_t i = 0; i < batch.size(); ++i) {
     users.insert(users.end(), candidates[i].size(), batch[i].user);
     items.insert(items.end(), candidates[i].begin(), candidates[i].end());
   }
-  std::vector<float> scores(total);
+  scores.resize(total);
   for (size_t offset = 0; offset < total;
        offset += static_cast<size_t>(kScoreBlockSize)) {
     const size_t len =
@@ -326,13 +383,17 @@ void Server::ServeBatch(std::vector<Request>& batch) {
   // total order as every other serving surface.
   size_t pos = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
-    std::vector<Recommendation> scored;
+    std::vector<Recommendation>& scored = scratch_.scored;
+    scored.clear();
     scored.reserve(candidates[i].size());
     for (const int64_t item : candidates[i]) {
       scored.push_back({item, scores[pos++]});
     }
+    // In-place selection on the reused staging vector; only the n winners
+    // are copied into the reply.
+    SelectTopNInPlace(&scored, config_.top_n);
     Reply reply;
-    reply.recommendations = SelectTopN(std::move(scored), config_.top_n);
+    reply.recommendations.assign(scored.begin(), scored.end());
     reply.queue_wait_ns =
         timed && admit_ns > batch[i].enqueue_ns
             ? admit_ns - batch[i].enqueue_ns

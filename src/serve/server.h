@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/mpmc_queue.h"
+#include "common/repr_cache.h"
 #include "common/thread_pool.h"
 #include "eval/top_n.h"
 #include "graph/bipartite_graph.h"
@@ -43,6 +44,21 @@ struct ServerConfig {
   /// two-stage retrieval with this candidate budget (TwoStageTopN
   /// semantics) and requires an ItemIndex at Publish time.
   int64_t num_candidates = 0;
+
+  // -- Warm-up policy (docs/serving.md#warmup) -------------------------------
+
+  /// How Publish warms the incoming model's read side. kFull precomputes
+  /// every user representation (O(users+items) before the swap); kLazy
+  /// skips the user sweep — O(items) warm-up, user reprs demand-paged
+  /// through a bounded ReprCache keyed by the publish sequence. Responses
+  /// are bitwise identical either way; models without user-repr-cache
+  /// support silently fall back to full warm-up.
+  enum class Warmup { kFull, kLazy };
+  Warmup warmup = Warmup::kFull;
+  /// Capacity (entries) of the lazy-mode user-representation cache. Size it
+  /// to the hot set — ~10% of users holds steady-state QPS within 5% of
+  /// full warm-up under Zipf traffic (BENCH_cache.json).
+  int64_t user_cache_entries = 65536;
 
   // -- Observability plane (docs/observability.md) ---------------------------
 
@@ -140,6 +156,10 @@ class Server {
   };
   Stats stats() const;
 
+  /// Totals of the demand-paged user-representation cache; all-zero until
+  /// a lazy Publish creates one (full warm-up mode never does).
+  ReprCache::Stats user_cache_stats() const;
+
   // -- Observability plane (read by StatsEndpoint and tests) -----------------
 
   const ServerConfig& config() const { return config_; }
@@ -173,6 +193,21 @@ class Server {
   void Loop();
   void ServeBatch(std::vector<Request>& batch);
 
+  /// Reusable buffers of the admission thread: every O(catalog)-sized
+  /// vector ServeBatch fills (candidate lists, the stage-2 flatten, the
+  /// selection staging area) keeps its capacity across batches, so a
+  /// steady-state batch allocates nothing catalog-sized. Touched only by
+  /// the Loop thread.
+  struct BatchScratch {
+    std::vector<std::vector<int64_t>> candidates;
+    std::vector<int64_t> batch_users;
+    std::vector<int64_t> users;
+    std::vector<int64_t> items;
+    std::vector<float> scores;
+    std::vector<Recommendation> scored;
+  };
+  BatchScratch scratch_;
+
   const ServerConfig config_;
   const UserItemGraph& train_graph_;
 
@@ -185,6 +220,14 @@ class Server {
   mutable std::mutex state_mu_;
   ModelHandle handle_;
   std::shared_ptr<const ItemIndex> index_;
+
+  /// Lazy-warm-up state: the user-representation cache (created by the
+  /// first lazy Publish of a supporting model, shared across publishes so
+  /// the hot set survives swaps) and the version tag for its entries —
+  /// bumped per Publish, so a swap invalidates the previous version's
+  /// entries lazily with no flush.
+  std::shared_ptr<ReprCache> user_cache_;  // guarded by state_mu_
+  std::atomic<uint64_t> publish_seq_{0};
 
   MpmcQueue<Request> queue_;
   std::thread worker_;

@@ -1,0 +1,170 @@
+// Tests for the demand-paged representation cache (src/common/repr_cache.h,
+// docs/serving.md#warmup): lookup/insert round trips, version-tagged lazy
+// invalidation, the deterministic clock / second-chance eviction order,
+// capacity accounting across shard layouts, and a concurrent hammer that
+// tools/check.sh runs under TSan and ASan.
+
+#include "common/repr_cache.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace scenerec {
+namespace {
+
+std::vector<float> Row(int64_t dim, float fill) {
+  return std::vector<float>(static_cast<size_t>(dim), fill);
+}
+
+TEST(ReprCacheTest, InsertThenLookupRoundTripsTheRow) {
+  ReprCache cache({/*capacity=*/8, /*dim=*/4});
+  std::vector<float> out(4, -1.0f);
+  EXPECT_FALSE(cache.Lookup(7, /*version=*/1, out));
+
+  cache.Insert(7, 1, Row(4, 0.5f));
+  ASSERT_TRUE(cache.Lookup(7, 1, out));
+  for (float v : out) EXPECT_EQ(v, 0.5f);
+
+  // Re-insert overwrites in place — no second slot consumed.
+  cache.Insert(7, 1, Row(4, 2.5f));
+  ASSERT_TRUE(cache.Lookup(7, 1, out));
+  for (float v : out) EXPECT_EQ(v, 2.5f);
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+TEST(ReprCacheTest, VersionMismatchIsAMissAndReinsertReclaimsTheSlot) {
+  ReprCache cache({/*capacity=*/4, /*dim=*/2});
+  std::vector<float> out(2);
+  cache.Insert(3, /*version=*/1, Row(2, 1.0f));
+  ASSERT_TRUE(cache.Lookup(3, 1, out));
+
+  // A publish bumps the version: the resident v1 entry must NOT serve v2.
+  EXPECT_FALSE(cache.Lookup(3, /*version=*/2, out));
+
+  // Re-inserting under v2 refreshes the same slot; v1 is gone, v2 serves.
+  cache.Insert(3, 2, Row(2, 7.0f));
+  ASSERT_TRUE(cache.Lookup(3, 2, out));
+  EXPECT_EQ(out[0], 7.0f);
+  EXPECT_FALSE(cache.Lookup(3, 1, out));
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+// Single shard makes the clock deterministic: insert sets the ref bit, a
+// sweep clears set bits (second chance) and evicts the first cold slot.
+TEST(ReprCacheTest, ClockEvictionGivesHitEntriesASecondChance) {
+  ReprCache cache({/*capacity=*/4, /*dim=*/1, /*num_shards=*/1});
+  std::vector<float> out(1);
+  for (int64_t k = 0; k < 4; ++k) cache.Insert(k, 1, Row(1, float(k)));
+
+  // All four ref bits are set, so the first eviction sweeps a full lap
+  // (clearing every bit) and lands back on slot 0: key 0 is the victim.
+  cache.Insert(4, 1, Row(1, 4.0f));
+  EXPECT_FALSE(cache.Lookup(0, 1, out));
+  EXPECT_TRUE(cache.Lookup(4, 1, out));
+
+  // Hit key 2, then insert twice more. The hand sits at slot 1: key 1 is
+  // cold and goes first; key 2's fresh ref bit earns it a reprieve, so the
+  // next victim is key 3.
+  ASSERT_TRUE(cache.Lookup(2, 1, out));
+  cache.Insert(5, 1, Row(1, 5.0f));
+  EXPECT_FALSE(cache.Lookup(1, 1, out));
+  cache.Insert(6, 1, Row(1, 6.0f));
+  EXPECT_FALSE(cache.Lookup(3, 1, out));
+  EXPECT_TRUE(cache.Lookup(2, 1, out));
+
+  const ReprCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 4);
+  EXPECT_EQ(stats.evictions, 3u);
+}
+
+TEST(ReprCacheTest, CapacityBoundsResidencyAcrossShardLayouts) {
+  for (int64_t shards : {int64_t{1}, int64_t{4}, int64_t{16}}) {
+    SCOPED_TRACE("num_shards=" + std::to_string(shards));
+    // 10 is not a multiple of any power-of-two shard count > 1: the exact
+    // split must still hand out precisely 10 slots in total.
+    ReprCache cache({/*capacity=*/10, /*dim=*/3, shards});
+    for (int64_t k = 0; k < 100; ++k) cache.Insert(k, 1, Row(3, float(k)));
+    const ReprCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 10);
+    EXPECT_EQ(stats.bytes, 10 * 3 * int64_t{sizeof(float)});
+    EXPECT_EQ(stats.capacity_bytes, 10 * 3 * int64_t{sizeof(float)});
+    EXPECT_EQ(stats.insertions, 100u);
+    EXPECT_EQ(stats.evictions, 90u);
+  }
+}
+
+TEST(ReprCacheTest, ClearDropsEverythingAndSlotsAreReusable) {
+  ReprCache cache({/*capacity=*/8, /*dim=*/2, /*num_shards=*/2});
+  for (int64_t k = 0; k < 8; ++k) cache.Insert(k, 1, Row(2, float(k)));
+  EXPECT_EQ(cache.stats().entries, 8);
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().bytes, 0);
+  std::vector<float> out(2);
+  for (int64_t k = 0; k < 8; ++k) EXPECT_FALSE(cache.Lookup(k, 1, out));
+
+  cache.Insert(42, 2, Row(2, 42.0f));
+  ASSERT_TRUE(cache.Lookup(42, 2, out));
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+TEST(ReprCacheTest, ShardCountRoundsDownAndClampsToCapacity) {
+  // Requested 16 shards but only 3 slots: every shard must own >= 1 slot,
+  // so the count clamps to floor_pow2(3) = 2.
+  ReprCache small({/*capacity=*/3, /*dim=*/1, /*num_shards=*/16});
+  EXPECT_EQ(small.num_shards(), 2);
+  // Non-power-of-two requests round down.
+  ReprCache rounded({/*capacity=*/64, /*dim=*/1, /*num_shards=*/12});
+  EXPECT_EQ(rounded.num_shards(), 8);
+}
+
+// Concurrent readers and writers over a keyspace larger than capacity:
+// every successful Lookup must return the exact row Insert wrote for that
+// (key, version) — a key-derived pattern makes torn or misrouted rows
+// detectable. check.sh runs this under TSan; the locking is per shard, so
+// this is the test that would catch a slot race.
+TEST(ReprCacheTest, ConcurrentHammerReturnsOnlyFullyWrittenRows) {
+  constexpr int64_t kDim = 8;
+  constexpr int64_t kKeys = 256;
+  ReprCache cache({/*capacity=*/64, kDim, /*num_shards=*/4});
+  std::atomic<uint64_t> hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<float> row(kDim);
+      std::vector<float> out(kDim);
+      for (int iter = 0; iter < 2000; ++iter) {
+        const int64_t key = (iter * 31 + t * 17) % kKeys;
+        const uint64_t version = 1 + static_cast<uint64_t>(key % 3);
+        for (int64_t d = 0; d < kDim; ++d) {
+          row[static_cast<size_t>(d)] =
+              static_cast<float>(key * 1000 + static_cast<int64_t>(version) *
+                                                  100 + d);
+        }
+        if (cache.Lookup(key, version, out)) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+          for (int64_t d = 0; d < kDim; ++d) {
+            ASSERT_EQ(out[static_cast<size_t>(d)],
+                      row[static_cast<size_t>(d)])
+                << "key " << key << " version " << version << " dim " << d;
+          }
+        } else {
+          cache.Insert(key, version, row);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GT(hits.load(), 0u);
+  const ReprCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.entries, 64);
+  EXPECT_EQ(stats.hits, hits.load());
+}
+
+}  // namespace
+}  // namespace scenerec

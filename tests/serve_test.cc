@@ -634,5 +634,137 @@ TEST_F(ServeTest, SloTargetBlownDegradesHealthzButNotResults) {
   plain.Stop();
 }
 
+// -- Lazy warm-up / demand-paged user cache (docs/serving.md#warmup) ----------
+
+// The contract the whole feature rests on: lazy warm-up must be BITWISE
+// invisible in results. Two servers over the same SceneRec model — one full
+// warm-up, one demand-paged — must return identical lists for every user,
+// from concurrent clients, including when the cache is too small to hold
+// the user set (constant eviction churn on the hot path).
+TEST_F(ServeTest, LazyWarmupBitwiseMatchesFullWarmup) {
+  std::shared_ptr<Recommender> model = MakeModel("SceneRec", 71);
+  ASSERT_NE(model, nullptr);
+  ASSERT_TRUE(model->SupportsUserReprCache());
+  const auto expected = FullCatalogExpected(*model);
+  for (int64_t cache_entries :
+       {dataset_.num_users * 2, dataset_.num_users / 8}) {
+    SCOPED_TRACE("user_cache_entries=" + std::to_string(cache_entries));
+    serve::ServerConfig config = Config(/*max_batch=*/4, 0);
+    config.warmup = serve::ServerConfig::Warmup::kLazy;
+    config.user_cache_entries = cache_entries;
+    serve::Server server(config, graph_);
+    server.Publish(model);
+    server.Start();
+    Drive(server, /*threads=*/4, /*rounds=*/4, expected);
+    server.Stop();
+    const ReprCache::Stats cache = server.user_cache_stats();
+    EXPECT_GT(cache.misses, 0u);  // demand paging actually happened
+    EXPECT_LE(cache.entries, cache_entries);
+    if (cache_entries < dataset_.num_users) {
+      EXPECT_GT(cache.evictions, 0u);  // the tiny cache really churned
+    } else {
+      EXPECT_GT(cache.hits, 0u);  // rounds 2..4 served from residency
+    }
+  }
+}
+
+// Hot swap onto a COLD cache under live traffic: version-tagged entries
+// mean a swap invalidates lazily, so the first post-swap touch of every
+// user recomputes under the new parameters. No result may mix versions,
+// and after the swap drains serving is pure B.
+TEST_F(ServeTest, LazyWarmupHotSwapOnColdCacheNeverTearsResults) {
+  std::shared_ptr<Recommender> model_a = MakeModel("SceneRec", 81);
+  std::shared_ptr<Recommender> model_b = MakeModel("SceneRec", 82);
+  ASSERT_NE(model_a, nullptr);
+  ASSERT_NE(model_b, nullptr);
+  const auto expected_a = FullCatalogExpected(*model_a);
+  const auto expected_b = FullCatalogExpected(*model_b);
+
+  auto matches = [](const std::vector<Recommendation>& got,
+                    const std::vector<Recommendation>& want) {
+    if (got.size() != want.size()) return false;
+    for (size_t i = 0; i < got.size(); ++i) {
+      if (got[i].item != want[i].item || got[i].score != want[i].score) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  serve::ServerConfig config = Config(/*max_batch=*/4, 0);
+  config.warmup = serve::ServerConfig::Warmup::kLazy;
+  config.user_cache_entries = dataset_.num_users / 4;  // eviction stays live
+  serve::Server server(config, graph_);
+  server.Publish(model_a);
+  server.Start();
+
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> version_b_hits{0};
+  const int64_t total = dataset_.num_users * 10;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      std::vector<Recommendation> got;
+      for (;;) {
+        const int64_t seq = next.fetch_add(1);
+        if (seq >= total) break;
+        // Skewed mix: half the traffic concentrates on 5 hot users (well
+        // inside the 10-entry cache, so residency pays off), half cycles
+        // the whole catalog (so eviction churn never stops). A pure
+        // round-robin sweep over 40 users through 10 slots is the
+        // pathological cyclic pattern — every access would miss.
+        const int64_t user = (seq & 1) != 0 ? seq % dataset_.num_users
+                                            : (seq >> 1) % 5;
+        ASSERT_TRUE(server.TopN(user, &got));
+        const bool is_a = matches(got, expected_a[static_cast<size_t>(user)]);
+        const bool is_b = matches(got, expected_b[static_cast<size_t>(user)]);
+        ASSERT_TRUE(is_a || is_b)
+            << "stale-cache or torn result for user " << user;
+        if (is_b) version_b_hits.fetch_add(1);
+      }
+    });
+  }
+  std::thread publisher([&] {
+    while (next.load() < total / 4) std::this_thread::yield();
+    server.Publish(model_b);
+  });
+  publisher.join();
+  for (std::thread& t : clients) t.join();
+
+  // Every user — whether its entry is resident-stale, resident-fresh, or
+  // evicted — must now serve version B exactly.
+  std::vector<Recommendation> got;
+  for (int64_t u = 0; u < dataset_.num_users; ++u) {
+    ASSERT_TRUE(server.TopN(u, &got));
+    ExpectSameList(got, expected_b[static_cast<size_t>(u)]);
+  }
+  server.Stop();
+  EXPECT_GT(version_b_hits.load(), 0);
+  const ReprCache::Stats cache = server.user_cache_stats();
+  EXPECT_GT(cache.hits, 0u);
+  EXPECT_GT(cache.evictions, 0u);
+  EXPECT_LE(cache.entries, config.user_cache_entries);
+}
+
+// Models without a user-repr capability fall back to full warm-up
+// silently: lazy mode must neither crash (the base-class CHECK) nor change
+// results, and the cache stats must stay empty.
+TEST_F(ServeTest, LazyWarmupFallsBackToFullForUnsupportedModels) {
+  std::shared_ptr<Recommender> model = MakeModel("BPR-MF", 91);
+  ASSERT_NE(model, nullptr);
+  ASSERT_FALSE(model->SupportsUserReprCache());
+  const auto expected = FullCatalogExpected(*model);
+  serve::ServerConfig config = Config(/*max_batch=*/4, 0);
+  config.warmup = serve::ServerConfig::Warmup::kLazy;
+  serve::Server server(config, graph_);
+  server.Publish(model);
+  server.Start();
+  Drive(server, /*threads=*/2, /*rounds=*/2, expected);
+  server.Stop();
+  const ReprCache::Stats cache = server.user_cache_stats();
+  EXPECT_EQ(cache.capacity_bytes, 0);
+  EXPECT_EQ(cache.hits + cache.misses, 0u);
+}
+
 }  // namespace
 }  // namespace scenerec

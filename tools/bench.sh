@@ -22,7 +22,13 @@
 # the closed-loop serving-daemon load test (docs/serving.md): per-request
 # serving vs batched admission at identical results, with request-latency
 # p50/p99 reported as counters on the daemon rows — the acceptance gate is
-# BatchedRetrieval QPS >= 2x PerRequestRetrieval QPS. BENCH_observe.json is
+# BatchedRetrieval QPS >= 2x PerRequestRetrieval QPS. BENCH_cache.json is
+# the demand-paged user-representation cache suite (the BM_Cache rows of
+# bench_serve, docs/serving.md#warmup) on a users>>items world: full vs
+# lazy warm-up swap-to-first-response (acceptance: lazy >= 5x faster) and
+# closed-loop Zipf steady-state QPS (acceptance: lazy within 5% of full,
+# with hit_rate_pct / resident_mb / scratch_reuse_pct counters on the lazy
+# row). BENCH_observe.json is
 # the stats-socket scrape cost (docs/observability.md): per-verb scrape
 # latency plus closed-loop daemon QPS with and without a 5 Hz background
 # scraper — the BM_ObserveDaemonScraped row's scrape_overhead_pct counter
@@ -64,10 +70,17 @@ build/bench/bench_retrieval \
   --benchmark_filter="${FILTER}" \
   --benchmark_format=json >BENCH_retrieval.json
 
-echo "==> bench_serve -> BENCH_serve.json"
+# bench_serve hosts two disjoint suites; fixed filters keep each JSON's row
+# set stable so bench_diff baselines stay comparable across runs.
+echo "==> bench_serve (BM_Serve) -> BENCH_serve.json"
 build/bench/bench_serve \
-  --benchmark_filter="${FILTER}" \
+  --benchmark_filter='BM_Serve' \
   --benchmark_format=json >BENCH_serve.json
+
+echo "==> bench_serve (BM_Cache) -> BENCH_cache.json"
+build/bench/bench_serve \
+  --benchmark_filter='BM_Cache' \
+  --benchmark_format=json >BENCH_cache.json
 
 echo "==> bench_observe -> BENCH_observe.json"
 build/bench/bench_observe \

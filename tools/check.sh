@@ -65,7 +65,7 @@ build/tools/scenerec_stat --selftest
 
 echo "==> stage 2: ThreadSanitizer build"
 configure build-tsan -DSCENEREC_SANITIZE=thread
-cmake --build build-tsan --target parallel_test eval_test scoring_test train_test telemetry_test trace_test snapshot_test retrieval_test serve_test common_test scenerec_serve scenerec_stat
+cmake --build build-tsan --target parallel_test eval_test scoring_test train_test telemetry_test trace_test snapshot_test retrieval_test serve_test common_test repr_cache_test scenerec_serve scenerec_stat
 
 echo "==> stage 2: parallel tests under TSan"
 # halt_on_error makes a data race fail the script, not just print a report.
@@ -90,9 +90,14 @@ build-tsan/tests/snapshot_test
 # One shared ItemIndex serving concurrent Search calls on pool threads:
 # const reads of centroids/lists/codes with all scratch query-local.
 build-tsan/tests/retrieval_test
+# The demand-paged repr cache: sharded locking under concurrent
+# Lookup/Insert from many threads — the slot-reuse path is the race surface.
+build-tsan/tests/repr_cache_test
 # The serving daemon's MPMC queue, batched admission loop and hot swap under
 # live client threads — the cross-request batching contract is only real if
 # TSan can't find a race between clients, the admission thread and Publish.
+# Includes the lazy warm-up tests: compute-on-miss fills racing a cold-cache
+# hot swap.
 build-tsan/tests/serve_test
 # The observability plane under load: socket server accept loop, windowed
 # histogram ticker, live trace ring and SLO tracker all run on their own
@@ -103,7 +108,7 @@ build-tsan/tools/scenerec_stat --selftest
 
 echo "==> stage 3: ASan+UBSan build"
 configure build-asan -DSCENEREC_SANITIZE=address,undefined
-cmake --build build-asan --target tensor_test ops_test telemetry_test train_test trace_test scoring_test snapshot_test retrieval_test serve_test common_test scenerec_serve scenerec_stat
+cmake --build build-asan --target tensor_test ops_test telemetry_test train_test trace_test scoring_test snapshot_test retrieval_test serve_test common_test repr_cache_test scenerec_serve scenerec_stat
 
 echo "==> stage 3: tensor/op tests under ASan+UBSan"
 build-asan/tests/tensor_test
@@ -139,6 +144,9 @@ echo "==> stage 3: retrieval index paths under ASan+UBSan"
 build-asan/tests/retrieval_test
 
 echo "==> stage 3: serving daemon under ASan+UBSan"
+# The repr cache's slot-parallel arrays and memcpy row copies — wrong slot
+# arithmetic on the contiguous [slots, dim] block is a heap overflow here.
+build-asan/tests/repr_cache_test
 # Request/result lifetime across the queue handoff (caller-owned output
 # vectors written by the admission thread), Stop-time drain, and the model
 # retirement path while responses are still being copied out.
@@ -162,7 +170,8 @@ if [ "${SCENEREC_PERF:-0}" != "0" ]; then
   build/bench/bench_scoring --benchmark_format=json >"$tmp/scoring.json"
   build/bench/bench_snapshot --benchmark_format=json >"$tmp/snapshot.json"
   build/bench/bench_retrieval --benchmark_format=json >"$tmp/retrieval.json"
-  build/bench/bench_serve --benchmark_format=json >"$tmp/serve.json"
+  build/bench/bench_serve --benchmark_filter='BM_Serve' --benchmark_format=json >"$tmp/serve.json"
+  build/bench/bench_serve --benchmark_filter='BM_Cache' --benchmark_format=json >"$tmp/cache.json"
   build/bench/bench_observe --benchmark_format=json >"$tmp/observe.json"
   build/bench/bench_parallel \
     --benchmark_filter='BM_TrainEpochTelemetry' \
@@ -178,6 +187,7 @@ if [ "${SCENEREC_PERF:-0}" != "0" ]; then
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_snapshot.json "$tmp/snapshot.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_retrieval.json "$tmp/retrieval.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_serve.json "$tmp/serve.json"
+  tools/bench_diff --check --threshold="$THRESHOLD" BENCH_cache.json "$tmp/cache.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_observe.json "$tmp/observe.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_telemetry.json "$tmp/telemetry.json"
   tools/bench_diff --check --threshold="$THRESHOLD" BENCH_trace.json "$tmp/trace.json"

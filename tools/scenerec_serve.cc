@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -30,6 +31,7 @@
 
 #include "common/flags.h"
 #include "common/malloc_tuning.h"
+#include "common/repr_cache.h"
 #include "common/rng.h"
 #include "common/socket_server.h"
 #include "common/telemetry.h"
@@ -59,6 +61,22 @@ bool SameRecommendations(const std::vector<Recommendation>& a,
     if (a[i].item != b[i].item || a[i].score != b[i].score) return false;
   }
   return true;
+}
+
+/// Parses the --skew flag: "uniform" -> 0 (round-robin users), "zipf:<s>"
+/// -> the Zipf exponent s > 0 (rank 0 hottest; see common/rng.h's
+/// ZipfSampler). The skewed mix is what makes the demand-paged user cache's
+/// hot set meaningful (docs/serving.md#warmup).
+StatusOr<double> ParseSkew(const std::string& skew) {
+  if (skew == "uniform") return 0.0;
+  const std::string prefix = "zipf:";
+  if (skew.compare(0, prefix.size(), prefix) == 0) {
+    char* end = nullptr;
+    const double s = std::strtod(skew.c_str() + prefix.size(), &end);
+    if (end != nullptr && *end == '\0' && s > 0.0) return s;
+  }
+  return Status::InvalidArgument("bad --skew \"" + skew +
+                                 "\" (expected uniform | zipf:<s>, s > 0)");
 }
 
 /// Count column of one `window <name> ...` line in a `vars` payload.
@@ -110,16 +128,19 @@ StatusOr<SelfTestWorld> BuildWorld() {
 }
 
 /// Drives `total` blocking requests against `server` from `clients` threads
-/// (users round-robin over the catalog) and checks every result bitwise
-/// against `expected_a` or `expected_b` — a request in flight across the
-/// hot swap may legally see either version, but never a mixture. Returns
-/// false (and prints) on any mismatch or rejected request.
+/// (users round-robin over the catalog, or following `user_seq` when
+/// non-empty — the Zipf phases pass a pre-sampled skewed sequence) and
+/// checks every result bitwise against `expected_a` or `expected_b` — a
+/// request in flight across the hot swap may legally see either version,
+/// but never a mixture. Returns false (and prints) on any mismatch or
+/// rejected request.
 bool DriveAndVerify(serve::Server& server, int64_t num_users, int64_t total,
                     int clients,
                     const std::vector<std::vector<Recommendation>>& expected_a,
                     const std::vector<std::vector<Recommendation>>& expected_b,
                     std::atomic<uint64_t>* matched_a,
-                    std::atomic<uint64_t>* matched_b) {
+                    std::atomic<uint64_t>* matched_b,
+                    std::span<const int64_t> user_seq = {}) {
   std::atomic<int64_t> next{0};
   std::atomic<bool> ok{true};
   std::vector<std::thread> threads;
@@ -130,7 +151,9 @@ bool DriveAndVerify(serve::Server& server, int64_t num_users, int64_t total,
       for (;;) {
         const int64_t seq = next.fetch_add(1, std::memory_order_relaxed);
         if (seq >= total) break;
-        const int64_t user = seq % num_users;
+        const int64_t user = user_seq.empty()
+                                 ? seq % num_users
+                                 : user_seq[static_cast<size_t>(seq)];
         if (!server.TopN(user, &got)) {
           std::fprintf(stderr, "FAIL request %lld rejected\n",
                        static_cast<long long>(seq));
@@ -569,6 +592,115 @@ int SelfTest(std::string dir) {
     std::printf("slo: blown 1us target degrades healthz, serving unaffected\n");
   }
 
+  // Phase 6: lazy warm-up — the demand-paged user-representation cache
+  // (docs/serving.md#warmup) under Zipf-skewed traffic, including a hot
+  // swap onto a COLD cache. Two SceneRec versions, a cache far smaller than
+  // the user set (eviction live), skewed users: every response must stay
+  // bitwise identical to the library (full-warm-up-equivalent) results of
+  // version A or B, and strictly B once the swap has drained.
+  {
+    ModelContext scene_context;
+    scene_context.user_item = &world.train_graph;
+    scene_context.scene = &world.scene_graph;
+    ModelFactoryConfig cfg_a;
+    cfg_a.embedding_dim = 8;
+    cfg_a.seed = 101;
+    ModelFactoryConfig cfg_b = cfg_a;
+    cfg_b.seed = 202;  // a genuinely different version
+    auto a_or = MakeRecommender("SceneRec", scene_context, cfg_a);
+    if (!a_or.ok()) return Fail("lazy factory A", a_or.status());
+    auto b_or = MakeRecommender("SceneRec", scene_context, cfg_b);
+    if (!b_or.ok()) return Fail("lazy factory B", b_or.status());
+    std::shared_ptr<Recommender> lazy_a = std::move(a_or).value();
+    std::shared_ptr<Recommender> lazy_b = std::move(b_or).value();
+
+    lazy_a->OnEvalBegin();
+    lazy_b->OnEvalBegin();
+    std::vector<std::vector<Recommendation>> lazy_expected_a(
+        static_cast<size_t>(num_users));
+    std::vector<std::vector<Recommendation>> lazy_expected_b(
+        static_cast<size_t>(num_users));
+    for (int64_t u = 0; u < num_users; ++u) {
+      lazy_expected_a[static_cast<size_t>(u)] = TopNRecommendations(
+          lazy_a->BlockScorer(), world.train_graph, u, kTopN);
+      lazy_expected_b[static_cast<size_t>(u)] = TopNRecommendations(
+          lazy_b->BlockScorer(), world.train_graph, u, kTopN);
+    }
+
+    serve::ServerConfig config;
+    config.top_n = kTopN;
+    config.max_batch = 8;
+    config.max_delay_us = 200;
+    config.queue_capacity = 32;
+    config.warmup = serve::ServerConfig::Warmup::kLazy;
+    config.user_cache_entries = num_users / 4;  // forces eviction churn
+    serve::Server server(config, world.train_graph);
+    server.Publish(lazy_a);
+    server.Start();
+
+    // Pre-sampled Zipf user sequence: hot users dominate, but the tail is
+    // long enough to keep missing/evicting.
+    const int64_t kLazyRequests = 600;
+    ZipfSampler zipf(static_cast<uint64_t>(num_users), 1.1);
+    Rng zipf_rng(7);
+    std::vector<int64_t> user_seq(static_cast<size_t>(kLazyRequests));
+    for (int64_t& u : user_seq) {
+      u = static_cast<int64_t>(zipf.Sample(zipf_rng));
+    }
+
+    std::atomic<uint64_t> matched_a{0};
+    std::atomic<uint64_t> matched_b{0};
+    std::thread swapper([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      server.Publish(lazy_b);  // version B starts with a COLD cache
+    });
+    bool ok = DriveAndVerify(server, num_users, kLazyRequests, kClients,
+                             lazy_expected_a, lazy_expected_b, &matched_a,
+                             &matched_b, user_seq);
+    swapper.join();
+    if (!ok) return 1;
+    // Post-swap, every user — hot, cold, or evicted — must be pure B.
+    std::vector<Recommendation> got;
+    for (int64_t u = 0; u < num_users; ++u) {
+      if (!server.TopN(u, &got) ||
+          !SameRecommendations(got, lazy_expected_b[static_cast<size_t>(u)])) {
+        std::fprintf(stderr,
+                     "FAIL lazy post-swap result for user %lld is not "
+                     "version B\n",
+                     static_cast<long long>(u));
+        return 1;
+      }
+    }
+    server.Stop();
+
+    const ReprCache::Stats cache = server.user_cache_stats();
+    if (cache.hits == 0 || cache.misses == 0 || cache.evictions == 0 ||
+        cache.entries > config.user_cache_entries ||
+        cache.bytes > cache.capacity_bytes) {
+      std::fprintf(stderr,
+                   "FAIL lazy cache stats implausible: hits=%llu misses=%llu "
+                   "evictions=%llu entries=%lld capacity=%lld\n",
+                   static_cast<unsigned long long>(cache.hits),
+                   static_cast<unsigned long long>(cache.misses),
+                   static_cast<unsigned long long>(cache.evictions),
+                   static_cast<long long>(cache.entries),
+                   static_cast<long long>(config.user_cache_entries));
+      return 1;
+    }
+    std::printf(
+        "lazy-warmup: %lld zipf requests + full sweep bitwise across a "
+        "cold-cache swap (A=%llu B=%llu, cache %lld/%lld entries, "
+        "hit rate %.0f%%, %llu evictions)\n",
+        static_cast<long long>(kLazyRequests),
+        static_cast<unsigned long long>(matched_a.load()),
+        static_cast<unsigned long long>(matched_b.load()),
+        static_cast<long long>(cache.entries),
+        static_cast<long long>(config.user_cache_entries),
+        100.0 * static_cast<double>(cache.hits) /
+            static_cast<double>(cache.hits + cache.misses),
+        static_cast<unsigned long long>(cache.evictions));
+  }
+
   std::printf("PASS\n");
   return 0;
 }
@@ -646,6 +778,15 @@ int Serve(const FlagParser& flags) {
   config.stats_socket = flags.GetString("stats_socket");
   config.stats_window_ms = flags.GetInt64("stats_window_ms");
   config.slo_target_p99_us = flags.GetInt64("slo_p99_us");
+  const std::string warmup = flags.GetString("warmup");
+  if (warmup == "lazy") {
+    config.warmup = serve::ServerConfig::Warmup::kLazy;
+  } else if (warmup != "full") {
+    std::fprintf(stderr, "bad --warmup \"%s\" (expected full | lazy)\n",
+                 warmup.c_str());
+    return 1;
+  }
+  config.user_cache_entries = flags.GetInt64("user_cache_entries");
   if (!config.stats_socket.empty()) {
     std::printf("stats socket: %s (scrape with scenerec_stat --socket=%s)\n",
                 config.stats_socket.c_str(), config.stats_socket.c_str());
@@ -669,6 +810,22 @@ int Serve(const FlagParser& flags) {
 
   const int64_t total = flags.GetInt64("requests");
   const int clients = static_cast<int>(flags.GetInt64("clients"));
+
+  // Traffic mix: round-robin (uniform) or a pre-sampled Zipf sequence —
+  // the skewed mix is what gives the demand-paged cache a hot set to keep.
+  auto skew_or = ParseSkew(flags.GetString("skew"));
+  if (!skew_or.ok()) return Fail("skew", skew_or.status());
+  const double zipf_s = skew_or.value();
+  std::vector<int64_t> user_seq;
+  if (zipf_s > 0.0) {
+    ZipfSampler zipf(static_cast<uint64_t>(dataset.num_users), zipf_s);
+    Rng skew_rng(data_seed ^ 0x5bf03635ULL);
+    user_seq.resize(static_cast<size_t>(total));
+    for (int64_t& u : user_seq) {
+      u = static_cast<int64_t>(zipf.Sample(skew_rng));
+    }
+  }
+
   std::atomic<int64_t> next{0};
   std::atomic<bool> ok{true};
   const auto start = std::chrono::steady_clock::now();
@@ -680,7 +837,10 @@ int Serve(const FlagParser& flags) {
       for (;;) {
         const int64_t seq = next.fetch_add(1, std::memory_order_relaxed);
         if (seq >= total) break;
-        if (!server.TopN(seq % dataset.num_users, &got)) {
+        const int64_t user = user_seq.empty()
+                                 ? seq % dataset.num_users
+                                 : user_seq[static_cast<size_t>(seq)];
+        if (!server.TopN(user, &got)) {
           ok.store(false, std::memory_order_relaxed);
           break;
         }
@@ -709,6 +869,21 @@ int Serve(const FlagParser& flags) {
               static_cast<unsigned long long>(stats.max_batch),
               static_cast<unsigned long long>(stats.rows_scored),
               static_cast<unsigned long long>(stats.publishes));
+  if (config.warmup == serve::ServerConfig::Warmup::kLazy) {
+    const ReprCache::Stats cache = server.user_cache_stats();
+    const uint64_t lookups = cache.hits + cache.misses;
+    std::printf(
+        "  repr cache: %lld/%lld entries resident (%.1f MiB of %.1f MiB), "
+        "hit rate %.1f%%, %llu evictions\n",
+        static_cast<long long>(cache.entries),
+        static_cast<long long>(config.user_cache_entries),
+        static_cast<double>(cache.bytes) / (1024.0 * 1024.0),
+        static_cast<double>(cache.capacity_bytes) / (1024.0 * 1024.0),
+        lookups == 0 ? 0.0
+                     : 100.0 * static_cast<double>(cache.hits) /
+                           static_cast<double>(lookups),
+        static_cast<unsigned long long>(cache.evictions));
+  }
   const telemetry::TelemetrySnapshot snapshot =
       telemetry::Telemetry::Snapshot();
   if (const auto* hist = snapshot.FindHistogram("serve/request_ns")) {
@@ -744,6 +919,16 @@ int Run(int argc, char** argv) {
                   "ivf_sq8");
   flags.AddInt64("requests", 2000, "requests the load driver issues");
   flags.AddInt64("clients", 4, "closed-loop client threads");
+  flags.AddString("warmup", "full",
+                  "publish warm-up mode: full = precompute every user "
+                  "representation at swap time; lazy = demand-paged user "
+                  "cache, O(items) swaps (docs/serving.md#warmup)");
+  flags.AddInt64("user_cache_entries", 65536,
+                 "capacity of the demand-paged user-representation cache "
+                 "(--warmup=lazy only)");
+  flags.AddString("skew", "uniform",
+                  "load-driver traffic mix: uniform (round-robin users) | "
+                  "zipf:<s> (rank-0-hottest Zipf with exponent s)");
   flags.AddImplicitString("stats_socket", "", "/tmp/scenerec.sock",
                           "serve the live stats endpoint on this unix "
                           "socket; bare flag uses the default path "

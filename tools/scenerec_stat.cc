@@ -113,6 +113,7 @@ struct WBucket {
 struct VarsData {
   std::map<std::string, double> scalars;  ///< mono_ns, uptime_seconds, ...
   std::map<std::string, double> server;
+  std::map<std::string, double> cache;  ///< demand-paged user-repr cache
   std::map<std::string, double> slo;
   std::map<std::string, double> counters;
   std::map<std::string, double> gauges;
@@ -129,11 +130,12 @@ VarsData ParseVars(const std::string& text) {
     std::istringstream row(line);
     std::string key;
     if (!(row >> key)) continue;
-    if (key == "server" || key == "slo") {
+    if (key == "server" || key == "slo" || key == "cache") {
       std::string name;
       double value = 0;
       if (row >> name >> value) {
-        (key == "server" ? v.server : v.slo)[name] = value;
+        (key == "server" ? v.server : key == "slo" ? v.slo : v.cache)[name] =
+            value;
       }
     } else if (key == "counter" || key == "gauge") {
       std::string name;
@@ -188,7 +190,22 @@ std::string RenderTable(const VarsData& v, const std::string& socket_path) {
          FormatCount(Get(v.server, "rejected")) + " rejected   batches " +
          FormatCount(Get(v.server, "batches")) + "   rows " +
          FormatCount(Get(v.server, "rows_scored")) + "   max_batch " +
-         FormatCount(Get(v.server, "max_batch")) + "\n\n";
+         FormatCount(Get(v.server, "max_batch")) + "\n";
+
+  // The demand-paged user-repr cache section appears only when lazy warm-up
+  // is active (capacity 0 means full warm-up — no cache to report).
+  if (Get(v.cache, "capacity_bytes") > 0) {
+    const double lookups = Get(v.cache, "hits") + Get(v.cache, "misses");
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.1f%%",
+                  lookups == 0 ? 0.0 : 100.0 * Get(v.cache, "hits") / lookups);
+    out += "cache     " + FormatCount(Get(v.cache, "entries")) +
+           " users resident (" + FormatBytes(Get(v.cache, "bytes")) + " of " +
+           FormatBytes(Get(v.cache, "capacity_bytes")) + ")   hit rate " +
+           rate + "   evictions " +
+           FormatCount(Get(v.cache, "evictions")) + "\n";
+  }
+  out += "\n";
 
   const double window_s = Get(v.scalars, "window_ns") * 1e-9;
   const auto req = v.windows.find("serve/request_ns");
@@ -347,6 +364,11 @@ int SelfTest() {
   const VarsData parsed = ParseVars(vars.value());
   STAT_REQUIRE(Get(parsed.server, "requests") >= 200);
   STAT_REQUIRE(Get(parsed.server, "published") == 1);
+  // The cache lines are always present; ItemPop serves full warm-up, so the
+  // demand-paged cache reports zero capacity and the table omits its row.
+  STAT_REQUIRE(parsed.cache.count("hits") == 1);
+  STAT_REQUIRE(parsed.cache.count("capacity_bytes") == 1);
+  STAT_REQUIRE(Get(parsed.cache, "capacity_bytes") == 0);
   STAT_REQUIRE(parsed.windows.count("serve/request_ns") == 1);
   STAT_REQUIRE(parsed.windows.at("serve/request_ns").count > 0);
   const std::string table = RenderTable(parsed, socket_path);
@@ -366,6 +388,8 @@ int SelfTest() {
   StatusOr<std::string> prom = UnixSocketRequest(socket_path, "metrics", 5000);
   STAT_REQUIRE(prom.ok());
   STAT_REQUIRE(prom.value().find("scenerec_serve_daemon_requests") !=
+               std::string::npos);
+  STAT_REQUIRE(prom.value().find("scenerec_serve_repr_cache_hits") !=
                std::string::npos);
   StatusOr<std::string> trace = UnixSocketRequest(socket_path, "trace", 5000);
   STAT_REQUIRE(trace.ok());
